@@ -1,0 +1,72 @@
+"""Figure 3 bench: eps as a function of participation probability p.
+
+Closed-form Eq. 3 curve; the bench also pins the paper's headline point
+eps(0.5) = ln 2 and the simplification eps = -ln(1-p).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments import figure3
+from repro.privacy import epsilon_from_p
+
+
+def test_fig3_epsilon_curve(benchmark, record_figure):
+    result = benchmark.pedantic(figure3, rounds=5, iterations=1)
+    record_figure("fig3_epsilon", result.render())
+    ps = result.x_values
+    eps = result.series["epsilon"]
+    # monotone increasing, 0 at p->0, ln2 at 0.5
+    assert all(a < b for a, b in zip(eps, eps[1:]))
+    idx = ps.index(0.5)
+    assert abs(eps[idx] - math.log(2.0)) < 1e-12
+    for p, e in zip(ps, eps):
+        assert abs(e - (-math.log(1.0 - p))) < 1e-12
+
+
+def test_fig3_accounting_throughput(benchmark):
+    """Micro-bench: accounting is used in hot paths of audits."""
+
+    def run():
+        total = 0.0
+        for i in range(1, 1000):
+            total += epsilon_from_p(i / 1000.0 * 0.99)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_fig3_empirical_epsilon_validates_bound(benchmark, record_figure):
+    """Monte-Carlo companion to Fig. 3: the *measured* privacy loss of
+    the actual release mechanism stays under the Eq. 3 curve."""
+    import numpy as np
+
+    from repro.privacy import empirical_epsilon
+    from repro.utils.tables import format_table
+
+    rng = np.random.default_rng(0)
+    codes = rng.integers(0, 4, size=300)
+
+    def run():
+        rows = []
+        for p in (0.25, 0.5, 0.75):
+            result = empirical_epsilon(
+                codes, 0, p=p, threshold=5, n_trials=20_000, seed=1
+            )
+            rows.append(
+                {
+                    "p": p,
+                    "eps_bound(Eq.3)": result.epsilon_bound,
+                    "eps_measured": result.epsilon_measured,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_figure(
+        "fig3_empirical",
+        format_table(rows, title="empirical privacy loss vs Eq. 3 bound"),
+    )
+    for row in rows:
+        assert row["eps_measured"] <= row["eps_bound(Eq.3)"] + 0.35

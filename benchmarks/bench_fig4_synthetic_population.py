@@ -1,0 +1,47 @@
+"""Figure 4 bench: synthetic benchmark, reward vs population U.
+
+One panel per arm count A in {10, 20, 50} (d=10, T=10, p=0.5).  Scaled
+per EXPERIMENTS.md: U sweeps 100..3162 at bench scale; shape targets —
+cold flat at the random floor (beta/A), warm curves increasing in U,
+non-private >= private.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure4
+
+# More arms need more population before the warm effect emerges (the
+# paper sweeps U to 10^6); the A=50 panel therefore extends to 10^4.
+U_VALUES = {
+    10: (100, 316, 1000, 3162),
+    20: (100, 316, 1000, 3162),
+    50: (100, 1000, 3162, 10000),
+}
+
+
+@pytest.mark.parametrize("n_actions", [10, 20, 50])
+def test_fig4_population_sweep(benchmark, record_figure, n_actions):
+    result = benchmark.pedantic(
+        lambda: figure4(
+            arm_counts=(n_actions,), u_values=U_VALUES[n_actions], scale=1.0, seed=0
+        )[n_actions],
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(f"fig4_A{n_actions}", result.render())
+    cold = result.series["cold"]
+    private = result.series["warm_private"]
+    nonprivate = result.series["warm_nonprivate"]
+    # cold never sees other users: flat (tolerance = eval noise)
+    assert max(cold) - min(cold) < 0.01
+    # reward floor shrinks with A: cold ~ beta / A
+    assert cold[0] == pytest.approx(0.1 / n_actions, rel=0.5)
+    # warm settings improve with population
+    assert nonprivate[-1] > nonprivate[0]
+    assert private[-1] >= private[0] - 0.002
+    # non-private upper-bounds private at the largest population
+    assert nonprivate[-1] >= private[-1] - 0.005
+    # warm non-private more than doubles cold at the largest population
+    assert nonprivate[-1] > 2 * cold[-1]

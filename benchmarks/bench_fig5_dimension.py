@@ -1,0 +1,32 @@
+"""Figure 5 bench: synthetic benchmark, reward vs context dimension d.
+
+Paper: U=20000, A=20, T=20, d in {6..20} — average reward decreases as
+agents spend more time exploring larger context spaces, with the
+private setting competitive at low d.  Bench scale runs U=1000 over a
+d subsample.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import figure5
+
+
+def test_fig5_dimension_sweep(benchmark, record_figure):
+    result = benchmark.pedantic(
+        lambda: figure5(d_values=(6, 10, 14, 20), scale=0.1, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    record_figure("fig5_dimension", result.render())
+    nonprivate = result.series["warm_nonprivate"]
+    private = result.series["warm_private"]
+    cold = result.series["cold"]
+    # the paper's headline trend: higher d => lower warm reward
+    assert nonprivate[-1] < nonprivate[0]
+    # warm non-private dominates cold throughout the sweep
+    assert all(np_v >= c - 0.004 for np_v, c in zip(nonprivate, cold))
+    # non-private clearly ahead at the lowest dimension
+    assert nonprivate[0] > 2 * cold[0]
+    # private is competitive at the lowest dimension (paper: "especially
+    # for low-dimensional context settings")
+    assert private[0] > cold[0]

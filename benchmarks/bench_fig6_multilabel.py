@@ -1,0 +1,37 @@
+"""Figure 6 bench: multi-label accuracy vs local interactions.
+
+MediaMill-like (d=20, A=40) and TextMining-like (d=20, A=20) corpora,
+k=2^5 codes, 70/30 contributor/evaluator split.  Shape targets: all
+settings improve with interactions; cold < private < non-private; the
+final private gap is small (paper: 2.6% / 3.6%).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure6
+
+
+@pytest.mark.parametrize("dataset", ["mediamill", "textmining"])
+def test_fig6_multilabel(benchmark, record_figure, dataset):
+    result = benchmark.pedantic(
+        lambda: figure6(datasets=(dataset,), scale=1.0, seed=0)[dataset],
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(f"fig6_{dataset}", result.render())
+    cold = result.series["cold"]
+    private = result.series["warm_private"]
+    nonprivate = result.series["warm_nonprivate"]
+    # both warm settings clearly beat cold at the final checkpoint
+    assert cold[-1] < private[-1]
+    assert cold[-1] < nonprivate[-1]
+    # cold improves with local interactions
+    assert cold[-1] > cold[0]
+    # the multiplicative effect: warm settings beat cold from the start
+    assert private[0] > cold[0]
+    # the private-vs-nonprivate gap is small in either direction
+    # (paper: 2.6-3.6% drop; on MediaMill-like data private can edge
+    # ahead — see EXPERIMENTS.md)
+    assert abs(nonprivate[-1] - private[-1]) < 0.10

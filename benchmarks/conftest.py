@@ -1,0 +1,39 @@
+"""Benchmark-session plumbing.
+
+Experiment benches register their rendered figure tables here; a
+``pytest_terminal_summary`` hook prints everything at the end of the
+run, so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
+captures the full reproduced-figure data alongside the timing table.
+Rendered text is also written to ``benchmarks/results/*.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+_RESULTS: list[tuple[str, str]] = []
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_figure():
+    """Fixture: call with (name, rendered_text) to register output."""
+
+    def _record(name: str, text: str) -> None:
+        _RESULTS.append((name, text))
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    terminalreporter.write_sep("=", "reproduced paper figures")
+    for name, text in _RESULTS:
+        terminalreporter.write_sep("-", name)
+        terminalreporter.write_line(text)

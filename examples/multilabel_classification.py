@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Multi-label classification with bandit feedback — the paper's §5.2.
+
+Generates a TextMining-like corpus (d=20 features, A=20 labels), splits
+agents 70/30 into contributors and evaluators, and reports accuracy
+(= mean bandit reward) as local interactions grow — the data behind the
+paper's Figure 6 and the "within 3.6% of non-private" headline.
+
+Run:  python examples/multilabel_classification.py [--dataset mediamill]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import P2BConfig, make_mediamill_like, make_textmining_like
+from repro.data import MultilabelBanditEnvironment
+from repro.encoding import KMeansEncoder
+from repro.experiments import compare_settings
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--dataset", choices=("mediamill", "textmining"), default="textmining"
+    )
+    parser.add_argument(
+        "--agents",
+        type=int,
+        default=3000,
+        help="total simulated users; the private-vs-nonprivate gap "
+        "approaches the paper's 3.6% at the paper's 3000-agent scale",
+    )
+    parser.add_argument("--interactions", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    maker = make_mediamill_like if args.dataset == "mediamill" else make_textmining_like
+    dataset = maker(20_000, seed=args.seed)
+    print(
+        f"{dataset.name}: {dataset.n_samples} samples, d={dataset.n_features}, "
+        f"A={dataset.n_labels}, {dataset.label_cardinality:.1f} labels/sample"
+    )
+
+    config = P2BConfig(
+        n_actions=dataset.n_labels,
+        n_features=dataset.n_features,
+        n_codes=32,
+        p=0.5,
+        window=10,
+        shuffler_threshold=5,
+    )
+    encoder = KMeansEncoder(
+        n_codes=32, n_features=dataset.n_features, q=1, seed=args.seed
+    ).fit(dataset.X[:5000])
+
+    def env_factory() -> MultilabelBanditEnvironment:
+        return MultilabelBanditEnvironment(dataset, samples_per_user=100, seed=args.seed)
+
+    n_contrib = int(0.7 * args.agents)
+    comparison = compare_settings(
+        env_factory,
+        config,
+        n_contributors=n_contrib,
+        contributor_interactions=30,
+        n_eval_agents=min(args.agents - n_contrib, 120),
+        eval_interactions=args.interactions,
+        seed=args.seed,
+        encoder=encoder,
+    )
+    print()
+    print(comparison.render_summary(title=f"{dataset.name} accuracy by setting"))
+    print()
+    print(comparison.render_curves(
+        title="accuracy vs local interactions",
+        every=max(args.interactions // 10, 1),
+    ))
+    gap = (
+        comparison["warm-nonprivate"].mean_reward
+        - comparison["warm-private"].mean_reward
+    )
+    print(f"\nprivacy cost (non-private minus private accuracy): {gap:+.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,162 @@
+"""Contextual-bandit policy interface.
+
+The paper's setting (§2): at time ``t`` the agent observes a
+``d``-dimensional context ``x_t``, selects an action
+``a_t ∈ {0, …, A-1}``, and observes the reward ``r_{t,a}`` of the chosen
+action only.  Every policy in :mod:`repro.bandits` implements this
+interface, plus:
+
+* **batch updates** — the P2B server trains the central model from a
+  shuffled batch of tuples, so ``update_batch`` must be order-invariant
+  for policies used server-side (true for all linear policies here,
+  whose sufficient statistics are sums);
+* **state serialization** — the central model is shipped to devices as a
+  state dict (see :mod:`repro.utils.serialization`); ``get_state`` /
+  ``set_state`` round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..utils.exceptions import ValidationError
+from ..utils.rng import ensure_rng
+from ..utils.validation import check_in_range, check_positive_int, check_vector
+
+__all__ = ["BanditPolicy", "argmax_random_tiebreak"]
+
+
+def argmax_random_tiebreak(scores: np.ndarray, rng: np.random.Generator) -> int:
+    """Arm with the highest score; ties broken uniformly at random.
+
+    Deterministic ``np.argmax`` would bias early exploration toward
+    low-indexed arms (all scores start equal), which visibly skews the
+    cold-start curves the paper measures — hence randomized tie-breaks.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    best = np.flatnonzero(scores == scores.max())
+    if best.size == 1:
+        return int(best[0])
+    return int(rng.choice(best))
+
+
+class BanditPolicy(abc.ABC):
+    """Abstract base class for contextual bandit policies.
+
+    Parameters
+    ----------
+    n_arms:
+        Number of actions ``A``.
+    n_features:
+        Context dimensionality ``d`` (ignored by context-free policies,
+        which still validate it for interface uniformity).
+    seed:
+        Seed / generator for the policy's internal randomness
+        (tie-breaking, exploration draws, posterior sampling).
+    """
+
+    #: registry key used by state serialization; subclasses override.
+    kind: str = "abstract"
+
+    def __init__(self, n_arms: int, n_features: int, *, seed=None) -> None:
+        self.n_arms = check_positive_int(n_arms, name="n_arms")
+        self.n_features = check_positive_int(n_features, name="n_features")
+        self._rng = ensure_rng(seed)
+        self.t = 0  # total updates observed
+
+    # ------------------------------------------------------------------ #
+    # core interface
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def select(self, context: np.ndarray) -> int:
+        """Choose an action for ``context``."""
+
+    @abc.abstractmethod
+    def update(self, context: np.ndarray, action: int, reward: float) -> None:
+        """Incorporate one observed ``(context, action, reward)``."""
+
+    def update_batch(
+        self, contexts: np.ndarray, actions: np.ndarray, rewards: np.ndarray
+    ) -> None:
+        """Incorporate a batch of observations (default: loop over rows).
+
+        Linear subclasses keep this loop — their per-step update is a
+        rank-1 operation and batches in P2B are modest — but the method
+        exists so the server code is policy-agnostic.
+        """
+        contexts = np.atleast_2d(np.asarray(contexts, dtype=np.float64))
+        actions = np.asarray(actions, dtype=np.intp).ravel()
+        rewards = np.asarray(rewards, dtype=np.float64).ravel()
+        if not (contexts.shape[0] == actions.shape[0] == rewards.shape[0]):
+            raise ValidationError(
+                "contexts, actions and rewards must have matching first dimensions: "
+                f"{contexts.shape[0]}, {actions.shape[0]}, {rewards.shape[0]}"
+            )
+        for x, a, r in zip(contexts, actions, rewards):
+            self.update(x, int(a), float(r))
+
+    # ------------------------------------------------------------------ #
+    # helpers for subclasses
+    # ------------------------------------------------------------------ #
+    def _check_context(self, context: np.ndarray) -> np.ndarray:
+        return check_vector(context, name="context", size=self.n_features)
+
+    def _check_action(self, action: int) -> int:
+        return check_in_range(action, name="action", low=0, high=self.n_arms)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def get_state(self) -> dict[str, Any]:
+        """Serializable snapshot of the learned parameters.
+
+        Must include ``kind``, ``n_arms``, ``n_features`` and ``t``; the
+        remainder is subclass-specific.  The snapshot must contain only
+        aggregate statistics — never raw interaction logs — because in
+        P2B this object travels from server to every device.
+        """
+
+    @abc.abstractmethod
+    def set_state(self, state: Mapping[str, Any]) -> None:
+        """Restore parameters from :meth:`get_state` output."""
+
+    def _state_header(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "n_arms": self.n_arms,
+            "n_features": self.n_features,
+            "t": self.t,
+        }
+
+    def _check_state_header(self, state: Mapping[str, Any]) -> None:
+        if state.get("kind") != self.kind:
+            raise ValidationError(
+                f"state kind {state.get('kind')!r} does not match policy {self.kind!r}"
+            )
+        for key in ("n_arms", "n_features"):
+            if int(state.get(key, -1)) != getattr(self, key):
+                raise ValidationError(
+                    f"state {key}={state.get(key)} does not match policy {getattr(self, key)}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def expected_rewards(self, context: np.ndarray) -> np.ndarray:
+        """Point estimate of each arm's reward (exploitation scores).
+
+        Context-free policies return their empirical means.  Default
+        raises; subclasses that can, override.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no reward model")
+
+    def greedy_action(self, context: np.ndarray) -> int:
+        """Pure-exploitation action (used by held-out accuracy evaluation)."""
+        return argmax_random_tiebreak(self.expected_rewards(context), self._rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n_arms={self.n_arms}, n_features={self.n_features}, t={self.t})"

@@ -1,0 +1,99 @@
+"""Epsilon-greedy linear bandit.
+
+Maintains the same per-arm ridge statistics as LinUCB but explores by
+flipping an ``epsilon`` coin: with probability ``epsilon`` play a
+uniform action, otherwise play the greedy arm.  Serves as the simplest
+"alternative CBA" for the paper's future-work axis, and as a sanity
+baseline in the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..utils.validation import check_probability, check_scalar
+from .base import BanditPolicy, argmax_random_tiebreak
+
+__all__ = ["EpsilonGreedy"]
+
+
+class EpsilonGreedy(BanditPolicy):
+    """Linear epsilon-greedy policy.
+
+    Parameters
+    ----------
+    epsilon:
+        Exploration probability in [0, 1].
+    decay:
+        Optional multiplicative epsilon decay applied after every update
+        (1.0 = constant epsilon).
+    ridge:
+        Ridge regularizer for the per-arm least-squares model.
+    """
+
+    kind = "epsilon_greedy"
+
+    def __init__(
+        self,
+        n_arms: int,
+        n_features: int,
+        *,
+        epsilon: float = 0.1,
+        decay: float = 1.0,
+        ridge: float = 1.0,
+        seed=None,
+    ) -> None:
+        super().__init__(n_arms, n_features, seed=seed)
+        self.epsilon = check_probability(epsilon, name="epsilon")
+        self.decay = check_scalar(decay, name="decay", minimum=0.0, maximum=1.0, include_min=False)
+        self.ridge = check_scalar(ridge, name="ridge", minimum=0.0, include_min=False)
+        d = self.n_features
+        self.A_inv = np.repeat((np.eye(d) / self.ridge)[None, :, :], self.n_arms, axis=0)
+        self.b = np.zeros((self.n_arms, d))
+        self.theta = np.zeros((self.n_arms, d))
+
+    def expected_rewards(self, context: np.ndarray) -> np.ndarray:
+        x = self._check_context(context)
+        return self.theta @ x
+
+    def select(self, context: np.ndarray) -> int:
+        if self._rng.random() < self.epsilon:
+            return int(self._rng.integers(self.n_arms))
+        return argmax_random_tiebreak(self.expected_rewards(context), self._rng)
+
+    def update(self, context: np.ndarray, action: int, reward: float) -> None:
+        x = self._check_context(context)
+        a = self._check_action(action)
+        A_inv = self.A_inv[a]
+        Ax = A_inv @ x
+        denom = 1.0 + float(x @ Ax)
+        A_inv -= np.outer(Ax, Ax) / denom
+        self.b[a] += float(reward) * x
+        self.theta[a] = A_inv @ self.b[a]
+        self.epsilon *= self.decay
+        self.t += 1
+
+    def get_state(self) -> dict[str, Any]:
+        state = self._state_header()
+        state.update(
+            epsilon=self.epsilon,
+            decay=self.decay,
+            ridge=self.ridge,
+            A_inv=self.A_inv.copy(),
+            b=self.b.copy(),
+        )
+        return state
+
+    def set_state(self, state: Mapping[str, Any]) -> None:
+        self._check_state_header(state)
+        self.epsilon = float(state["epsilon"])
+        self.decay = float(state["decay"])
+        self.ridge = float(state["ridge"])
+        self.A_inv = np.asarray(state["A_inv"], dtype=np.float64).reshape(
+            self.n_arms, self.n_features, self.n_features
+        )
+        self.b = np.asarray(state["b"], dtype=np.float64).reshape(self.n_arms, self.n_features)
+        self.t = int(state["t"])
+        self.theta = np.einsum("aij,aj->ai", self.A_inv, self.b)

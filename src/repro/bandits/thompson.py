@@ -1,0 +1,117 @@
+"""Linear Thompson sampling (Agrawal & Goyal, ICML 2013).
+
+The paper's conclusion lists "the interplay with alternative contextual
+bandit algorithms" as future work; this policy (and epsilon-greedy) are
+the natural first alternatives, sharing LinUCB's per-arm ridge
+statistics but exploring by posterior sampling:
+
+.. math::
+
+    \\tilde\\theta_a \\sim \\mathcal N(\\theta_a, v^2 A_a^{-1}),
+    \\qquad a_t = \\arg\\max_a x^T \\tilde\\theta_a .
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..utils.validation import check_scalar
+from .base import BanditPolicy, argmax_random_tiebreak
+
+__all__ = ["LinearThompsonSampling"]
+
+
+class LinearThompsonSampling(BanditPolicy):
+    """Per-arm Gaussian posterior sampling over linear reward models.
+
+    Parameters
+    ----------
+    v:
+        Posterior scale; larger means more exploration.
+    ridge:
+        Prior precision ``lambda``.
+    """
+
+    kind = "lin_ts"
+
+    def __init__(
+        self,
+        n_arms: int,
+        n_features: int,
+        *,
+        v: float = 0.5,
+        ridge: float = 1.0,
+        seed=None,
+    ) -> None:
+        super().__init__(n_arms, n_features, seed=seed)
+        self.v = check_scalar(v, name="v", minimum=0.0)
+        self.ridge = check_scalar(ridge, name="ridge", minimum=0.0, include_min=False)
+        d = self.n_features
+        self.A_inv = np.repeat((np.eye(d) / self.ridge)[None, :, :], self.n_arms, axis=0)
+        self.b = np.zeros((self.n_arms, d))
+        self.theta = np.zeros((self.n_arms, d))
+        # Cholesky factors of A_inv, cached for fast posterior draws
+        self._chol = np.repeat(
+            (np.eye(d) / np.sqrt(self.ridge))[None, :, :], self.n_arms, axis=0
+        )
+        self._chol_fresh = np.ones(self.n_arms, dtype=bool)
+
+    def _refresh_chol(self, a: int) -> None:
+        if not self._chol_fresh[a]:
+            # A_inv is SPD by construction; jitter guards accumulated error
+            M = self.A_inv[a]
+            try:
+                self._chol[a] = np.linalg.cholesky(M)
+            except np.linalg.LinAlgError:
+                jitter = 1e-10 * np.eye(self.n_features)
+                self._chol[a] = np.linalg.cholesky(M + jitter)
+            self._chol_fresh[a] = True
+
+    def sample_scores(self, context: np.ndarray) -> np.ndarray:
+        """One posterior draw of each arm's expected reward at ``context``."""
+        x = self._check_context(context)
+        scores = np.empty(self.n_arms)
+        for a in range(self.n_arms):
+            self._refresh_chol(a)
+            z = self._rng.standard_normal(self.n_features)
+            theta_tilde = self.theta[a] + self.v * (self._chol[a] @ z)
+            scores[a] = float(theta_tilde @ x)
+        return scores
+
+    def expected_rewards(self, context: np.ndarray) -> np.ndarray:
+        x = self._check_context(context)
+        return self.theta @ x
+
+    def select(self, context: np.ndarray) -> int:
+        return argmax_random_tiebreak(self.sample_scores(context), self._rng)
+
+    def update(self, context: np.ndarray, action: int, reward: float) -> None:
+        x = self._check_context(context)
+        a = self._check_action(action)
+        A_inv = self.A_inv[a]
+        Ax = A_inv @ x
+        denom = 1.0 + float(x @ Ax)
+        A_inv -= np.outer(Ax, Ax) / denom
+        self.b[a] += float(reward) * x
+        self.theta[a] = A_inv @ self.b[a]
+        self._chol_fresh[a] = False
+        self.t += 1
+
+    def get_state(self) -> dict[str, Any]:
+        state = self._state_header()
+        state.update(v=self.v, ridge=self.ridge, A_inv=self.A_inv.copy(), b=self.b.copy())
+        return state
+
+    def set_state(self, state: Mapping[str, Any]) -> None:
+        self._check_state_header(state)
+        self.v = float(state["v"])
+        self.ridge = float(state["ridge"])
+        self.A_inv = np.asarray(state["A_inv"], dtype=np.float64).reshape(
+            self.n_arms, self.n_features, self.n_features
+        )
+        self.b = np.asarray(state["b"], dtype=np.float64).reshape(self.n_arms, self.n_features)
+        self.t = int(state["t"])
+        self.theta = np.einsum("aij,aj->ai", self.A_inv, self.b)
+        self._chol_fresh = np.zeros(self.n_arms, dtype=bool)

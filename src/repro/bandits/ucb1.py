@@ -1,0 +1,82 @@
+"""UCB1 (Auer et al., 2002) — context-free upper-confidence baseline.
+
+Included because the paper's background (§2) frames UCB methods
+generally before specializing to LinUCB; in benches UCB1 quantifies how
+much the *contextual* part of LinUCB is worth on each workload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..utils.validation import check_scalar
+from .base import BanditPolicy, argmax_random_tiebreak
+
+__all__ = ["UCB1"]
+
+
+class UCB1(BanditPolicy):
+    """Classic UCB1 over arm means; ignores context.
+
+    Parameters
+    ----------
+    c:
+        Confidence scaling (sqrt(2) in the original analysis).
+    """
+
+    kind = "ucb1"
+
+    def __init__(self, n_arms: int, n_features: int = 1, *, c: float = np.sqrt(2.0), seed=None) -> None:
+        super().__init__(n_arms, n_features, seed=seed)
+        self.c = check_scalar(c, name="c", minimum=0.0)
+        self.counts = np.zeros(self.n_arms, dtype=np.int64)
+        self.sums = np.zeros(self.n_arms, dtype=np.float64)
+
+    def ucb_scores(self, context: np.ndarray | None = None) -> np.ndarray:
+        """UCB1 index per arm; unplayed arms get +inf (forced first plays)."""
+        scores = np.full(self.n_arms, np.inf)
+        played = self.counts > 0
+        if played.any():
+            means = self.sums[played] / self.counts[played]
+            total = max(self.t, 1)
+            bonus = self.c * np.sqrt(np.log(total) / self.counts[played])
+            scores[played] = means + bonus
+        return scores
+
+    def expected_rewards(self, context: np.ndarray | None = None) -> np.ndarray:
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = np.where(self.counts > 0, self.sums / np.maximum(self.counts, 1), 0.0)
+        return means
+
+    def select(self, context: np.ndarray | None = None) -> int:
+        return argmax_random_tiebreak(self.ucb_scores(), self._rng)
+
+    def update(self, context: np.ndarray | None, action: int, reward: float) -> None:
+        a = self._check_action(action)
+        self.counts[a] += 1
+        self.sums[a] += float(reward)
+        self.t += 1
+
+    def update_batch(self, contexts, actions, rewards) -> None:
+        actions = np.asarray(actions, dtype=np.intp).ravel()
+        rewards = np.asarray(rewards, dtype=np.float64).ravel()
+        np.add.at(self.counts, actions, 1)
+        np.add.at(self.sums, actions, rewards)
+        self.t += actions.shape[0]
+
+    def greedy_action(self, context: np.ndarray | None = None) -> int:
+        return argmax_random_tiebreak(self.expected_rewards(), self._rng)
+
+    def get_state(self) -> dict[str, Any]:
+        state = self._state_header()
+        state.update(c=self.c, counts=self.counts.copy(), sums=self.sums.copy())
+        return state
+
+    def set_state(self, state: Mapping[str, Any]) -> None:
+        self._check_state_header(state)
+        self.c = float(state["c"])
+        self.counts = np.asarray(state["counts"], dtype=np.int64).reshape(self.n_arms)
+        self.sums = np.asarray(state["sums"], dtype=np.float64).reshape(self.n_arms)
+        self.t = int(state["t"])

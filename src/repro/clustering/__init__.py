@@ -1,0 +1,33 @@
+"""Clustering substrate: from-scratch k-means variants.
+
+The runtime environment ships no scikit-learn, so the paper's encoder
+dependencies — Lloyd k-means and Sculley's mini-batch k-means — are
+implemented here.
+"""
+
+from ._init import init_centroids, kmeans_plus_plus, pairwise_sq_dists, random_init
+from .kmeans import KMeans, compute_inertia, lloyd_iteration
+from .metrics import (
+    balance_ratio,
+    cluster_sizes,
+    davies_bouldin_index,
+    inertia_per_cluster,
+    min_cluster_size,
+)
+from .minibatch import MiniBatchKMeans
+
+__all__ = [
+    "KMeans",
+    "MiniBatchKMeans",
+    "init_centroids",
+    "kmeans_plus_plus",
+    "random_init",
+    "pairwise_sq_dists",
+    "lloyd_iteration",
+    "compute_inertia",
+    "cluster_sizes",
+    "min_cluster_size",
+    "balance_ratio",
+    "inertia_per_cluster",
+    "davies_bouldin_index",
+]

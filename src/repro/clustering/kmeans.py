@@ -1,0 +1,186 @@
+"""Lloyd's k-means, implemented from scratch (no scikit-learn here).
+
+This is the paper's §3.2 encoding workhorse: the codebook that maps a
+normalized context vector to one of ``k`` codes is a k-means clustering
+of the (quantized) context simplex.  The implementation follows the
+ml-systems guide: fully vectorized assignment/update steps, with an
+optional ``n_init`` restart loop keeping the lowest-inertia solution.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.exceptions import ConvergenceWarning, ValidationError
+from ..utils.rng import ensure_rng, spawn_seeds
+from ..utils.validation import check_fitted, check_matrix, check_positive_int, check_scalar
+from ._init import init_centroids, pairwise_sq_dists
+
+__all__ = ["KMeans", "lloyd_iteration", "compute_inertia"]
+
+
+def compute_inertia(X: np.ndarray, centroids: np.ndarray, labels: np.ndarray) -> float:
+    """Sum of squared distances of samples to their assigned centroid."""
+    diffs = X - centroids[labels]
+    return float(np.einsum("ij,ij->", diffs, diffs))
+
+
+def lloyd_iteration(
+    X: np.ndarray, centroids: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """One Lloyd step: assign points, recompute means, handle empty clusters.
+
+    Empty clusters are re-seeded at the point *farthest* from its current
+    centroid (the standard sklearn-style repair), which keeps ``k``
+    clusters alive — important because the P2B codebook size ``k`` is a
+    privacy-relevant constant, not a tunable that may silently shrink.
+
+    Returns
+    -------
+    (labels, new_centroids, inertia_before_update)
+    """
+    d2 = pairwise_sq_dists(X, centroids)
+    labels = np.argmin(d2, axis=1)
+    inertia = float(d2[np.arange(X.shape[0]), labels].sum())
+    k = centroids.shape[0]
+    counts = np.bincount(labels, minlength=k).astype(np.float64)
+    sums = np.zeros_like(centroids)
+    np.add.at(sums, labels, X)
+    new_centroids = centroids.copy()
+    nonempty = counts > 0
+    new_centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+    empty = np.flatnonzero(~nonempty)
+    if empty.size:
+        # farthest points from their assigned centres become new seeds
+        residual = d2[np.arange(X.shape[0]), labels]
+        order = np.argsort(residual)[::-1]
+        for j, cluster in enumerate(empty):
+            new_centroids[cluster] = X[order[j % X.shape[0]]]
+    return labels, new_centroids, inertia
+
+
+@dataclass
+class KMeans:
+    """Exact (Lloyd) k-means clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters ``k``.
+    n_init:
+        Independent restarts; the fit keeps the lowest-inertia run.
+    max_iter:
+        Maximum Lloyd iterations per restart.
+    tol:
+        Relative centroid-shift tolerance for convergence.
+    init:
+        ``"k-means++"`` or ``"random"``.
+    seed:
+        Seed / generator for all randomness.
+
+    Attributes
+    ----------
+    cluster_centers_:
+        ``(k, d)`` array of centroids after :meth:`fit`.
+    labels_:
+        Training-set assignments.
+    inertia_:
+        Final within-cluster sum of squares.
+    n_iter_:
+        Iterations used by the best restart.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> X = np.vstack([np.zeros((5, 2)), np.ones((5, 2))])
+    >>> km = KMeans(n_clusters=2, seed=0).fit(X)
+    >>> sorted(np.bincount(km.labels_).tolist())
+    [5, 5]
+    """
+
+    n_clusters: int = 8
+    n_init: int = 4
+    max_iter: int = 300
+    tol: float = 1e-6
+    init: str = "k-means++"
+    seed: int | np.random.Generator | None = None
+
+    cluster_centers_: np.ndarray | None = field(default=None, init=False, repr=False)
+    labels_: np.ndarray | None = field(default=None, init=False, repr=False)
+    inertia_: float | None = field(default=None, init=False, repr=False)
+    n_iter_: int | None = field(default=None, init=False, repr=False)
+
+    def _validate(self) -> None:
+        check_positive_int(self.n_clusters, name="n_clusters")
+        check_positive_int(self.n_init, name="n_init")
+        check_positive_int(self.max_iter, name="max_iter")
+        check_scalar(self.tol, name="tol", minimum=0.0)
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        """Cluster ``X``; returns ``self`` (sklearn-style chaining)."""
+        self._validate()
+        X = check_matrix(X, name="X")
+        if self.n_clusters > X.shape[0]:
+            raise ValidationError(
+                f"n_clusters={self.n_clusters} exceeds n_samples={X.shape[0]}"
+            )
+        seeds = spawn_seeds(self.seed, self.n_init)
+        best: tuple[float, np.ndarray, np.ndarray, int] | None = None
+        for seq in seeds:
+            rng = ensure_rng(seq)
+            centroids = init_centroids(X, self.n_clusters, method=self.init, seed=rng)
+            inertia = np.inf
+            labels = np.zeros(X.shape[0], dtype=np.intp)
+            n_iter = 0
+            for n_iter in range(1, self.max_iter + 1):
+                labels, new_centroids, inertia = lloyd_iteration(X, centroids, rng)
+                shift = float(np.linalg.norm(new_centroids - centroids))
+                centroids = new_centroids
+                scale = float(np.linalg.norm(centroids)) or 1.0
+                if shift / scale <= self.tol:
+                    break
+            else:
+                warnings.warn(
+                    f"KMeans did not converge in {self.max_iter} iterations",
+                    ConvergenceWarning,
+                    stacklevel=2,
+                )
+            # final assignment against the *updated* centroids
+            d2 = pairwise_sq_dists(X, centroids)
+            labels = np.argmin(d2, axis=1)
+            inertia = float(d2[np.arange(X.shape[0]), labels].sum())
+            if best is None or inertia < best[0]:
+                best = (inertia, centroids, labels, n_iter)
+        assert best is not None
+        self.inertia_, self.cluster_centers_, self.labels_, self.n_iter_ = (
+            best[0],
+            best[1],
+            best[2],
+            best[3],
+        )
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Assign each row of ``X`` to its nearest learned centroid."""
+        check_fitted(self, ["cluster_centers_"])
+        X = check_matrix(X, name="X", n_cols=self.cluster_centers_.shape[1])  # type: ignore[union-attr]
+        return np.argmin(pairwise_sq_dists(X, self.cluster_centers_), axis=1)
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        """Equivalent to ``fit(X).labels_``."""
+        return self.fit(X).labels_  # type: ignore[return-value]
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Distances (not squared) from each sample to every centroid."""
+        check_fitted(self, ["cluster_centers_"])
+        X = check_matrix(X, name="X", n_cols=self.cluster_centers_.shape[1])  # type: ignore[union-attr]
+        return np.sqrt(pairwise_sq_dists(X, self.cluster_centers_))
+
+    def score(self, X: np.ndarray) -> float:
+        """Negative inertia of ``X`` under the learned centroids."""
+        check_fitted(self, ["cluster_centers_"])
+        labels = self.predict(X)
+        return -compute_inertia(np.asarray(X, dtype=np.float64), self.cluster_centers_, labels)

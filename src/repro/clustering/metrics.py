@@ -1,0 +1,95 @@
+"""Clustering diagnostics relevant to P2B's privacy analysis.
+
+The paper's §4 ties the crowd-blending parameter ``l`` to the *smallest
+cluster* of the encoder ("In the case of a suboptimal encoder, we
+consider l as the size of the smallest cluster"), so cluster-size
+statistics are not cosmetic here — they feed the privacy report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import check_array, check_positive_int
+
+__all__ = [
+    "cluster_sizes",
+    "min_cluster_size",
+    "balance_ratio",
+    "inertia_per_cluster",
+    "davies_bouldin_index",
+]
+
+
+def cluster_sizes(labels: np.ndarray, n_clusters: int) -> np.ndarray:
+    """Occupancy count for each of ``n_clusters`` codes (zeros included)."""
+    labels = check_array(labels, name="labels", ndim=1, dtype=np.intp)
+    check_positive_int(n_clusters, name="n_clusters")
+    return np.bincount(labels, minlength=n_clusters)
+
+
+def min_cluster_size(labels: np.ndarray, n_clusters: int, *, ignore_empty: bool = False) -> int:
+    """Size of the smallest cluster — the paper's suboptimal-encoder ``l``.
+
+    Parameters
+    ----------
+    ignore_empty:
+        When True, empty clusters do not count (useful when measuring
+        ``l`` over a *released batch*, where unused codes are irrelevant
+        to blending).  When False (default), an empty cluster yields 0.
+    """
+    sizes = cluster_sizes(labels, n_clusters)
+    if ignore_empty:
+        nonzero = sizes[sizes > 0]
+        return int(nonzero.min()) if nonzero.size else 0
+    return int(sizes.min())
+
+
+def balance_ratio(labels: np.ndarray, n_clusters: int) -> float:
+    """``min cluster size / mean cluster size`` in [0, 1]; 1 is perfectly balanced.
+
+    The paper's "optimal encoder" (every code receiving ``n/k`` contexts)
+    corresponds to ``balance_ratio == 1``.
+    """
+    sizes = cluster_sizes(labels, n_clusters).astype(np.float64)
+    mean = sizes.mean()
+    return float(sizes.min() / mean) if mean > 0 else 0.0
+
+
+def inertia_per_cluster(X: np.ndarray, centroids: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Within-cluster sum of squares, one value per cluster."""
+    X = check_array(X, name="X", ndim=2)
+    centroids = check_array(centroids, name="centroids", ndim=2)
+    labels = check_array(labels, name="labels", ndim=1, dtype=np.intp)
+    diffs = X - centroids[labels]
+    per_point = np.einsum("ij,ij->i", diffs, diffs)
+    out = np.zeros(centroids.shape[0], dtype=np.float64)
+    np.add.at(out, labels, per_point)
+    return out
+
+
+def davies_bouldin_index(X: np.ndarray, centroids: np.ndarray, labels: np.ndarray) -> float:
+    """Davies–Bouldin index (lower is better cluster separation).
+
+    Included as a codebook-quality diagnostic for the ablation benches;
+    empty clusters are excluded from the score.
+    """
+    X = check_array(X, name="X", ndim=2)
+    centroids = check_array(centroids, name="centroids", ndim=2)
+    labels = check_array(labels, name="labels", ndim=1, dtype=np.intp)
+    k = centroids.shape[0]
+    sizes = np.bincount(labels, minlength=k)
+    active = np.flatnonzero(sizes > 0)
+    if active.size < 2:
+        return 0.0
+    # mean intra-cluster distance (scatter) per active cluster
+    diffs = np.linalg.norm(X - centroids[labels], axis=1)
+    scatter = np.zeros(k)
+    np.add.at(scatter, labels, diffs)
+    scatter[active] /= sizes[active]
+    C = centroids[active]
+    dist = np.linalg.norm(C[:, None, :] - C[None, :, :], axis=-1)
+    np.fill_diagonal(dist, np.inf)
+    s = scatter[active]
+    ratios = (s[:, None] + s[None, :]) / dist
+    return float(np.mean(np.max(ratios, axis=1)))

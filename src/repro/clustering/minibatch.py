@@ -1,0 +1,156 @@
+"""Mini-batch k-means (Sculley, *Web-scale k-means clustering*, WWW 2010).
+
+This is the algorithm the paper cites for its on-device encoder (§3.2,
+§6): the point of mini-batch k-means in P2B is that encoding must be
+cheap enough to run on a user's device — ``O(k d)`` per lookup, with
+codebook training touching only small random batches.
+
+The implementation follows Algorithm 1 of the Sculley paper: per-centre
+learning rates ``1 / c_v`` (where ``c_v`` counts how many samples centre
+``v`` has absorbed) and gradient steps toward each mini-batch sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..utils.exceptions import ValidationError
+from ..utils.rng import ensure_rng
+from ..utils.validation import check_fitted, check_matrix, check_positive_int
+from ._init import init_centroids, pairwise_sq_dists
+from .kmeans import compute_inertia
+
+__all__ = ["MiniBatchKMeans"]
+
+
+@dataclass
+class MiniBatchKMeans:
+    """Sculley-style mini-batch k-means.
+
+    Parameters
+    ----------
+    n_clusters:
+        Codebook size ``k``.
+    batch_size:
+        Samples drawn (with replacement) per iteration.
+    max_iter:
+        Number of mini-batch iterations.
+    init:
+        Centroid seeding strategy (see :func:`repro.clustering._init.init_centroids`).
+    reassign_after:
+        If a centre has absorbed zero samples after this many iterations,
+        it is re-seeded at a random sample (prevents dead codes — which
+        would silently reduce the effective ``k`` and with it the privacy
+        codebook's granularity).
+    seed:
+        Seed / generator.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> X = np.vstack([rng.normal(0, .05, (200, 3)), rng.normal(1, .05, (200, 3))])
+    >>> mb = MiniBatchKMeans(n_clusters=2, seed=1).fit(X)
+    >>> len(np.unique(mb.predict(X)))
+    2
+    """
+
+    n_clusters: int = 8
+    batch_size: int = 64
+    max_iter: int = 200
+    init: str = "k-means++"
+    reassign_after: int = 50
+    seed: int | np.random.Generator | None = None
+
+    cluster_centers_: np.ndarray | None = field(default=None, init=False, repr=False)
+    counts_: np.ndarray | None = field(default=None, init=False, repr=False)
+    inertia_: float | None = field(default=None, init=False, repr=False)
+    n_iter_: int | None = field(default=None, init=False, repr=False)
+
+    def fit(self, X: np.ndarray) -> "MiniBatchKMeans":
+        """Train the codebook on ``X`` with mini-batch updates."""
+        check_positive_int(self.n_clusters, name="n_clusters")
+        check_positive_int(self.batch_size, name="batch_size")
+        check_positive_int(self.max_iter, name="max_iter")
+        check_positive_int(self.reassign_after, name="reassign_after")
+        X = check_matrix(X, name="X")
+        n = X.shape[0]
+        if self.n_clusters > n:
+            raise ValidationError(f"n_clusters={self.n_clusters} exceeds n_samples={n}")
+        rng = ensure_rng(self.seed)
+        centers = init_centroids(X, self.n_clusters, method=self.init, seed=rng)
+        counts = np.zeros(self.n_clusters, dtype=np.float64)
+        stale = np.zeros(self.n_clusters, dtype=np.int64)
+        batch = min(self.batch_size, n)
+        for it in range(self.max_iter):
+            idx = rng.integers(0, n, size=batch)
+            M = X[idx]
+            labels = np.argmin(pairwise_sq_dists(M, centers), axis=1)
+            # per-centre gradient step with learning rate 1/counts
+            absorbed = np.bincount(labels, minlength=self.n_clusters).astype(np.float64)
+            sums = np.zeros_like(centers)
+            np.add.at(sums, labels, M)
+            hit = absorbed > 0
+            new_counts = counts + absorbed
+            # c_new = c_old + (sum_batch - n_batch * c_old) / counts_new
+            centers[hit] += (sums[hit] - absorbed[hit, None] * centers[hit]) / new_counts[hit, None]
+            counts = new_counts
+            stale[hit] = 0
+            stale[~hit] += 1
+            dead = np.flatnonzero(stale >= self.reassign_after)
+            if dead.size:
+                centers[dead] = X[rng.integers(0, n, size=dead.size)]
+                stale[dead] = 0
+                counts[dead] = 1.0  # fresh centre: restart its learning rate
+        self.cluster_centers_ = centers
+        self.counts_ = counts
+        self.n_iter_ = self.max_iter
+        labels = self.predict(X)
+        self.inertia_ = compute_inertia(X, centers, labels)
+        return self
+
+    def partial_fit(self, X: np.ndarray) -> "MiniBatchKMeans":
+        """Single mini-batch update using all rows of ``X`` as the batch.
+
+        Supports streaming codebook refinement: the P2B server may
+        continue improving the public codebook as fresh (public,
+        synthetic) simplex samples arrive, without refitting from
+        scratch.
+        """
+        X = check_matrix(X, name="X")
+        if self.cluster_centers_ is None:
+            seed_n = min(max(self.n_clusters, X.shape[0]), X.shape[0])
+            if self.n_clusters > X.shape[0]:
+                raise ValidationError(
+                    f"first partial_fit batch must contain >= n_clusters={self.n_clusters} samples"
+                )
+            rng = ensure_rng(self.seed)
+            self.cluster_centers_ = init_centroids(
+                X[:seed_n], self.n_clusters, method=self.init, seed=rng
+            )
+            self.counts_ = np.zeros(self.n_clusters, dtype=np.float64)
+            self.n_iter_ = 0
+        centers, counts = self.cluster_centers_, self.counts_
+        labels = np.argmin(pairwise_sq_dists(X, centers), axis=1)
+        absorbed = np.bincount(labels, minlength=self.n_clusters).astype(np.float64)
+        sums = np.zeros_like(centers)
+        np.add.at(sums, labels, X)
+        hit = absorbed > 0
+        new_counts = counts + absorbed
+        centers[hit] += (sums[hit] - absorbed[hit, None] * centers[hit]) / new_counts[hit, None]
+        self.counts_ = new_counts
+        self.n_iter_ = (self.n_iter_ or 0) + 1
+        self.inertia_ = compute_inertia(X, centers, labels)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Nearest-centroid code for each row of ``X`` — ``O(k d)`` per row."""
+        check_fitted(self, ["cluster_centers_"])
+        X = check_matrix(X, name="X", n_cols=self.cluster_centers_.shape[1])  # type: ignore[union-attr]
+        return np.argmin(pairwise_sq_dists(X, self.cluster_centers_), axis=1)
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        """Equivalent to ``fit(X).predict(X)``."""
+        return self.fit(X).predict(X)

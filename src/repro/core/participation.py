@@ -1,0 +1,108 @@
+"""Randomized data reporting (paper §3.1).
+
+"After some interactions with the user, ``T ≥ 1``, the local agent may
+randomly construct a payload containing an encoded instance of
+interaction data with probability ``p``."
+
+The participation probability ``p`` is the privacy lever: §4 derives
+the differential-privacy ``eps`` *entirely* from ``p`` (Eq. 3).  This
+module implements the sampling policy exactly as stated:
+
+* the agent buffers its last ``T`` interactions;
+* once ``T`` interactions have accumulated, a Bernoulli(``p``) coin
+  decides whether to report;
+* on heads, **one** interaction is drawn uniformly from the buffer
+  (randomizing *which* interaction further obscures timing);
+* the paper's experiments cap each user at one tuple
+  (``max_reports=1``); allowing ``r > 1`` composes the guarantee to
+  ``r·eps`` (§6), which :class:`~repro.privacy.accounting.PrivacyReport`
+  tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+import numpy as np
+
+from ..utils.rng import ensure_rng
+from ..utils.validation import check_positive_int, check_probability
+
+__all__ = ["RandomizedParticipation"]
+
+T_co = TypeVar("T_co")
+
+
+@dataclass
+class RandomizedParticipation(Generic[T_co]):
+    """Bernoulli participation policy over buffered interactions.
+
+    Parameters
+    ----------
+    p:
+        Participation probability per eligible window.
+    window:
+        Number of interactions ``T`` buffered before each coin flip.
+    max_reports:
+        Total reports this agent may ever emit (paper experiments: 1).
+    seed:
+        Seed / generator for the coin and the within-buffer draw.
+
+    Examples
+    --------
+    >>> part = RandomizedParticipation(p=1.0, window=2, seed=0)
+    >>> part.offer("t0") is None
+    True
+    >>> part.offer("t1") in ("t0", "t1")
+    True
+    """
+
+    p: float = 0.5
+    window: int = 10
+    max_reports: int = 1
+    seed: int | np.random.Generator | None = None
+
+    _buffer: list = field(default_factory=list, init=False, repr=False)
+    _rng: np.random.Generator = field(init=False, repr=False)
+    reports_sent: int = field(default=0, init=False)
+    windows_seen: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        check_probability(self.p, name="p")
+        check_positive_int(self.window, name="window")
+        check_positive_int(self.max_reports, name="max_reports", minimum=0)
+        self._rng = ensure_rng(self.seed)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the report budget is spent."""
+        return self.reports_sent >= self.max_reports
+
+    def offer(self, item: T_co) -> T_co | None:
+        """Buffer one interaction; maybe emit a report.
+
+        Returns the sampled item when (a) the buffer has reached
+        ``window``, (b) the Bernoulli(``p``) coin lands heads, and
+        (c) the report budget is not exhausted — otherwise ``None``.
+        The buffer resets after every coin flip, so candidate windows
+        are disjoint (each interaction gets at most one chance to be
+        reported).
+        """
+        if self.exhausted:
+            return None
+        self._buffer.append(item)
+        if len(self._buffer) < self.window:
+            return None
+        self.windows_seen += 1
+        buffer, self._buffer = self._buffer, []
+        if self._rng.random() >= self.p:
+            return None
+        self.reports_sent += 1
+        return buffer[int(self._rng.integers(len(buffer)))]
+
+    def reset(self) -> None:
+        """Clear the buffer and budget (a fresh device enrollment)."""
+        self._buffer.clear()
+        self.reports_sent = 0
+        self.windows_seen = 0

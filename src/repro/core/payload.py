@@ -1,0 +1,105 @@
+"""Report payloads exchanged between agents, shuffler, and server.
+
+Two payload types model the paper's two data-sharing regimes:
+
+* :class:`EncodedReport` — the P2B tuple ``(y_t, a_t, r_{t,a})``
+  (paper §3.2) plus transport metadata.  The *metadata is exactly what
+  the shuffler strips* (§3.3 "Anonymization: eliminating all the
+  received metadata (e.g. IP address)"), so it is kept in a separate,
+  explicitly-droppable field rather than mixed into the tuple.
+* :class:`RawReport` — the warm-non-private baseline's payload carrying
+  the original context vector (§5, "local agents communicate the
+  observed context to the server in its original form").
+
+Both are immutable; equality ignores metadata so that tests can assert
+"the shuffler changed nothing but transport information".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..utils.validation import check_scalar, check_vector
+
+__all__ = ["EncodedReport", "RawReport", "strip_metadata"]
+
+
+@dataclass(frozen=True)
+class EncodedReport:
+    """The P2B interaction tuple ``(y, a, r)`` with transport metadata.
+
+    Attributes
+    ----------
+    code:
+        Encoded context ``y ∈ {0, …, k-1}``.
+    action:
+        Action index ``a``.
+    reward:
+        Observed reward ``r``.
+    metadata:
+        Transport-level information (agent id, timestamps, ...) that the
+        shuffler removes before anything reaches the server.
+    """
+
+    code: int
+    action: int
+    reward: float
+    metadata: Mapping[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.code < 0:
+            raise ValueError(f"code must be non-negative, got {self.code}")
+        if self.action < 0:
+            raise ValueError(f"action must be non-negative, got {self.action}")
+        check_scalar(self.reward, name="reward")
+
+    def anonymized(self) -> "EncodedReport":
+        """Copy with all metadata removed."""
+        return replace(self, metadata={})
+
+    @property
+    def tuple3(self) -> tuple[int, int, float]:
+        """The bare paper tuple ``(y, a, r)``."""
+        return (self.code, self.action, self.reward)
+
+
+@dataclass(frozen=True)
+class RawReport:
+    """Non-private payload carrying the context in its original form."""
+
+    context: np.ndarray
+    action: int
+    reward: float
+    metadata: Mapping[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        ctx = check_vector(self.context, name="context")
+        object.__setattr__(self, "context", ctx)
+        if self.action < 0:
+            raise ValueError(f"action must be non-negative, got {self.action}")
+        check_scalar(self.reward, name="reward")
+
+    def __eq__(self, other: object) -> bool:  # ndarray needs custom equality
+        if not isinstance(other, RawReport):
+            return NotImplemented
+        return (
+            np.array_equal(self.context, other.context)
+            and self.action == other.action
+            and self.reward == other.reward
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.context.tobytes(), self.action, self.reward))
+
+    def anonymized(self) -> "RawReport":
+        """Copy with all metadata removed (the context itself remains —
+        that is precisely the non-private baseline's weakness)."""
+        return replace(self, metadata={})
+
+
+def strip_metadata(reports: list[EncodedReport] | list[RawReport]):
+    """Anonymize a batch of reports (list comprehension convenience)."""
+    return [r.anonymized() for r in reports]

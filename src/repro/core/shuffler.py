@@ -1,0 +1,95 @@
+"""The trusted shuffler (paper §3.3).
+
+Performs, in order, the three PROCHLO-style operations the paper
+specifies:
+
+1. **Anonymization** — every received report is stripped of all
+   metadata (the in-process stand-in for discarding IP addresses and
+   enclave attestation; see DESIGN.md substitutions).
+2. **Shuffling** — batch order is randomized, destroying arrival-order
+   correlations.
+3. **Thresholding** — tuples whose encoded context appears fewer than
+   ``threshold`` times in the batch are dropped.  The threshold *is*
+   the crowd-blending ``l`` (§4).
+
+The shuffler returns both the released batch and a
+:class:`~repro.privacy.crowd_blending.CrowdBlendingAudit` so callers
+can assert the privacy invariant held (the audit on released output
+must always pass — a property test pins this).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..privacy.crowd_blending import CrowdBlendingAudit, verify_crowd_blending
+from ..utils.rng import ensure_rng
+from ..utils.validation import check_positive_int
+from .payload import EncodedReport
+
+__all__ = ["Shuffler", "ShufflerStats"]
+
+
+@dataclass(frozen=True)
+class ShufflerStats:
+    """Book-keeping for one shuffler batch."""
+
+    n_received: int
+    n_released: int
+    n_dropped: int
+    codes_received: int
+    codes_released: int
+    audit: CrowdBlendingAudit
+
+
+class Shuffler:
+    """Anonymize → shuffle → threshold (paper §3.3).
+
+    Parameters
+    ----------
+    threshold:
+        Minimum per-code batch frequency for release (the crowd-blending
+        ``l``).
+    seed:
+        Randomness for the shuffle permutation.
+    """
+
+    def __init__(self, threshold: int = 10, *, seed=None) -> None:
+        self.threshold = check_positive_int(threshold, name="threshold")
+        self._rng = ensure_rng(seed)
+
+    def process(
+        self, reports: Sequence[EncodedReport]
+    ) -> tuple[list[EncodedReport], ShufflerStats]:
+        """Run one batch through the three-stage pipeline.
+
+        Returns
+        -------
+        (released, stats)
+            ``released`` is the anonymized, shuffled, thresholded batch;
+            ``stats.audit`` is the crowd-blending audit of the release
+            (guaranteed satisfied by construction).
+        """
+        n_received = len(reports)
+        # 1. anonymization
+        anonymized = [r.anonymized() for r in reports]
+        # 2. shuffling
+        order = self._rng.permutation(n_received) if n_received else np.array([], dtype=np.intp)
+        shuffled = [anonymized[i] for i in order]
+        # 3. thresholding
+        counts = Counter(r.code for r in shuffled)
+        released = [r for r in shuffled if counts[r.code] >= self.threshold]
+        audit = verify_crowd_blending([r.code for r in released], self.threshold)
+        stats = ShufflerStats(
+            n_received=n_received,
+            n_released=len(released),
+            n_dropped=n_received - len(released),
+            codes_received=len(counts),
+            codes_released=len({r.code for r in released}),
+            audit=audit,
+        )
+        return released, stats

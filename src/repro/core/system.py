@@ -1,0 +1,242 @@
+"""End-to-end P2B system wiring (paper Fig. 1).
+
+:class:`P2BSystem` owns the public codebook, the shuffler, and the
+central server, and manufactures correctly-configured
+:class:`~repro.core.agent.LocalAgent` instances for any of the three
+evaluation modes.  The full data path is::
+
+    agent.learn(...)  ->  outbox (EncodedReport, metadata attached)
+      -> system.collect([agents])          # gather outboxes
+        -> shuffler.process(batch)         # anonymize, shuffle, threshold
+          -> server.ingest(released)       # central LinUCB over codes
+    system.model_snapshot() -> agent.warm_start(...)
+
+The non-private baseline follows the same surface but bypasses the
+shuffler entirely (``collect`` feeds the server directly) — exactly the
+paper's "communicate the observed context to the server in its original
+form".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from ..bandits.code_linucb import CodeLinUCB
+from ..bandits.linucb import LinUCB
+from ..encoding.kmeans_encoder import KMeansEncoder
+from ..privacy.accounting import PrivacyReport
+from ..utils.exceptions import ConfigError
+from ..utils.rng import spawn_seeds
+from .agent import LocalAgent
+from .config import AgentMode, P2BConfig
+from .participation import RandomizedParticipation
+from .payload import EncodedReport, RawReport
+from .server import NonPrivateServer, PrivateServer
+from .shuffler import Shuffler, ShufflerStats
+
+__all__ = ["P2BSystem", "CollectionResult"]
+
+
+@dataclass(frozen=True)
+class CollectionResult:
+    """Outcome of one collection round."""
+
+    n_reports: int
+    n_released: int
+    shuffler_stats: ShufflerStats | None  # None on the non-private path
+
+
+class P2BSystem:
+    """Factory + orchestrator for a P2B deployment.
+
+    Parameters
+    ----------
+    config:
+        Deployment parameters (see :class:`~repro.core.config.P2BConfig`).
+    mode:
+        Which §5 setting this system realizes; determines agent wiring
+        and which server flavour exists.
+    encoder:
+        Optional pre-fitted encoder (the public codebook).  When absent
+        and the mode is private, a :class:`KMeansEncoder` is fitted on
+        synthetic simplex samples.
+    seed:
+        Root seed; every agent gets an independent child stream, so
+        results are invariant to agent construction order.
+    """
+
+    def __init__(
+        self,
+        config: P2BConfig,
+        *,
+        mode: str = AgentMode.WARM_PRIVATE,
+        encoder: KMeansEncoder | None = None,
+        seed=None,
+    ) -> None:
+        if mode not in AgentMode.ALL:
+            raise ConfigError(f"mode must be one of {AgentMode.ALL}, got {mode!r}")
+        self.config = config
+        self.mode = mode
+        (
+            self._encoder_seed,
+            self._shuffler_seed,
+            self._server_seed,
+            self._agents_root,
+        ) = spawn_seeds(seed, 4)
+        self._agent_seq = 0
+
+        self.encoder = encoder
+        if mode == AgentMode.WARM_PRIVATE and self.encoder is None:
+            self.encoder = KMeansEncoder(
+                n_codes=config.n_codes,
+                n_features=config.n_features,
+                q=config.q,
+                seed=self._encoder_seed,
+            ).fit()
+
+        self.shuffler: Shuffler | None = None
+        self.server: PrivateServer | NonPrivateServer | None = None
+        if mode == AgentMode.WARM_PRIVATE:
+            self.shuffler = Shuffler(config.shuffler_threshold, seed=self._shuffler_seed)
+            if config.private_context == "one-hot":
+                # One-hot contexts keep LinUCB's design matrices diagonal,
+                # so the specialized CodeLinUCB (O(1) updates) is exact.
+                central: CodeLinUCB | LinUCB = CodeLinUCB(
+                    n_arms=config.n_actions,
+                    n_features=config.n_codes,
+                    alpha=config.alpha,
+                    ridge=config.ridge,
+                    seed=self._server_seed,
+                )
+            else:
+                central = LinUCB(
+                    n_arms=config.n_actions,
+                    n_features=config.n_features,
+                    alpha=config.alpha,
+                    ridge=config.ridge,
+                    seed=self._server_seed,
+                )
+            self.server = PrivateServer(
+                central, self.encoder, context_mode=config.private_context  # type: ignore[arg-type]
+            )
+        elif mode == AgentMode.WARM_NONPRIVATE:
+            central = LinUCB(
+                n_arms=config.n_actions,
+                n_features=config.n_features,
+                alpha=config.alpha,
+                ridge=config.ridge,
+                seed=self._server_seed,
+            )
+            self.server = NonPrivateServer(central)
+        self._collected_codes: list[int] = []
+
+    # ------------------------------------------------------------------ #
+    # agent factory
+    # ------------------------------------------------------------------ #
+    def _next_agent_seeds(self) -> tuple:
+        (seed,) = self._agents_root.spawn(1)
+        policy_seed, part_seed = seed.spawn(2)
+        return policy_seed, part_seed
+
+    def new_agent(self, agent_id: str | None = None) -> LocalAgent:
+        """Create an agent wired for this system's mode (cold-started)."""
+        policy_seed, part_seed = self._next_agent_seeds()
+        self._agent_seq += 1
+        aid = agent_id if agent_id is not None else f"agent-{self._agent_seq}"
+        cfg = self.config
+        if self.mode == AgentMode.WARM_PRIVATE and cfg.private_context == "one-hot":
+            policy: CodeLinUCB | LinUCB = CodeLinUCB(
+                n_arms=cfg.n_actions,
+                n_features=cfg.n_codes,
+                alpha=cfg.alpha,
+                ridge=cfg.ridge,
+                seed=policy_seed,
+            )
+        else:
+            policy = LinUCB(
+                n_arms=cfg.n_actions,
+                n_features=cfg.n_features,
+                alpha=cfg.alpha,
+                ridge=cfg.ridge,
+                seed=policy_seed,
+            )
+        participation = None
+        if self.mode != AgentMode.COLD:
+            participation = RandomizedParticipation(
+                p=cfg.p,
+                window=cfg.window,
+                max_reports=cfg.max_reports_per_user,
+                seed=part_seed,
+            )
+        return LocalAgent(
+            aid,
+            policy,
+            mode=self.mode,
+            encoder=self.encoder if self.mode == AgentMode.WARM_PRIVATE else None,
+            participation=participation,
+            private_context=cfg.private_context,
+        )
+
+    def new_warm_agent(self, agent_id: str | None = None) -> LocalAgent:
+        """Create an agent initialized from the current central model."""
+        if self.server is None:
+            raise ConfigError("cold systems have no central model to warm-start from")
+        agent = self.new_agent(agent_id)
+        agent.warm_start(self.server.model_snapshot())
+        return agent
+
+    # ------------------------------------------------------------------ #
+    # collection round
+    # ------------------------------------------------------------------ #
+    def collect(self, agents: Iterable[LocalAgent]) -> CollectionResult:
+        """Drain agent outboxes and run one collection round.
+
+        Private mode: reports pass through the shuffler; only the
+        released (crowd-blended) tuples reach the server.  Non-private
+        mode: raw reports go straight to the server.  Cold mode: no-op.
+        """
+        reports: list[EncodedReport | RawReport] = []
+        for agent in agents:
+            reports.extend(agent.drain_outbox())
+        if self.mode == AgentMode.COLD or self.server is None:
+            return CollectionResult(n_reports=len(reports), n_released=0, shuffler_stats=None)
+        if self.mode == AgentMode.WARM_PRIVATE:
+            assert self.shuffler is not None
+            encoded = [r for r in reports if isinstance(r, EncodedReport)]
+            released, stats = self.shuffler.process(encoded)
+            stats.audit.raise_if_violated()
+            self.server.ingest(released)  # type: ignore[arg-type]
+            self._collected_codes.extend(r.code for r in released)
+            return CollectionResult(
+                n_reports=len(reports), n_released=len(released), shuffler_stats=stats
+            )
+        raw = [r for r in reports if isinstance(r, RawReport)]
+        self.server.ingest(raw)  # type: ignore[arg-type]
+        return CollectionResult(n_reports=len(reports), n_released=len(raw), shuffler_stats=None)
+
+    # ------------------------------------------------------------------ #
+    def model_snapshot(self) -> dict[str, Any]:
+        """Current central-model state (for distribution to devices)."""
+        if self.server is None:
+            raise ConfigError("cold systems have no central model")
+        return self.server.model_snapshot()
+
+    def privacy_report(self) -> PrivacyReport:
+        """Privacy guarantee of this deployment.
+
+        For private systems that have completed collection rounds, the
+        realized ``l`` (smallest released crowd across all rounds) is
+        used when it is stricter evidence than the configured threshold;
+        otherwise the configured threshold stands.
+        """
+        if self.mode != AgentMode.WARM_PRIVATE:
+            raise ConfigError("privacy reports only apply to warm-private systems")
+        realized: int | None = None
+        if self._collected_codes:
+            from ..privacy.crowd_blending import smallest_crowd
+
+            realized = smallest_crowd(self._collected_codes)
+        return self.config.privacy_report(realized_l=realized)

@@ -1,0 +1,86 @@
+"""Bandit environment interface for the paper's three testbeds (§5).
+
+Every environment models a *population of users*: calling
+:meth:`Environment.new_user` yields an independent
+:class:`UserSession`, a stateful stream of contexts with a reward
+oracle for the chosen action.  The standard interaction loop is::
+
+    session = env.new_user(seed)
+    for _ in range(n_interactions):
+        x = session.next_context()
+        a = agent.act(x)
+        r = session.reward(a)
+        agent.learn(x, a, r)
+
+Sessions expose :meth:`UserSession.expected_rewards` where the
+environment knows ground truth (synthetic benchmark) so benches can
+compute regret; dataset-replay sessions return the realized label
+indicator instead.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..utils.exceptions import ValidationError
+from ..utils.rng import ensure_rng
+
+__all__ = ["Environment", "UserSession"]
+
+
+class UserSession(abc.ABC):
+    """One user's interaction stream."""
+
+    @abc.abstractmethod
+    def next_context(self) -> np.ndarray:
+        """Advance to the next interaction and return its context."""
+
+    @abc.abstractmethod
+    def reward(self, action: int) -> float:
+        """Reward of ``action`` for the *current* context.
+
+        Must be called after :meth:`next_context`; calling it twice for
+        the same context is allowed (counterfactual evaluation in
+        tests) and must not advance the stream.
+        """
+
+    def expected_rewards(self) -> np.ndarray:
+        """Ground-truth expected reward per action for the current context.
+
+        Optional; environments that know their reward function override
+        this for regret computation.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no ground-truth rewards")
+
+    def _require_context(self, current) -> None:
+        if current is None:
+            raise ValidationError("reward() called before next_context()")
+
+
+class Environment(abc.ABC):
+    """A population of users sharing one task (action set + context space)."""
+
+    n_actions: int
+    n_features: int
+
+    def __init__(self, n_actions: int, n_features: int) -> None:
+        self.n_actions = int(n_actions)
+        self.n_features = int(n_features)
+
+    @abc.abstractmethod
+    def new_user(self, seed=None) -> UserSession:
+        """Create an independent user session."""
+
+    def user_population(self, n_users: int, seed=None) -> list[UserSession]:
+        """Spawn ``n_users`` sessions with independent child seeds."""
+        from ..utils.rng import spawn_seeds
+
+        return [self.new_user(s) for s in spawn_seeds(seed, n_users)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(n_actions={self.n_actions}, "
+            f"n_features={self.n_features})"
+        )

@@ -1,0 +1,99 @@
+"""Distributing dataset samples across simulated agents (paper §5.2).
+
+"Each agent has access to, and is able to interact with a small
+fraction of the dataset.  In particular every agent has access to up to
+100 samples, which were randomly selected without replacement from the
+entire dataset."
+
+:func:`partition_indices` implements exactly that: a global shuffle
+followed by contiguous slicing gives every agent a disjoint,
+without-replacement subset.  When the simulation asks for more total
+samples than the dataset holds (the Criteo setting: 3000 agents × 300
+interactions), agents instead draw without replacement *within* the
+agent but independently *across* agents — matching how real users see
+overlapping-but-individually-unique item streams.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.exceptions import DataError
+from ..utils.rng import ensure_rng, spawn_rngs
+from ..utils.validation import check_positive_int
+
+__all__ = ["partition_indices", "train_test_split_agents"]
+
+
+def partition_indices(
+    n_samples: int,
+    n_agents: int,
+    per_agent: int,
+    *,
+    seed=None,
+    allow_overlap: bool | None = None,
+) -> list[np.ndarray]:
+    """Assign sample indices to agents.
+
+    Parameters
+    ----------
+    n_samples:
+        Dataset size.
+    n_agents:
+        Number of agents to provision.
+    per_agent:
+        Samples per agent (each agent's subset has no duplicates).
+    allow_overlap:
+        ``False`` forces globally-disjoint subsets (raises if
+        ``n_agents*per_agent > n_samples``); ``True`` forces independent
+        per-agent draws; ``None`` (default) picks disjoint when the data
+        suffices and overlapping otherwise.
+
+    Returns
+    -------
+    list of ``n_agents`` index arrays of length ``per_agent``.
+    """
+    check_positive_int(n_samples, name="n_samples")
+    check_positive_int(n_agents, name="n_agents")
+    check_positive_int(per_agent, name="per_agent")
+    if per_agent > n_samples:
+        raise DataError(
+            f"per_agent={per_agent} exceeds the dataset size {n_samples}"
+        )
+    needs_overlap = n_agents * per_agent > n_samples
+    if allow_overlap is None:
+        allow_overlap = needs_overlap
+    if needs_overlap and not allow_overlap:
+        raise DataError(
+            f"{n_agents} agents x {per_agent} samples > {n_samples} available; "
+            "pass allow_overlap=True to draw independently per agent"
+        )
+    rng = ensure_rng(seed)
+    if not allow_overlap:
+        order = rng.permutation(n_samples)
+        return [
+            order[i * per_agent : (i + 1) * per_agent].copy() for i in range(n_agents)
+        ]
+    return [
+        g.choice(n_samples, size=per_agent, replace=False)
+        for g in spawn_rngs(rng, n_agents)
+    ]
+
+
+def train_test_split_agents(
+    n_agents: int, train_fraction: float = 0.7, *, seed=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split agent indices into contributors and held-out evaluators.
+
+    The paper's multi-label protocol: "70% of agents to participate in
+    P2B and we test the accuracy of the resulting models with the
+    remaining 30%".
+    """
+    check_positive_int(n_agents, name="n_agents")
+    if not 0.0 < train_fraction < 1.0:
+        raise DataError(f"train_fraction must be in (0, 1), got {train_fraction}")
+    rng = ensure_rng(seed)
+    order = rng.permutation(n_agents)
+    n_train = int(round(train_fraction * n_agents))
+    n_train = min(max(n_train, 1), n_agents - 1)
+    return np.sort(order[:n_train]), np.sort(order[n_train:])

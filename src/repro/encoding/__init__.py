@@ -1,0 +1,19 @@
+"""Context encoders (paper §3.2): quantization + codebooks."""
+
+from .base import Encoder
+from .grid import GridEncoder
+from .kmeans_encoder import KMeansEncoder, sample_uniform_simplex
+from .lsh import LSHEncoder
+from .quantization import grid_resolution, is_on_grid, quantize_simplex, to_grid_integers
+
+__all__ = [
+    "Encoder",
+    "GridEncoder",
+    "KMeansEncoder",
+    "LSHEncoder",
+    "sample_uniform_simplex",
+    "quantize_simplex",
+    "to_grid_integers",
+    "grid_resolution",
+    "is_on_grid",
+]

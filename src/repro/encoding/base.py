@@ -1,0 +1,85 @@
+"""Encoder interface (paper §3.2).
+
+An encoder maps a ``d``-dimensional context vector to a code
+``y ∈ {0, …, k-1}``.  Two downstream consumers shape the interface:
+
+* the **payload path** — agents transmit ``(y, a, r)`` tuples, so
+  :meth:`Encoder.encode` must be deterministic (determinism is what
+  gives the scheme its ``eps_bar = 0`` crowd-blending property);
+* the **private model path** — warm-private agents act on the encoded
+  context (paper §5.3), represented as the one-hot indicator of ``y``
+  in ``R^k`` via :meth:`Encoder.one_hot`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..utils.exceptions import ValidationError
+from ..utils.validation import check_in_range, check_matrix, check_vector
+
+__all__ = ["Encoder"]
+
+
+class Encoder(abc.ABC):
+    """Deterministic context → code mapping.
+
+    Subclasses set :attr:`n_codes` (the codebook size ``k``) and
+    :attr:`n_features` (the raw context dimension ``d``) when fitted.
+    """
+
+    n_codes: int
+    n_features: int
+
+    @abc.abstractmethod
+    def encode(self, context: np.ndarray) -> int:
+        """Code for a single context vector."""
+
+    def encode_batch(self, contexts: np.ndarray) -> np.ndarray:
+        """Vectorized encoding; default loops over rows."""
+        contexts = check_matrix(contexts, name="contexts", n_cols=self.n_features)
+        return np.array([self.encode(x) for x in contexts], dtype=np.intp)
+
+    @abc.abstractmethod
+    def decode(self, code: int) -> np.ndarray:
+        """Representative context for ``code`` (e.g. the centroid).
+
+        Used for diagnostics and for non-linear consumers that want an
+        embedding rather than an indicator.
+        """
+
+    def one_hot(self, code: int) -> np.ndarray:
+        """Indicator vector of ``code`` in ``R^k`` — the private context."""
+        code = check_in_range(code, name="code", low=0, high=self.n_codes)
+        out = np.zeros(self.n_codes, dtype=np.float64)
+        out[code] = 1.0
+        return out
+
+    def one_hot_context(self, context: np.ndarray) -> np.ndarray:
+        """Encode then one-hot in one call (the private agent's view)."""
+        return self.one_hot(self.encode(context))
+
+    def _check_context(self, context: np.ndarray) -> np.ndarray:
+        return check_vector(context, name="context", size=self.n_features)
+
+    def validate_determinism(self, contexts: np.ndarray, *, n_repeats: int = 2) -> None:
+        """Assert that repeated encoding of the same inputs is identical.
+
+        The privacy analysis (eps_bar = 0) rests on this; the system
+        test-suite calls it on every encoder implementation.
+        """
+        reference = self.encode_batch(contexts)
+        for _ in range(n_repeats):
+            again = self.encode_batch(contexts)
+            if not np.array_equal(reference, again):
+                raise ValidationError(
+                    f"{type(self).__name__} is non-deterministic; crowd-blending "
+                    "eps_bar=0 does not hold"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        k = getattr(self, "n_codes", "?")
+        d = getattr(self, "n_features", "?")
+        return f"{type(self).__name__}(n_codes={k}, n_features={d})"

@@ -1,0 +1,30 @@
+"""Evaluation harness reproducing the paper's experiments (§5, Figs. 2-7)."""
+
+from .figures import figure2, figure3, figure4, figure5, figure6, figure7, headline
+from .results import ExperimentResult, FigureResult, SettingComparison
+from .runner import compare_settings, run_setting
+from .sweeps import (
+    codebook_sweep,
+    dimension_sweep,
+    participation_sweep,
+    population_sweep,
+)
+
+__all__ = [
+    "run_setting",
+    "compare_settings",
+    "ExperimentResult",
+    "SettingComparison",
+    "FigureResult",
+    "population_sweep",
+    "dimension_sweep",
+    "codebook_sweep",
+    "participation_sweep",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "headline",
+]

@@ -1,0 +1,129 @@
+"""Result containers and rendering for the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from ..utils.tables import format_kv, format_series, format_table
+
+__all__ = ["ExperimentResult", "SettingComparison", "FigureResult"]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Outcome of evaluating one setting (cold / warm-*) once.
+
+    Attributes
+    ----------
+    mode:
+        The :class:`~repro.core.config.AgentMode` evaluated.
+    mean_reward:
+        Average reward over all evaluation interactions — the paper's
+        headline metric (it equals accuracy / CTR for 0-1 rewards).
+    curve:
+        ``curve[t]`` = mean reward of eval agents at interaction ``t``
+        (instantaneous learning curve).
+    cumulative_curve:
+        Running mean of ``curve`` — the series the paper's Figs. 6/7
+        plot against "number of local interactions".
+    n_contributors / n_eval_agents / eval_interactions:
+        Workload bookkeeping.
+    n_reports / n_released:
+        Data-collection accounting (0 for cold).
+    privacy:
+        Privacy-report dict for warm-private runs, else None.
+    """
+
+    mode: str
+    mean_reward: float
+    curve: np.ndarray
+    cumulative_curve: np.ndarray
+    n_contributors: int
+    n_eval_agents: int
+    eval_interactions: int
+    n_reports: int = 0
+    n_released: int = 0
+    privacy: Mapping[str, Any] | None = None
+
+    def summary(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "mode": self.mode,
+            "mean_reward": self.mean_reward,
+            "contributors": self.n_contributors,
+            "reports": self.n_reports,
+            "released": self.n_released,
+        }
+        if self.privacy is not None:
+            out["epsilon"] = self.privacy["epsilon"]
+        return out
+
+
+@dataclass(frozen=True)
+class SettingComparison:
+    """Results of the three §5 settings on one workload."""
+
+    results: Mapping[str, ExperimentResult]
+
+    def __getitem__(self, mode: str) -> ExperimentResult:
+        return self.results[mode]
+
+    def modes(self) -> list[str]:
+        return list(self.results)
+
+    def mean_rewards(self) -> dict[str, float]:
+        return {m: r.mean_reward for m, r in self.results.items()}
+
+    def curves(self) -> dict[str, np.ndarray]:
+        return {m: r.cumulative_curve for m, r in self.results.items()}
+
+    def render_summary(self, *, title: str | None = None) -> str:
+        return format_table([r.summary() for r in self.results.values()], title=title)
+
+    def render_curves(self, *, title: str | None = None, every: int = 1) -> str:
+        curves = self.curves()
+        length = min(len(c) for c in curves.values())
+        xs = list(range(1, length + 1))[::every]
+        series = {m: c[:length][::every].tolist() for m, c in curves.items()}
+        return format_series(xs, series, x_name="interactions", title=title)
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: named series over one x-axis, plus metadata.
+
+    ``rows`` render as the printed stand-in for the paper's plot.
+    """
+
+    figure_id: str
+    description: str
+    x_name: str
+    x_values: list
+    series: dict[str, list[float]] = field(default_factory=dict)
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    def add_point(self, x, values: Mapping[str, float]) -> None:
+        """Append one x-position with its per-series values."""
+        self.x_values.append(x)
+        for name, value in values.items():
+            self.series.setdefault(name, []).append(float(value))
+
+    def render(self) -> str:
+        header = f"{self.figure_id}: {self.description}"
+        body = format_series(
+            self.x_values, self.series, x_name=self.x_name, title=header
+        )
+        if self.notes:
+            body += "\n" + format_kv(dict(self.notes), title="notes")
+        return body
+
+    def as_rows(self) -> list[dict]:
+        rows = []
+        for i, x in enumerate(self.x_values):
+            row = {self.x_name: x}
+            for name, values in self.series.items():
+                row[name] = values[i]
+            rows.append(row)
+        return rows

@@ -1,0 +1,230 @@
+"""Parameter sweeps behind the paper's figures (§5.1–§5.3).
+
+Each sweep drives :func:`repro.experiments.runner.compare_settings`
+over one axis (population ``U``, context dimension ``d``, arm count
+``A``, codebook size ``k``, participation ``p``) and returns a
+:class:`~repro.experiments.results.FigureResult` whose series are the
+three settings' metrics — the printed equivalent of one paper plot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..core.config import AgentMode, P2BConfig
+from ..data.synthetic import SyntheticPreferenceEnvironment
+from ..encoding.kmeans_encoder import KMeansEncoder
+from ..privacy.accounting import epsilon_from_p
+from .results import FigureResult
+from .runner import compare_settings
+
+__all__ = [
+    "population_sweep",
+    "dimension_sweep",
+    "codebook_sweep",
+    "participation_sweep",
+]
+
+_MODE_LABELS = {
+    AgentMode.COLD: "cold",
+    AgentMode.WARM_NONPRIVATE: "warm_nonprivate",
+    AgentMode.WARM_PRIVATE: "warm_private",
+}
+
+
+def _shared_encoder(config: P2BConfig, seed) -> KMeansEncoder:
+    """Fit the public codebook once per sweep (identical across points)."""
+    return KMeansEncoder(
+        n_codes=config.n_codes,
+        n_features=config.n_features,
+        q=config.q,
+        seed=seed,
+    ).fit()
+
+
+def population_sweep(
+    u_values: Sequence[int],
+    config: P2BConfig,
+    *,
+    env_factory: Callable[[], SyntheticPreferenceEnvironment],
+    contributor_interactions: int | None = None,
+    n_eval_agents: int = 60,
+    eval_interactions: int = 10,
+    seed: int = 0,
+    figure_id: str = "fig4",
+    description: str = "average reward vs population size U",
+    measure: str = "realized",
+) -> FigureResult:
+    """Fig. 4's x-axis: grow the contributing population ``U``."""
+    result = FigureResult(
+        figure_id=figure_id,
+        description=description,
+        x_name="U",
+        x_values=[],
+        notes={
+            "A": config.n_actions,
+            "d": config.n_features,
+            "k": config.n_codes,
+            "p": config.p,
+            "epsilon": epsilon_from_p(config.p),
+        },
+    )
+    encoder = _shared_encoder(config, seed)
+    for u in u_values:
+        comparison = compare_settings(
+            env_factory,
+            config,
+            n_contributors=int(u),
+            contributor_interactions=contributor_interactions,
+            n_eval_agents=n_eval_agents,
+            eval_interactions=eval_interactions,
+            seed=seed,
+            encoder=encoder,
+            measure=measure,
+        )
+        result.add_point(
+            int(u),
+            {_MODE_LABELS[m]: r.mean_reward for m, r in comparison.results.items()},
+        )
+    return result
+
+
+def dimension_sweep(
+    d_values: Sequence[int],
+    *,
+    n_actions: int,
+    n_contributors: int,
+    make_config: Callable[[int], P2BConfig],
+    env_seed: int = 0,
+    contributor_interactions: int | None = None,
+    n_eval_agents: int = 60,
+    eval_interactions: int = 20,
+    seed: int = 0,
+    figure_id: str = "fig5",
+    description: str = "average reward vs context dimension d",
+    measure: str = "realized",
+) -> FigureResult:
+    """Fig. 5's x-axis: grow the context dimension ``d``.
+
+    A fresh environment and codebook are required per ``d`` (the context
+    space itself changes), hence the ``make_config`` callable.
+    """
+    result = FigureResult(
+        figure_id=figure_id,
+        description=description,
+        x_name="d",
+        x_values=[],
+        notes={"A": n_actions, "U": n_contributors},
+    )
+    for d in d_values:
+        config = make_config(int(d))
+
+        def env_factory(d=int(d)) -> SyntheticPreferenceEnvironment:
+            return SyntheticPreferenceEnvironment(
+                n_actions=n_actions, n_features=d, weight_scale=8.0, seed=env_seed
+            )
+
+        comparison = compare_settings(
+            env_factory,
+            config,
+            n_contributors=n_contributors,
+            contributor_interactions=contributor_interactions,
+            n_eval_agents=n_eval_agents,
+            eval_interactions=eval_interactions,
+            seed=seed,
+            measure=measure,
+        )
+        result.add_point(
+            int(d),
+            {_MODE_LABELS[m]: r.mean_reward for m, r in comparison.results.items()},
+        )
+    return result
+
+
+def codebook_sweep(
+    k_values: Sequence[int],
+    base_config: P2BConfig,
+    *,
+    env_factory: Callable[[], object],
+    n_contributors: int,
+    contributor_interactions: int | None = None,
+    n_eval_agents: int = 60,
+    eval_interactions: int = 50,
+    seed: int = 0,
+    figure_id: str = "ablation-k",
+    description: str = "reward vs codebook size k (warm-private)",
+) -> FigureResult:
+    """Ablation axis: codebook size ``k`` (Fig. 7 compares 2^5 vs 2^7)."""
+    from dataclasses import replace
+
+    result = FigureResult(
+        figure_id=figure_id,
+        description=description,
+        x_name="k",
+        x_values=[],
+    )
+    for k in k_values:
+        config = replace(base_config, n_codes=int(k))
+        comparison = compare_settings(
+            env_factory,
+            config,
+            n_contributors=n_contributors,
+            contributor_interactions=contributor_interactions,
+            n_eval_agents=n_eval_agents,
+            eval_interactions=eval_interactions,
+            seed=seed,
+            modes=(AgentMode.WARM_PRIVATE,),
+        )
+        result.add_point(
+            int(k),
+            {"warm_private": comparison[AgentMode.WARM_PRIVATE].mean_reward},
+        )
+    return result
+
+
+def participation_sweep(
+    p_values: Sequence[float],
+    base_config: P2BConfig,
+    *,
+    env_factory: Callable[[], object],
+    n_contributors: int,
+    contributor_interactions: int | None = None,
+    n_eval_agents: int = 60,
+    eval_interactions: int = 20,
+    seed: int = 0,
+    figure_id: str = "ablation-p",
+    description: str = "privacy/utility trade-off over participation p",
+) -> FigureResult:
+    """Ablation axis: participation probability ``p`` — the privacy lever.
+
+    Each point reports the warm-private reward *and* the corresponding
+    ``eps`` so the trade-off curve is explicit.
+    """
+    from dataclasses import replace
+
+    result = FigureResult(
+        figure_id=figure_id,
+        description=description,
+        x_name="p",
+        x_values=[],
+    )
+    for p in p_values:
+        config = replace(base_config, p=float(p))
+        comparison = compare_settings(
+            env_factory,
+            config,
+            n_contributors=n_contributors,
+            contributor_interactions=contributor_interactions,
+            n_eval_agents=n_eval_agents,
+            eval_interactions=eval_interactions,
+            seed=seed,
+            modes=(AgentMode.WARM_PRIVATE,),
+        )
+        result.add_point(
+            float(p),
+            {
+                "warm_private": comparison[AgentMode.WARM_PRIVATE].mean_reward,
+                "epsilon": epsilon_from_p(float(p)),
+            },
+        )
+    return result

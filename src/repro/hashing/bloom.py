@@ -1,0 +1,96 @@
+"""Bloom filter — the RAPPOR report substrate (paper §2.3).
+
+RAPPOR (Erlingsson et al., CCS 2014) hashes each client's string into a
+Bloom filter before randomizing it.  P2B's background section contrasts
+its utility with RAPPOR's, and our benchmark ablations use this
+implementation to make that comparison concrete.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+from ..utils.exceptions import ValidationError
+from ..utils.validation import check_positive_int
+from .feature_hashing import hash_string
+
+__all__ = ["BloomFilter", "optimal_num_hashes"]
+
+
+def optimal_num_hashes(n_bits: int, n_items: int) -> int:
+    """``k* = (m/n) ln 2`` — hash count minimizing false positives."""
+    check_positive_int(n_bits, name="n_bits")
+    check_positive_int(n_items, name="n_items")
+    return max(1, round((n_bits / n_items) * math.log(2)))
+
+
+class BloomFilter:
+    """Fixed-width Bloom filter over strings.
+
+    Parameters
+    ----------
+    n_bits:
+        Filter width ``m``.
+    n_hashes:
+        Number of hash functions ``h``; RAPPOR's default is 2.
+    seed:
+        Salt for the hash family.
+
+    Examples
+    --------
+    >>> bf = BloomFilter(64, n_hashes=2)
+    >>> bf.add("hello")
+    >>> "hello" in bf
+    True
+    >>> "goodbye" in bf  # may be a false positive, never a false negative
+    False
+    """
+
+    def __init__(self, n_bits: int = 128, n_hashes: int = 2, *, seed: int = 0) -> None:
+        self.n_bits = check_positive_int(n_bits, name="n_bits")
+        self.n_hashes = check_positive_int(n_hashes, name="n_hashes")
+        self.seed = int(seed)
+        self.bits = np.zeros(self.n_bits, dtype=bool)
+        self._n_added = 0
+
+    def _positions(self, item: str) -> np.ndarray:
+        return np.array(
+            [hash_string(item, seed=self.seed + i) % self.n_bits for i in range(self.n_hashes)],
+            dtype=np.intp,
+        )
+
+    def add(self, item: str) -> None:
+        """Insert ``item``."""
+        if not isinstance(item, str):
+            raise ValidationError(f"BloomFilter stores strings, got {type(item).__name__}")
+        self.bits[self._positions(item)] = True
+        self._n_added += 1
+
+    def update(self, items: Iterable[str]) -> None:
+        """Insert many items."""
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: str) -> bool:
+        return bool(self.bits[self._positions(item)].all())
+
+    def false_positive_rate(self) -> float:
+        """Estimated FP rate ``(1 - e^{-hn/m})^h`` for current occupancy."""
+        if self._n_added == 0:
+            return 0.0
+        exponent = -self.n_hashes * self._n_added / self.n_bits
+        return float((1.0 - math.exp(exponent)) ** self.n_hashes)
+
+    def as_vector(self) -> np.ndarray:
+        """Copy of the underlying bit vector as float64 (for randomization)."""
+        return self.bits.astype(np.float64)
+
+    @classmethod
+    def from_item(cls, item: str, *, n_bits: int = 128, n_hashes: int = 2, seed: int = 0) -> "BloomFilter":
+        """Single-item filter — exactly a RAPPOR client report pre-noise."""
+        bf = cls(n_bits, n_hashes, seed=seed)
+        bf.add(item)
+        return bf

@@ -1,0 +1,120 @@
+"""Randomized response and RAPPOR-style reports (paper §2.3).
+
+P2B's background positions RAPPOR as the canonical LDP collection
+mechanism whose per-report utility is too low for model training.  To
+let the benchmarks *show* that trade-off rather than assert it, this
+module implements:
+
+* :func:`randomized_response_bit` / :func:`randomized_response_vector` —
+  classic Warner-style binary randomized response;
+* :class:`RapporEncoder` — permanent + instantaneous randomized response
+  over a Bloom filter, i.e. the basic one-time RAPPOR modes; and
+* :func:`rr_epsilon` lives in :mod:`repro.privacy.ldp` (accounting side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..utils.rng import ensure_rng
+from ..utils.validation import check_probability
+from .bloom import BloomFilter
+
+__all__ = ["randomized_response_bit", "randomized_response_vector", "RapporEncoder"]
+
+
+def randomized_response_bit(bit: bool, f: float, rng: np.random.Generator) -> bool:
+    """Warner randomized response on one bit.
+
+    With probability ``1 - f`` report the truth; with probability ``f``
+    report a fair coin.  (This is RAPPOR's parameterization; the classic
+    eps-LDP coin corresponds to ``f = 2 / (1 + e^{eps/2})``.)
+    """
+    f = check_probability(f, name="f")
+    if rng.random() < f:
+        return bool(rng.integers(2))
+    return bool(bit)
+
+
+def randomized_response_vector(bits: np.ndarray, f: float, rng: np.random.Generator) -> np.ndarray:
+    """Vectorized randomized response over a boolean array."""
+    f = check_probability(f, name="f")
+    bits = np.asarray(bits, dtype=bool)
+    flip = rng.random(bits.shape) < f
+    coins = rng.integers(0, 2, size=bits.shape).astype(bool)
+    return np.where(flip, coins, bits)
+
+
+@dataclass
+class RapporEncoder:
+    """Minimal RAPPOR pipeline: string → Bloom bits → PRR → IRR.
+
+    Parameters
+    ----------
+    n_bits, n_hashes:
+        Bloom filter geometry.
+    f:
+        Permanent randomized response (PRR) noise level — the
+        longitudinal privacy knob.
+    p_irr, q_irr:
+        Instantaneous RR bit-report probabilities for 0-bits and 1-bits
+        respectively (RAPPOR's ``p`` and ``q``).
+    seed:
+        Hash-family salt (report randomness comes from the caller's rng).
+    """
+
+    n_bits: int = 128
+    n_hashes: int = 2
+    f: float = 0.5
+    p_irr: float = 0.25
+    q_irr: float = 0.75
+    seed: int = 0
+
+    def permanent_report(self, value: str, rng: np.random.Generator) -> np.ndarray:
+        """PRR: memoized noisy Bloom bits for ``value`` (one draw here)."""
+        bloom = BloomFilter.from_item(value, n_bits=self.n_bits, n_hashes=self.n_hashes, seed=self.seed)
+        return randomized_response_vector(bloom.bits, self.f, rng).astype(np.float64)
+
+    def instantaneous_report(self, permanent: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """IRR: per-session report from the permanent bits."""
+        check_probability(self.p_irr, name="p_irr")
+        check_probability(self.q_irr, name="q_irr")
+        permanent = np.asarray(permanent, dtype=bool)
+        probs = np.where(permanent, self.q_irr, self.p_irr)
+        return (rng.random(permanent.shape) < probs).astype(np.float64)
+
+    def report(self, value: str, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """Full client report for ``value`` (PRR then IRR)."""
+        rng = ensure_rng(rng)
+        return self.instantaneous_report(self.permanent_report(value, rng), rng)
+
+    def estimate_counts(self, reports: np.ndarray, candidates: list[str]) -> dict[str, float]:
+        """Server-side unbiased count estimation for candidate strings.
+
+        Uses the standard RAPPOR de-biasing: per-bit expected report rate
+        under H0/H1, then a least-squares style per-candidate estimate by
+        averaging its Bloom positions.  Deliberately simple — it exists
+        so benches can measure RAPPOR's aggregate-only utility against
+        P2B's trainable tuples.
+        """
+        reports = np.atleast_2d(np.asarray(reports, dtype=np.float64))
+        n = reports.shape[0]
+        bit_sums = reports.sum(axis=0)
+        # expected report probability for a true 0-bit / 1-bit after PRR+IRR
+        prr_one = 0.5 * self.f  # chance PRR turned a 0 into 1
+        p0 = (1 - prr_one) * self.p_irr + prr_one * self.q_irr
+        prr_keep = 1 - 0.5 * self.f  # chance a true 1 stayed 1 after PRR
+        p1 = prr_keep * self.q_irr + (1 - prr_keep) * self.p_irr
+        denom = (p1 - p0) * n
+        estimates: dict[str, float] = {}
+        for cand in candidates:
+            bloom = BloomFilter.from_item(cand, n_bits=self.n_bits, n_hashes=self.n_hashes, seed=self.seed)
+            pos = np.flatnonzero(bloom.bits)
+            if denom == 0 or pos.size == 0:
+                estimates[cand] = 0.0
+                continue
+            est = float(np.mean((bit_sums[pos] - p0 * n) / denom)) * n
+            estimates[cand] = est
+        return estimates

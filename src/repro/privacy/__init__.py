@@ -1,0 +1,53 @@
+"""Privacy analysis: crowd-blending + pre-sampling accounting (paper §4)."""
+
+from .accounting import (
+    PrivacyReport,
+    delta_bound,
+    epsilon_from_p,
+    p_from_epsilon,
+    required_l_for_delta,
+)
+from .cardinality import (
+    composition_rank,
+    composition_unrank,
+    context_cardinality,
+    enumerate_compositions,
+    enumerate_quantized_simplex,
+    optimal_crowd_size,
+)
+from .composition import advanced_composition, basic_composition, max_reports_for_budget
+from .crowd_blending import (
+    CrowdBlendingAudit,
+    code_histogram,
+    smallest_crowd,
+    verify_crowd_blending,
+)
+from .empirical import EmpiricalPrivacyResult, empirical_epsilon, simulate_release_counts
+from .ldp import rappor_f_for_epsilon, rappor_permanent_epsilon, warner_epsilon
+
+__all__ = [
+    "epsilon_from_p",
+    "p_from_epsilon",
+    "delta_bound",
+    "required_l_for_delta",
+    "PrivacyReport",
+    "context_cardinality",
+    "enumerate_compositions",
+    "enumerate_quantized_simplex",
+    "composition_rank",
+    "composition_unrank",
+    "optimal_crowd_size",
+    "code_histogram",
+    "smallest_crowd",
+    "verify_crowd_blending",
+    "CrowdBlendingAudit",
+    "basic_composition",
+    "advanced_composition",
+    "max_reports_for_budget",
+    "empirical_epsilon",
+    "simulate_release_counts",
+    "EmpiricalPrivacyResult",
+    "warner_epsilon",
+    "rappor_permanent_epsilon",
+    "rappor_f_for_epsilon",
+]

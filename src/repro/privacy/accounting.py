@@ -1,0 +1,191 @@
+"""Differential-privacy accounting for P2B (paper §4).
+
+P2B composes Bernoulli pre-sampling (probability ``p``) with an
+``(l, eps_bar)``-crowd-blending encoder.  Following Gehrke et al. (2012)
+the combined mechanism is ``(eps, delta)``-differentially private with
+
+.. math::
+
+    \\varepsilon = \\ln\\Big( p\\,\\frac{2-p}{1-p}\\,e^{\\bar\\varepsilon}
+                   + (1-p) \\Big),
+    \\qquad
+    \\delta = e^{-\\Omega\\, l (1-p)^2} .
+
+P2B's deterministic encoder gives ``eps_bar = 0`` (members of a crowd
+release *identical* values), in which case the epsilon expression
+simplifies — substitute and collect terms — to the tidy closed form
+
+.. math::
+
+    \\varepsilon = \\ln \\frac{1}{1-p} = -\\ln(1-p),
+
+so the paper's headline point ``p = 0.5  ⇒  eps = ln 2 ≈ 0.693`` is
+immediate, and the inverse is ``p = 1 - e^{-eps}``.  Both the paper-
+literal formula and the simplification are implemented; a unit test
+pins them together.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..utils.exceptions import PrivacyError
+from ..utils.validation import check_positive_int, check_probability, check_scalar
+
+__all__ = [
+    "epsilon_from_p",
+    "p_from_epsilon",
+    "delta_bound",
+    "required_l_for_delta",
+    "PrivacyReport",
+]
+
+
+def epsilon_from_p(p: float, *, eps_bar: float = 0.0) -> float:
+    """Paper Eq. (3) (general form Eq. (2)): epsilon of sampled crowd-blending.
+
+    Parameters
+    ----------
+    p:
+        Participation probability in ``[0, 1)``.  ``p = 1`` (everyone
+        always reports) yields an unbounded epsilon and is rejected.
+    eps_bar:
+        Crowd-blending epsilon of the encoder; P2B's deterministic
+        encoder achieves ``eps_bar = 0``.
+
+    Returns
+    -------
+    float
+        The differential-privacy ``eps`` of the combined mechanism.
+
+    Examples
+    --------
+    >>> round(epsilon_from_p(0.5), 3)
+    0.693
+    >>> epsilon_from_p(0.0)
+    0.0
+    """
+    p = check_probability(p, name="p", allow_one=False)
+    eps_bar = check_scalar(eps_bar, name="eps_bar", minimum=0.0)
+    inner = p * ((2.0 - p) / (1.0 - p)) * math.exp(eps_bar) + (1.0 - p)
+    if inner <= 0:  # pragma: no cover - unreachable for valid inputs
+        raise PrivacyError(f"accounting produced non-positive likelihood ratio {inner}")
+    return math.log(inner)
+
+
+def p_from_epsilon(epsilon: float, *, eps_bar: float = 0.0, tol: float = 1e-12) -> float:
+    """Inverse of :func:`epsilon_from_p`: participation rate for a target eps.
+
+    For ``eps_bar = 0`` the closed form ``p = 1 - e^{-eps}`` is used;
+    otherwise the (strictly increasing) forward map is inverted by
+    bisection.
+
+    Examples
+    --------
+    >>> round(p_from_epsilon(math.log(2)), 10)
+    0.5
+    """
+    epsilon = check_scalar(epsilon, name="epsilon", minimum=0.0)
+    eps_bar = check_scalar(eps_bar, name="eps_bar", minimum=0.0)
+    if eps_bar == 0.0:
+        return 1.0 - math.exp(-epsilon)
+    if epsilon < eps_bar:
+        raise PrivacyError(
+            f"target epsilon {epsilon} is below the encoder's eps_bar {eps_bar}; unreachable"
+        )
+    lo, hi = 0.0, 1.0 - 1e-15
+    while hi - lo > tol:
+        mid = (lo + hi) / 2.0
+        if epsilon_from_p(mid, eps_bar=eps_bar) < epsilon:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def delta_bound(l: int, p: float, *, omega: float = 1.0) -> float:
+    """Paper Eq. (2): ``delta = exp(-Omega * l * (1-p)^2)``.
+
+    ``Omega`` is the constant from Gehrke et al.'s analysis; the paper
+    leaves it abstract ("a constant that can be calculated"), so it is a
+    parameter here with default 1.  The qualitative property the paper
+    stresses — linear growth in ``l`` gives exponential decay in
+    ``delta`` — holds for any positive ``Omega`` and is pinned by tests.
+    """
+    l = check_positive_int(l, name="l", minimum=0)
+    p = check_probability(p, name="p", allow_one=False)
+    omega = check_scalar(omega, name="omega", minimum=0.0, include_min=False)
+    return math.exp(-omega * l * (1.0 - p) ** 2)
+
+
+def required_l_for_delta(delta: float, p: float, *, omega: float = 1.0) -> int:
+    """Smallest crowd size ``l`` achieving a target ``delta`` at rate ``p``.
+
+    Inverts :func:`delta_bound`:  ``l >= ln(1/delta) / (Omega (1-p)^2)``.
+    This is the number the operator feeds the shuffler's threshold
+    (paper §4: "l can always be matched to the shuffler's threshold").
+    """
+    delta = check_scalar(delta, name="delta", minimum=0.0, maximum=1.0, include_min=False)
+    p = check_probability(p, name="p", allow_one=False)
+    omega = check_scalar(omega, name="omega", minimum=0.0, include_min=False)
+    if delta >= 1.0:
+        return 0
+    return math.ceil(math.log(1.0 / delta) / (omega * (1.0 - p) ** 2))
+
+
+@dataclass(frozen=True)
+class PrivacyReport:
+    """Summary of the privacy guarantee of one P2B deployment/run.
+
+    Attributes
+    ----------
+    p:
+        Participation probability.
+    l:
+        Realized crowd-blending parameter (the shuffler threshold, or
+        the smallest released-crowd size if measured post hoc).
+    eps_bar:
+        Encoder crowd-blending epsilon (0 for deterministic encoders).
+    omega:
+        Constant in the delta bound.
+    tuples_per_user:
+        ``r``-fold participation; by DP composition the guarantee
+        degrades to ``r * eps`` (paper §6).
+    """
+
+    p: float
+    l: int
+    eps_bar: float = 0.0
+    omega: float = 1.0
+    tuples_per_user: int = 1
+
+    epsilon: float = field(init=False)
+    delta: float = field(init=False)
+    epsilon_total: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        eps = epsilon_from_p(self.p, eps_bar=self.eps_bar)
+        object.__setattr__(self, "epsilon", eps)
+        object.__setattr__(self, "delta", delta_bound(self.l, self.p, omega=self.omega))
+        r = check_positive_int(self.tuples_per_user, name="tuples_per_user")
+        object.__setattr__(self, "epsilon_total", r * eps)
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Flat dict for table rendering."""
+        return {
+            "p": self.p,
+            "l": self.l,
+            "eps_bar": self.eps_bar,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "tuples_per_user": self.tuples_per_user,
+            "epsilon_total": self.epsilon_total,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"PrivacyReport(p={self.p:.3f}, l={self.l}, eps={self.epsilon:.4f}, "
+            f"delta={self.delta:.3e}, r={self.tuples_per_user}, "
+            f"eps_total={self.epsilon_total:.4f})"
+        )

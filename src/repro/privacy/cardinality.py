@@ -1,0 +1,138 @@
+"""Context-space cardinality (paper Eq. 1) and simplex enumeration.
+
+Normalized contexts quantized to ``q`` decimal digits live on the
+integer grid ``{ v ∈ N^d : sum(v) = 10^q } / 10^q``.  By stars and bars
+the number of such points is
+
+.. math::
+
+    n = \\binom{10^q + d - 1}{d - 1},
+
+e.g. ``q=1, d=3 ⇒ C(12, 2) = 66`` — the paper's Figure 2 example.
+
+This module provides exact cardinality, full enumeration (for small
+spaces, e.g. Fig. 2's 66 points), and O(d · 10^q) lexicographic
+rank/unrank so the grid can be used as a *code space* without ever
+materializing it.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Iterator
+
+import numpy as np
+
+from ..utils.exceptions import ValidationError
+from ..utils.validation import check_positive_int
+
+__all__ = [
+    "context_cardinality",
+    "enumerate_compositions",
+    "enumerate_quantized_simplex",
+    "composition_rank",
+    "composition_unrank",
+    "optimal_crowd_size",
+]
+
+
+def context_cardinality(q: int, d: int) -> int:
+    """Paper Eq. (1): number of q-digit normalized context vectors.
+
+    >>> context_cardinality(1, 3)
+    66
+    """
+    q = check_positive_int(q, name="q")
+    d = check_positive_int(d, name="d", minimum=2)
+    return comb(10**q + d - 1, d - 1)
+
+
+def enumerate_compositions(total: int, d: int) -> Iterator[tuple[int, ...]]:
+    """Yield all d-part weak compositions of ``total`` in lexicographic order.
+
+    A weak composition allows zero parts; the count is
+    ``C(total + d - 1, d - 1)``.
+    """
+    check_positive_int(d, name="d")
+    check_positive_int(total, name="total", minimum=0)
+    if d == 1:
+        yield (total,)
+        return
+    for first in range(total + 1):
+        for rest in enumerate_compositions(total - first, d - 1):
+            yield (first,) + rest
+
+
+def enumerate_quantized_simplex(q: int, d: int, *, max_size: int = 2_000_000) -> np.ndarray:
+    """Materialize every q-digit simplex point as an ``(n, d)`` array.
+
+    Raises
+    ------
+    ValidationError
+        If the cardinality exceeds ``max_size`` (the caller should use
+        rank/unrank instead of enumeration at that scale).
+    """
+    n = context_cardinality(q, d)
+    if n > max_size:
+        raise ValidationError(
+            f"simplex with q={q}, d={d} has {n} points (> max_size={max_size}); "
+            "use composition_rank/composition_unrank instead"
+        )
+    scale = 10**q
+    out = np.array(list(enumerate_compositions(scale, d)), dtype=np.float64)
+    return out / scale
+
+
+def composition_rank(v: tuple[int, ...] | np.ndarray, total: int) -> int:
+    """Lexicographic rank of a weak composition of ``total``.
+
+    The rank counts compositions strictly before ``v``; together with
+    :func:`composition_unrank` this forms a bijection
+    ``compositions ↔ {0, …, n-1}`` that the grid encoder uses as its
+    code assignment.
+    """
+    v = np.asarray(v, dtype=np.int64)
+    if v.ndim != 1:
+        raise ValidationError("composition must be a 1-D integer vector")
+    if (v < 0).any():
+        raise ValidationError("composition parts must be non-negative")
+    if int(v.sum()) != total:
+        raise ValidationError(f"composition must sum to {total}, got {int(v.sum())}")
+    d = v.shape[0]
+    rank = 0
+    remaining = total
+    for i in range(d - 1):
+        # compositions starting with a smaller value at position i
+        for smaller in range(int(v[i])):
+            rank += comb(remaining - smaller + d - i - 2, d - i - 2)
+        remaining -= int(v[i])
+    return rank
+
+
+def composition_unrank(rank: int, total: int, d: int) -> tuple[int, ...]:
+    """Inverse of :func:`composition_rank`."""
+    check_positive_int(d, name="d")
+    n = comb(total + d - 1, d - 1)
+    if not (0 <= rank < n):
+        raise ValidationError(f"rank must be in [0, {n}), got {rank}")
+    parts: list[int] = []
+    remaining = total
+    for i in range(d - 1):
+        value = 0
+        while True:
+            count = comb(remaining - value + d - i - 2, d - i - 2)
+            if rank < count:
+                break
+            rank -= count
+            value += 1
+        parts.append(value)
+        remaining -= value
+    parts.append(remaining)
+    return tuple(parts)
+
+
+def optimal_crowd_size(n_users: int, n_codes: int) -> int:
+    """Paper §4: the optimal encoder yields crowds of ``l = U / k`` users."""
+    n_users = check_positive_int(n_users, name="n_users")
+    n_codes = check_positive_int(n_codes, name="n_codes")
+    return n_users // n_codes

@@ -1,0 +1,58 @@
+"""Composition of differential-privacy guarantees (paper §6).
+
+The paper's experiments collect **one** tuple per user, but notes that
+collecting ``r`` tuples degrades the guarantee to ``r·eps`` by basic
+composition.  For completeness the advanced composition theorem
+(Dwork & Roth 2013, Thm. 3.20) is also provided — it gives markedly
+tighter totals once ``r`` grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..utils.validation import check_positive_int, check_scalar
+
+__all__ = ["basic_composition", "advanced_composition", "max_reports_for_budget"]
+
+
+def basic_composition(epsilon: float, r: int, *, delta: float = 0.0) -> tuple[float, float]:
+    """``r``-fold basic composition: ``(r·eps, r·delta)``."""
+    epsilon = check_scalar(epsilon, name="epsilon", minimum=0.0)
+    r = check_positive_int(r, name="r")
+    delta = check_scalar(delta, name="delta", minimum=0.0, maximum=1.0)
+    return r * epsilon, min(1.0, r * delta)
+
+
+def advanced_composition(
+    epsilon: float, r: int, *, delta: float = 0.0, delta_prime: float = 1e-6
+) -> tuple[float, float]:
+    """Advanced composition (Dwork & Roth, Thm 3.20).
+
+    ``eps_total = sqrt(2 r ln(1/delta')) eps + r eps (e^eps - 1)`` with
+    added slack ``delta' > 0``:
+
+    Returns
+    -------
+    (eps_total, delta_total) where ``delta_total = r*delta + delta_prime``.
+    """
+    epsilon = check_scalar(epsilon, name="epsilon", minimum=0.0)
+    r = check_positive_int(r, name="r")
+    delta = check_scalar(delta, name="delta", minimum=0.0, maximum=1.0)
+    delta_prime = check_scalar(
+        delta_prime, name="delta_prime", minimum=0.0, maximum=1.0, include_min=False
+    )
+    eps_total = math.sqrt(2.0 * r * math.log(1.0 / delta_prime)) * epsilon + r * epsilon * (
+        math.exp(epsilon) - 1.0
+    )
+    return eps_total, min(1.0, r * delta + delta_prime)
+
+
+def max_reports_for_budget(epsilon_per_report: float, budget: float) -> int:
+    """How many tuples a user may contribute within an ``eps`` budget
+    under basic composition (the deployment knob for P2B operators)."""
+    epsilon_per_report = check_scalar(
+        epsilon_per_report, name="epsilon_per_report", minimum=0.0, include_min=False
+    )
+    budget = check_scalar(budget, name="budget", minimum=0.0)
+    return int(budget / epsilon_per_report)

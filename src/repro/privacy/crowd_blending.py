@@ -1,0 +1,98 @@
+"""Crowd-blending verification (paper Definition 2, §2.2 / §4).
+
+A released batch of encoded tuples satisfies ``(l, 0)``-crowd-blending
+*operationally* when every released code value appears at least ``l``
+times — each user's encoding is then indistinguishable within its crowd.
+The shuffler enforces this by thresholding; these helpers measure and
+assert it, and power the property-based tests that tie the system's
+behaviour to its privacy claim.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..utils.exceptions import PrivacyError
+from ..utils.validation import check_positive_int
+
+__all__ = [
+    "code_histogram",
+    "smallest_crowd",
+    "verify_crowd_blending",
+    "CrowdBlendingAudit",
+]
+
+
+def code_histogram(codes: Iterable[int]) -> dict[int, int]:
+    """Frequency of each code value in a released batch."""
+    return dict(Counter(int(c) for c in codes))
+
+
+def smallest_crowd(codes: Iterable[int]) -> int:
+    """Size of the smallest *released* crowd (0 for an empty batch)."""
+    hist = code_histogram(codes)
+    return min(hist.values()) if hist else 0
+
+
+@dataclass(frozen=True)
+class CrowdBlendingAudit:
+    """Result of auditing a released batch against a threshold ``l``.
+
+    Attributes
+    ----------
+    l:
+        The required crowd size.
+    satisfied:
+        Whether every released code has a crowd of at least ``l``.
+    smallest:
+        The smallest released crowd (0 if the batch is empty).
+    violations:
+        Mapping of code -> count for codes below the threshold.
+    n_tuples:
+        Total number of released tuples audited.
+    """
+
+    l: int
+    satisfied: bool
+    smallest: int
+    violations: dict[int, int]
+    n_tuples: int
+
+    def raise_if_violated(self) -> None:
+        """Raise :class:`PrivacyError` when the audit failed."""
+        if not self.satisfied:
+            raise PrivacyError(
+                f"crowd-blending violated: {len(self.violations)} code(s) below l={self.l}: "
+                f"{dict(sorted(self.violations.items())[:10])}"
+            )
+
+
+def verify_crowd_blending(codes: Sequence[int] | np.ndarray, l: int) -> CrowdBlendingAudit:
+    """Audit a batch of released codes for ``(l, 0)``-crowd-blending.
+
+    An empty batch trivially satisfies any threshold (nothing was
+    released, i.e. the mechanism "ignored" every user — Definition 2's
+    second branch).
+
+    Examples
+    --------
+    >>> verify_crowd_blending([1, 1, 1, 2, 2, 2], l=3).satisfied
+    True
+    >>> verify_crowd_blending([1, 1, 2], l=2).violations
+    {2: 1}
+    """
+    l = check_positive_int(l, name="l")
+    hist = code_histogram(np.asarray(codes, dtype=np.int64).ravel().tolist())
+    violations = {code: count for code, count in hist.items() if count < l}
+    smallest = min(hist.values()) if hist else 0
+    return CrowdBlendingAudit(
+        l=l,
+        satisfied=not violations,
+        smallest=smallest,
+        violations=violations,
+        n_tuples=int(sum(hist.values())),
+    )

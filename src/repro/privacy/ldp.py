@@ -1,0 +1,51 @@
+"""Local-differential-privacy accounting for the RAPPOR baseline (§2.3).
+
+P2B's background contrasts its guarantee with RAPPOR-style LDP reports;
+these helpers compute the standard epsilons so benches can put both
+mechanisms on one axis.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..utils.validation import check_positive_int, check_probability
+
+__all__ = [
+    "warner_epsilon",
+    "rappor_permanent_epsilon",
+    "rappor_f_for_epsilon",
+]
+
+
+def warner_epsilon(truth_probability: float) -> float:
+    """Epsilon of Warner's randomized response.
+
+    A binary mechanism reporting the truth with probability ``t`` (and
+    the flip with ``1-t``) is ``ln(t / (1-t))``-LDP for ``t > 0.5``.
+    """
+    t = check_probability(truth_probability, name="truth_probability")
+    if not 0.5 < t < 1.0:
+        raise ValueError(f"truth_probability must be in (0.5, 1), got {t}")
+    return math.log(t / (1.0 - t))
+
+
+def rappor_permanent_epsilon(f: float, n_hashes: int = 2) -> float:
+    """Epsilon of RAPPOR's permanent randomized response (Erlingsson et
+    al. 2014, Eq. for eps_infinity): ``2 h ln((1 - f/2) / (f/2))``.
+
+    ``h`` is the number of Bloom hash functions; larger ``f`` means more
+    noise and a smaller epsilon.
+    """
+    f = check_probability(f, name="f", allow_zero=False)
+    h = check_positive_int(n_hashes, name="n_hashes")
+    return 2.0 * h * math.log((1.0 - 0.5 * f) / (0.5 * f))
+
+
+def rappor_f_for_epsilon(epsilon: float, n_hashes: int = 2) -> float:
+    """Inverse of :func:`rappor_permanent_epsilon`."""
+    h = check_positive_int(n_hashes, name="n_hashes")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    x = math.exp(epsilon / (2.0 * h))  # x = (1 - f/2)/(f/2)
+    return 2.0 / (1.0 + x)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` from misuse of the Python
+API itself) propagate normally.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NotFittedError",
+    "ValidationError",
+    "ConvergenceWarning",
+    "PrivacyError",
+    "DataError",
+    "ConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """An estimator/encoder was used before its ``fit`` method was called.
+
+    Mirrors the scikit-learn convention: raised by any component with
+    learned state (k-means, encoders, bandit policies restored from a
+    server snapshot) when queried pre-fit.
+    """
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (shape, dtype, range, or value)."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative fit stopped at ``max_iter`` without converging."""
+
+
+class PrivacyError(ReproError):
+    """A privacy accounting or enforcement invariant was violated.
+
+    Examples: requesting ``eps`` for a participation probability outside
+    ``[0, 1)``, or a shuffler release that would break the configured
+    crowd-blending threshold.
+    """
+
+
+class DataError(ReproError, ValueError):
+    """A dataset generator or loader received inconsistent parameters."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration dataclass contains an invalid combination."""

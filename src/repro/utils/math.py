@@ -1,0 +1,99 @@
+"""Numerical helpers: stable softmax, simplex normalization, misc.
+
+The paper's synthetic benchmark (§5.1) defines the reward-probability
+function as a *scaled softmax* of ``W @ x``; the encoding stage (§3.2)
+requires contexts to be normalized vectors ("normalized histogram,
+where entries sum to 1").  Both primitives live here so that every
+consumer shares one numerically-stable implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .exceptions import ValidationError
+from .validation import check_array
+
+__all__ = [
+    "softmax",
+    "normalize_simplex",
+    "project_to_simplex",
+    "clip01",
+    "log_binomial",
+    "safe_log",
+]
+
+
+def softmax(z: np.ndarray, *, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax along ``axis``.
+
+    >>> softmax(np.array([0.0, 0.0])).tolist()
+    [0.5, 0.5]
+    """
+    z = np.asarray(z, dtype=np.float64)
+    if z.size == 0:
+        raise ValidationError("softmax input must not be empty")
+    shifted = z - np.max(z, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def normalize_simplex(x: np.ndarray, *, axis: int = -1) -> np.ndarray:
+    """Normalize non-negative vectors to sum to 1 along ``axis``.
+
+    This is the paper's "normalized histogram" representation.  Negative
+    inputs are first shifted to be non-negative (min-shift), mirroring
+    how arbitrary real-valued contexts are mapped onto the simplex before
+    quantization.  All-constant vectors map to the uniform distribution.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.size == 0:
+        raise ValidationError("cannot normalize an empty array")
+    mins = np.min(arr, axis=axis, keepdims=True)
+    shifted = np.where(mins < 0, arr - mins, arr)
+    totals = np.sum(shifted, axis=axis, keepdims=True)
+    d = arr.shape[axis]
+    uniform = np.full_like(arr, 1.0 / d)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.where(totals > 0, shifted / np.where(totals == 0, 1.0, totals), uniform)
+    return out
+
+
+def project_to_simplex(v: np.ndarray) -> np.ndarray:
+    """Euclidean projection of a vector onto the probability simplex.
+
+    Implements the O(d log d) algorithm of Held, Wolfe & Crowder (1974)
+    as popularized by Duchi et al. (2008).  Used by the LSH encoder's
+    inverse mapping and by tests as an alternative normalization.
+    """
+    v = check_array(v, name="v", ndim=1)
+    n = v.shape[0]
+    u = np.sort(v)[::-1]
+    css = np.cumsum(u)
+    rho_candidates = u + (1.0 - css) / np.arange(1, n + 1)
+    rho = np.nonzero(rho_candidates > 0)[0][-1]
+    theta = (css[rho] - 1.0) / (rho + 1.0)
+    return np.maximum(v - theta, 0.0)
+
+
+def clip01(x: np.ndarray | float) -> np.ndarray | float:
+    """Clip rewards into the paper's ``[0, 1]`` range."""
+    return np.clip(x, 0.0, 1.0)
+
+
+def log_binomial(n: int, k: int) -> float:
+    """``log C(n, k)`` via lgamma — exact enough for cardinality math.
+
+    Used by :mod:`repro.privacy.cardinality` when ``C(10^q + d - 1,
+    d - 1)`` overflows ordinary integers for display purposes.
+    """
+    from math import lgamma
+
+    if k < 0 or k > n:
+        return float("-inf")
+    return lgamma(n + 1) - lgamma(k + 1) - lgamma(n - k + 1)
+
+
+def safe_log(x: np.ndarray | float, *, eps: float = 1e-300) -> np.ndarray | float:
+    """Elementwise log clamped away from zero."""
+    return np.log(np.maximum(x, eps))

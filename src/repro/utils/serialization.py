@@ -1,0 +1,116 @@
+"""Model-state serialization.
+
+The P2B server ships its central model to local agents (paper §3, Fig. 1).
+In the real deployment that payload crosses a network; here we make the
+payload explicit as a JSON-compatible dict of lists (with a compact
+``.npz``-style binary alternative), so tests can verify that a model
+round-trips bit-exactly and that the payload carries *no* raw user
+contexts — only aggregate sufficient statistics.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Mapping
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+__all__ = ["state_to_json", "state_from_json", "state_to_bytes", "state_from_bytes", "states_equal"]
+
+_ARRAY_KEY = "__ndarray__"
+
+
+def _encode(obj: Any) -> Any:
+    if isinstance(obj, np.ndarray):
+        return {_ARRAY_KEY: True, "dtype": str(obj.dtype), "shape": list(obj.shape), "data": obj.ravel().tolist()}
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, dict):
+        return {str(k): _encode(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_encode(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise ValidationError(f"cannot serialize object of type {type(obj).__name__}")
+
+
+def _decode(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if obj.get(_ARRAY_KEY):
+            arr = np.asarray(obj["data"], dtype=obj["dtype"])
+            return arr.reshape(obj["shape"])
+        return {k: _decode(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_decode(v) for v in obj]
+    return obj
+
+
+def state_to_json(state: Mapping[str, Any]) -> str:
+    """Serialize a state dict (possibly containing ndarrays) to JSON."""
+    return json.dumps(_encode(dict(state)), sort_keys=True)
+
+
+def state_from_json(payload: str) -> dict[str, Any]:
+    """Inverse of :func:`state_to_json`."""
+    try:
+        raw = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"invalid state payload: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ValidationError("state payload must decode to a dict")
+    return _decode(raw)
+
+
+def state_to_bytes(state: Mapping[str, Any]) -> bytes:
+    """Compact binary serialization via ``numpy.savez_compressed``.
+
+    Arrays are stored natively; the non-array remainder is stored as a
+    JSON side-channel under the reserved key ``__meta__``.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict[str, Any] = {}
+    for key, value in state.items():
+        if key == "__meta__":
+            raise ValidationError("'__meta__' is a reserved state key")
+        if isinstance(value, np.ndarray):
+            arrays[key] = value
+        else:
+            meta[key] = _encode(value)
+    buf = io.BytesIO()
+    np.savez_compressed(buf, __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8), **arrays)
+    return buf.getvalue()
+
+
+def state_from_bytes(blob: bytes) -> dict[str, Any]:
+    """Inverse of :func:`state_to_bytes`."""
+    buf = io.BytesIO(blob)
+    with np.load(buf, allow_pickle=False) as npz:
+        meta_bytes = npz["__meta__"].tobytes()
+        out: dict[str, Any] = {k: npz[k] for k in npz.files if k != "__meta__"}
+    out.update(_decode(json.loads(meta_bytes.decode())))
+    return out
+
+
+def states_equal(a: Mapping[str, Any], b: Mapping[str, Any], *, rtol: float = 0.0, atol: float = 0.0) -> bool:
+    """Structural equality of two state dicts (exact by default)."""
+    if set(a) != set(b):
+        return False
+    for key in a:
+        va, vb = a[key], b[key]
+        if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
+            va, vb = np.asarray(va), np.asarray(vb)
+            if va.shape != vb.shape:
+                return False
+            if not np.allclose(va, vb, rtol=rtol, atol=atol):
+                return False
+        elif isinstance(va, Mapping) and isinstance(vb, Mapping):
+            if not states_equal(va, vb, rtol=rtol, atol=atol):
+                return False
+        elif va != vb:
+            return False
+    return True

@@ -1,0 +1,84 @@
+"""Minimal ASCII table / series rendering for experiment reports.
+
+The benchmark harness reproduces the paper's *figures* as printed series
+(this environment has no plotting stack).  One formatter lives here so
+every bench and example renders identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_kv"]
+
+
+def _fmt_cell(value: Any, *, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]] | Sequence[Sequence[Any]],
+    *,
+    headers: Sequence[str] | None = None,
+    floatfmt: str = ".4f",
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    ``rows`` may be dicts (headers inferred, ordered by first row) or
+    sequences (headers required).
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(empty table)"
+    if isinstance(rows[0], Mapping):
+        headers = list(headers) if headers is not None else list(rows[0].keys())
+        body = [[_fmt_cell(r.get(h, ""), floatfmt=floatfmt) for h in headers] for r in rows]  # type: ignore[union-attr]
+    else:
+        if headers is None:
+            raise ValueError("headers are required for sequence rows")
+        headers = list(headers)
+        body = [[_fmt_cell(c, floatfmt=floatfmt) for c in r] for r in rows]  # type: ignore[union-attr]
+    widths = [max(len(h), *(len(row[i]) for row in body)) for i, h in enumerate(headers)]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Iterable[Any],
+    ys: Mapping[str, Iterable[float]],
+    *,
+    x_name: str = "x",
+    floatfmt: str = ".4f",
+    title: str | None = None,
+) -> str:
+    """Render one x-column against several named y-series (figure data)."""
+    x_list = list(x)
+    columns = {name: list(vals) for name, vals in ys.items()}
+    for name, vals in columns.items():
+        if len(vals) != len(x_list):
+            raise ValueError(f"series {name!r} has {len(vals)} points, expected {len(x_list)}")
+    rows = [
+        {x_name: xv, **{name: columns[name][i] for name in columns}}
+        for i, xv in enumerate(x_list)
+    ]
+    return format_table(rows, floatfmt=floatfmt, title=title)
+
+
+def format_kv(items: Mapping[str, Any], *, floatfmt: str = ".4f", title: str | None = None) -> str:
+    """Render a key/value block (headline numbers)."""
+    width = max((len(k) for k in items), default=0)
+    lines = [title] if title else []
+    for key, value in items.items():
+        lines.append(f"{key.ljust(width)} : {_fmt_cell(value, floatfmt=floatfmt)}")
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Tests for repro.bandits.code_linucb — incl. exact-equivalence to LinUCB."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bandits import CodeLinUCB, LinUCB, policy_from_state
+from repro.utils.exceptions import ValidationError
+
+
+def _one_hot(idx: int, k: int) -> np.ndarray:
+    v = np.zeros(k)
+    v[idx] = 1.0
+    return v
+
+
+class TestEquivalenceWithDenseLinUCB:
+    """CodeLinUCB must be *exactly* LinUCB restricted to one-hot inputs."""
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_property_scores_match_dense(self, seed):
+        rng = np.random.default_rng(seed)
+        k, n_arms, n_steps = 5, 3, 30
+        dense = LinUCB(n_arms, k, alpha=1.0, ridge=1.0, seed=0)
+        fast = CodeLinUCB(n_arms, k, alpha=1.0, ridge=1.0, seed=0)
+        for _ in range(n_steps):
+            code = int(rng.integers(k))
+            action = int(rng.integers(n_arms))
+            reward = float(rng.random())
+            x = _one_hot(code, k)
+            dense.update(x, action, reward)
+            fast.update(x, action, reward)
+        for code in range(k):
+            x = _one_hot(code, k)
+            np.testing.assert_allclose(
+                fast.ucb_scores(x), dense.ucb_scores(x), atol=1e-10
+            )
+            np.testing.assert_allclose(
+                fast.expected_rewards(x), dense.expected_rewards(x), atol=1e-10
+            )
+
+    def test_equivalence_with_custom_ridge_alpha(self):
+        rng = np.random.default_rng(3)
+        k, n_arms = 4, 2
+        dense = LinUCB(n_arms, k, alpha=0.3, ridge=2.5, seed=0)
+        fast = CodeLinUCB(n_arms, k, alpha=0.3, ridge=2.5, seed=0)
+        for _ in range(40):
+            code, action, reward = int(rng.integers(k)), int(rng.integers(n_arms)), float(rng.random())
+            dense.update(_one_hot(code, k), action, reward)
+            fast.update(_one_hot(code, k), action, reward)
+        for code in range(k):
+            np.testing.assert_allclose(
+                fast.ucb_scores(_one_hot(code, k)),
+                dense.ucb_scores(_one_hot(code, k)),
+                atol=1e-10,
+            )
+
+
+class TestInterface:
+    def test_rejects_dense_context(self):
+        pol = CodeLinUCB(2, 4, seed=0)
+        with pytest.raises(ValidationError, match="one-hot"):
+            pol.select(np.array([0.5, 0.5, 0.0, 0.0]))
+
+    def test_rejects_scaled_one_hot(self):
+        pol = CodeLinUCB(2, 4, seed=0)
+        with pytest.raises(ValidationError, match="one-hot"):
+            pol.update(np.array([0.0, 2.0, 0.0, 0.0]), 0, 1.0)
+
+    def test_fast_path_matches_generic(self):
+        pol = CodeLinUCB(3, 5, seed=0)
+        pol.update_code(2, 1, 1.0)
+        np.testing.assert_allclose(
+            pol.ucb_scores_for_code(2), pol.ucb_scores(_one_hot(2, 5))
+        )
+
+    def test_select_code_in_range(self):
+        pol = CodeLinUCB(4, 6, seed=0)
+        assert 0 <= pol.select_code(3) < 4
+
+    def test_batch_update_matches_sequential(self, rng):
+        codes = rng.integers(0, 6, size=50)
+        actions = rng.integers(0, 3, size=50)
+        rewards = rng.random(50)
+        contexts = np.zeros((50, 6))
+        contexts[np.arange(50), codes] = 1.0
+        seq = CodeLinUCB(3, 6, seed=0)
+        for c, a, r in zip(codes, actions, rewards):
+            seq.update_code(int(c), int(a), float(r))
+        bat = CodeLinUCB(3, 6, seed=0)
+        bat.update_batch(contexts, actions, rewards)
+        np.testing.assert_allclose(seq.counts, bat.counts)
+        np.testing.assert_allclose(seq.sums, bat.sums)
+
+    def test_batch_rejects_dense_rows(self):
+        pol = CodeLinUCB(2, 3, seed=0)
+        bad = np.array([[0.5, 0.5, 0.0]])
+        with pytest.raises(ValidationError, match="one-hot"):
+            pol.update_batch(bad, [0], [1.0])
+
+    def test_empty_batch_noop(self):
+        pol = CodeLinUCB(2, 3, seed=0)
+        pol.update_batch(np.zeros((0, 3)), [], [])
+        assert pol.t == 0
+
+    def test_learns_per_code_best_arm(self, rng):
+        pol = CodeLinUCB(2, 2, alpha=0.5, seed=0)
+        # code 0 -> arm 0 good; code 1 -> arm 1 good
+        for _ in range(300):
+            code = int(rng.integers(2))
+            a = pol.select_code(code)
+            r = float(rng.random() < (0.9 if a == code else 0.1))
+            pol.update_code(code, a, r)
+        assert pol.expected_rewards_for_code(0)[0] > pol.expected_rewards_for_code(0)[1]
+        assert pol.expected_rewards_for_code(1)[1] > pol.expected_rewards_for_code(1)[0]
+
+
+class TestState:
+    def test_round_trip_through_registry(self, rng):
+        pol = CodeLinUCB(3, 4, alpha=0.8, ridge=1.5, seed=0)
+        for _ in range(20):
+            pol.update_code(int(rng.integers(4)), int(rng.integers(3)), float(rng.random()))
+        restored = policy_from_state(pol.get_state(), seed=1)
+        assert isinstance(restored, CodeLinUCB)
+        np.testing.assert_allclose(restored.counts, pol.counts)
+        np.testing.assert_allclose(restored.sums, pol.sums)
+
+    def test_state_is_copy(self):
+        pol = CodeLinUCB(2, 2, seed=0)
+        state = pol.get_state()
+        state["sums"][0, 0] = 7.0
+        assert pol.sums[0, 0] == 0.0

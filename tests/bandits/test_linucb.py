@@ -1,0 +1,168 @@
+"""Tests for repro.bandits.linucb."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bandits import LinUCB
+
+
+def _bernoulli_env(rng, d=4, n_arms=3):
+    """Linear reward probabilities with a known best arm per context."""
+    theta_true = rng.normal(size=(n_arms, d))
+    theta_true /= np.linalg.norm(theta_true, axis=1, keepdims=True)
+
+    def step(x):
+        probs = 1 / (1 + np.exp(-(theta_true @ x)))
+        return probs
+
+    return theta_true, step
+
+
+class TestShermanMorrison:
+    def test_a_inv_matches_direct_inverse(self, rng):
+        pol = LinUCB(n_arms=1, n_features=5, ridge=2.0, seed=0)
+        A_direct = 2.0 * np.eye(5)
+        for _ in range(50):
+            x = rng.normal(size=5)
+            pol.update(x, 0, float(rng.random()))
+            A_direct += np.outer(x, x)
+        np.testing.assert_allclose(pol.A_inv[0], np.linalg.inv(A_direct), atol=1e-8)
+
+    def test_theta_matches_ridge_solution(self, rng):
+        pol = LinUCB(n_arms=1, n_features=4, ridge=1.0, seed=0)
+        X, r = [], []
+        for _ in range(30):
+            x = rng.normal(size=4)
+            reward = float(rng.random())
+            pol.update(x, 0, reward)
+            X.append(x)
+            r.append(reward)
+        X, r = np.array(X), np.array(r)
+        theta_ridge = np.linalg.solve(np.eye(4) + X.T @ X, X.T @ r)
+        np.testing.assert_allclose(pol.theta[0], theta_ridge, atol=1e-8)
+
+
+class TestSelection:
+    def test_initial_scores_equal(self):
+        pol = LinUCB(n_arms=4, n_features=3, seed=0)
+        scores = pol.ucb_scores(np.array([1.0, 0.5, 0.2]))
+        assert np.allclose(scores, scores[0])
+
+    def test_exploration_bonus_shrinks_with_data(self, rng):
+        pol = LinUCB(n_arms=2, n_features=3, seed=0)
+        x = np.array([1.0, 0.0, 0.0])
+        w0 = pol.confidence_width(x, 0)
+        for _ in range(20):
+            pol.update(x, 0, 0.5)
+        assert pol.confidence_width(x, 0) < w0
+
+    def test_untried_arm_has_higher_bonus(self):
+        pol = LinUCB(n_arms=2, n_features=2, seed=0)
+        x = np.array([1.0, 0.0])
+        for _ in range(10):
+            pol.update(x, 0, 0.0)
+        assert pol.confidence_width(x, 1) > pol.confidence_width(x, 0)
+
+    def test_alpha_zero_is_greedy(self, rng):
+        pol = LinUCB(n_arms=2, n_features=2, alpha=0.0, seed=0)
+        pol.update(np.array([1.0, 0.0]), 0, 1.0)
+        pol.update(np.array([1.0, 0.0]), 1, 0.0)
+        for _ in range(20):
+            assert pol.select(np.array([1.0, 0.0])) == 0
+
+    def test_learns_best_arm_in_stationary_problem(self, rng):
+        theta_true, probs_of = _bernoulli_env(rng)
+        pol = LinUCB(n_arms=3, n_features=4, alpha=0.25, seed=1)
+        hits = 0
+        n_steps = 3000
+        for t in range(n_steps):
+            x = rng.normal(size=4)
+            x /= np.linalg.norm(x)
+            a = pol.select(x)
+            p = probs_of(x)
+            reward = float(rng.random() < p[a])
+            pol.update(x, a, reward)
+            if t >= n_steps - 500:
+                hits += a == int(np.argmax(p))
+        assert hits / 500 > 0.5  # well above the 1/3 random floor
+
+    def test_beats_random_on_average_reward(self, rng):
+        theta_true, probs_of = _bernoulli_env(rng)
+        pol = LinUCB(n_arms=3, n_features=4, alpha=0.5, seed=1)
+        total_pol, total_rand = 0.0, 0.0
+        for _ in range(800):
+            x = rng.normal(size=4)
+            x /= np.linalg.norm(x)
+            p = probs_of(x)
+            total_pol += p[pol.select(x)]
+            a = pol.select(x)
+            pol.update(x, a, float(rng.random() < p[a]))
+            total_rand += p[int(rng.integers(3))]
+        assert total_pol > total_rand
+
+
+class TestBatchAndState:
+    def test_batch_equals_sequential(self, rng):
+        X = rng.normal(size=(40, 3))
+        actions = rng.integers(0, 2, size=40)
+        rewards = rng.random(40)
+        seq = LinUCB(n_arms=2, n_features=3, seed=0)
+        for x, a, r in zip(X, actions, rewards):
+            seq.update(x, int(a), float(r))
+        bat = LinUCB(n_arms=2, n_features=3, seed=0)
+        bat.update_batch(X, actions, rewards)
+        np.testing.assert_allclose(seq.theta, bat.theta, atol=1e-10)
+
+    def test_update_order_invariance(self, rng):
+        """Sufficient statistics are sums => shuffling the batch is harmless."""
+        X = rng.normal(size=(30, 3))
+        actions = rng.integers(0, 3, size=30)
+        rewards = rng.random(30)
+        perm = rng.permutation(30)
+        a_pol = LinUCB(n_arms=3, n_features=3, seed=0)
+        b_pol = LinUCB(n_arms=3, n_features=3, seed=0)
+        a_pol.update_batch(X, actions, rewards)
+        b_pol.update_batch(X[perm], actions[perm], rewards[perm])
+        np.testing.assert_allclose(a_pol.theta, b_pol.theta, atol=1e-9)
+        np.testing.assert_allclose(a_pol.A_inv, b_pol.A_inv, atol=1e-9)
+
+    def test_state_round_trip(self, rng):
+        pol = LinUCB(n_arms=2, n_features=3, alpha=0.7, ridge=2.0, seed=0)
+        for _ in range(25):
+            x = rng.normal(size=3)
+            pol.update(x, int(rng.integers(2)), float(rng.random()))
+        restored = LinUCB(n_arms=2, n_features=3, seed=1)
+        restored.set_state(pol.get_state())
+        x = rng.normal(size=3)
+        np.testing.assert_allclose(pol.ucb_scores(x), restored.ucb_scores(x))
+        assert restored.t == pol.t
+
+    def test_state_mismatch_rejected(self):
+        pol = LinUCB(n_arms=2, n_features=3, seed=0)
+        other = LinUCB(n_arms=3, n_features=3, seed=0)
+        from repro.utils.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            other.set_state(pol.get_state())
+
+    def test_state_is_a_copy(self):
+        pol = LinUCB(n_arms=2, n_features=2, seed=0)
+        state = pol.get_state()
+        state["b"][0, 0] = 99.0
+        assert pol.b[0, 0] == 0.0
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_property_round_trip_any_history(self, seed):
+        rng = np.random.default_rng(seed)
+        pol = LinUCB(n_arms=2, n_features=2, seed=0)
+        for _ in range(int(rng.integers(0, 20))):
+            pol.update(rng.normal(size=2), int(rng.integers(2)), float(rng.random()))
+        clone = LinUCB(n_arms=2, n_features=2, seed=9)
+        clone.set_state(pol.get_state())
+        x = rng.normal(size=2)
+        np.testing.assert_allclose(pol.expected_rewards(x), clone.expected_rewards(x))

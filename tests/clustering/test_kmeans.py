@@ -1,0 +1,155 @@
+"""Tests for repro.clustering.kmeans and _init."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import (
+    KMeans,
+    compute_inertia,
+    init_centroids,
+    kmeans_plus_plus,
+    pairwise_sq_dists,
+)
+from repro.utils.exceptions import NotFittedError, ValidationError
+
+
+class TestPairwiseSqDists:
+    def test_matches_naive(self, rng):
+        X = rng.normal(size=(20, 3))
+        C = rng.normal(size=(5, 3))
+        naive = ((X[:, None, :] - C[None, :, :]) ** 2).sum(-1)
+        np.testing.assert_allclose(pairwise_sq_dists(X, C), naive, atol=1e-10)
+
+    def test_non_negative(self, rng):
+        X = rng.normal(size=(50, 4)) * 1e-8
+        d = pairwise_sq_dists(X, X[:3])
+        assert np.all(d >= 0)
+
+    def test_zero_on_diagonal(self, rng):
+        X = rng.normal(size=(10, 2))
+        d = pairwise_sq_dists(X, X)
+        np.testing.assert_allclose(np.diag(d), np.zeros(10), atol=1e-9)
+
+
+class TestInit:
+    def test_kmeanspp_selects_rows(self, blob_data):
+        X, _ = blob_data
+        C = kmeans_plus_plus(X, 3, np.random.default_rng(0))
+        # every centroid must be an actual data row
+        d = pairwise_sq_dists(C, X)
+        assert np.allclose(d.min(axis=1), 0.0, atol=1e-12)
+
+    def test_kmeanspp_spreads_over_blobs(self, blob_data):
+        X, y = blob_data
+        C = kmeans_plus_plus(X, 3, np.random.default_rng(0))
+        # each blob centre should have a nearby chosen centroid
+        blob_centers = np.array([X[y == i].mean(axis=0) for i in range(3)])
+        d = pairwise_sq_dists(blob_centers, C).min(axis=1)
+        assert np.all(d < 1.0)
+
+    def test_duplicate_points_ok(self):
+        X = np.ones((10, 2))
+        C = kmeans_plus_plus(X, 3, np.random.default_rng(0))
+        assert C.shape == (3, 2)
+
+    def test_random_init(self, blob_data):
+        X, _ = blob_data
+        C = init_centroids(X, 4, method="random", seed=0)
+        assert C.shape == (4, 2)
+
+    def test_unknown_method(self, blob_data):
+        X, _ = blob_data
+        with pytest.raises(ValidationError, match="unknown init"):
+            init_centroids(X, 2, method="bogus")
+
+    def test_k_larger_than_n(self):
+        with pytest.raises(ValidationError, match="exceeds"):
+            init_centroids(np.ones((2, 2)), 3)
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, blob_data):
+        X, y = blob_data
+        km = KMeans(n_clusters=3, seed=0).fit(X)
+        # same-blob points share a cluster label (up to permutation)
+        for blob in range(3):
+            labels = km.labels_[y == blob]
+            assert len(np.unique(labels)) == 1
+
+    def test_predict_matches_labels(self, blob_data):
+        X, _ = blob_data
+        km = KMeans(n_clusters=3, seed=0).fit(X)
+        np.testing.assert_array_equal(km.predict(X), km.labels_)
+
+    def test_inertia_decreases_with_k(self, blob_data):
+        X, _ = blob_data
+        inertias = [KMeans(n_clusters=k, seed=0).fit(X).inertia_ for k in (1, 3, 9)]
+        assert inertias[0] > inertias[1] > inertias[2]
+
+    def test_reproducible(self, blob_data):
+        X, _ = blob_data
+        a = KMeans(n_clusters=3, seed=42).fit(X)
+        b = KMeans(n_clusters=3, seed=42).fit(X)
+        np.testing.assert_array_equal(a.labels_, b.labels_)
+        np.testing.assert_allclose(a.cluster_centers_, b.cluster_centers_)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            KMeans(n_clusters=2).predict(np.ones((3, 2)))
+
+    def test_k_exceeds_samples(self):
+        with pytest.raises(ValidationError):
+            KMeans(n_clusters=10).fit(np.ones((3, 2)))
+
+    def test_transform_shape(self, blob_data):
+        X, _ = blob_data
+        km = KMeans(n_clusters=3, seed=0).fit(X)
+        assert km.transform(X).shape == (X.shape[0], 3)
+
+    def test_score_is_negative_inertia(self, blob_data):
+        X, _ = blob_data
+        km = KMeans(n_clusters=3, seed=0).fit(X)
+        assert km.score(X) == pytest.approx(-km.inertia_)
+
+    def test_fit_predict(self, blob_data):
+        X, _ = blob_data
+        labels = KMeans(n_clusters=3, seed=1).fit_predict(X)
+        assert labels.shape == (X.shape[0],)
+
+    def test_predict_dim_mismatch(self, blob_data):
+        X, _ = blob_data
+        km = KMeans(n_clusters=3, seed=0).fit(X)
+        with pytest.raises(ValidationError):
+            km.predict(np.ones((2, 5)))
+
+    def test_no_empty_clusters_on_hard_case(self, rng):
+        # many duplicate points force empty-cluster repair
+        X = np.vstack([np.zeros((50, 2)), np.ones((2, 2)), 2 * np.ones((2, 2))])
+        km = KMeans(n_clusters=3, seed=0, n_init=1).fit(X)
+        assert len(np.unique(km.labels_)) == 3
+
+    def test_inertia_matches_helper(self, blob_data):
+        X, _ = blob_data
+        km = KMeans(n_clusters=3, seed=0).fit(X)
+        assert km.inertia_ == pytest.approx(
+            compute_inertia(X, km.cluster_centers_, km.labels_)
+        )
+
+    @given(st.integers(1, 5))
+    @settings(max_examples=10, deadline=None)
+    def test_property_k_clusters_produced(self, k):
+        rng = np.random.default_rng(k)
+        X = rng.normal(size=(40, 3))
+        km = KMeans(n_clusters=k, seed=0, n_init=1, max_iter=50).fit(X)
+        assert km.cluster_centers_.shape == (k, 3)
+        assert set(np.unique(km.labels_)) <= set(range(k))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            KMeans(n_clusters=0).fit(np.ones((3, 2)))
+        with pytest.raises(ValidationError):
+            KMeans(n_clusters=2, tol=-1.0).fit(np.ones((3, 2)))

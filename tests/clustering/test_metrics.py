@@ -1,0 +1,77 @@
+"""Tests for repro.clustering.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    KMeans,
+    balance_ratio,
+    cluster_sizes,
+    davies_bouldin_index,
+    inertia_per_cluster,
+    min_cluster_size,
+)
+
+
+class TestClusterSizes:
+    def test_counts_with_empty(self):
+        labels = np.array([0, 0, 2])
+        np.testing.assert_array_equal(cluster_sizes(labels, 4), [2, 0, 1, 0])
+
+    def test_min_cluster_size_counts_empty(self):
+        labels = np.array([0, 0, 2])
+        assert min_cluster_size(labels, 4) == 0
+
+    def test_min_cluster_size_ignore_empty(self):
+        labels = np.array([0, 0, 2])
+        assert min_cluster_size(labels, 4, ignore_empty=True) == 1
+
+    def test_min_cluster_all_empty(self):
+        assert min_cluster_size(np.array([0]), 1, ignore_empty=True) == 1
+
+    def test_balance_ratio_perfect(self):
+        labels = np.repeat(np.arange(4), 5)
+        assert balance_ratio(labels, 4) == pytest.approx(1.0)
+
+    def test_balance_ratio_skewed(self):
+        labels = np.array([0] * 9 + [1])
+        assert balance_ratio(labels, 2) == pytest.approx(1 / 5)
+
+
+class TestInertiaPerCluster:
+    def test_sums_to_total(self, blob_data):
+        X, _ = blob_data
+        km = KMeans(n_clusters=3, seed=0).fit(X)
+        per = inertia_per_cluster(X, km.cluster_centers_, km.labels_)
+        assert per.sum() == pytest.approx(km.inertia_)
+
+    def test_tight_cluster_low_inertia(self):
+        X = np.vstack([np.zeros((10, 2)), np.random.default_rng(0).normal(5, 2.0, (10, 2))])
+        centroids = np.array([[0.0, 0.0], X[10:].mean(axis=0)])
+        labels = np.array([0] * 10 + [1] * 10)
+        per = inertia_per_cluster(X, centroids, labels)
+        assert per[0] < per[1]
+
+
+class TestDaviesBouldin:
+    def test_separated_blobs_low(self, blob_data):
+        X, _ = blob_data
+        km = KMeans(n_clusters=3, seed=0).fit(X)
+        dbi = davies_bouldin_index(X, km.cluster_centers_, km.labels_)
+        assert 0 < dbi < 0.5
+
+    def test_single_cluster_zero(self):
+        X = np.random.default_rng(0).normal(size=(10, 2))
+        assert davies_bouldin_index(X, X[:1], np.zeros(10, dtype=np.intp)) == 0.0
+
+    def test_overlapping_worse_than_separated(self, rng):
+        X_sep = np.vstack([rng.normal(0, 0.1, (30, 2)), rng.normal(10, 0.1, (30, 2))])
+        X_olap = np.vstack([rng.normal(0, 1.0, (30, 2)), rng.normal(0.5, 1.0, (30, 2))])
+        labels = np.repeat([0, 1], 30)
+        c_sep = np.array([X_sep[:30].mean(0), X_sep[30:].mean(0)])
+        c_olap = np.array([X_olap[:30].mean(0), X_olap[30:].mean(0)])
+        assert davies_bouldin_index(X_sep, c_sep, labels) < davies_bouldin_index(
+            X_olap, c_olap, labels
+        )

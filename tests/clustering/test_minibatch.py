@@ -1,0 +1,74 @@
+"""Tests for repro.clustering.minibatch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import KMeans, MiniBatchKMeans
+from repro.utils.exceptions import NotFittedError, ValidationError
+
+
+class TestMiniBatchKMeans:
+    def test_recovers_blobs(self, blob_data):
+        X, y = blob_data
+        mb = MiniBatchKMeans(n_clusters=3, seed=0, max_iter=300).fit(X)
+        for blob in range(3):
+            labels = mb.predict(X[y == blob])
+            # majority of each blob lands in one code
+            counts = np.bincount(labels, minlength=3)
+            assert counts.max() / counts.sum() > 0.95
+
+    def test_inertia_close_to_lloyd(self, blob_data):
+        X, _ = blob_data
+        exact = KMeans(n_clusters=3, seed=0).fit(X).inertia_
+        approx = MiniBatchKMeans(n_clusters=3, seed=0, max_iter=400).fit(X).inertia_
+        assert approx <= exact * 2.0 + 1e-9
+
+    def test_reproducible(self, blob_data):
+        X, _ = blob_data
+        a = MiniBatchKMeans(n_clusters=3, seed=7).fit(X).cluster_centers_
+        b = MiniBatchKMeans(n_clusters=3, seed=7).fit(X).cluster_centers_
+        np.testing.assert_allclose(a, b)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MiniBatchKMeans(n_clusters=2).predict(np.ones((3, 2)))
+
+    def test_k_exceeds_samples(self):
+        with pytest.raises(ValidationError):
+            MiniBatchKMeans(n_clusters=5).fit(np.ones((3, 2)))
+
+    def test_counts_track_samples(self, blob_data):
+        X, _ = blob_data
+        mb = MiniBatchKMeans(n_clusters=3, seed=0, max_iter=50, batch_size=32).fit(X)
+        assert mb.counts_.sum() == pytest.approx(50 * 32, rel=0.2)
+
+    def test_fit_predict(self, blob_data):
+        X, _ = blob_data
+        labels = MiniBatchKMeans(n_clusters=3, seed=0).fit_predict(X)
+        assert labels.shape == (X.shape[0],)
+
+
+class TestPartialFit:
+    def test_streaming_updates(self, blob_data):
+        X, _ = blob_data
+        mb = MiniBatchKMeans(n_clusters=3, seed=0)
+        for start in range(0, X.shape[0], 30):
+            mb.partial_fit(X[start : start + 30])
+        assert mb.cluster_centers_.shape == (3, 2)
+        assert mb.n_iter_ == 6
+
+    def test_first_batch_too_small(self):
+        mb = MiniBatchKMeans(n_clusters=5, seed=0)
+        with pytest.raises(ValidationError, match="first partial_fit"):
+            mb.partial_fit(np.ones((2, 2)))
+
+    def test_partial_fit_improves_inertia(self, blob_data):
+        X, _ = blob_data
+        mb = MiniBatchKMeans(n_clusters=3, seed=0)
+        mb.partial_fit(X)
+        first = mb.inertia_
+        for _ in range(20):
+            mb.partial_fit(X)
+        assert mb.inertia_ <= first + 1e-9

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def simplex_points(rng: np.random.Generator) -> np.ndarray:
+    """300 random points on the 5-dimensional probability simplex."""
+    x = rng.dirichlet(np.ones(5), size=300)
+    return x
+
+
+@pytest.fixture
+def blob_data(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Three well-separated Gaussian blobs with ground-truth labels."""
+    centers = np.array([[0.0, 0.0], [5.0, 5.0], [-5.0, 5.0]])
+    n_per = 60
+    X = np.vstack([rng.normal(c, 0.3, size=(n_per, 2)) for c in centers])
+    y = np.repeat(np.arange(3), n_per)
+    return X, y

@@ -1,0 +1,96 @@
+"""Tests for repro.core.participation — the privacy-critical sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RandomizedParticipation
+from repro.utils.exceptions import ValidationError
+
+
+class TestBasicBehaviour:
+    def test_no_report_before_window(self):
+        part = RandomizedParticipation(p=1.0, window=5, seed=0)
+        assert all(part.offer(i) is None for i in range(4))
+
+    def test_report_at_window_with_p_one(self):
+        part = RandomizedParticipation(p=1.0, window=3, seed=0)
+        part.offer(0), part.offer(1)
+        assert part.offer(2) in (0, 1, 2)
+
+    def test_never_reports_with_p_zero(self):
+        part = RandomizedParticipation(p=0.0, window=2, max_reports=10, seed=0)
+        assert all(part.offer(i) is None for i in range(100))
+        assert part.windows_seen == 50
+
+    def test_max_reports_budget(self):
+        part = RandomizedParticipation(p=1.0, window=1, max_reports=3, seed=0)
+        sent = [part.offer(i) for i in range(10)]
+        assert sum(s is not None for s in sent) == 3
+        assert part.exhausted
+
+    def test_buffer_resets_after_flip(self):
+        """Windows are disjoint: an old item can't be reported later."""
+        part = RandomizedParticipation(p=1.0, window=2, max_reports=5, seed=0)
+        part.offer("a")
+        first = part.offer("b")
+        assert first in ("a", "b")
+        part.offer("c")
+        second = part.offer("d")
+        assert second in ("c", "d")
+
+    def test_reset(self):
+        part = RandomizedParticipation(p=1.0, window=1, max_reports=1, seed=0)
+        part.offer(0)
+        assert part.exhausted
+        part.reset()
+        assert not part.exhausted
+        assert part.offer(1) is not None
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            RandomizedParticipation(p=1.5)
+        with pytest.raises(ValidationError):
+            RandomizedParticipation(window=0)
+
+
+class TestSamplingStatistics:
+    def test_participation_rate_matches_p(self):
+        """The empirical report rate must track p — eps depends on it."""
+        p = 0.3
+        n_agents = 4000
+        sent = 0
+        for i in range(n_agents):
+            part = RandomizedParticipation(p=p, window=5, max_reports=1, seed=i)
+            for t in range(5):
+                if part.offer(t) is not None:
+                    sent += 1
+        rate = sent / n_agents
+        assert rate == pytest.approx(p, abs=0.025)
+
+    def test_within_window_choice_uniform(self):
+        counts = np.zeros(4)
+        for i in range(3000):
+            part = RandomizedParticipation(p=1.0, window=4, seed=i)
+            for t in range(4):
+                out = part.offer(t)
+            counts[out] += 1
+        assert counts.min() > 600  # ~750 expected each
+
+    def test_reproducible_given_seed(self):
+        def run(seed):
+            part = RandomizedParticipation(p=0.5, window=3, max_reports=2, seed=seed)
+            return [part.offer(i) for i in range(12)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    @given(st.floats(0.0, 1.0), st.integers(1, 10), st.integers(0, 3))
+    @settings(max_examples=50)
+    def test_property_budget_never_exceeded(self, p, window, budget):
+        part = RandomizedParticipation(p=p, window=window, max_reports=budget, seed=0)
+        sent = sum(part.offer(i) is not None for i in range(200))
+        assert sent <= budget

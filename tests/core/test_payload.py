@@ -1,0 +1,78 @@
+"""Tests for repro.core.payload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import EncodedReport, RawReport, strip_metadata
+
+
+class TestEncodedReport:
+    def test_tuple3(self):
+        r = EncodedReport(code=5, action=2, reward=0.7)
+        assert r.tuple3 == (5, 2, 0.7)
+
+    def test_anonymized_strips_metadata(self):
+        r = EncodedReport(code=1, action=0, reward=1.0, metadata={"agent_id": "u9", "ip": "x"})
+        anon = r.anonymized()
+        assert anon.metadata == {}
+        assert anon.tuple3 == r.tuple3
+
+    def test_equality_ignores_metadata(self):
+        a = EncodedReport(code=1, action=0, reward=1.0, metadata={"agent_id": "u1"})
+        b = EncodedReport(code=1, action=0, reward=1.0, metadata={"agent_id": "u2"})
+        assert a == b
+
+    def test_frozen(self):
+        r = EncodedReport(code=1, action=0, reward=1.0)
+        with pytest.raises(AttributeError):
+            r.code = 2  # type: ignore[misc]
+
+    def test_negative_code_rejected(self):
+        with pytest.raises(ValueError):
+            EncodedReport(code=-1, action=0, reward=0.0)
+
+    def test_negative_action_rejected(self):
+        with pytest.raises(ValueError):
+            EncodedReport(code=0, action=-2, reward=0.0)
+
+    def test_nan_reward_rejected(self):
+        from repro.utils.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            EncodedReport(code=0, action=0, reward=float("nan"))
+
+
+class TestRawReport:
+    def test_context_copied_and_validated(self):
+        r = RawReport(context=[0.5, 0.5], action=1, reward=0.0)
+        assert isinstance(r.context, np.ndarray)
+
+    def test_equality_by_value(self):
+        a = RawReport(context=np.array([1.0, 2.0]), action=0, reward=0.5, metadata={"id": 1})
+        b = RawReport(context=np.array([1.0, 2.0]), action=0, reward=0.5, metadata={"id": 2})
+        assert a == b
+
+    def test_inequality(self):
+        a = RawReport(context=np.array([1.0, 2.0]), action=0, reward=0.5)
+        b = RawReport(context=np.array([1.0, 2.1]), action=0, reward=0.5)
+        assert a != b
+
+    def test_hashable(self):
+        a = RawReport(context=np.array([1.0]), action=0, reward=0.5)
+        assert len({a, a}) == 1
+
+    def test_anonymized_keeps_context(self):
+        """The non-private payload keeps the raw context — that IS the leak."""
+        r = RawReport(context=np.array([0.3, 0.7]), action=0, reward=1.0, metadata={"ip": "x"})
+        anon = r.anonymized()
+        assert anon.metadata == {}
+        np.testing.assert_array_equal(anon.context, r.context)
+
+
+def test_strip_metadata_batch():
+    reports = [EncodedReport(code=i, action=0, reward=0.0, metadata={"i": i}) for i in range(5)]
+    stripped = strip_metadata(reports)
+    assert all(r.metadata == {} for r in stripped)
+    assert [r.code for r in stripped] == list(range(5))

@@ -1,0 +1,105 @@
+"""Tests for repro.core.server."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bandits import LinUCB
+from repro.core import EncodedReport, NonPrivateServer, PrivateServer, RawReport
+from repro.encoding import KMeansEncoder
+from repro.utils.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def encoder() -> KMeansEncoder:
+    return KMeansEncoder(n_codes=4, n_features=3, n_fit_samples=1000, seed=0).fit()
+
+
+class TestPrivateServer:
+    def test_feature_mismatch_rejected(self, encoder):
+        with pytest.raises(ValidationError, match="one-hot contexts"):
+            PrivateServer(LinUCB(2, 3, seed=0), encoder)
+
+    def test_centroid_mode_feature_check(self, encoder):
+        # centroid mode expects n_features = encoder.n_features (3)
+        PrivateServer(LinUCB(2, 3, seed=0), encoder, context_mode="centroid")
+        with pytest.raises(ValidationError, match="centroid contexts"):
+            PrivateServer(LinUCB(2, 4, seed=0), encoder, context_mode="centroid")
+
+    def test_centroid_ingest_trains_on_centroids(self, encoder):
+        import numpy as np
+
+        server = PrivateServer(LinUCB(2, 3, seed=0), encoder, context_mode="centroid")
+        batch = [EncodedReport(code=1, action=0, reward=1.0)] * 6
+        server.ingest(batch)
+        centroid = encoder.decode(1)
+        est = server.policy.expected_rewards(centroid)
+        assert est[0] > est[1]
+
+    def test_invalid_context_mode(self, encoder):
+        with pytest.raises(ValidationError, match="context_mode"):
+            PrivateServer(LinUCB(2, 3, seed=0), encoder, context_mode="fourier")
+
+    def test_ingest_trains_on_one_hot(self, encoder):
+        server = PrivateServer(LinUCB(2, 4, seed=0), encoder)
+        batch = [EncodedReport(code=1, action=0, reward=1.0)] * 5
+        server.ingest(batch)
+        assert server.n_tuples_ingested == 5
+        # arm 0 must now predict high reward for one-hot code 1
+        one_hot = np.zeros(4)
+        one_hot[1] = 1.0
+        est = server.policy.expected_rewards(one_hot)
+        assert est[0] > est[1]
+
+    def test_out_of_range_code_rejected(self, encoder):
+        server = PrivateServer(LinUCB(2, 4, seed=0), encoder)
+        with pytest.raises(ValidationError, match="outside the codebook"):
+            server.ingest([EncodedReport(code=4, action=0, reward=1.0)])
+
+    def test_empty_batch_counts_round(self, encoder):
+        server = PrivateServer(LinUCB(2, 4, seed=0), encoder)
+        server.ingest([])
+        assert server.n_batches == 1 and server.n_tuples_ingested == 0
+
+    def test_snapshot_is_deep(self, encoder):
+        server = PrivateServer(LinUCB(2, 4, seed=0), encoder)
+        snap = server.model_snapshot()
+        snap["b"][0, 0] = 99.0
+        assert server.policy.b[0, 0] == 0.0
+
+    def test_order_invariance(self, encoder, rng):
+        codes = rng.integers(0, 4, size=30)
+        actions = rng.integers(0, 2, size=30)
+        rewards = rng.random(30)
+        batch = [
+            EncodedReport(code=int(c), action=int(a), reward=float(r))
+            for c, a, r in zip(codes, actions, rewards)
+        ]
+        s1 = PrivateServer(LinUCB(2, 4, seed=0), encoder)
+        s2 = PrivateServer(LinUCB(2, 4, seed=0), encoder)
+        s1.ingest(batch)
+        perm = rng.permutation(30)
+        s2.ingest([batch[i] for i in perm])
+        np.testing.assert_allclose(s1.policy.theta, s2.policy.theta, atol=1e-9)
+
+
+class TestNonPrivateServer:
+    def test_ingest_raw(self, rng):
+        server = NonPrivateServer(LinUCB(2, 3, seed=0))
+        batch = [
+            RawReport(context=rng.dirichlet(np.ones(3)), action=0, reward=1.0)
+            for _ in range(5)
+        ]
+        server.ingest(batch)
+        assert server.n_tuples_ingested == 5
+
+    def test_dim_mismatch_rejected(self, rng):
+        server = NonPrivateServer(LinUCB(2, 3, seed=0))
+        with pytest.raises(ValidationError, match="dimension"):
+            server.ingest([RawReport(context=np.ones(4), action=0, reward=0.0)])
+
+    def test_empty_batch(self):
+        server = NonPrivateServer(LinUCB(2, 3, seed=0))
+        server.ingest([])
+        assert server.n_batches == 1

@@ -1,0 +1,104 @@
+"""Tests for repro.core.shuffler — anonymize / shuffle / threshold."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import EncodedReport, Shuffler
+
+
+def _reports(codes, agent_ids=None):
+    ids = agent_ids or [f"u{i}" for i in range(len(codes))]
+    return [
+        EncodedReport(code=c, action=0, reward=1.0, metadata={"agent_id": a})
+        for c, a in zip(codes, ids)
+    ]
+
+
+class TestAnonymization:
+    def test_all_metadata_removed(self):
+        sh = Shuffler(threshold=1, seed=0)
+        released, _ = sh.process(_reports([1, 1, 2, 2]))
+        assert all(r.metadata == {} for r in released)
+
+    def test_tuples_unchanged(self):
+        sh = Shuffler(threshold=1, seed=0)
+        released, _ = sh.process(_reports([3, 3]))
+        assert all(r.tuple3 == (3, 0, 1.0) for r in released)
+
+
+class TestShuffling:
+    def test_order_randomized(self):
+        codes = list(range(50)) * 2  # every code appears twice
+        sh = Shuffler(threshold=1, seed=0)
+        released, _ = sh.process(_reports(codes))
+        assert [r.code for r in released] != codes
+
+    def test_content_preserved_when_no_thresholding(self):
+        codes = [1, 1, 2, 2, 3, 3]
+        sh = Shuffler(threshold=1, seed=0)
+        released, _ = sh.process(_reports(codes))
+        assert sorted(r.code for r in released) == sorted(codes)
+
+
+class TestThresholding:
+    def test_rare_codes_dropped(self):
+        codes = [1] * 5 + [2] * 2
+        sh = Shuffler(threshold=3, seed=0)
+        released, stats = sh.process(_reports(codes))
+        assert {r.code for r in released} == {1}
+        assert stats.n_dropped == 2
+        assert stats.codes_received == 2 and stats.codes_released == 1
+
+    def test_exact_threshold_released(self):
+        codes = [7] * 3
+        sh = Shuffler(threshold=3, seed=0)
+        released, _ = sh.process(_reports(codes))
+        assert len(released) == 3
+
+    def test_empty_batch(self):
+        sh = Shuffler(threshold=5, seed=0)
+        released, stats = sh.process([])
+        assert released == [] and stats.n_received == 0
+        assert stats.audit.satisfied
+
+    def test_all_dropped(self):
+        sh = Shuffler(threshold=10, seed=0)
+        released, stats = sh.process(_reports([1, 2, 3]))
+        assert released == [] and stats.n_dropped == 3
+
+
+class TestCrowdBlendingInvariant:
+    def test_release_always_satisfies_audit(self):
+        sh = Shuffler(threshold=4, seed=0)
+        _, stats = sh.process(_reports([1] * 6 + [2] * 3 + [3] * 4))
+        assert stats.audit.satisfied
+        stats.audit.raise_if_violated()
+
+    @given(st.lists(st.integers(0, 10), max_size=100), st.integers(1, 8))
+    @settings(max_examples=100)
+    def test_property_released_codes_blend(self, codes, threshold):
+        """For any input batch, every released code appears >= threshold
+        times — the mechanism-level crowd-blending guarantee."""
+        sh = Shuffler(threshold=threshold, seed=0)
+        released, stats = sh.process(_reports(codes))
+        assert stats.audit.satisfied
+        from collections import Counter
+
+        counts = Counter(r.code for r in released)
+        assert all(c >= threshold for c in counts.values())
+
+    @given(st.lists(st.integers(0, 5), max_size=60), st.integers(1, 6))
+    @settings(max_examples=60)
+    def test_property_threshold_is_exact_filter(self, codes, threshold):
+        """Thresholding drops exactly the tuples of under-threshold codes."""
+        from collections import Counter
+
+        sh = Shuffler(threshold=threshold, seed=0)
+        released, _ = sh.process(_reports(codes))
+        counts = Counter(codes)
+        expected = sorted(c for c in codes if counts[c] >= threshold)
+        assert sorted(r.code for r in released) == expected

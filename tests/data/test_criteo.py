@@ -1,0 +1,108 @@
+"""Tests for repro.data.criteo — the §5.3 pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CriteoBanditEnvironment,
+    build_criteo_actions,
+    make_criteo_like,
+)
+from repro.utils.exceptions import DataError
+
+
+@pytest.fixture(scope="module")
+def records():
+    return make_criteo_like(12_000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def bandit_ds(records):
+    return build_criteo_actions(records, n_actions=40, d=10)
+
+
+class TestGenerator:
+    def test_shapes(self, records):
+        assert records.numerical.shape == (12_000, 13)
+        assert records.categorical.shape == (12_000, 26)
+        assert records.clicked.shape == (12_000,)
+
+    def test_ctr_near_target(self, records):
+        # Kaggle-Criteo-style downsampled positives (~26%) + affinity boost
+        assert 0.20 < records.ctr < 0.45
+
+    def test_numerical_heavy_tailed(self, records):
+        col = records.numerical[:, 0]
+        assert col.max() / np.median(col) > 10  # log-normal tail
+
+    def test_categorical_power_law(self, records):
+        from collections import Counter
+
+        counts = Counter(records.categorical[:, 1])
+        freqs = np.array(sorted(counts.values(), reverse=True), dtype=float)
+        # head value should dominate the median value strongly
+        assert freqs[0] / np.median(freqs) > 5
+
+    def test_reproducible(self):
+        a = make_criteo_like(500, seed=9)
+        b = make_criteo_like(500, seed=9)
+        np.testing.assert_array_equal(a.numerical, b.numerical)
+        assert (a.categorical == b.categorical).all()
+
+
+class TestPipeline:
+    def test_actions_in_range(self, bandit_ds):
+        assert bandit_ds.actions.min() >= 0
+        assert bandit_ds.actions.max() < 40
+
+    def test_labels_frequency_ranked(self, bandit_ds):
+        """Label 0 must be the most frequent (paper: rank by frequency)."""
+        counts = np.bincount(bandit_ds.actions, minlength=40)
+        assert counts[0] == counts.max()
+
+    def test_filtering_drops_tail(self, records, bandit_ds):
+        assert bandit_ds.n_samples < records.n_records
+
+    def test_contexts_simplex_normalized(self, bandit_ds):
+        np.testing.assert_allclose(bandit_ds.X.sum(axis=1), 1.0)
+        assert bandit_ds.X.shape[1] == 10
+
+    def test_d_validated(self, records):
+        from repro.utils.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            build_criteo_actions(records, d=14)
+
+    def test_deterministic_pipeline(self, records):
+        a = build_criteo_actions(records, n_actions=40, d=10)
+        b = build_criteo_actions(records, n_actions=40, d=10)
+        np.testing.assert_array_equal(a.actions, b.actions)
+
+
+class TestEnvironment:
+    def test_reward_replay_semantics(self, bandit_ds):
+        env = CriteoBanditEnvironment(bandit_ds, impressions_per_user=50, seed=0)
+        user = env.new_user(seed=1)
+        user.next_context()
+        i = user._current
+        logged = int(bandit_ds.actions[i])
+        clicked = bool(bandit_ds.clicked[i])
+        assert user.reward(logged) == (1.0 if clicked else 0.0)
+        other = (logged + 1) % 40
+        assert user.reward(other) == 0.0
+
+    def test_expected_rewards_match_replay(self, bandit_ds):
+        env = CriteoBanditEnvironment(bandit_ds, impressions_per_user=20, seed=0)
+        user = env.new_user(seed=2)
+        user.next_context()
+        truth = user.expected_rewards()
+        assert truth.sum() in (0.0, 1.0)
+
+    def test_impressions_validation(self, bandit_ds):
+        with pytest.raises(DataError):
+            CriteoBanditEnvironment(bandit_ds, impressions_per_user=bandit_ds.n_samples + 1)
+
+    def test_logged_ctr_property(self, bandit_ds):
+        assert 0.0 < bandit_ds.logged_ctr < 0.5

@@ -1,0 +1,123 @@
+"""Tests for repro.data.multilabel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MultilabelBanditEnvironment,
+    make_mediamill_like,
+    make_multilabel_dataset,
+    make_textmining_like,
+)
+from repro.utils.exceptions import DataError
+
+
+class TestGenerator:
+    def test_shapes(self):
+        ds = make_multilabel_dataset(500, 10, 8, seed=0)
+        assert ds.X.shape == (500, 10)
+        assert ds.Y.shape == (500, 8)
+
+    def test_contexts_on_simplex(self):
+        ds = make_multilabel_dataset(200, 10, 8, seed=0)
+        np.testing.assert_allclose(ds.X.sum(axis=1), 1.0)
+        assert (ds.X >= 0).all()
+
+    def test_every_sample_labeled(self):
+        ds = make_multilabel_dataset(300, 10, 8, seed=1)
+        assert ds.Y.any(axis=1).all()
+
+    def test_label_cardinality_close_to_target(self):
+        ds = make_multilabel_dataset(3000, 10, 20, label_cardinality=4.0, seed=2)
+        assert ds.label_cardinality == pytest.approx(4.0, rel=0.15)
+
+    def test_reproducible(self):
+        a = make_multilabel_dataset(100, 8, 5, seed=3)
+        b = make_multilabel_dataset(100, 8, 5, seed=3)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.Y, b.Y)
+
+    def test_labels_correlate_with_clusters(self):
+        """Nearby contexts should share labels more than random pairs —
+        the property that makes encoded contexts informative."""
+        ds = make_multilabel_dataset(2000, 12, 15, n_clusters=8, seed=4)
+        rng = np.random.default_rng(0)
+        from repro.clustering import KMeans
+
+        km = KMeans(n_clusters=8, seed=0).fit(ds.X)
+        same_cluster_sim, random_sim = [], []
+        labels = km.labels_
+        for _ in range(400):
+            i, j = rng.integers(0, ds.n_samples, size=2)
+            sim = float((ds.Y[i] & ds.Y[j]).sum())
+            if labels[i] == labels[j]:
+                same_cluster_sim.append(sim)
+            random_sim.append(sim)
+        assert np.mean(same_cluster_sim) > np.mean(random_sim)
+
+    def test_sparsity_applied(self):
+        dense = make_multilabel_dataset(300, 20, 5, sparsity=0.0, seed=5)
+        sparse = make_multilabel_dataset(300, 20, 5, sparsity=0.6, seed=5)
+        assert (sparse.X == 0).mean() > (dense.X == 0).mean()
+
+
+class TestPaperVariants:
+    def test_mediamill_like_dimensions(self):
+        ds = make_mediamill_like(1000, seed=0)
+        assert ds.n_features == 20 and ds.n_labels == 40
+        assert ds.label_cardinality == pytest.approx(4.4, rel=0.2)
+
+    def test_textmining_like_dimensions(self):
+        ds = make_textmining_like(1000, seed=0)
+        assert ds.n_features == 20 and ds.n_labels == 20
+        assert ds.label_cardinality == pytest.approx(2.2, rel=0.2)
+
+    def test_dataset_validation(self):
+        from repro.utils.exceptions import ReproError
+
+        with pytest.raises(ReproError):
+            make_multilabel_dataset(10, 1, 5, seed=0)  # n_features < 2
+
+
+class TestEnvironment:
+    @pytest.fixture(scope="class")
+    def env(self) -> MultilabelBanditEnvironment:
+        ds = make_multilabel_dataset(600, 10, 8, seed=0)
+        return MultilabelBanditEnvironment(ds, samples_per_user=50, seed=0)
+
+    def test_reward_is_label_membership(self, env):
+        user = env.new_user(seed=1)
+        x = user.next_context()
+        truth = user.expected_rewards()
+        for a in range(env.n_actions):
+            assert user.reward(a) == truth[a]
+
+    def test_sessions_disjoint_while_data_lasts(self):
+        ds = make_multilabel_dataset(200, 10, 8, seed=1)
+        env = MultilabelBanditEnvironment(ds, samples_per_user=100, seed=0)
+        u1 = env.new_user(seed=0)
+        u2 = env.new_user(seed=1)
+        assert set(u1._indices.tolist()).isdisjoint(u2._indices.tolist())
+
+    def test_overflow_redraws(self):
+        ds = make_multilabel_dataset(120, 10, 8, seed=2)
+        env = MultilabelBanditEnvironment(ds, samples_per_user=100, seed=0)
+        env.new_user(seed=0)
+        user2 = env.new_user(seed=1)  # only 20 left -> independent redraw
+        assert user2._indices.size == 100
+
+    def test_walk_covers_assigned_samples(self, env):
+        user = env.new_user(seed=3)
+        seen = set()
+        for _ in range(50):
+            user.next_context()
+            seen.add(user._current)
+        assert seen == set(user._indices.tolist())
+
+    def test_walk_wraps_around(self, env):
+        user = env.new_user(seed=4)
+        for _ in range(120):  # more interactions than samples
+            x = user.next_context()
+            assert x.shape == (10,)

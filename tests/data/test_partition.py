@@ -1,0 +1,72 @@
+"""Tests for repro.data.partition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import partition_indices, train_test_split_agents
+from repro.utils.exceptions import DataError
+
+
+class TestPartitionIndices:
+    def test_disjoint_when_data_suffices(self):
+        parts = partition_indices(100, 5, 10, seed=0)
+        flat = np.concatenate(parts)
+        assert len(set(flat.tolist())) == 50  # all distinct
+
+    def test_sizes(self):
+        parts = partition_indices(100, 4, 25, seed=0)
+        assert all(p.size == 25 for p in parts)
+
+    def test_overlap_mode_when_needed(self):
+        parts = partition_indices(50, 10, 20, seed=0)  # needs 200 > 50
+        assert len(parts) == 10
+        # within-agent no duplicates
+        for p in parts:
+            assert len(set(p.tolist())) == 20
+
+    def test_explicit_disjoint_raises_when_impossible(self):
+        with pytest.raises(DataError, match="allow_overlap"):
+            partition_indices(50, 10, 20, allow_overlap=False)
+
+    def test_per_agent_larger_than_dataset(self):
+        with pytest.raises(DataError, match="exceeds"):
+            partition_indices(10, 2, 20)
+
+    def test_reproducible(self):
+        a = partition_indices(100, 3, 10, seed=5)
+        b = partition_indices(100, 3, 10, seed=5)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    @given(st.integers(10, 200), st.integers(1, 10), st.integers(1, 10))
+    @settings(max_examples=50)
+    def test_property_within_agent_unique_and_in_range(self, n, agents, per):
+        if per > n:
+            return
+        parts = partition_indices(n, agents, per, seed=0)
+        for p in parts:
+            assert len(set(p.tolist())) == per
+            assert p.min() >= 0 and p.max() < n
+
+
+class TestTrainTestSplit:
+    def test_paper_70_30(self):
+        train, test = train_test_split_agents(100, 0.7, seed=0)
+        assert train.size == 70 and test.size == 30
+
+    def test_disjoint_and_complete(self):
+        train, test = train_test_split_agents(50, 0.7, seed=1)
+        combined = sorted(np.concatenate([train, test]).tolist())
+        assert combined == list(range(50))
+
+    def test_never_empty_sides(self):
+        train, test = train_test_split_agents(2, 0.99, seed=0)
+        assert train.size == 1 and test.size == 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(DataError):
+            train_test_split_agents(10, 1.0)

@@ -1,0 +1,101 @@
+"""Tests for repro.data.synthetic — the §5.1 benchmark."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticPreferenceEnvironment
+from repro.utils.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def env() -> SyntheticPreferenceEnvironment:
+    return SyntheticPreferenceEnvironment(n_actions=5, n_features=4, seed=0)
+
+
+class TestEnvironment:
+    def test_w_fixed_per_environment(self):
+        a = SyntheticPreferenceEnvironment(3, 4, seed=7)
+        b = SyntheticPreferenceEnvironment(3, 4, seed=7)
+        np.testing.assert_array_equal(a.W, b.W)
+
+    def test_mean_rewards_scaled_softmax(self, env):
+        x = np.array([0.4, 0.3, 0.2, 0.1])
+        means = env.mean_rewards(x)
+        assert means.shape == (5,)
+        assert means.sum() == pytest.approx(env.beta)  # softmax sums to 1, scaled by beta
+        assert (means > 0).all()
+
+    def test_best_expected_reward(self, env):
+        x = np.array([0.4, 0.3, 0.2, 0.1])
+        assert env.best_expected_reward(x) == pytest.approx(env.mean_rewards(x).max())
+
+    def test_default_paper_parameters(self):
+        env = SyntheticPreferenceEnvironment(3, 4, seed=0)
+        assert env.beta == 0.1
+        assert env.sigma2 == 0.01
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValidationError):
+            SyntheticPreferenceEnvironment(3, 4, beta=1.5)
+
+
+class TestUserSession:
+    def test_preference_on_simplex(self, env):
+        user = env.new_user(seed=1)
+        x = user.next_context()
+        assert x.sum() == pytest.approx(1.0)
+        assert (x >= 0).all()
+
+    def test_context_constant_per_user(self, env):
+        user = env.new_user(seed=2)
+        a = user.next_context()
+        b = user.next_context()
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_users_different_preferences(self, env):
+        a = env.new_user(seed=3).next_context()
+        b = env.new_user(seed=4).next_context()
+        assert not np.array_equal(a, b)
+
+    def test_rewards_in_unit_interval(self, env):
+        user = env.new_user(seed=5)
+        user.next_context()
+        rewards = [user.reward(0) for _ in range(200)]
+        assert all(0.0 <= r <= 1.0 for r in rewards)
+
+    def test_reward_mean_tracks_expected(self, env):
+        user = env.new_user(seed=6)
+        user.next_context()
+        expected = user.expected_rewards()
+        best = int(np.argmax(expected))
+        draws = np.array([user.reward(best) for _ in range(4000)])
+        # clipping at 0 adds upward bias; allow a tolerance band
+        assert draws.mean() == pytest.approx(expected[best], abs=0.05)
+
+    def test_better_arm_earns_more(self, env):
+        user = env.new_user(seed=7)
+        user.next_context()
+        expected = user.expected_rewards()
+        best, worst = int(np.argmax(expected)), int(np.argmin(expected))
+        mean_best = np.mean([user.reward(best) for _ in range(3000)])
+        mean_worst = np.mean([user.reward(worst) for _ in range(3000)])
+        assert mean_best > mean_worst
+
+    def test_reward_before_context_raises(self, env):
+        user = env.new_user(seed=8)
+        with pytest.raises(ValidationError, match="before next_context"):
+            user.reward(0)
+
+    def test_invalid_action(self, env):
+        user = env.new_user(seed=9)
+        user.next_context()
+        with pytest.raises(ValidationError):
+            user.reward(5)
+
+    def test_user_population(self, env):
+        users = env.user_population(10, seed=0)
+        assert len(users) == 10
+        prefs = {tuple(np.round(u.next_context(), 6)) for u in users}
+        assert len(prefs) == 10

@@ -1,0 +1,56 @@
+"""Tests for repro.encoding.grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoding import GridEncoder
+from repro.privacy import enumerate_quantized_simplex
+
+
+class TestGridEncoder:
+    def test_figure2_code_space(self):
+        enc = GridEncoder(n_features=3, q=1)
+        assert enc.n_codes == 66
+
+    def test_bijection_on_full_grid(self):
+        enc = GridEncoder(n_features=3, q=1)
+        pts = enumerate_quantized_simplex(1, 3)
+        codes = enc.encode_batch(pts)
+        assert sorted(codes.tolist()) == list(range(66))
+
+    def test_decode_inverts_encode(self):
+        enc = GridEncoder(n_features=4, q=1)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            x = rng.dirichlet(np.ones(4))
+            code = enc.encode(x)
+            decoded = enc.decode(code)
+            assert enc.encode(decoded) == code
+
+    def test_nearby_points_same_code(self):
+        enc = GridEncoder(n_features=3, q=1)
+        assert enc.encode(np.array([0.61, 0.29, 0.10])) == enc.encode(
+            np.array([0.59, 0.31, 0.10])
+        )
+
+    def test_determinism(self):
+        enc = GridEncoder(n_features=5, q=1)
+        rng = np.random.default_rng(1)
+        X = rng.dirichlet(np.ones(5), size=50)
+        enc.validate_determinism(X)
+
+    def test_one_hot(self):
+        enc = GridEncoder(n_features=3, q=1)
+        v = enc.one_hot(10)
+        assert v.shape == (66,) and v.sum() == 1.0 and v[10] == 1.0
+
+    def test_large_space_encoding(self):
+        # q=1, d=10 => 92378 codes; never materialized
+        enc = GridEncoder(n_features=10, q=1)
+        assert enc.n_codes == 92378
+        x = np.full(10, 0.1)
+        code = enc.encode(x)
+        assert 0 <= code < enc.n_codes
+        np.testing.assert_allclose(enc.decode(code), x, atol=1e-12)

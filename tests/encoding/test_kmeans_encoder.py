@@ -1,0 +1,116 @@
+"""Tests for repro.encoding.kmeans_encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoding import KMeansEncoder, sample_uniform_simplex
+from repro.utils.exceptions import NotFittedError, ValidationError
+
+
+class TestSampleUniformSimplex:
+    def test_on_simplex(self):
+        X = sample_uniform_simplex(100, 5, seed=0)
+        np.testing.assert_allclose(X.sum(axis=1), 1.0)
+        assert (X >= 0).all()
+
+    def test_quantized_variant(self):
+        X = sample_uniform_simplex(50, 4, q=1, seed=0)
+        scaled = X * 10
+        np.testing.assert_allclose(scaled, np.round(scaled), atol=1e-9)
+
+    def test_reproducible(self):
+        a = sample_uniform_simplex(10, 3, seed=5)
+        b = sample_uniform_simplex(10, 3, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestKMeansEncoder:
+    @pytest.fixture(scope="class")
+    def fitted(self) -> KMeansEncoder:
+        return KMeansEncoder(n_codes=16, n_features=4, n_fit_samples=3000, seed=0).fit()
+
+    def test_unfitted_raises(self):
+        enc = KMeansEncoder(n_codes=4, n_features=3)
+        with pytest.raises(NotFittedError):
+            enc.encode(np.array([0.5, 0.3, 0.2]))
+
+    def test_code_in_range(self, fitted):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            code = fitted.encode(rng.dirichlet(np.ones(4)))
+            assert 0 <= code < 16
+
+    def test_deterministic(self, fitted):
+        rng = np.random.default_rng(1)
+        X = rng.dirichlet(np.ones(4), size=100)
+        fitted.validate_determinism(X)
+
+    def test_batch_matches_single(self, fitted):
+        rng = np.random.default_rng(2)
+        X = rng.dirichlet(np.ones(4), size=20)
+        batch = fitted.encode_batch(X)
+        singles = [fitted.encode(x) for x in X]
+        np.testing.assert_array_equal(batch, singles)
+
+    def test_similar_contexts_same_code(self, fitted):
+        x = np.array([0.7, 0.1, 0.1, 0.1])
+        assert fitted.encode(x) == fitted.encode(x + np.array([0.004, -0.004, 0.0, 0.0]))
+
+    def test_distinct_contexts_use_many_codes(self, fitted):
+        rng = np.random.default_rng(3)
+        X = rng.dirichlet(np.ones(4), size=500)
+        codes = fitted.encode_batch(X)
+        assert len(np.unique(codes)) > 8  # most of the 16 codes in use
+
+    def test_decode_returns_centroid(self, fitted):
+        c = fitted.decode(3)
+        assert c.shape == (4,)
+        np.testing.assert_array_equal(c, fitted.centers_[3])
+
+    def test_one_hot_context(self, fitted):
+        rng = np.random.default_rng(4)
+        x = rng.dirichlet(np.ones(4))
+        v = fitted.one_hot_context(x)
+        assert v.shape == (16,) and v.sum() == 1.0
+        assert v[fitted.encode(x)] == 1.0
+
+    def test_fit_on_real_data(self):
+        rng = np.random.default_rng(5)
+        X = rng.dirichlet([5, 1, 1], size=800)
+        enc = KMeansEncoder(n_codes=8, n_features=3, seed=0).fit(X)
+        codes = enc.encode_batch(X)
+        assert len(np.unique(codes)) >= 4
+
+    def test_lloyd_algorithm_variant(self):
+        enc = KMeansEncoder(
+            n_codes=4, n_features=3, algorithm="lloyd", n_fit_samples=500, seed=0
+        ).fit()
+        assert enc.centers_.shape == (4, 3)
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(ValidationError):
+            KMeansEncoder(n_codes=4, n_features=3, algorithm="dbscan")
+
+    def test_estimated_min_crowd_scales_linearly(self, fitted):
+        small = fitted.estimated_min_crowd(1000)
+        large = fitted.estimated_min_crowd(10_000)
+        assert large == pytest.approx(10 * small, rel=0.2)
+
+    def test_estimated_min_crowd_below_optimal(self, fitted):
+        # suboptimal encoders have min crowd <= U/k
+        assert fitted.estimated_min_crowd(16_000) <= 16_000 // 16 + 1
+
+    def test_codebook_state_round_trip(self, fitted):
+        state = fitted.codebook_state()
+        clone = KMeansEncoder.from_codebook_state(state)
+        rng = np.random.default_rng(6)
+        X = rng.dirichlet(np.ones(4), size=30)
+        np.testing.assert_array_equal(clone.encode_batch(X), fitted.encode_batch(X))
+
+    def test_codebook_state_shape_mismatch(self, fitted):
+        state = fitted.codebook_state()
+        state["centers"] = state["centers"][:3]
+        with pytest.raises(ValidationError, match="shape"):
+            KMeansEncoder.from_codebook_state(state)

@@ -1,0 +1,75 @@
+"""Tests for repro.encoding.lsh."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.encoding import LSHEncoder
+from repro.utils.exceptions import NotFittedError, ValidationError
+
+
+class TestLSHEncoder:
+    @pytest.fixture(scope="class")
+    def fitted(self) -> LSHEncoder:
+        return LSHEncoder(n_bits=4, n_features=5, seed=0).fit()
+
+    def test_code_space_size(self, fitted):
+        assert fitted.n_codes == 16
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LSHEncoder(n_bits=3, n_features=4).encode(np.ones(4) / 4)
+
+    def test_codes_in_range(self, fitted):
+        rng = np.random.default_rng(0)
+        codes = fitted.encode_batch(rng.dirichlet(np.ones(5), size=200))
+        assert codes.min() >= 0 and codes.max() < 16
+
+    def test_deterministic(self, fitted):
+        rng = np.random.default_rng(1)
+        X = rng.dirichlet(np.ones(5), size=80)
+        fitted.validate_determinism(X)
+
+    def test_batch_matches_single(self, fitted):
+        rng = np.random.default_rng(2)
+        X = rng.dirichlet(np.ones(5), size=20)
+        np.testing.assert_array_equal(
+            fitted.encode_batch(X), [fitted.encode(x) for x in X]
+        )
+
+    def test_same_seed_same_encoder(self):
+        a = LSHEncoder(n_bits=4, n_features=5, seed=9).fit()
+        b = LSHEncoder(n_bits=4, n_features=5, seed=9).fit()
+        rng = np.random.default_rng(3)
+        X = rng.dirichlet(np.ones(5), size=40)
+        np.testing.assert_array_equal(a.encode_batch(X), b.encode_batch(X))
+
+    def test_locality(self, fitted):
+        """Very close points should usually share a code."""
+        rng = np.random.default_rng(4)
+        agree = 0
+        for _ in range(100):
+            x = rng.dirichlet(np.ones(5))
+            y = x + rng.normal(0, 0.002, size=5)
+            agree += fitted.encode(x) == fitted.encode(np.abs(y) / np.abs(y).sum())
+        assert agree > 70
+
+    def test_centering_spreads_codes(self):
+        rng = np.random.default_rng(5)
+        X = rng.dirichlet(np.ones(5), size=400)
+        centered = LSHEncoder(n_bits=4, n_features=5, center=True, seed=0).fit()
+        uncentered = LSHEncoder(n_bits=4, n_features=5, center=False, seed=0).fit()
+        assert len(np.unique(centered.encode_batch(X))) > len(
+            np.unique(uncentered.encode_batch(X))
+        )
+
+    def test_decode_gives_simplex_point(self, fitted):
+        x = fitted.decode(7)
+        assert x.shape == (5,)
+        assert x.sum() == pytest.approx(1.0)
+        assert (x >= -1e-12).all()
+
+    def test_too_many_bits_rejected(self):
+        with pytest.raises(ValidationError):
+            LSHEncoder(n_bits=31, n_features=4)

@@ -1,0 +1,40 @@
+"""Tests for the repro.cli command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "headline"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+    def test_scale_and_seed_options(self):
+        args = build_parser().parse_args(["fig3", "--scale", "0.5", "--seed", "7"])
+        assert args.scale == 0.5 and args.seed == 7
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_fig3_runs(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "epsilon" in out
+        assert "0.693" in out
+
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "cardinality_n" in capsys.readouterr().out
+
+    def test_out_file(self, tmp_path, capsys):
+        target = tmp_path / "fig3.txt"
+        assert main(["fig3", "--out", str(target)]) == 0
+        assert "epsilon" in target.read_text()

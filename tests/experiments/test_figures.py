@@ -1,0 +1,99 @@
+"""Tests for repro.experiments.figures at tiny scale (shape checks)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure2, figure3, figure4, figure6, figure7
+
+
+class TestFigure2:
+    def test_cardinality_matches_paper(self):
+        fig = figure2()
+        assert fig.notes["cardinality_n"] == 66
+
+    def test_cluster_sizes_sum_to_66(self):
+        fig = figure2()
+        assert sum(fig.series["cluster_size"]) == 66
+
+    def test_min_cluster_near_paper_value(self):
+        fig = figure2()
+        # paper reports l=9 for its k-means run; balanced solutions are 9-11
+        assert 8 <= fig.notes["min_cluster_l"] <= 11
+
+
+class TestFigure3:
+    def test_headline_point(self):
+        fig = figure3(p_values=(0.5,))
+        assert fig.series["epsilon"][0] == pytest.approx(math.log(2.0))
+
+    def test_monotone(self):
+        fig = figure3()
+        eps = fig.series["epsilon"]
+        assert all(a < b for a, b in zip(eps, eps[1:]))
+
+    def test_render_contains_series(self):
+        assert "epsilon" in figure3().render()
+
+
+@pytest.mark.slow
+class TestFigure4Small:
+    @pytest.fixture(scope="class")
+    def panel(self):
+        return figure4(arm_counts=(5,), u_values=(50, 400), scale=1.0, seed=0)[5]
+
+    def test_series_present(self, panel):
+        assert set(panel.series) == {"cold", "warm_private", "warm_nonprivate"}
+
+    def test_cold_flat_warm_grows(self, panel):
+        cold = panel.series["cold"]
+        nonpriv = panel.series["warm_nonprivate"]
+        # cold is U-independent; warm improves with U
+        assert abs(cold[0] - cold[1]) < 0.01
+        assert nonpriv[1] >= nonpriv[0] - 0.002
+
+    def test_notes_have_epsilon(self, panel):
+        assert panel.notes["epsilon"] == pytest.approx(math.log(2.0))
+
+
+@pytest.mark.slow
+class TestFigure6Tiny:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figure6(
+            datasets=("textmining",),
+            n_agents=200,
+            max_interactions=20,
+            checkpoints=(10, 20),
+            scale=1.0,
+            seed=0,
+        )["textmining"]
+
+    def test_three_settings(self, fig):
+        assert set(fig.series) == {"cold", "warm_private", "warm_nonprivate"}
+
+    def test_warm_nonprivate_beats_cold(self, fig):
+        assert fig.series["warm_nonprivate"][-1] > fig.series["cold"][-1]
+
+    def test_accuracies_are_probabilities(self, fig):
+        for series in fig.series.values():
+            assert all(0.0 <= v <= 1.0 for v in series)
+
+
+@pytest.mark.slow
+class TestFigure7Tiny:
+    def test_runs_and_has_settings(self):
+        fig = figure7(
+            k_values=(2**5,),
+            n_agents=150,
+            interactions=40,
+            checkpoints=(20, 40),
+            n_records=20_000,
+            scale=1.0,
+            seed=0,
+        )[2**5]
+        assert set(fig.series) == {"cold", "warm_private", "warm_nonprivate"}
+        assert fig.notes["logged_ctr"] > 0.1

@@ -1,0 +1,85 @@
+"""Tests for repro.experiments.results."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AgentMode
+from repro.experiments.results import ExperimentResult, FigureResult, SettingComparison
+
+
+def _result(mode: str, mean: float = 0.5) -> ExperimentResult:
+    curve = np.full(10, mean)
+    return ExperimentResult(
+        mode=mode,
+        mean_reward=mean,
+        curve=curve,
+        cumulative_curve=np.cumsum(curve) / np.arange(1, 11),
+        n_contributors=100,
+        n_eval_agents=10,
+        eval_interactions=10,
+        n_reports=50,
+        n_released=40,
+        privacy={"epsilon": 0.693} if mode == AgentMode.WARM_PRIVATE else None,
+    )
+
+
+class TestExperimentResult:
+    def test_summary_keys(self):
+        s = _result(AgentMode.COLD).summary()
+        assert {"mode", "mean_reward", "contributors", "reports", "released"} <= set(s)
+
+    def test_summary_includes_epsilon_for_private(self):
+        s = _result(AgentMode.WARM_PRIVATE).summary()
+        assert s["epsilon"] == pytest.approx(0.693)
+
+    def test_summary_no_epsilon_for_cold(self):
+        assert "epsilon" not in _result(AgentMode.COLD).summary()
+
+
+class TestSettingComparison:
+    @pytest.fixture
+    def comparison(self) -> SettingComparison:
+        return SettingComparison(
+            results={
+                AgentMode.COLD: _result(AgentMode.COLD, 0.1),
+                AgentMode.WARM_PRIVATE: _result(AgentMode.WARM_PRIVATE, 0.4),
+                AgentMode.WARM_NONPRIVATE: _result(AgentMode.WARM_NONPRIVATE, 0.5),
+            }
+        )
+
+    def test_mean_rewards(self, comparison):
+        mr = comparison.mean_rewards()
+        assert mr[AgentMode.COLD] == 0.1
+
+    def test_getitem(self, comparison):
+        assert comparison[AgentMode.WARM_PRIVATE].mean_reward == 0.4
+
+    def test_render_summary(self, comparison):
+        text = comparison.render_summary(title="T")
+        assert "cold" in text and "T" in text
+
+    def test_render_curves(self, comparison):
+        text = comparison.render_curves(every=2)
+        assert "interactions" in text
+
+
+class TestFigureResult:
+    def test_add_point_and_render(self):
+        fig = FigureResult("figX", "demo", "U", [])
+        fig.add_point(100, {"a": 0.1, "b": 0.2})
+        fig.add_point(200, {"a": 0.3, "b": 0.4})
+        text = fig.render()
+        assert "figX" in text and "U" in text
+        assert fig.series["a"] == [0.1, 0.3]
+
+    def test_as_rows(self):
+        fig = FigureResult("f", "d", "x", [])
+        fig.add_point(1, {"y": 2.0})
+        assert fig.as_rows() == [{"x": 1, "y": 2.0}]
+
+    def test_notes_rendered(self):
+        fig = FigureResult("f", "d", "x", [], notes={"k": 32})
+        fig.add_point(1, {"y": 1.0})
+        assert "k" in fig.render()

@@ -1,0 +1,161 @@
+"""Integration tests for repro.experiments.runner at small scale."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AgentMode, P2BConfig
+from repro.data import SyntheticPreferenceEnvironment
+from repro.experiments import compare_settings, run_setting
+from repro.utils.exceptions import ConfigError
+
+
+def _config(**overrides) -> P2BConfig:
+    base = dict(
+        n_actions=5,
+        n_features=6,
+        n_codes=8,
+        p=0.5,
+        window=5,
+        shuffler_threshold=1,
+    )
+    base.update(overrides)
+    return P2BConfig(**base)
+
+
+def _env(seed=0) -> SyntheticPreferenceEnvironment:
+    return SyntheticPreferenceEnvironment(
+        n_actions=5, n_features=6, weight_scale=8.0, seed=seed
+    )
+
+
+class TestRunSetting:
+    def test_cold_run(self):
+        res = run_setting(
+            _env(), _config(), AgentMode.COLD, n_eval_agents=5, eval_interactions=5, seed=0
+        )
+        assert res.mode == AgentMode.COLD
+        assert res.n_reports == 0
+        assert res.curve.shape == (5,)
+        assert 0.0 <= res.mean_reward <= 1.0
+
+    def test_warm_private_run(self):
+        res = run_setting(
+            _env(),
+            _config(),
+            AgentMode.WARM_PRIVATE,
+            n_contributors=40,
+            n_eval_agents=5,
+            eval_interactions=5,
+            seed=0,
+        )
+        assert res.n_reports > 0
+        assert res.n_released <= res.n_reports
+        assert res.privacy is not None
+        assert res.privacy["epsilon"] == pytest.approx(np.log(2.0))
+
+    def test_warm_nonprivate_run(self):
+        res = run_setting(
+            _env(),
+            _config(),
+            AgentMode.WARM_NONPRIVATE,
+            n_contributors=40,
+            n_eval_agents=5,
+            eval_interactions=5,
+            seed=0,
+        )
+        assert res.privacy is None
+        assert res.n_released == res.n_reports
+
+    def test_env_config_mismatch(self):
+        env = SyntheticPreferenceEnvironment(n_actions=3, n_features=6, seed=0)
+        with pytest.raises(ConfigError, match="does not"):
+            run_setting(env, _config(), AgentMode.COLD, seed=0)
+
+    def test_cumulative_curve_is_running_mean(self):
+        res = run_setting(
+            _env(), _config(), AgentMode.COLD, n_eval_agents=4, eval_interactions=6, seed=1
+        )
+        np.testing.assert_allclose(
+            res.cumulative_curve,
+            np.cumsum(res.curve) / np.arange(1, 7),
+        )
+
+    def test_reproducible(self):
+        kwargs = dict(
+            n_contributors=30, n_eval_agents=4, eval_interactions=5, seed=42
+        )
+        a = run_setting(_env(), _config(), AgentMode.WARM_PRIVATE, **kwargs)
+        b = run_setting(_env(), _config(), AgentMode.WARM_PRIVATE, **kwargs)
+        np.testing.assert_array_equal(a.curve, b.curve)
+
+    def test_measure_expected(self):
+        res = run_setting(
+            _env(),
+            _config(),
+            AgentMode.COLD,
+            n_eval_agents=5,
+            eval_interactions=5,
+            seed=0,
+            measure="expected",
+        )
+        # expected rewards are noiseless scaled-softmax values: <= beta
+        assert 0.0 < res.mean_reward <= 0.1 + 1e-12
+
+    def test_invalid_measure(self):
+        with pytest.raises(ConfigError, match="measure"):
+            run_setting(_env(), _config(), AgentMode.COLD, measure="bogus", seed=0)
+
+    def test_centroid_private_context(self):
+        res = run_setting(
+            _env(),
+            _config(private_context="centroid"),
+            AgentMode.WARM_PRIVATE,
+            n_contributors=30,
+            n_eval_agents=4,
+            eval_interactions=5,
+            seed=0,
+        )
+        assert res.privacy is not None
+
+
+class TestCompareSettings:
+    def test_all_three_modes(self):
+        comp = compare_settings(
+            _env,
+            _config(),
+            n_contributors=40,
+            n_eval_agents=5,
+            eval_interactions=5,
+            seed=0,
+        )
+        assert set(comp.modes()) == set(AgentMode.ALL)
+
+    def test_warm_beats_cold_with_enough_contributors(self):
+        comp = compare_settings(
+            _env,
+            _config(),
+            n_contributors=400,
+            contributor_interactions=5,
+            n_eval_agents=20,
+            eval_interactions=5,
+            seed=0,
+            measure="expected",
+        )
+        assert (
+            comp[AgentMode.WARM_NONPRIVATE].mean_reward
+            > comp[AgentMode.COLD].mean_reward
+        )
+
+    def test_modes_subset(self):
+        comp = compare_settings(
+            _env,
+            _config(),
+            n_contributors=20,
+            n_eval_agents=3,
+            eval_interactions=5,
+            seed=0,
+            modes=(AgentMode.COLD,),
+        )
+        assert comp.modes() == [AgentMode.COLD]

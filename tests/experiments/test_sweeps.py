@@ -1,0 +1,82 @@
+"""Tests for repro.experiments.sweeps at tiny scale."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import P2BConfig
+from repro.data import SyntheticPreferenceEnvironment
+from repro.experiments import codebook_sweep, participation_sweep, population_sweep
+
+
+def _config(**overrides) -> P2BConfig:
+    base = dict(
+        n_actions=4, n_features=5, n_codes=8, p=0.5, window=5, shuffler_threshold=1
+    )
+    base.update(overrides)
+    return P2BConfig(**base)
+
+
+def _env() -> SyntheticPreferenceEnvironment:
+    return SyntheticPreferenceEnvironment(
+        n_actions=4, n_features=5, weight_scale=8.0, seed=0
+    )
+
+
+class TestPopulationSweep:
+    def test_x_values_and_series(self):
+        fig = population_sweep(
+            [20, 60],
+            _config(),
+            env_factory=_env,
+            n_eval_agents=4,
+            eval_interactions=5,
+            seed=0,
+        )
+        assert fig.x_values == [20, 60]
+        assert len(fig.series["cold"]) == 2
+
+    def test_notes_record_epsilon(self):
+        fig = population_sweep(
+            [10],
+            _config(),
+            env_factory=_env,
+            n_eval_agents=3,
+            eval_interactions=5,
+            seed=0,
+        )
+        assert fig.notes["epsilon"] == pytest.approx(math.log(2.0))
+
+
+class TestCodebookSweep:
+    def test_private_only_series(self):
+        fig = codebook_sweep(
+            [4, 8],
+            _config(),
+            env_factory=_env,
+            n_contributors=30,
+            n_eval_agents=3,
+            eval_interactions=5,
+            seed=0,
+        )
+        assert list(fig.series) == ["warm_private"]
+        assert fig.x_values == [4, 8]
+
+
+class TestParticipationSweep:
+    def test_epsilon_tracks_p(self):
+        fig = participation_sweep(
+            [0.25, 0.5],
+            _config(),
+            env_factory=_env,
+            n_contributors=30,
+            n_eval_agents=3,
+            eval_interactions=5,
+            seed=0,
+        )
+        eps = fig.series["epsilon"]
+        assert eps[0] == pytest.approx(-math.log(0.75))
+        assert eps[1] == pytest.approx(math.log(2.0))
+        assert eps[0] < eps[1]

@@ -1,0 +1,61 @@
+"""Tests for repro.hashing.bloom."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import BloomFilter, optimal_num_hashes
+from repro.utils.exceptions import ValidationError
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(256, n_hashes=3)
+        items = [f"item-{i}" for i in range(50)]
+        bf.update(items)
+        assert all(item in bf for item in items)
+
+    def test_mostly_true_negatives(self):
+        bf = BloomFilter(2048, n_hashes=3)
+        bf.update(f"in-{i}" for i in range(20))
+        fp = sum(f"out-{i}" in bf for i in range(500))
+        assert fp < 25  # ~0.1% expected; generous bound
+
+    def test_false_positive_rate_estimate(self):
+        bf = BloomFilter(128, n_hashes=2)
+        assert bf.false_positive_rate() == 0.0
+        bf.update(f"x{i}" for i in range(64))
+        assert 0 < bf.false_positive_rate() < 1
+
+    def test_as_vector(self):
+        bf = BloomFilter(16)
+        bf.add("a")
+        v = bf.as_vector()
+        assert v.dtype == np.float64 and v.sum() >= 1
+
+    def test_from_item(self):
+        bf = BloomFilter.from_item("hello", n_bits=64)
+        assert "hello" in bf
+
+    def test_non_string_raises(self):
+        with pytest.raises(ValidationError):
+            BloomFilter(16).add(123)  # type: ignore[arg-type]
+
+    def test_seed_changes_positions(self):
+        a = BloomFilter.from_item("v", n_bits=64, seed=0).bits
+        b = BloomFilter.from_item("v", n_bits=64, seed=99).bits
+        assert not np.array_equal(a, b)
+
+
+class TestOptimalNumHashes:
+    def test_formula(self):
+        # m/n = 10 => k* = 10 ln2 ~ 6.9 -> 7
+        assert optimal_num_hashes(1000, 100) == 7
+
+    def test_at_least_one(self):
+        assert optimal_num_hashes(8, 10_000) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            optimal_num_hashes(0, 5)

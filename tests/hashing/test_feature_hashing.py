@@ -1,0 +1,99 @@
+"""Tests for repro.hashing.feature_hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import FeatureHasher, hash_row_to_code, hash_string
+from repro.utils.exceptions import ValidationError
+
+
+class TestHashString:
+    def test_deterministic(self):
+        assert hash_string("criteo") == hash_string("criteo")
+
+    def test_seed_changes_hash(self):
+        assert hash_string("x", seed=0) != hash_string("x", seed=1)
+
+    def test_32bit_range(self):
+        for s in ("", "a", "hello world", "日本語"):
+            assert 0 <= hash_string(s) < 2**32
+
+    def test_known_fnv_vector(self):
+        # FNV-1a 32-bit of empty string is the offset basis
+        assert hash_string("") == 0x811C9DC5
+
+    @given(st.text(max_size=30), st.text(max_size=30))
+    @settings(max_examples=100)
+    def test_property_equal_inputs_equal_hashes(self, a, b):
+        if a == b:
+            assert hash_string(a) == hash_string(b)
+
+
+class TestFeatureHasher:
+    def test_shape(self):
+        fh = FeatureHasher(32)
+        assert fh.transform_one(["a", "b"]).shape == (32,)
+
+    def test_dict_weights(self):
+        fh = FeatureHasher(64, signed=False)
+        v = fh.transform_one({"tok": 3.0})
+        assert v.sum() == pytest.approx(3.0)
+
+    def test_signed_preserves_magnitude(self):
+        fh = FeatureHasher(64, signed=True)
+        v = fh.transform_one({"tok": 2.0})
+        assert np.abs(v).sum() == pytest.approx(2.0)
+
+    def test_batch_transform(self):
+        fh = FeatureHasher(16)
+        M = fh.transform([["a"], ["b"], ["a", "b"]])
+        assert M.shape == (3, 16)
+        np.testing.assert_allclose(M[2], M[0] + M[1])
+
+    def test_empty_batch(self):
+        assert FeatureHasher(8).transform([]).shape == (0, 8)
+
+    def test_non_string_token_raises(self):
+        with pytest.raises(ValidationError):
+            FeatureHasher(8).transform_one([42])  # type: ignore[list-item]
+
+    def test_deterministic_across_instances(self):
+        a = FeatureHasher(32, seed=5).transform_one(["x", "y"])
+        b = FeatureHasher(32, seed=5).transform_one(["x", "y"])
+        np.testing.assert_array_equal(a, b)
+
+    def test_inner_product_approximately_preserved(self, rng):
+        # hashing trick: E[<h(u), h(v)>] = <u, v> with signed hashing
+        vocab = [f"w{i}" for i in range(50)]
+        fh = FeatureHasher(4096, signed=True)
+        u = {w: float(rng.normal()) for w in vocab[:25]}
+        v = {w: float(rng.normal()) for w in vocab[25:]}
+        hu, hv = fh.transform_one(u), fh.transform_one(v)
+        # disjoint supports => true inner product 0; hashed should be small
+        assert abs(float(hu @ hv)) < 2.0
+
+
+class TestHashRowToCode:
+    def test_deterministic(self):
+        row = [f"v{i}" for i in range(26)]
+        assert hash_row_to_code(row) == hash_row_to_code(row)
+
+    def test_position_sensitivity(self):
+        assert hash_row_to_code(["a", "b"]) != hash_row_to_code(["b", "a"])
+
+    def test_bucket_range(self):
+        code = hash_row_to_code(["x"] * 26, n_buckets=100)
+        assert 0 <= code < 100
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValidationError):
+            hash_row_to_code(["x"], n_buckets=0)
+
+    @given(st.lists(st.text(max_size=8), min_size=1, max_size=26))
+    @settings(max_examples=50)
+    def test_property_in_range(self, row):
+        assert 0 <= hash_row_to_code(row, n_buckets=2**20) < 2**20

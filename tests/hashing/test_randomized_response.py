@@ -1,0 +1,60 @@
+"""Tests for repro.hashing.randomized_response."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import (
+    RapporEncoder,
+    randomized_response_bit,
+    randomized_response_vector,
+)
+
+
+class TestRandomizedResponse:
+    def test_f_zero_is_truthful(self, rng):
+        assert randomized_response_bit(True, 0.0, rng) is True
+        assert randomized_response_bit(False, 0.0, rng) is False
+
+    def test_f_one_is_coin(self, rng):
+        outs = [randomized_response_bit(True, 1.0, rng) for _ in range(2000)]
+        rate = np.mean(outs)
+        assert 0.45 < rate < 0.55
+
+    def test_vector_shape_preserved(self, rng):
+        bits = np.array([True, False, True, False])
+        out = randomized_response_vector(bits, 0.3, rng)
+        assert out.shape == bits.shape
+
+    def test_vector_flip_rate(self, rng):
+        bits = np.zeros(20_000, dtype=bool)
+        out = randomized_response_vector(bits, 0.5, rng)
+        # expected flip-to-one rate = f/2 = 0.25
+        assert 0.23 < out.mean() < 0.27
+
+
+class TestRapporEncoder:
+    def test_report_shape(self, rng):
+        enc = RapporEncoder(n_bits=64)
+        assert enc.report("url", rng).shape == (64,)
+
+    def test_report_is_binary(self, rng):
+        r = RapporEncoder(n_bits=64).report("url", rng)
+        assert set(np.unique(r)) <= {0.0, 1.0}
+
+    def test_count_estimation_finds_frequent_value(self, rng):
+        enc = RapporEncoder(n_bits=256, n_hashes=2, f=0.2)
+        reports = np.stack(
+            [enc.report("popular", rng) for _ in range(400)]
+            + [enc.report("rare", rng) for _ in range(40)]
+        )
+        est = enc.estimate_counts(reports, ["popular", "rare", "absent"])
+        assert est["popular"] > est["rare"] > est["absent"] - 50
+        assert est["popular"] == pytest.approx(400, rel=0.35)
+
+    def test_permanent_report_uses_rng(self):
+        enc = RapporEncoder(n_bits=64, f=0.5)
+        a = enc.permanent_report("v", np.random.default_rng(0))
+        b = enc.permanent_report("v", np.random.default_rng(1))
+        assert not np.array_equal(a, b)

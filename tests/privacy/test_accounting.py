@@ -1,0 +1,123 @@
+"""Tests for repro.privacy.accounting — the paper's Eq. (2)/(3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy import (
+    PrivacyReport,
+    delta_bound,
+    epsilon_from_p,
+    p_from_epsilon,
+    required_l_for_delta,
+)
+from repro.utils.exceptions import PrivacyError, ValidationError
+
+
+class TestEpsilonFromP:
+    def test_paper_headline_point(self):
+        """p = 0.5 => eps = ln 2 ~ 0.693 (abstract & §4)."""
+        assert epsilon_from_p(0.5) == pytest.approx(math.log(2.0))
+
+    def test_zero_participation_zero_epsilon(self):
+        assert epsilon_from_p(0.0) == 0.0
+
+    def test_monotone_in_p(self):
+        eps = [epsilon_from_p(p / 100) for p in range(0, 100, 5)]
+        assert all(a < b for a, b in zip(eps, eps[1:]))
+
+    def test_diverges_near_one(self):
+        assert epsilon_from_p(0.999999) > 10
+
+    def test_p_one_rejected(self):
+        with pytest.raises(ValidationError):
+            epsilon_from_p(1.0)
+
+    def test_matches_simplified_form(self):
+        """Paper Eq. 3 with eps_bar=0 algebraically equals -ln(1-p)."""
+        for p in (0.01, 0.1, 0.25, 0.5, 0.9, 0.99):
+            assert epsilon_from_p(p) == pytest.approx(-math.log(1.0 - p), rel=1e-12)
+
+    def test_eps_bar_increases_epsilon(self):
+        assert epsilon_from_p(0.5, eps_bar=0.5) > epsilon_from_p(0.5)
+
+    @given(st.floats(0.0, 0.99))
+    @settings(max_examples=100)
+    def test_property_non_negative(self, p):
+        assert epsilon_from_p(p) >= 0.0
+
+
+class TestPFromEpsilon:
+    def test_inverse_of_headline(self):
+        assert p_from_epsilon(math.log(2.0)) == pytest.approx(0.5)
+
+    def test_round_trip(self):
+        for p in (0.0, 0.1, 0.5, 0.9):
+            assert p_from_epsilon(epsilon_from_p(p)) == pytest.approx(p, abs=1e-9)
+
+    def test_round_trip_with_eps_bar(self):
+        p = 0.4
+        eps = epsilon_from_p(p, eps_bar=0.3)
+        assert p_from_epsilon(eps, eps_bar=0.3) == pytest.approx(p, abs=1e-6)
+
+    def test_unreachable_epsilon_raises(self):
+        with pytest.raises(PrivacyError, match="unreachable"):
+            p_from_epsilon(0.1, eps_bar=0.5)
+
+    @given(st.floats(0.001, 5.0))
+    @settings(max_examples=60)
+    def test_property_valid_probability(self, eps):
+        p = p_from_epsilon(eps)
+        assert 0.0 <= p < 1.0
+
+
+class TestDeltaBound:
+    def test_decreases_exponentially_in_l(self):
+        """Paper §4: linear increase in l => exponential decrease in delta."""
+        d10 = delta_bound(10, 0.5)
+        d20 = delta_bound(20, 0.5)
+        d30 = delta_bound(30, 0.5)
+        assert d20 / d10 == pytest.approx(d30 / d20, rel=1e-9)
+        assert d30 < d20 < d10
+
+    def test_higher_p_weakens_delta(self):
+        assert delta_bound(10, 0.9) > delta_bound(10, 0.1)
+
+    def test_l_zero_gives_one(self):
+        assert delta_bound(0, 0.5) == 1.0
+
+    def test_omega_scales(self):
+        assert delta_bound(10, 0.5, omega=2.0) == pytest.approx(delta_bound(20, 0.5))
+
+    def test_required_l_inverts(self):
+        l = required_l_for_delta(1e-6, 0.5)
+        assert delta_bound(l, 0.5) <= 1e-6
+        assert delta_bound(l - 1, 0.5) > 1e-6
+
+
+class TestPrivacyReport:
+    def test_headline_report(self):
+        rep = PrivacyReport(p=0.5, l=10)
+        assert rep.epsilon == pytest.approx(math.log(2.0))
+        assert rep.epsilon_total == rep.epsilon
+
+    def test_composition(self):
+        rep = PrivacyReport(p=0.5, l=10, tuples_per_user=3)
+        assert rep.epsilon_total == pytest.approx(3 * math.log(2.0))
+
+    def test_as_dict_keys(self):
+        d = PrivacyReport(p=0.5, l=10).as_dict()
+        assert {"p", "l", "epsilon", "delta", "epsilon_total"} <= set(d)
+
+    def test_str_contains_numbers(self):
+        s = str(PrivacyReport(p=0.5, l=10))
+        assert "0.693" in s
+
+    def test_frozen(self):
+        rep = PrivacyReport(p=0.5, l=10)
+        with pytest.raises(AttributeError):
+            rep.p = 0.9  # type: ignore[misc]

@@ -1,0 +1,106 @@
+"""Tests for repro.privacy.cardinality — Eq. (1) and rank/unrank."""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy import (
+    composition_rank,
+    composition_unrank,
+    context_cardinality,
+    enumerate_compositions,
+    enumerate_quantized_simplex,
+    optimal_crowd_size,
+)
+from repro.utils.exceptions import ValidationError
+
+
+class TestContextCardinality:
+    def test_paper_figure2_example(self):
+        """q=1, d=3 => n = C(12,2) = 66 (paper Fig. 2)."""
+        assert context_cardinality(1, 3) == 66
+
+    def test_formula(self):
+        assert context_cardinality(1, 10) == comb(19, 9)
+        assert context_cardinality(2, 5) == comb(104, 4)
+
+    def test_grows_with_q_and_d(self):
+        assert context_cardinality(2, 3) > context_cardinality(1, 3)
+        assert context_cardinality(1, 4) > context_cardinality(1, 3)
+
+    def test_d_must_be_at_least_two(self):
+        with pytest.raises(ValidationError):
+            context_cardinality(1, 1)
+
+
+class TestEnumeration:
+    def test_count_matches_cardinality(self):
+        pts = enumerate_quantized_simplex(1, 3)
+        assert pts.shape == (66, 3)
+
+    def test_all_points_sum_to_one(self):
+        pts = enumerate_quantized_simplex(1, 4)
+        np.testing.assert_allclose(pts.sum(axis=1), 1.0)
+
+    def test_all_points_distinct(self):
+        pts = enumerate_quantized_simplex(1, 3)
+        assert len({tuple(p) for p in pts}) == 66
+
+    def test_lexicographic_order(self):
+        comps = list(enumerate_compositions(3, 2))
+        assert comps == [(0, 3), (1, 2), (2, 1), (3, 0)]
+
+    def test_size_guard(self):
+        with pytest.raises(ValidationError, match="max_size"):
+            enumerate_quantized_simplex(2, 10, max_size=1000)
+
+
+class TestRankUnrank:
+    def test_bijection_small_space(self):
+        total, d = 10, 3
+        comps = list(enumerate_compositions(total, d))
+        for i, c in enumerate(comps):
+            assert composition_rank(c, total) == i
+            assert composition_unrank(i, total, d) == c
+
+    def test_rank_rejects_wrong_total(self):
+        with pytest.raises(ValidationError, match="sum"):
+            composition_rank((1, 2), 10)
+
+    def test_rank_rejects_negative(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            composition_rank((-1, 11), 10)
+
+    def test_unrank_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            composition_unrank(66, 10, 3)
+
+    def test_large_space_no_materialization(self):
+        # q=2, d=12: ~4.7e14 codes; rank/unrank must still work
+        total, d = 100, 12
+        v = tuple([0] * 11 + [100])
+        r = composition_rank(v, total)
+        assert composition_unrank(r, total, d) == v
+
+    @given(st.integers(0, 1000), st.integers(2, 6), st.integers(1, 20))
+    @settings(max_examples=80)
+    def test_property_unrank_then_rank(self, seed, d, total):
+        n = comb(total + d - 1, d - 1)
+        rank = seed % n
+        comp = composition_unrank(rank, total, d)
+        assert sum(comp) == total
+        assert composition_rank(comp, total) == rank
+
+
+class TestOptimalCrowdSize:
+    def test_paper_definition(self):
+        """§4: optimal encoder gives l = U / k."""
+        assert optimal_crowd_size(1024, 32) == 32
+
+    def test_floor_division(self):
+        assert optimal_crowd_size(100, 32) == 3

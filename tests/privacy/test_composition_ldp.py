@@ -1,0 +1,67 @@
+"""Tests for repro.privacy.composition and repro.privacy.ldp."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.privacy import (
+    advanced_composition,
+    basic_composition,
+    max_reports_for_budget,
+    rappor_f_for_epsilon,
+    rappor_permanent_epsilon,
+    warner_epsilon,
+)
+
+
+class TestComposition:
+    def test_basic_r_fold(self):
+        eps, delta = basic_composition(0.693, 3, delta=1e-6)
+        assert eps == pytest.approx(3 * 0.693)
+        assert delta == pytest.approx(3e-6)
+
+    def test_delta_capped(self):
+        _, delta = basic_composition(0.1, 10, delta=0.5)
+        assert delta == 1.0
+
+    def test_advanced_tighter_for_many_reports(self):
+        eps = 0.1
+        r = 500
+        basic_eps, _ = basic_composition(eps, r)
+        adv_eps, _ = advanced_composition(eps, r, delta_prime=1e-6)
+        assert adv_eps < basic_eps
+
+    def test_advanced_includes_slack_delta(self):
+        _, delta = advanced_composition(0.1, 10, delta=0.0, delta_prime=1e-5)
+        assert delta == pytest.approx(1e-5)
+
+    def test_max_reports(self):
+        assert max_reports_for_budget(math.log(2), 3 * math.log(2) + 0.01) == 3
+
+
+class TestLdp:
+    def test_warner_symmetric_point(self):
+        # truth prob 0.75 => eps = ln 3
+        assert warner_epsilon(0.75) == pytest.approx(math.log(3.0))
+
+    def test_warner_rejects_uninformative(self):
+        with pytest.raises(ValueError):
+            warner_epsilon(0.5)
+
+    def test_rappor_epsilon_decreases_with_f(self):
+        assert rappor_permanent_epsilon(0.25) > rappor_permanent_epsilon(0.75)
+
+    def test_rappor_known_value(self):
+        # f=0.5, h=2: eps = 4 ln(0.75/0.25) = 4 ln 3
+        assert rappor_permanent_epsilon(0.5, 2) == pytest.approx(4 * math.log(3.0))
+
+    def test_rappor_inverse(self):
+        for f in (0.1, 0.5, 0.9):
+            eps = rappor_permanent_epsilon(f, 2)
+            assert rappor_f_for_epsilon(eps, 2) == pytest.approx(f)
+
+    def test_rappor_f_rejects_nonpositive_eps(self):
+        with pytest.raises(ValueError):
+            rappor_f_for_epsilon(0.0)

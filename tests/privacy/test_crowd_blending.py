@@ -1,0 +1,65 @@
+"""Tests for repro.privacy.crowd_blending."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy import (
+    code_histogram,
+    smallest_crowd,
+    verify_crowd_blending,
+)
+from repro.utils.exceptions import PrivacyError
+
+
+class TestHistogram:
+    def test_counts(self):
+        assert code_histogram([1, 1, 2]) == {1: 2, 2: 1}
+
+    def test_empty(self):
+        assert code_histogram([]) == {}
+
+    def test_smallest_crowd(self):
+        assert smallest_crowd([1, 1, 2]) == 1
+        assert smallest_crowd([]) == 0
+
+
+class TestVerify:
+    def test_satisfied(self):
+        audit = verify_crowd_blending([5] * 4 + [9] * 4, l=4)
+        assert audit.satisfied and audit.smallest == 4 and audit.n_tuples == 8
+
+    def test_violations_reported(self):
+        audit = verify_crowd_blending([1, 1, 1, 2], l=3)
+        assert not audit.satisfied
+        assert audit.violations == {2: 1}
+
+    def test_empty_batch_trivially_satisfies(self):
+        audit = verify_crowd_blending([], l=10)
+        assert audit.satisfied and audit.smallest == 0
+
+    def test_raise_if_violated(self):
+        audit = verify_crowd_blending([1], l=2)
+        with pytest.raises(PrivacyError, match="crowd-blending violated"):
+            audit.raise_if_violated()
+
+    def test_no_raise_when_ok(self):
+        verify_crowd_blending([1, 1], l=2).raise_if_violated()
+
+    def test_accepts_numpy(self):
+        audit = verify_crowd_blending(np.array([3, 3, 3]), l=3)
+        assert audit.satisfied
+
+    @given(st.lists(st.integers(0, 5), max_size=60), st.integers(1, 8))
+    @settings(max_examples=100)
+    def test_property_audit_consistency(self, codes, l):
+        audit = verify_crowd_blending(codes, l)
+        hist = code_histogram(codes)
+        # satisfied iff every released code has count >= l
+        assert audit.satisfied == all(c >= l for c in hist.values())
+        if hist:
+            assert audit.smallest == min(hist.values())
+        assert audit.n_tuples == len(codes)

@@ -1,0 +1,75 @@
+"""Tests for repro.privacy.empirical — the executable privacy claim."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.privacy import empirical_epsilon, epsilon_from_p, simulate_release_counts
+
+
+def _population(n_users: int = 200, n_codes: int = 4, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n_codes, size=n_users)
+
+
+class TestSimulateReleaseCounts:
+    def test_shapes_and_range(self):
+        codes = _population()
+        counts = simulate_release_counts(
+            codes, 0, p=0.5, threshold=2, include_target=True, n_trials=100, seed=0
+        )
+        assert counts.shape == (100,)
+        assert counts.min() >= 0
+
+    def test_threshold_zeroes_small_counts(self):
+        # only 1 matching user, threshold 5 => always 0 released
+        codes = np.array([0] + [1] * 50)
+        counts = simulate_release_counts(
+            codes, 0, p=0.9, threshold=5, include_target=False, n_trials=200, seed=0
+        )
+        assert np.all(counts == 0)
+
+    def test_target_shifts_mean(self):
+        codes = _population()
+        with_t = simulate_release_counts(
+            codes, 0, p=0.5, threshold=1, include_target=True, n_trials=5000, seed=0
+        )
+        without_t = simulate_release_counts(
+            codes, 0, p=0.5, threshold=1, include_target=False, n_trials=5000, seed=0
+        )
+        assert with_t.mean() > without_t.mean()
+        assert with_t.mean() - without_t.mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_p_zero_releases_nothing(self):
+        codes = _population()
+        counts = simulate_release_counts(
+            codes, 0, p=0.0, threshold=1, include_target=True, n_trials=50, seed=0
+        )
+        assert np.all(counts == 0)
+
+
+class TestEmpiricalEpsilon:
+    @pytest.mark.parametrize("p", [0.25, 0.5])
+    def test_measured_loss_within_bound(self, p):
+        """The mechanism's observable privacy loss respects Eq. 3 (plus
+        finite-sample slack)."""
+        codes = _population(n_users=300)
+        result = empirical_epsilon(
+            codes, 0, p=p, threshold=5, n_trials=30_000, seed=1
+        )
+        assert result.epsilon_bound == pytest.approx(epsilon_from_p(p))
+        # generous slack: Monte-Carlo ratio noise at 1% event mass
+        assert result.epsilon_measured <= result.epsilon_bound + 0.35
+
+    def test_low_p_low_measured_loss(self):
+        codes = _population(n_users=300)
+        low = empirical_epsilon(codes, 0, p=0.1, threshold=2, n_trials=20_000, seed=2)
+        high = empirical_epsilon(codes, 0, p=0.7, threshold=2, n_trials=20_000, seed=2)
+        assert low.epsilon_measured < high.epsilon_measured + 0.25
+
+    def test_result_fields(self):
+        codes = _population()
+        result = empirical_epsilon(codes, 0, p=0.5, threshold=2, n_trials=2000, seed=0)
+        assert result.n_trials == 2000
+        assert isinstance(result.within_bound, bool)

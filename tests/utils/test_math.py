@@ -1,0 +1,118 @@
+"""Tests for repro.utils.math."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.utils.exceptions import ValidationError
+from repro.utils.math import (
+    clip01,
+    log_binomial,
+    normalize_simplex,
+    project_to_simplex,
+    safe_log,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_uniform(self):
+        np.testing.assert_allclose(softmax(np.zeros(4)), np.full(4, 0.25))
+
+    def test_sums_to_one(self):
+        s = softmax(np.array([1.0, 5.0, -3.0]))
+        assert s.sum() == pytest.approx(1.0)
+
+    def test_invariance_to_shift(self):
+        z = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(softmax(z), softmax(z + 100.0))
+
+    def test_large_values_stable(self):
+        s = softmax(np.array([1e4, 0.0]))
+        assert np.isfinite(s).all()
+        assert s[0] == pytest.approx(1.0)
+
+    def test_2d_axis(self):
+        z = np.zeros((3, 4))
+        s = softmax(z, axis=1)
+        np.testing.assert_allclose(s.sum(axis=1), np.ones(3))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            softmax(np.array([]))
+
+    @given(hnp.arrays(np.float64, st.integers(1, 16), elements=st.floats(-50, 50)))
+    def test_property_distribution(self, z):
+        s = softmax(z)
+        assert np.all(s >= 0)
+        assert s.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestNormalizeSimplex:
+    def test_histogram(self):
+        x = np.array([1.0, 1.0, 2.0])
+        out = normalize_simplex(x)
+        np.testing.assert_allclose(out, [0.25, 0.25, 0.5])
+
+    def test_zero_vector_uniform(self):
+        out = normalize_simplex(np.zeros(4))
+        np.testing.assert_allclose(out, np.full(4, 0.25))
+
+    def test_negative_shifted(self):
+        out = normalize_simplex(np.array([-1.0, 0.0, 1.0]))
+        assert np.all(out >= 0)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_batch(self):
+        X = np.array([[1.0, 3.0], [2.0, 2.0]])
+        out = normalize_simplex(X, axis=1)
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(2))
+
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 12), elements=st.floats(-100, 100, allow_nan=False))
+    )
+    @settings(max_examples=60)
+    def test_property_on_simplex(self, x):
+        out = normalize_simplex(x)
+        assert np.all(out >= -1e-12)
+        assert out.sum() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestProjectToSimplex:
+    def test_already_on_simplex(self):
+        v = np.array([0.2, 0.3, 0.5])
+        np.testing.assert_allclose(project_to_simplex(v), v, atol=1e-12)
+
+    def test_projection_properties(self):
+        v = np.array([2.0, -1.0, 0.5])
+        p = project_to_simplex(v)
+        assert np.all(p >= 0)
+        assert p.sum() == pytest.approx(1.0)
+
+    @given(hnp.arrays(np.float64, st.integers(1, 10), elements=st.floats(-5, 5)))
+    @settings(max_examples=60)
+    def test_property_valid_projection(self, v):
+        p = project_to_simplex(v)
+        assert np.all(p >= -1e-12)
+        assert p.sum() == pytest.approx(1.0, abs=1e-8)
+
+
+class TestMisc:
+    def test_clip01(self):
+        np.testing.assert_allclose(clip01(np.array([-1.0, 0.5, 2.0])), [0.0, 0.5, 1.0])
+
+    def test_log_binomial_matches_exact(self):
+        from math import comb, log
+
+        assert log_binomial(12, 2) == pytest.approx(log(comb(12, 2)))
+
+    def test_log_binomial_out_of_range(self):
+        assert log_binomial(3, 5) == float("-inf")
+
+    def test_safe_log_no_warning(self):
+        out = safe_log(np.array([0.0, 1.0]))
+        assert np.isfinite(out).all()

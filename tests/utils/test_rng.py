@@ -1,0 +1,86 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.exceptions import ValidationError
+from repro.utils.rng import ensure_rng, iter_rngs, permutation_from, spawn_rngs, spawn_seeds
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = ensure_rng(7).random(5)
+        b = ensure_rng(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(8), ensure_rng(2).random(8))
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(42)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(ValidationError):
+            ensure_rng("not-a-seed")  # type: ignore[arg-type]
+
+    def test_numpy_integer_seed(self):
+        a = ensure_rng(np.int64(3)).random()
+        b = ensure_rng(3).random()
+        assert a == b
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(0, 10)) == 10
+
+    def test_children_are_independent(self):
+        g1, g2 = spawn_rngs(0, 2)
+        assert not np.array_equal(g1.random(16), g2.random(16))
+
+    def test_spawn_reproducible(self):
+        a = [g.random() for g in spawn_rngs(5, 3)]
+        b = [g.random() for g in spawn_rngs(5, 3)]
+        assert a == b
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValidationError):
+            spawn_seeds(0, -1)
+
+    def test_spawn_from_seed_sequence(self):
+        seq = np.random.SeedSequence(9)
+        seeds = spawn_seeds(seq, 4)
+        assert len(seeds) == 4
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(0)
+        seeds = spawn_seeds(g, 2)
+        assert len(seeds) == 2
+
+
+class TestIterAndPermutation:
+    def test_iter_rngs_yields_generators(self):
+        it = iter_rngs(0)
+        gens = [next(it) for _ in range(3)]
+        assert all(isinstance(g, np.random.Generator) for g in gens)
+
+    def test_permutation_is_permutation(self):
+        g = np.random.default_rng(0)
+        perm = permutation_from(g, 20)
+        assert sorted(perm.tolist()) == list(range(20))
+
+    def test_permutation_negative_raises(self):
+        with pytest.raises(ValidationError):
+            permutation_from(np.random.default_rng(0), -1)

@@ -1,0 +1,92 @@
+"""Tests for repro.utils.serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.exceptions import ValidationError
+from repro.utils.serialization import (
+    state_from_bytes,
+    state_from_json,
+    state_to_bytes,
+    state_to_json,
+    states_equal,
+)
+
+
+def _sample_state() -> dict:
+    return {
+        "A": np.arange(6, dtype=np.float64).reshape(2, 3),
+        "b": np.array([1.5, -2.5]),
+        "alpha": 1.0,
+        "n_arms": 4,
+        "kind": "linucb",
+        "nested": {"theta": np.array([0.1, 0.2])},
+    }
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self):
+        state = _sample_state()
+        restored = state_from_json(state_to_json(state))
+        assert states_equal(state, restored)
+
+    def test_arrays_restored_with_dtype_and_shape(self):
+        restored = state_from_json(state_to_json({"A": np.ones((2, 2), dtype=np.float32)}))
+        assert restored["A"].dtype == np.float32
+        assert restored["A"].shape == (2, 2)
+
+    def test_numpy_scalars(self):
+        restored = state_from_json(state_to_json({"x": np.float64(1.5), "n": np.int64(3)}))
+        assert restored["x"] == 1.5 and restored["n"] == 3
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(ValidationError):
+            state_from_json("{not json")
+
+    def test_non_dict_payload_raises(self):
+        with pytest.raises(ValidationError):
+            state_from_json("[1, 2]")
+
+    def test_unserializable_raises(self):
+        with pytest.raises(ValidationError):
+            state_to_json({"f": lambda: None})
+
+    def test_deterministic_output(self):
+        s = _sample_state()
+        assert state_to_json(s) == state_to_json(s)
+
+
+class TestBytesRoundTrip:
+    def test_round_trip(self):
+        state = _sample_state()
+        restored = state_from_bytes(state_to_bytes(state))
+        assert states_equal(state, restored)
+
+    def test_reserved_key_rejected(self):
+        with pytest.raises(ValidationError):
+            state_to_bytes({"__meta__": 1})
+
+    def test_binary_smaller_than_json_for_big_arrays(self):
+        state = {"A": np.zeros((200, 200))}
+        assert len(state_to_bytes(state)) < len(state_to_json(state).encode())
+
+
+class TestStatesEqual:
+    def test_different_keys(self):
+        assert not states_equal({"a": 1}, {"b": 1})
+
+    def test_different_shapes(self):
+        assert not states_equal({"a": np.ones(2)}, {"a": np.ones(3)})
+
+    def test_tolerance(self):
+        a = {"x": np.array([1.0])}
+        b = {"x": np.array([1.0 + 1e-9])}
+        assert not states_equal(a, b)
+        assert states_equal(a, b, atol=1e-6)
+
+    def test_nested_dicts(self):
+        a = {"m": {"x": np.ones(2)}}
+        b = {"m": {"x": np.ones(2)}}
+        assert states_equal(a, b)

@@ -1,0 +1,55 @@
+"""Tests for repro.utils.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_kv, format_series, format_table
+
+
+class TestFormatTable:
+    def test_dict_rows(self):
+        out = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.123456}])
+        assert "a" in out and "b" in out
+        assert "0.1235" in out  # default .4f
+
+    def test_sequence_rows_require_headers(self):
+        with pytest.raises(ValueError):
+            format_table([[1, 2]])
+
+    def test_sequence_rows(self):
+        out = format_table([[1, 2]], headers=["x", "y"])
+        lines = out.splitlines()
+        assert lines[0].split("|")[0].strip() == "x"
+
+    def test_empty(self):
+        assert "empty" in format_table([])
+
+    def test_title(self):
+        out = format_table([{"a": 1}], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_alignment_consistent(self):
+        out = format_table([{"col": "short"}, {"col": "a-much-longer-value"}])
+        lines = out.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series([1, 2], {"y1": [0.1, 0.2], "y2": [1.0, 2.0]}, x_name="U")
+        assert "U" in out and "y1" in out and "y2" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            format_series([1, 2], {"y": [0.1]})
+
+
+class TestFormatKv:
+    def test_basic(self):
+        out = format_kv({"epsilon": 0.6931, "p": 0.5}, title="Headline")
+        assert out.splitlines()[0] == "Headline"
+        assert "0.6931" in out
+
+    def test_empty(self):
+        assert format_kv({}) == ""

@@ -1,0 +1,137 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.exceptions import NotFittedError, ValidationError
+from repro.utils.validation import (
+    check_array,
+    check_fitted,
+    check_in_range,
+    check_matrix,
+    check_positive_int,
+    check_probability,
+    check_scalar,
+    check_vector,
+)
+
+
+class TestCheckArray:
+    def test_list_coerced(self):
+        arr = check_array([1.0, 2.0])
+        assert arr.dtype == np.float64
+
+    def test_ndim_enforced(self):
+        with pytest.raises(ValidationError, match="ndim"):
+            check_array([[1.0]], ndim=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError, match="empty"):
+            check_array([])
+
+    def test_empty_allowed_when_requested(self):
+        arr = check_array([], allow_empty=True)
+        assert arr.size == 0
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_array([1.0, np.nan])
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValidationError, match="NaN or infinite"):
+            check_array([np.inf])
+
+    def test_nan_allowed_when_finite_false(self):
+        arr = check_array([np.nan], finite=False)
+        assert np.isnan(arr[0])
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ValidationError):
+            check_array(["a", "b"])
+
+    def test_name_in_message(self):
+        with pytest.raises(ValidationError, match="myparam"):
+            check_array([], name="myparam")
+
+
+class TestMatrixVector:
+    def test_matrix_cols(self):
+        m = check_matrix(np.ones((3, 4)), n_cols=4)
+        assert m.shape == (3, 4)
+
+    def test_matrix_wrong_cols(self):
+        with pytest.raises(ValidationError, match="columns"):
+            check_matrix(np.ones((3, 4)), n_cols=5)
+
+    def test_vector_size(self):
+        v = check_vector([1, 2, 3], size=3)
+        assert v.shape == (3,)
+
+    def test_vector_wrong_size(self):
+        with pytest.raises(ValidationError, match="length"):
+            check_vector([1, 2], size=3)
+
+
+class TestScalars:
+    def test_in_closed_interval(self):
+        assert check_scalar(0.5, name="x", minimum=0, maximum=1) == 0.5
+
+    def test_open_bound(self):
+        with pytest.raises(ValidationError, match="< 1"):
+            check_scalar(1.0, name="x", maximum=1, include_max=False)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValidationError):
+            check_scalar(True, name="x")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_scalar(float("nan"), name="x")
+
+    def test_probability_bounds(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        with pytest.raises(ValidationError):
+            check_probability(1.5)
+        with pytest.raises(ValidationError):
+            check_probability(-0.1)
+
+    def test_probability_open_bounds(self):
+        with pytest.raises(ValidationError):
+            check_probability(1.0, allow_one=False)
+        with pytest.raises(ValidationError):
+            check_probability(0.0, allow_zero=False)
+
+    def test_in_range_half_open(self):
+        assert check_in_range(0, name="a", low=0, high=5) == 0
+        with pytest.raises(ValidationError):
+            check_in_range(5, name="a", low=0, high=5)
+
+    def test_positive_int(self):
+        assert check_positive_int(3, name="n") == 3
+        with pytest.raises(ValidationError):
+            check_positive_int(0, name="n")
+        with pytest.raises(ValidationError):
+            check_positive_int(2.5, name="n")
+        with pytest.raises(ValidationError):
+            check_positive_int(True, name="n")
+
+    def test_numpy_int_accepted(self):
+        assert check_positive_int(np.int32(4), name="n") == 4
+
+
+class TestCheckFitted:
+    def test_unfitted_raises(self):
+        class Foo:
+            attr_ = None
+
+        with pytest.raises(NotFittedError, match="Foo"):
+            check_fitted(Foo(), ["attr_"])
+
+    def test_fitted_passes(self):
+        class Foo:
+            attr_ = 1
+
+        check_fitted(Foo(), ["attr_"])
