@@ -1,0 +1,22 @@
+# Test / benchmark targets.  PYTHONPATH=src everywhere: the package is
+# used in place, never installed.
+
+PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
+
+.PHONY: test smoke bench bench-fleet
+
+# tier-1: the full suite (the driver's acceptance gate)
+test:
+	$(PY) -m pytest -x -q
+
+# tier-1 smoke: skip @pytest.mark.slow for quick pre-commit iteration
+smoke:
+	$(PY) -m pytest -x -q -m "not slow"
+
+# all paper-figure benches (writes benchmarks/results/*.txt)
+bench:
+	$(PY) -m pytest benchmarks/ -q
+
+# fleet-engine throughput record (writes benchmarks/results/BENCH_fleet.json)
+bench-fleet:
+	$(PY) -m pytest benchmarks/bench_fleet_engine.py -q

@@ -1,0 +1,166 @@
+"""Fleet-engine throughput: ≥10x over the sequential reference.
+
+Headline workload — the paper's §5 deployment population: 10,000
+warm-private P2B agents (CodeLinUCB over a k=2^6 codebook, randomized
+participation, the synthetic preference environment) interacting 100
+times each.  This is where the fleet architecture's wins compound:
+tabular stacked state (no d² einsums), encode-once context caching
+(contexts are fixed per user, encoders deterministic), and
+pre-realized reward plans.
+
+The sequential baseline is timed on a 1,000-agent subsample of the
+*same* population: agents are fully independent, so per-interaction
+cost is population-size-invariant and the subsample throughput is the
+honest sequential number without spending minutes of bench time.
+Because both engines are bit-identical (the repro.sim contract), the
+subsample's sequential rewards are asserted equal to the matching
+fleet rows — the bench doubles as an equivalence check at 10x the
+test-suite scale.
+
+A dense cold-LinUCB population is recorded as a secondary workload
+(no assertion): its per-round einsums are memory-bound at fleet scale,
+so its speedup is structurally lower — tracking it over PRs is the
+point.
+
+Writes ``benchmarks/results/BENCH_fleet.json`` so future PRs can track
+the throughput trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bandits import LinUCB
+from repro.core.agent import LocalAgent
+from repro.core.config import AgentMode, P2BConfig
+from repro.core.system import P2BSystem
+from repro.data.synthetic import SyntheticPreferenceEnvironment
+from repro.experiments.runner import _simulate_agent
+from repro.sim import FleetRunner
+from repro.utils.rng import spawn_seeds
+
+N_AGENTS = 10_000
+N_SEQ_AGENTS = 1_000
+N_INTERACTIONS = 100
+N_ACTIONS = 10
+N_FEATURES = 10
+N_CODES = 2**6
+SEED = 0
+
+
+def _env():
+    return SyntheticPreferenceEnvironment(
+        n_actions=N_ACTIONS, n_features=N_FEATURES, weight_scale=8.0, seed=3
+    )
+
+
+def _p2b_population(n_agents: int):
+    """The paper's warm-private deployment: system-wired agents."""
+    config = P2BConfig(
+        n_actions=N_ACTIONS,
+        n_features=N_FEATURES,
+        n_codes=N_CODES,
+        q=1,
+        p=0.5,
+        window=10,
+        shuffler_threshold=10,
+    )
+    system = P2BSystem(config, mode=AgentMode.WARM_PRIVATE, seed=SEED)
+    env = _env()
+    agents = [system.new_agent() for _ in range(n_agents)]
+    sessions = [env.new_user(s) for s in spawn_seeds(SEED + 1, n_agents)]
+    return system, agents, sessions
+
+
+def _cold_population(n_agents: int):
+    """Secondary workload: dense cold LinUCB (memory-bound at scale)."""
+    env = _env()
+    agents, sessions = [], []
+    for i, s in enumerate(spawn_seeds(SEED, n_agents)):
+        policy_seed, session_seed = s.spawn(2)
+        agents.append(
+            LocalAgent(
+                f"agent-{i}",
+                LinUCB(n_arms=N_ACTIONS, n_features=N_FEATURES, seed=policy_seed),
+                mode="cold",
+            )
+        )
+        sessions.append(env.new_user(session_seed))
+    return agents, sessions
+
+
+def _throughputs(make_population):
+    """(sequential, fleet) interactions/second + the equivalence check."""
+    seq = make_population(N_SEQ_AGENTS)
+    seq_agents, seq_sessions = seq[-2], seq[-1]
+    t0 = time.perf_counter()
+    seq_rewards = np.stack(
+        [
+            _simulate_agent(a, s, N_INTERACTIONS)[0]
+            for a, s in zip(seq_agents, seq_sessions)
+        ]
+    )
+    seq_elapsed = time.perf_counter() - t0
+
+    fleet = make_population(N_AGENTS)
+    fleet_agents, fleet_sessions = fleet[-2], fleet[-1]
+    runner = FleetRunner(fleet_agents, fleet_sessions)
+    t0 = time.perf_counter()
+    result = runner.run(N_INTERACTIONS)
+    fleet_elapsed = time.perf_counter() - t0
+
+    # equivalence at scale: shared-prefix agents agree bit-for-bit
+    np.testing.assert_array_equal(seq_rewards, result.rewards[:N_SEQ_AGENTS])
+
+    return {
+        "sequential_seconds": round(seq_elapsed, 4),
+        "fleet_seconds": round(fleet_elapsed, 4),
+        "sequential_interactions_per_second": round(
+            N_SEQ_AGENTS * N_INTERACTIONS / seq_elapsed, 1
+        ),
+        "fleet_interactions_per_second": round(
+            N_AGENTS * N_INTERACTIONS / fleet_elapsed, 1
+        ),
+        "speedup": round(
+            (N_AGENTS * N_INTERACTIONS / fleet_elapsed)
+            / (N_SEQ_AGENTS * N_INTERACTIONS / seq_elapsed),
+            2,
+        ),
+    }
+
+
+def test_fleet_engine_speedup(record_json):
+    warm_private = _throughputs(_p2b_population)
+    cold_dense = _throughputs(_cold_population)
+    record_json(
+        "fleet",
+        {
+            "config": {
+                "n_agents_fleet": N_AGENTS,
+                "n_agents_sequential": N_SEQ_AGENTS,
+                "n_interactions": N_INTERACTIONS,
+                "n_actions": N_ACTIONS,
+                "n_features": N_FEATURES,
+                "n_codes": N_CODES,
+            },
+            "warm_private_code_linucb": warm_private,
+            "cold_dense_linucb": cold_dense,
+        },
+    )
+    assert warm_private["speedup"] >= 10.0, (
+        "fleet engine must be >= 10x sequential on the P2B population, got "
+        f"{warm_private['speedup']}x"
+    )
+    # the dense workload is informational but must never regress below
+    # a sanity floor
+    assert cold_dense["speedup"] >= 2.0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual convenience
+    import sys
+
+    import pytest as _pytest
+
+    sys.exit(_pytest.main([__file__, "-q"]))

@@ -5,11 +5,16 @@ Experiment benches register their rendered figure tables here; a
 run, so ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``
 captures the full reproduced-figure data alongside the timing table.
 Rendered text is also written to ``benchmarks/results/*.txt``.
+
+Machine-readable perf records go through :func:`record_json`
+(``benchmarks/results/BENCH_<name>.json``) so future PRs can track the
+throughput trajectory — ``bench_fleet_engine.py`` writes
+``BENCH_fleet.json``.
 """
 
 from __future__ import annotations
 
-import os
+import json
 from pathlib import Path
 
 import pytest
@@ -26,6 +31,25 @@ def record_figure():
         _RESULTS.append((name, text))
         _RESULTS_DIR.mkdir(exist_ok=True)
         (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _record
+
+
+@pytest.fixture
+def record_json():
+    """Fixture: persist a perf record as ``results/BENCH_<name>.json``.
+
+    Also registers a rendered view with the terminal-summary hook, so
+    the numbers show up in ``tee``-captured bench output alongside the
+    figure tables.
+    """
+
+    def _record(name: str, payload: dict) -> Path:
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        path = _RESULTS_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+        _RESULTS.append((f"BENCH_{name}", json.dumps(payload, indent=2, sort_keys=True)))
+        return path
 
     return _record
 

@@ -29,6 +29,8 @@ Subpackages:
 - :mod:`repro.hashing` — feature hashing, Bloom filters, RAPPOR baseline.
 - :mod:`repro.data` — benchmark environments (synthetic / multi-label / Criteo-like).
 - :mod:`repro.experiments` — the paper's evaluation harness (Figs. 2-7).
+- :mod:`repro.sim` — the vectorized fleet engine (population-scale
+  simulation, bit-identical to the sequential reference).
 """
 
 from __future__ import annotations
@@ -67,6 +69,7 @@ from .data import (
 )
 from .encoding import Encoder, GridEncoder, KMeansEncoder, LSHEncoder
 from .experiments import compare_settings, run_setting
+from .sim import FleetResult, FleetRunner, fleet_supported
 from .privacy import (
     PrivacyReport,
     context_cardinality,
@@ -124,4 +127,8 @@ __all__ = [
     # experiments
     "run_setting",
     "compare_settings",
+    # fleet engine
+    "FleetRunner",
+    "FleetResult",
+    "fleet_supported",
 ]

@@ -29,6 +29,55 @@ from ..utils.validation import check_in_range, check_positive_int, check_vector
 __all__ = ["BanditPolicy", "argmax_random_tiebreak"]
 
 
+def grouped_ridge_update(
+    policy, contexts, actions, rewards, *, on_arm_done=None
+) -> int:
+    """Shared ``update_many`` body for the per-arm ridge family.
+
+    Validates shapes and *every* action up front (all-or-nothing —
+    strictly safer than the per-row loop, which would raise mid-batch
+    with earlier rows already applied), then applies the rank-1
+    Sherman–Morrison updates grouped by arm: cross-arm updates commute
+    exactly, within-arm order is preserved, and ``theta`` is re-solved
+    once per touched arm — the same float operation the last per-row
+    update would do, so the end state is bit-identical to the loop.
+
+    ``on_arm_done(arm, rows)`` lets callers update their per-arm
+    extras (LinUCB's ``arm_counts``, Thompson's Cholesky cache).
+    Returns the number of rows applied.
+    """
+    from ..utils.validation import check_matrix
+    from .kernels import mat_vec, sherman_morrison
+
+    X = check_matrix(
+        np.atleast_2d(np.asarray(contexts, dtype=np.float64)),
+        name="contexts",
+        n_cols=policy.n_features,
+    )
+    actions = np.asarray(actions, dtype=np.intp).ravel()
+    rewards = np.asarray(rewards, dtype=np.float64).ravel()
+    if not (X.shape[0] == actions.shape[0] == rewards.shape[0]):
+        raise ValidationError(
+            "contexts, actions and rewards must have matching first dimensions: "
+            f"{X.shape[0]}, {actions.shape[0]}, {rewards.shape[0]}"
+        )
+    if actions.size and (actions.min() < 0 or actions.max() >= policy.n_arms):
+        raise ValidationError(
+            f"actions must lie in [0, {policy.n_arms}), got range "
+            f"[{int(actions.min())}, {int(actions.max())}]"
+        )
+    for a in np.unique(actions):
+        rows = np.flatnonzero(actions == a)
+        A_inv = policy.A_inv[a]
+        for i in rows:
+            sherman_morrison(A_inv, X[i])
+            policy.b[a] += rewards[i] * X[i]
+        policy.theta[a] = mat_vec(A_inv, policy.b[a])
+        if on_arm_done is not None:
+            on_arm_done(int(a), rows)
+    return int(actions.shape[0])
+
+
 def argmax_random_tiebreak(scores: np.ndarray, rng: np.random.Generator) -> int:
     """Arm with the highest score; ties broken uniformly at random.
 
@@ -40,7 +89,10 @@ def argmax_random_tiebreak(scores: np.ndarray, rng: np.random.Generator) -> int:
     best = np.flatnonzero(scores == scores.max())
     if best.size == 1:
         return int(best[0])
-    return int(rng.choice(best))
+    # same stream consumption as rng.choice(best) (one integers draw),
+    # minus Generator.choice's per-call validation overhead — this is
+    # the hot path of every selection with tied arms
+    return int(best[rng.integers(0, best.size)])
 
 
 class BanditPolicy(abc.ABC):
@@ -60,6 +112,13 @@ class BanditPolicy(abc.ABC):
 
     #: registry key used by state serialization; subclasses override.
     kind: str = "abstract"
+
+    #: whether the fleet engine (:mod:`repro.sim`) can stack this
+    #: policy's state and step many instances with vectorized kernels.
+    #: Policies that set this True guarantee that their scalar methods
+    #: route all floating-point math through :mod:`repro.bandits.kernels`
+    #: so the stacked path is bit-identical to the sequential one.
+    supports_fleet: bool = False
 
     def __init__(self, n_arms: int, n_features: int, *, seed=None) -> None:
         self.n_arms = check_positive_int(n_arms, name="n_arms")
@@ -97,6 +156,34 @@ class BanditPolicy(abc.ABC):
             )
         for x, a, r in zip(contexts, actions, rewards):
             self.update(x, int(a), float(r))
+
+    # ------------------------------------------------------------------ #
+    # vectorized batch interface (fleet / server hot paths)
+    # ------------------------------------------------------------------ #
+    def select_batch(self, contexts: np.ndarray) -> np.ndarray:
+        """Choose one action per row of ``contexts``.
+
+        Contract: equivalent to ``[self.select(x) for x in contexts]``
+        — including internal RNG consumption, row by row — because
+        selection does not mutate policy state.  The default loops;
+        subclasses vectorize the scoring and keep only the per-row
+        randomness (tie-breaks, exploration coins) sequential.
+        """
+        contexts = np.atleast_2d(np.asarray(contexts, dtype=np.float64))
+        return np.array([self.select(x) for x in contexts], dtype=np.intp)
+
+    def update_many(
+        self, contexts: np.ndarray, actions: np.ndarray, rewards: np.ndarray
+    ) -> None:
+        """Incorporate rows *as if* ``update`` were called row by row.
+
+        Unlike :meth:`update_batch` (documented order-invariant for the
+        server), ``update_many`` promises exact sequential semantics:
+        the resulting state is bit-identical to the per-row loop.
+        Subclasses vectorize what commutes (cross-arm work) and keep
+        within-arm ordering intact.
+        """
+        self.update_batch(contexts, actions, rewards)
 
     # ------------------------------------------------------------------ #
     # helpers for subclasses

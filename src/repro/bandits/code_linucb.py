@@ -53,6 +53,7 @@ class CodeLinUCB(BanditPolicy):
     """
 
     kind = "code_linucb"
+    supports_fleet = True
 
     def __init__(
         self,
@@ -88,6 +89,25 @@ class CodeLinUCB(BanditPolicy):
         means = self.sums[:, code] / denom
         return means + self.alpha * np.sqrt(1.0 / denom)
 
+    def ucb_scores_for_codes(self, codes: np.ndarray) -> np.ndarray:
+        """UCB scores of every arm for a batch of codes, shape ``(n, A)``.
+
+        Elementwise over gathered ``(arm, code)`` cells, so each row is
+        bit-identical to :meth:`ucb_scores_for_code` on that code.
+        """
+        codes = np.asarray(codes, dtype=np.intp).ravel()
+        denom = self.ridge + self.counts[:, codes].T  # (n, A)
+        means = self.sums[:, codes].T / denom
+        return means + self.alpha * np.sqrt(1.0 / denom)
+
+    def select_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Batch of :meth:`select_code`: vectorized scores, per-row tie-break."""
+        scores = self.ucb_scores_for_codes(codes)
+        actions = np.empty(scores.shape[0], dtype=np.intp)
+        for i in range(scores.shape[0]):
+            actions[i] = argmax_random_tiebreak(scores[i], self._rng)
+        return actions
+
     def expected_rewards_for_code(self, code: int) -> np.ndarray:
         denom = self.ridge + self.counts[:, code]
         return self.sums[:, code] / denom
@@ -120,6 +140,21 @@ class CodeLinUCB(BanditPolicy):
     def update(self, context: np.ndarray, action: int, reward: float) -> None:
         x = self._check_context(context)
         self.update_code(self._hot_index(x), action, reward)
+
+    def select_batch(self, contexts: np.ndarray) -> np.ndarray:
+        """Vectorized selection over one-hot context rows."""
+        contexts = np.atleast_2d(np.asarray(contexts, dtype=np.float64))
+        codes = np.argmax(contexts, axis=1)
+        rows_ok = (
+            contexts[np.arange(contexts.shape[0]), codes] == 1.0
+        ) & (np.count_nonzero(contexts, axis=1) == 1)
+        if not rows_ok.all():
+            raise ValidationError("CodeLinUCB batch contains non-one-hot contexts")
+        return self.select_codes(codes)
+
+    # update_many stays the base default, which delegates to
+    # update_batch: np.add.at accumulates in row order, so the
+    # vectorized ingestion below already has exact sequential semantics.
 
     def update_batch(self, contexts, actions, rewards) -> None:
         """Vectorized batch ingestion (the server's hot path)."""
@@ -157,10 +192,10 @@ class CodeLinUCB(BanditPolicy):
         self._check_state_header(state)
         self.alpha = float(state["alpha"])
         self.ridge = float(state["ridge"])
-        self.counts = np.asarray(state["counts"], dtype=np.float64).reshape(
+        self.counts = np.array(state["counts"], dtype=np.float64).reshape(
             self.n_arms, self.n_features
         )
-        self.sums = np.asarray(state["sums"], dtype=np.float64).reshape(
+        self.sums = np.array(state["sums"], dtype=np.float64).reshape(
             self.n_arms, self.n_features
         )
         self.t = int(state["t"])

@@ -13,8 +13,9 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from ..utils.validation import check_probability, check_scalar
-from .base import BanditPolicy, argmax_random_tiebreak
+from ..utils.validation import check_matrix, check_probability, check_scalar
+from .base import BanditPolicy, argmax_random_tiebreak, grouped_ridge_update
+from .kernels import linear_scores, mat_vec, sherman_morrison
 
 __all__ = ["EpsilonGreedy"]
 
@@ -34,6 +35,7 @@ class EpsilonGreedy(BanditPolicy):
     """
 
     kind = "epsilon_greedy"
+    supports_fleet = True
 
     def __init__(
         self,
@@ -56,24 +58,49 @@ class EpsilonGreedy(BanditPolicy):
 
     def expected_rewards(self, context: np.ndarray) -> np.ndarray:
         x = self._check_context(context)
-        return self.theta @ x
+        return linear_scores(self.theta, x)
 
     def select(self, context: np.ndarray) -> int:
         if self._rng.random() < self.epsilon:
             return int(self._rng.integers(self.n_arms))
         return argmax_random_tiebreak(self.expected_rewards(context), self._rng)
 
+    def select_batch(self, contexts: np.ndarray) -> np.ndarray:
+        """Vectorized greedy scoring; the epsilon coins stay per-row.
+
+        Each row flips its coin (and, on exploration, draws its uniform
+        action) in row order — exactly the RNG consumption of the
+        per-row ``select`` loop.
+        """
+        X = check_matrix(contexts, name="contexts", n_cols=self.n_features)
+        scores = linear_scores(self.theta, X)
+        actions = np.empty(X.shape[0], dtype=np.intp)
+        for i in range(X.shape[0]):
+            if self._rng.random() < self.epsilon:
+                actions[i] = int(self._rng.integers(self.n_arms))
+            else:
+                actions[i] = argmax_random_tiebreak(scores[i], self._rng)
+        return actions
+
     def update(self, context: np.ndarray, action: int, reward: float) -> None:
         x = self._check_context(context)
         a = self._check_action(action)
-        A_inv = self.A_inv[a]
-        Ax = A_inv @ x
-        denom = 1.0 + float(x @ Ax)
-        A_inv -= np.outer(Ax, Ax) / denom
+        A_inv = sherman_morrison(self.A_inv[a], x)
         self.b[a] += float(reward) * x
-        self.theta[a] = A_inv @ self.b[a]
+        self.theta[a] = mat_vec(A_inv, self.b[a])
         self.epsilon *= self.decay
         self.t += 1
+
+    def update_many(self, contexts, actions, rewards) -> None:
+        """Sequential-exact batch update (see :func:`grouped_ridge_update`).
+
+        The epsilon decay is a per-row scalar multiply, so it is applied
+        once per row (``epsilon * decay**n`` would round differently).
+        """
+        n = grouped_ridge_update(self, contexts, actions, rewards)
+        for _ in range(n):
+            self.epsilon *= self.decay
+        self.t += n
 
     def get_state(self) -> dict[str, Any]:
         state = self._state_header()
@@ -91,9 +118,9 @@ class EpsilonGreedy(BanditPolicy):
         self.epsilon = float(state["epsilon"])
         self.decay = float(state["decay"])
         self.ridge = float(state["ridge"])
-        self.A_inv = np.asarray(state["A_inv"], dtype=np.float64).reshape(
+        self.A_inv = np.array(state["A_inv"], dtype=np.float64).reshape(
             self.n_arms, self.n_features, self.n_features
         )
-        self.b = np.asarray(state["b"], dtype=np.float64).reshape(self.n_arms, self.n_features)
+        self.b = np.array(state["b"], dtype=np.float64).reshape(self.n_arms, self.n_features)
         self.t = int(state["t"])
         self.theta = np.einsum("aij,aj->ai", self.A_inv, self.b)

@@ -167,9 +167,9 @@ class HybridLinUCB(BanditPolicy):
         self.ridge = float(state["ridge"])
         self.n_shared = int(state["n_shared"])
         m, d = self.n_shared, self.n_features
-        self.A0 = np.asarray(state["A0"], dtype=np.float64).reshape(m, m)
-        self.b0 = np.asarray(state["b0"], dtype=np.float64).reshape(m)
-        self.A = np.asarray(state["A"], dtype=np.float64).reshape(self.n_arms, d, d)
-        self.B = np.asarray(state["B"], dtype=np.float64).reshape(self.n_arms, d, m)
-        self.b = np.asarray(state["b"], dtype=np.float64).reshape(self.n_arms, d)
+        self.A0 = np.array(state["A0"], dtype=np.float64).reshape(m, m)
+        self.b0 = np.array(state["b0"], dtype=np.float64).reshape(m)
+        self.A = np.array(state["A"], dtype=np.float64).reshape(self.n_arms, d, d)
+        self.B = np.array(state["B"], dtype=np.float64).reshape(self.n_arms, d, m)
+        self.b = np.array(state["b"], dtype=np.float64).reshape(self.n_arms, d)
         self.t = int(state["t"])

@@ -24,9 +24,13 @@ solves):
 
 * ``A_a^{-1}`` is maintained directly through rank-1 Sherman–Morrison
   updates — O(d²) per update instead of O(d³);
-* arm scores are computed for *all* arms with one einsum each.
+* arm scores are computed for *all* arms with one einsum each;
 * sufficient statistics are additive, so server-side batch training is
-  order-invariant, matching the shuffler's order destruction.
+  order-invariant, matching the shuffler's order destruction;
+* all floating-point math goes through :mod:`repro.bandits.kernels`, so
+  the fleet engine's stacked path (:mod:`repro.sim`) reproduces this
+  policy bit-for-bit (see the kernels module docstring for why ``@``
+  must not be reintroduced here).
 """
 
 from __future__ import annotations
@@ -35,8 +39,9 @@ from typing import Any, Mapping
 
 import numpy as np
 
-from ..utils.validation import check_scalar
-from .base import BanditPolicy, argmax_random_tiebreak
+from ..utils.validation import check_matrix, check_scalar
+from .base import BanditPolicy, argmax_random_tiebreak, grouped_ridge_update
+from .kernels import linear_scores, mat_vec, sherman_morrison, ucb_explore
 
 __all__ = ["LinUCB"]
 
@@ -64,6 +69,7 @@ class LinUCB(BanditPolicy):
     """
 
     kind = "linucb"
+    supports_fleet = True
 
     def __init__(
         self,
@@ -88,35 +94,50 @@ class LinUCB(BanditPolicy):
     def ucb_scores(self, context: np.ndarray) -> np.ndarray:
         """Upper-confidence scores ``theta_a . x + alpha sqrt(x A_a^{-1} x)``."""
         x = self._check_context(context)
-        means = self.theta @ x
-        # explore[a] = x^T A_inv[a] x, batched over arms
-        explore = np.einsum("i,aij,j->a", x, self.A_inv, x)
-        np.maximum(explore, 0.0, out=explore)  # guard tiny negatives
+        means = linear_scores(self.theta, x)
+        explore = ucb_explore(x, self.A_inv)
         return means + self.alpha * np.sqrt(explore)
 
     def expected_rewards(self, context: np.ndarray) -> np.ndarray:
         """Exploitation-only estimates ``theta_a . x``."""
         x = self._check_context(context)
-        return self.theta @ x
+        return linear_scores(self.theta, x)
 
     def select(self, context: np.ndarray) -> int:
         """UCB action for ``context`` (ties broken at random)."""
         return argmax_random_tiebreak(self.ucb_scores(context), self._rng)
+
+    def select_batch(self, contexts: np.ndarray) -> np.ndarray:
+        """Vectorized selection: score all rows at once, tie-break per row."""
+        X = check_matrix(contexts, name="contexts", n_cols=self.n_features)
+        scores = linear_scores(self.theta, X) + self.alpha * np.sqrt(
+            ucb_explore(X, self.A_inv[None, :, :, :])
+        )
+        actions = np.empty(X.shape[0], dtype=np.intp)
+        for i in range(X.shape[0]):
+            actions[i] = argmax_random_tiebreak(scores[i], self._rng)
+        return actions
 
     def update(self, context: np.ndarray, action: int, reward: float) -> None:
         """Rank-1 Sherman–Morrison update of arm ``action``'s statistics."""
         x = self._check_context(context)
         a = self._check_action(action)
         r = float(reward)
-        A_inv = self.A_inv[a]
-        Ax = A_inv @ x
-        denom = 1.0 + float(x @ Ax)
-        # (A + x x^T)^{-1} = A^{-1} - (A^{-1} x x^T A^{-1}) / (1 + x^T A^{-1} x)
-        A_inv -= np.outer(Ax, Ax) / denom
+        A_inv = sherman_morrison(self.A_inv[a], x)
         self.b[a] += r * x
-        self.theta[a] = A_inv @ self.b[a]
+        self.theta[a] = mat_vec(A_inv, self.b[a])
         self.arm_counts[a] += 1
         self.t += 1
+
+    def update_many(self, contexts, actions, rewards) -> None:
+        """Sequential-exact batch update (see :func:`grouped_ridge_update`)."""
+
+        def _count(arm: int, rows: np.ndarray) -> None:
+            self.arm_counts[arm] += rows.size
+
+        self.t += grouped_ridge_update(
+            self, contexts, actions, rewards, on_arm_done=_count
+        )
 
     # ------------------------------------------------------------------ #
     def confidence_width(self, context: np.ndarray, action: int) -> float:
@@ -142,10 +163,10 @@ class LinUCB(BanditPolicy):
         self._check_state_header(state)
         self.alpha = float(state["alpha"])
         self.ridge = float(state["ridge"])
-        self.A_inv = np.asarray(state["A_inv"], dtype=np.float64).reshape(
+        self.A_inv = np.array(state["A_inv"], dtype=np.float64).reshape(
             self.n_arms, self.n_features, self.n_features
         )
-        self.b = np.asarray(state["b"], dtype=np.float64).reshape(self.n_arms, self.n_features)
-        self.arm_counts = np.asarray(state["arm_counts"], dtype=np.int64).reshape(self.n_arms)
+        self.b = np.array(state["b"], dtype=np.float64).reshape(self.n_arms, self.n_features)
+        self.arm_counts = np.array(state["arm_counts"], dtype=np.int64).reshape(self.n_arms)
         self.t = int(state["t"])
         self.theta = np.einsum("aij,aj->ai", self.A_inv, self.b)

@@ -18,7 +18,8 @@ from typing import Any, Mapping
 import numpy as np
 
 from ..utils.validation import check_scalar
-from .base import BanditPolicy, argmax_random_tiebreak
+from .base import BanditPolicy, argmax_random_tiebreak, grouped_ridge_update
+from .kernels import linear_scores, mat_vec, sherman_morrison
 
 __all__ = ["LinearThompsonSampling"]
 
@@ -82,22 +83,35 @@ class LinearThompsonSampling(BanditPolicy):
 
     def expected_rewards(self, context: np.ndarray) -> np.ndarray:
         x = self._check_context(context)
-        return self.theta @ x
+        return linear_scores(self.theta, x)
 
     def select(self, context: np.ndarray) -> int:
         return argmax_random_tiebreak(self.sample_scores(context), self._rng)
 
+    # select_batch stays the base-class per-row loop: each selection
+    # draws one posterior sample per arm, and that per-(row, arm) RNG
+    # stream order is the policy's defining semantics — batching the
+    # normal draws would reorder the stream, not just speed it up.
+
     def update(self, context: np.ndarray, action: int, reward: float) -> None:
         x = self._check_context(context)
         a = self._check_action(action)
-        A_inv = self.A_inv[a]
-        Ax = A_inv @ x
-        denom = 1.0 + float(x @ Ax)
-        A_inv -= np.outer(Ax, Ax) / denom
+        A_inv = sherman_morrison(self.A_inv[a], x)
         self.b[a] += float(reward) * x
-        self.theta[a] = A_inv @ self.b[a]
+        self.theta[a] = mat_vec(A_inv, self.b[a])
         self._chol_fresh[a] = False
         self.t += 1
+
+    def update_many(self, contexts, actions, rewards) -> None:
+        """Sequential-exact batch update (see :func:`grouped_ridge_update`);
+        the Cholesky cache is invalidated per touched arm."""
+
+        def _stale(arm: int, rows: np.ndarray) -> None:
+            self._chol_fresh[arm] = False
+
+        self.t += grouped_ridge_update(
+            self, contexts, actions, rewards, on_arm_done=_stale
+        )
 
     def get_state(self) -> dict[str, Any]:
         state = self._state_header()
@@ -108,10 +122,10 @@ class LinearThompsonSampling(BanditPolicy):
         self._check_state_header(state)
         self.v = float(state["v"])
         self.ridge = float(state["ridge"])
-        self.A_inv = np.asarray(state["A_inv"], dtype=np.float64).reshape(
+        self.A_inv = np.array(state["A_inv"], dtype=np.float64).reshape(
             self.n_arms, self.n_features, self.n_features
         )
-        self.b = np.asarray(state["b"], dtype=np.float64).reshape(self.n_arms, self.n_features)
+        self.b = np.array(state["b"], dtype=np.float64).reshape(self.n_arms, self.n_features)
         self.t = int(state["t"])
         self.theta = np.einsum("aij,aj->ai", self.A_inv, self.b)
         self._chol_fresh = np.zeros(self.n_arms, dtype=bool)

@@ -11,6 +11,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from ..utils.exceptions import ValidationError
 from ..utils.validation import check_scalar
 from .base import BanditPolicy, argmax_random_tiebreak
 
@@ -27,6 +28,7 @@ class UCB1(BanditPolicy):
     """
 
     kind = "ucb1"
+    supports_fleet = True
 
     def __init__(self, n_arms: int, n_features: int = 1, *, c: float = np.sqrt(2.0), seed=None) -> None:
         super().__init__(n_arms, n_features, seed=seed)
@@ -53,6 +55,18 @@ class UCB1(BanditPolicy):
     def select(self, context: np.ndarray | None = None) -> int:
         return argmax_random_tiebreak(self.ucb_scores(), self._rng)
 
+    def select_batch(self, contexts: np.ndarray | None = None) -> np.ndarray:
+        """Batch selection; scores are context-free so one scoring pass serves
+        every row, with tie-breaks consumed per row as in ``select``."""
+        if contexts is None:
+            raise ValidationError("select_batch needs contexts (or an int count) to size the batch")
+        n = int(contexts) if np.isscalar(contexts) else np.atleast_2d(np.asarray(contexts)).shape[0]
+        scores = self.ucb_scores()
+        actions = np.empty(n, dtype=np.intp)
+        for i in range(n):
+            actions[i] = argmax_random_tiebreak(scores, self._rng)
+        return actions
+
     def update(self, context: np.ndarray | None, action: int, reward: float) -> None:
         a = self._check_action(action)
         self.counts[a] += 1
@@ -77,6 +91,6 @@ class UCB1(BanditPolicy):
     def set_state(self, state: Mapping[str, Any]) -> None:
         self._check_state_header(state)
         self.c = float(state["c"])
-        self.counts = np.asarray(state["counts"], dtype=np.int64).reshape(self.n_arms)
-        self.sums = np.asarray(state["sums"], dtype=np.float64).reshape(self.n_arms)
+        self.counts = np.array(state["counts"], dtype=np.int64).reshape(self.n_arms)
+        self.sums = np.array(state["sums"], dtype=np.float64).reshape(self.n_arms)
         self.t = int(state["t"])

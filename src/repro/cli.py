@@ -16,7 +16,7 @@ import argparse
 import sys
 from typing import Callable
 
-from .experiments import figures
+from .experiments import figures, runner
 from .utils.tables import format_kv
 
 __all__ = ["main", "build_parser"]
@@ -83,12 +83,21 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--seed", type=int, default=0, help="experiment seed")
         p.add_argument("--out", type=str, default=None, help="write output to file")
+        p.add_argument(
+            "--engine",
+            choices=list(runner.ENGINES),
+            default="auto",
+            help="simulation engine: the vectorized fleet path, the reference "
+            "sequential loop, or auto (fleet whenever the population supports "
+            "it; both engines produce bit-identical results)",
+        )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    runner.set_default_engine(args.engine)
     renderer, _ = _COMMANDS[args.command]
     text = renderer(args)
     if args.out:

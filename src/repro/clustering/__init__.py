@@ -5,7 +5,7 @@ dependencies — Lloyd k-means and Sculley's mini-batch k-means — are
 implemented here.
 """
 
-from ._init import init_centroids, kmeans_plus_plus, pairwise_sq_dists, random_init
+from .initialization import init_centroids, kmeans_plus_plus, pairwise_sq_dists, random_init
 from .kmeans import KMeans, compute_inertia, lloyd_iteration
 from .metrics import (
     balance_ratio,

@@ -17,7 +17,7 @@ import numpy as np
 from ..utils.exceptions import ConvergenceWarning, ValidationError
 from ..utils.rng import ensure_rng, spawn_seeds
 from ..utils.validation import check_fitted, check_matrix, check_positive_int, check_scalar
-from ._init import init_centroids, pairwise_sq_dists
+from .initialization import init_centroids, pairwise_sq_dists
 
 __all__ = ["KMeans", "lloyd_iteration", "compute_inertia"]
 

@@ -19,7 +19,7 @@ import numpy as np
 from ..utils.exceptions import ValidationError
 from ..utils.rng import ensure_rng
 from ..utils.validation import check_fitted, check_matrix, check_positive_int
-from ._init import init_centroids, pairwise_sq_dists
+from .initialization import init_centroids, pairwise_sq_dists
 from .kmeans import compute_inertia
 
 __all__ = ["MiniBatchKMeans"]
@@ -38,7 +38,7 @@ class MiniBatchKMeans:
     max_iter:
         Number of mini-batch iterations.
     init:
-        Centroid seeding strategy (see :func:`repro.clustering._init.init_centroids`).
+        Centroid seeding strategy (see :func:`repro.clustering.initialization.init_centroids`).
     reassign_after:
         If a centre has absorbed zero samples after this many iterations,
         it is re-seeded at a random sample (prevents dead codes — which

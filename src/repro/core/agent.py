@@ -138,10 +138,23 @@ class LocalAgent:
         """
         ctx = check_vector(context, name="context")
         self.policy.update(self.acting_context(ctx), action, reward)
+        self.record_interaction(ctx, action, reward)
+
+    def record_interaction(self, context: np.ndarray, action: int, reward: float) -> None:
+        """Post-update bookkeeping: counters plus the reporting pipeline.
+
+        Split out of :meth:`learn` so the fleet engine
+        (:mod:`repro.sim`), which applies the policy update through
+        stacked state instead of ``policy.update``, shares this exact
+        code path — participation RNG consumption, report metadata
+        (including ``interaction_index``), and encode-at-report-time all
+        live only here.
+        """
         self.n_interactions += 1
         self.total_reward += float(reward)
         if self.mode == AgentMode.COLD or self.participation is None:
             return
+        ctx = np.asarray(context, dtype=np.float64)
         sampled = self.participation.offer((ctx.copy(), int(action), float(reward)))
         if sampled is None:
             return

@@ -18,13 +18,19 @@ Both are immutable; equality ignores metadata so that tests can assert
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from ..utils.validation import check_scalar, check_vector
 
-__all__ = ["EncodedReport", "RawReport", "strip_metadata"]
+__all__ = [
+    "EncodedReport",
+    "RawReport",
+    "strip_metadata",
+    "encoded_reports_to_arrays",
+    "encoded_reports_from_arrays",
+]
 
 
 @dataclass(frozen=True)
@@ -103,3 +109,46 @@ class RawReport:
 def strip_metadata(reports: list[EncodedReport] | list[RawReport]):
     """Anonymize a batch of reports (list comprehension convenience)."""
     return [r.anonymized() for r in reports]
+
+
+def encoded_reports_to_arrays(
+    reports: Sequence[EncodedReport],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Struct-of-arrays view of an encoded batch: ``(codes, actions, rewards)``.
+
+    The columnar form is the shuffler's and fleet engine's working
+    representation; metadata is deliberately *not* carried over, so
+    converting to arrays is itself an anonymization step.
+    """
+    n = len(reports)
+    codes = np.empty(n, dtype=np.intp)
+    actions = np.empty(n, dtype=np.intp)
+    rewards = np.empty(n, dtype=np.float64)
+    for i, r in enumerate(reports):
+        codes[i] = r.code
+        actions[i] = r.action
+        rewards[i] = r.reward
+    return codes, actions, rewards
+
+
+def encoded_reports_from_arrays(
+    codes: np.ndarray, actions: np.ndarray, rewards: np.ndarray
+) -> list[EncodedReport]:
+    """Rebuild metadata-free :class:`EncodedReport` objects from arrays.
+
+    Round-trips exactly with :func:`encoded_reports_to_arrays` modulo
+    metadata (which array form never carries): codes and actions are
+    integers, rewards the same float64 values.
+    """
+    codes = np.asarray(codes, dtype=np.intp).ravel()
+    actions = np.asarray(actions, dtype=np.intp).ravel()
+    rewards = np.asarray(rewards, dtype=np.float64).ravel()
+    if not (codes.shape[0] == actions.shape[0] == rewards.shape[0]):
+        raise ValueError(
+            "codes, actions and rewards must have matching lengths: "
+            f"{codes.shape[0]}, {actions.shape[0]}, {rewards.shape[0]}"
+        )
+    return [
+        EncodedReport(code=int(c), action=int(a), reward=float(r))
+        for c, a, r in zip(codes, actions, rewards)
+    ]

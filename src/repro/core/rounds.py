@@ -64,6 +64,12 @@ class DeploymentLoop:
         with the (usually better-fed) central state.
     seed:
         Root seed.
+    engine:
+        ``"auto"`` (default) steps each round through the vectorized
+        fleet engine (:mod:`repro.sim`) when the enrolled population
+        supports it — bit-identical to the loop by the sim contract —
+        ``"sequential"`` forces the reference loop, ``"fleet"`` insists
+        and raises when unsupported.
     """
 
     config: P2BConfig
@@ -71,6 +77,7 @@ class DeploymentLoop:
     interactions_per_round: int = 10
     refresh: bool = True
     seed: int | None = None
+    engine: str = "auto"
 
     system: P2BSystem = field(init=False)
     rounds: list[RoundStats] = field(init=False, default_factory=list)
@@ -78,6 +85,10 @@ class DeploymentLoop:
 
     def __post_init__(self) -> None:
         check_positive_int(self.interactions_per_round, name="interactions_per_round")
+        if self.engine not in ("auto", "sequential", "fleet"):
+            raise ConfigError(
+                f"engine must be 'auto', 'sequential' or 'fleet', got {self.engine!r}"
+            )
         sys_seed, self._user_seed_root = spawn_seeds(self.seed, 2)
         self.system = P2BSystem(self.config, mode=AgentMode.WARM_PRIVATE, seed=sys_seed)
 
@@ -102,16 +113,7 @@ class DeploymentLoop:
             snapshot = self.system.model_snapshot()
             for agent, _ in self._users:
                 agent.warm_start(snapshot)
-        total_reward = 0.0
-        n_steps = 0
-        for agent, session in self._users:
-            for _ in range(self.interactions_per_round):
-                x = session.next_context()
-                action = agent.act(x)
-                reward = session.reward(action)
-                agent.learn(x, action, reward)
-                total_reward += reward
-                n_steps += 1
+        rewards = self._interact()
         outcome = self.system.collect(agent for agent, _ in self._users)
         stats = RoundStats(
             round_index=len(self.rounds),
@@ -119,10 +121,42 @@ class DeploymentLoop:
             n_new_users=new_users,
             n_reports=outcome.n_reports,
             n_released=outcome.n_released,
-            mean_reward=total_reward / max(n_steps, 1),
+            mean_reward=float(rewards.mean()) if rewards.size else 0.0,
         )
         self.rounds.append(stats)
         return stats
+
+    def _interact(self) -> np.ndarray:
+        """One round of local interactions; returns the reward matrix.
+
+        Both engines fill the same ``(n_users, interactions_per_round)``
+        matrix (sequential user-major, fleet round-major) and the round
+        statistic is computed from the matrix, so the engines agree on
+        it bit-for-bit whenever the per-cell rewards agree.
+        """
+        agents = [agent for agent, _ in self._users]
+        sessions = [session for _, session in self._users]
+        use_fleet = False
+        if self.engine != "sequential":
+            from ..sim import FleetRunner, fleet_supported
+
+            use_fleet = fleet_supported(agents)
+            if self.engine == "fleet" and not use_fleet:
+                raise ConfigError(
+                    "engine='fleet' requested but the enrolled population is "
+                    "not fleet-capable"
+                )
+        if use_fleet:
+            return FleetRunner(agents, sessions).run(self.interactions_per_round).rewards
+        rewards = np.empty((len(agents), self.interactions_per_round), dtype=np.float64)
+        for u, (agent, session) in enumerate(self._users):
+            for t in range(self.interactions_per_round):
+                x = session.next_context()
+                action = agent.act(x)
+                reward = session.reward(action)
+                agent.learn(x, action, reward)
+                rewards[u, t] = reward
+        return rewards
 
     # ------------------------------------------------------------------ #
     def max_reports_by_any_user(self) -> int:

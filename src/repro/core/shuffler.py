@@ -20,7 +20,6 @@ must always pass — a property test pins this).
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -29,7 +28,11 @@ import numpy as np
 from ..privacy.crowd_blending import CrowdBlendingAudit, verify_crowd_blending
 from ..utils.rng import ensure_rng
 from ..utils.validation import check_positive_int
-from .payload import EncodedReport
+from .payload import (
+    EncodedReport,
+    encoded_reports_from_arrays,
+    encoded_reports_to_arrays,
+)
 
 __all__ = ["Shuffler", "ShufflerStats"]
 
@@ -67,6 +70,11 @@ class Shuffler:
     ) -> tuple[list[EncodedReport], ShufflerStats]:
         """Run one batch through the three-stage pipeline.
 
+        Implemented over the columnar representation: converting to
+        arrays *is* the anonymization step (array form carries no
+        metadata), and shuffling/thresholding become one permutation
+        plus one bincount instead of per-report Python work.
+
         Returns
         -------
         (released, stats)
@@ -74,22 +82,46 @@ class Shuffler:
             ``stats.audit`` is the crowd-blending audit of the release
             (guaranteed satisfied by construction).
         """
-        n_received = len(reports)
-        # 1. anonymization
-        anonymized = [r.anonymized() for r in reports]
+        codes, actions, rewards = encoded_reports_to_arrays(reports)
+        r_codes, r_actions, r_rewards, stats = self.process_arrays(codes, actions, rewards)
+        released = encoded_reports_from_arrays(r_codes, r_actions, r_rewards)
+        return released, stats
+
+    def process_arrays(
+        self, codes: np.ndarray, actions: np.ndarray, rewards: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, ShufflerStats]:
+        """Columnar fast path: anonymize → shuffle → threshold on arrays.
+
+        The per-batch RNG consumption is identical to the object path
+        (one permutation draw for a non-empty batch, nothing for an
+        empty one), so object and array callers are interchangeable
+        mid-stream.
+        """
+        codes = np.asarray(codes, dtype=np.intp).ravel()
+        actions = np.asarray(actions, dtype=np.intp).ravel()
+        rewards = np.asarray(rewards, dtype=np.float64).ravel()
+        n_received = codes.shape[0]
+        # 1. anonymization — the columnar form carries no metadata.
         # 2. shuffling
-        order = self._rng.permutation(n_received) if n_received else np.array([], dtype=np.intp)
-        shuffled = [anonymized[i] for i in order]
-        # 3. thresholding
-        counts = Counter(r.code for r in shuffled)
-        released = [r for r in shuffled if counts[r.code] >= self.threshold]
-        audit = verify_crowd_blending([r.code for r in released], self.threshold)
+        if n_received:
+            order = self._rng.permutation(n_received)
+            codes, actions, rewards = codes[order], actions[order], rewards[order]
+        # 3. thresholding (via unique, not bincount: code spaces can be
+        # huge and sparse, e.g. 2^30 for wide LSH signatures)
+        codes_received = int(np.unique(codes).size)
+        if n_received:
+            _, inverse, batch_counts = np.unique(
+                codes, return_inverse=True, return_counts=True
+            )
+            keep = batch_counts[inverse] >= self.threshold
+            codes, actions, rewards = codes[keep], actions[keep], rewards[keep]
+        audit = verify_crowd_blending(codes.tolist(), self.threshold)
         stats = ShufflerStats(
             n_received=n_received,
-            n_released=len(released),
-            n_dropped=n_received - len(released),
-            codes_received=len(counts),
-            codes_released=len({r.code for r in released}),
+            n_released=int(codes.shape[0]),
+            n_dropped=n_received - int(codes.shape[0]),
+            codes_received=codes_received,
+            codes_released=int(np.unique(codes).size),
             audit=audit,
         )
-        return released, stats
+        return codes, actions, rewards, stats

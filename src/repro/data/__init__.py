@@ -8,7 +8,7 @@ from .criteo import (
     build_criteo_actions,
     make_criteo_like,
 )
-from .environment import Environment, UserSession
+from .environment import Environment, StationaryRewardPlan, UserSession
 from .multilabel import (
     MultilabelBanditEnvironment,
     MultilabelDataset,
@@ -23,6 +23,7 @@ from .synthetic import SyntheticPreferenceEnvironment, SyntheticUserSession
 __all__ = [
     "Environment",
     "UserSession",
+    "StationaryRewardPlan",
     "SyntheticPreferenceEnvironment",
     "SyntheticUserSession",
     "MultilabelDataset",

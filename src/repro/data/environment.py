@@ -21,13 +21,42 @@ indicator instead.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..utils.exceptions import ValidationError
 from ..utils.rng import ensure_rng
 
-__all__ = ["Environment", "UserSession"]
+__all__ = ["Environment", "UserSession", "StationaryRewardPlan"]
+
+
+@dataclass(frozen=True)
+class StationaryRewardPlan:
+    """Pre-realized reward randomness for a fixed-context horizon.
+
+    Produced by :meth:`UserSession.plan_rewards` for sessions whose
+    context and reward distribution are stationary over the horizon
+    (the synthetic benchmark: one preference vector per user).  The
+    realized reward of action ``a`` at step ``t`` is::
+
+        clip01(mean_rewards[a] + noise[t])
+
+    with the noise pre-drawn from the *session's own* generator in
+    exactly the order ``horizon`` sequential ``reward()`` calls would
+    draw it — so consuming a plan leaves the session's stream in the
+    same state as the sequential interaction loop, and the fleet
+    engine's vectorized reward computation stays bit-identical to it.
+    """
+
+    context: np.ndarray  #: the fixed context for the horizon, shape (d,)
+    mean_rewards: np.ndarray  #: noiseless reward per action, shape (A,)
+    noise: np.ndarray  #: additive reward noise per step, shape (horizon,)
+
+    def realize(self, actions: np.ndarray) -> np.ndarray:
+        """Realized rewards for one action per step, shape ``(horizon,)``."""
+        actions = np.asarray(actions, dtype=np.intp).ravel()
+        return np.clip(self.mean_rewards[actions] + self.noise[: actions.shape[0]], 0.0, 1.0)
 
 
 class UserSession(abc.ABC):
@@ -53,6 +82,20 @@ class UserSession(abc.ABC):
         this for regret computation.
         """
         raise NotImplementedError(f"{type(self).__name__} has no ground-truth rewards")
+
+    def plan_rewards(self, horizon: int) -> StationaryRewardPlan:
+        """Optional fleet fast path: pre-realize ``horizon`` interactions.
+
+        Only sessions with a *stationary* context/reward distribution
+        can implement this.  The contract (pinned by ``tests/sim``): a
+        plan must be an exact stand-in for ``horizon`` iterations of
+        ``next_context()`` + ``reward()`` — same realized values, same
+        generator consumption — so the session afterwards behaves as if
+        the sequential loop had run.  Non-stationary sessions (dataset
+        replay) keep the default and the fleet engine falls back to
+        per-call stepping.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no stationary reward plan")
 
     def _require_context(self, current) -> None:
         if current is None:

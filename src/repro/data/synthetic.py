@@ -27,8 +27,12 @@ import numpy as np
 
 from ..utils.math import clip01, softmax
 from ..utils.rng import ensure_rng
-from ..utils.validation import check_in_range, check_positive_int, check_scalar
-from .environment import Environment, UserSession
+from ..utils.validation import (
+    check_in_range,
+    check_positive_int,
+    check_scalar,
+)
+from .environment import Environment, StationaryRewardPlan, UserSession
 
 __all__ = ["SyntheticPreferenceEnvironment", "SyntheticUserSession"]
 
@@ -61,6 +65,25 @@ class SyntheticUserSession(UserSession):
     def expected_rewards(self) -> np.ndarray:
         self._require_context(self._current)
         return self._mean_rewards.copy()
+
+    def plan_rewards(self, horizon: int) -> StationaryRewardPlan:
+        """Pre-realize ``horizon`` interactions (fleet fast path).
+
+        A synthetic user's context is their fixed preference and the
+        reward noise is action-independent, so the whole horizon's
+        randomness is one block draw.  ``Generator.normal(size=n)``
+        consumes the bit stream exactly like ``n`` scalar draws (a
+        ``tests/sim`` regression pins this), so the plan is an exact
+        stand-in for the sequential loop.
+        """
+        horizon = check_positive_int(horizon, name="horizon")
+        self._current = self.preference  # as next_context() would set
+        noise = self._rng.normal(0.0, self._env.sigma, size=horizon)
+        return StationaryRewardPlan(
+            context=self.preference.copy(),
+            mean_rewards=self._mean_rewards.copy(),
+            noise=noise,
+        )
 
 
 class SyntheticPreferenceEnvironment(Environment):

@@ -57,9 +57,41 @@ class Encoder(abc.ABC):
         out[code] = 1.0
         return out
 
+    def _check_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Coerce a code batch to a flat ``intp`` array within ``[0, k)``."""
+        codes = np.asarray(codes, dtype=np.intp).ravel()
+        if codes.size and (codes.min() < 0 or codes.max() >= self.n_codes):
+            raise ValidationError(
+                f"codes must lie in [0, {self.n_codes}), got range "
+                f"[{int(codes.min())}, {int(codes.max())}]"
+            )
+        return codes
+
+    def one_hot_batch(self, codes: np.ndarray) -> np.ndarray:
+        """Indicator matrix ``(n, k)`` for a batch of codes.
+
+        Row ``i`` equals ``one_hot(codes[i])`` exactly (indicators are
+        0/1, so there is no floating-point divergence to worry about).
+        """
+        codes = self._check_codes(codes)
+        out = np.zeros((codes.size, self.n_codes), dtype=np.float64)
+        out[np.arange(codes.size), codes] = 1.0
+        return out
+
     def one_hot_context(self, context: np.ndarray) -> np.ndarray:
         """Encode then one-hot in one call (the private agent's view)."""
         return self.one_hot(self.encode(context))
+
+    def decode_batch(self, codes: np.ndarray) -> np.ndarray:
+        """Representative contexts ``(n, d)`` for a batch of codes.
+
+        Default loops over :meth:`decode`; subclasses with array
+        codebooks override with a gather.
+        """
+        codes = self._check_codes(codes)
+        if codes.size == 0:
+            return np.empty((0, self.n_features), dtype=np.float64)
+        return np.stack([self.decode(int(c)) for c in codes])
 
     def _check_context(self, context: np.ndarray) -> np.ndarray:
         return check_vector(context, name="context", size=self.n_features)

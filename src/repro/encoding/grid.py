@@ -76,3 +76,14 @@ class GridEncoder(Encoder):
         code = check_in_range(code, name="code", low=0, high=self.n_codes)
         parts = composition_unrank(code, self._scale, self.n_features)
         return np.asarray(parts, dtype=np.float64) / self._scale
+
+    def decode_batch(self, codes: np.ndarray) -> np.ndarray:
+        """Unrank a batch of codes; the combinatorial unranking is
+        inherently per-code, but the normalization is one vector op."""
+        codes = self._check_codes(codes)
+        if codes.size == 0:
+            return np.empty((0, self.n_features), dtype=np.float64)
+        parts = np.stack(
+            [composition_unrank(int(c), self._scale, self.n_features) for c in codes]
+        )
+        return np.asarray(parts, dtype=np.float64) / self._scale

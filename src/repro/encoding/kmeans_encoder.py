@@ -159,6 +159,11 @@ class KMeansEncoder(Encoder):
         code = check_in_range(code, name="code", low=0, high=self.n_codes)
         return self.centers_[code].copy()
 
+    def decode_batch(self, codes: np.ndarray) -> np.ndarray:
+        """Gather centroids for a batch of codes — one fancy-index, no loop."""
+        check_fitted(self, ["centers_"])
+        return self.centers_[self._check_codes(codes)].copy()
+
     # ------------------------------------------------------------------ #
     def estimated_min_crowd(self, n_users: int) -> int:
         """Estimate the crowd-blending ``l`` for ``n_users`` participants.

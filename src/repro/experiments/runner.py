@@ -27,11 +27,71 @@ import numpy as np
 from ..core.config import AgentMode, P2BConfig
 from ..core.system import P2BSystem
 from ..data.environment import Environment
+from ..sim import FleetRunner, fleet_supported
 from ..utils.rng import spawn_seeds
 from ..utils.validation import check_positive_int
 from .results import ExperimentResult, SettingComparison
 
-__all__ = ["run_setting", "compare_settings"]
+__all__ = [
+    "run_setting",
+    "compare_settings",
+    "set_default_engine",
+    "get_default_engine",
+    "ENGINES",
+]
+
+#: recognized simulation engines: ``sequential`` is the reference
+#: per-agent loop, ``fleet`` the vectorized population engine
+#: (:mod:`repro.sim`), ``auto`` picks fleet whenever the population
+#: supports it (bit-identical by the sim contract) and falls back
+#: otherwise.
+ENGINES = ("auto", "sequential", "fleet")
+
+_default_engine = "auto"
+
+
+def set_default_engine(engine: str) -> None:
+    """Set the process-wide engine used when callers pass ``engine=None``.
+
+    Exists for entry points (the CLI's ``--engine``) that sit many
+    layers above :func:`run_setting` and should not thread a parameter
+    through every figure/sweep signature.
+    """
+    global _default_engine
+    _default_engine = _check_engine(engine)
+
+
+def get_default_engine() -> str:
+    """The engine used when ``engine=None`` (default: ``"auto"``)."""
+    return _default_engine
+
+
+def _check_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        from ..utils.exceptions import ConfigError
+
+        raise ConfigError(f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine
+
+
+def _resolve_engine(engine: str | None, agents) -> bool:
+    """Decide whether ``agents`` run on the fleet engine.
+
+    ``"fleet"`` insists (raising if the population is not
+    fleet-capable); ``"auto"`` probes; ``"sequential"`` never.
+    """
+    engine = _check_engine(engine if engine is not None else _default_engine)
+    if engine == "sequential":
+        return False
+    supported = fleet_supported(agents)
+    if engine == "fleet" and not supported:
+        from ..utils.exceptions import ConfigError
+
+        raise ConfigError(
+            "engine='fleet' requested but the population is not fleet-capable "
+            "(heterogeneous policies or a policy without supports_fleet)"
+        )
+    return supported
 
 
 def _simulate_agent(
@@ -76,6 +136,7 @@ def run_setting(
     seed=None,
     encoder=None,
     measure: str = "realized",
+    engine: str | None = None,
 ) -> ExperimentResult:
     """Simulate one setting end-to-end (see module docstring).
 
@@ -107,6 +168,12 @@ def run_setting(
         the ground-truth mean reward of chosen actions when the
         environment provides it (falls back to realized otherwise).
         Learning always uses realized rewards.
+    engine:
+        ``"sequential"``, ``"fleet"``, ``"auto"`` (fleet when the
+        population supports it), or ``None`` for the process default
+        (see :func:`set_default_engine`).  Fleet and sequential produce
+        bit-identical results whenever both run (the :mod:`repro.sim`
+        contract, pinned by ``tests/sim/``).
     """
     if measure not in ("realized", "expected"):
         from ..utils.exceptions import ConfigError
@@ -136,26 +203,42 @@ def run_setting(
         sessions = [
             env.new_user(s) for s in spawn_seeds(contrib_users_seed, n_contributors)
         ]
-        for agent, session in zip(contributors, sessions):
-            _simulate_agent(agent, session, t_contrib)
+        if _resolve_engine(engine, contributors):
+            FleetRunner(contributors, sessions).run(t_contrib)
+        else:
+            for agent, session in zip(contributors, sessions):
+                _simulate_agent(agent, session, t_contrib)
         outcome = system.collect(contributors)
         n_reports, n_released = outcome.n_reports, outcome.n_released
 
     # evaluation phase on fresh users
     eval_seeds = spawn_seeds(eval_users_seed, n_eval_agents)
     want_expected = measure == "expected"
-    reward_matrix = np.empty((n_eval_agents, eval_interactions), dtype=np.float64)
-    for i, user_seed in enumerate(eval_seeds):
-        agent = (
-            system.new_warm_agent()
-            if mode != AgentMode.COLD and n_contributors > 0
-            else system.new_agent()
+    warm = mode != AgentMode.COLD and n_contributors > 0
+    # NB: the per-agent sequential loop creates agent i then session i;
+    # batching construction is equivalent because sessions are built
+    # from pre-spawned seeds and never touch the system's agent stream.
+    eval_agents = [
+        system.new_warm_agent() if warm else system.new_agent()
+        for _ in range(n_eval_agents)
+    ]
+    if _resolve_engine(engine, eval_agents):
+        eval_sessions = [env.new_user(s) for s in eval_seeds]
+        result = FleetRunner(eval_agents, eval_sessions).run(
+            eval_interactions, track_expected=want_expected
         )
-        session = env.new_user(user_seed)
-        realized, expected = _simulate_agent(
-            agent, session, eval_interactions, track_expected=want_expected
-        )
-        reward_matrix[i] = expected if (want_expected and expected is not None) else realized
+        reward_matrix = result.measured()
+    else:
+        reward_matrix = np.empty((n_eval_agents, eval_interactions), dtype=np.float64)
+        for i, user_seed in enumerate(eval_seeds):
+            agent = eval_agents[i]
+            session = env.new_user(user_seed)
+            realized, expected = _simulate_agent(
+                agent, session, eval_interactions, track_expected=want_expected
+            )
+            reward_matrix[i] = (
+                expected if (want_expected and expected is not None) else realized
+            )
 
     curve = reward_matrix.mean(axis=0)
     cumulative = np.cumsum(curve) / np.arange(1, eval_interactions + 1)
@@ -188,6 +271,7 @@ def compare_settings(
     modes: tuple[str, ...] = AgentMode.ALL,
     encoder=None,
     measure: str = "realized",
+    engine: str | None = None,
 ) -> SettingComparison:
     """Run the three §5 settings on identically seeded workloads.
 
@@ -209,5 +293,6 @@ def compare_settings(
             seed=seed,  # same root seed => paired users across settings
             encoder=encoder,
             measure=measure,
+            engine=engine,
         )
     return SettingComparison(results=results)

@@ -1,0 +1,72 @@
+"""Fleet simulation engine: vectorized population stepping.
+
+The paper's evaluation (§5) simulates *populations* of on-device
+agents.  The reference implementation drives each agent through a
+per-interaction Python loop (``_simulate_agent`` in
+:mod:`repro.experiments.runner`); this package provides the scaled
+equivalent — :class:`~repro.sim.fleet.FleetRunner` steps the whole
+population per round on stacked numpy state
+(:mod:`repro.sim.stacked`), turning ``O(n_agents)`` Python/numpy call
+overhead per interaction into a handful of batched kernel calls per
+round.
+
+The sequential-vs-fleet contract
+--------------------------------
+
+The sequential loop **is the specification**; the fleet engine is an
+optimization that must be observationally identical.  Results are
+guaranteed *bit-identical* — same action sequences, same rewards, same
+final policy states, same outbox reports and released histograms —
+whenever:
+
+1. every agent's policy has ``supports_fleet = True`` (the policy
+   routes all float math through :mod:`repro.bandits.kernels`, whose
+   einsum contractions accumulate identically with or without a
+   batched leading axis — the reason the scalar policies avoid BLAS
+   ``@``);
+2. the population is homogeneous: one mode, one policy kind with
+   shared hyperparameters, one codebook size when private;
+3. randomness is per-agent: each agent's policy / participation /
+   session generators are independent streams (the
+   ``spawn_seeds`` tree), so stepping round-major instead of
+   agent-major consumes every stream in the same within-agent order.
+
+Condition 3 is why the engines can interleave work differently yet
+agree exactly: no stream is shared across agents, and within one agent
+the order select → reward → participation-offer per interaction is
+preserved verbatim (the fleet calls the *same*
+``LocalAgent.record_interaction`` the sequential path uses).
+
+When any condition fails — heterogeneous policies, a policy without
+fleet support (e.g. Thompson sampling, whose per-(row, arm) posterior
+draws define its stream order) — ``engine="auto"`` callers fall back
+to the sequential loop; ``engine="fleet"`` raises.
+
+``tests/sim/`` enforces the contract with seeded equivalence suites
+over every supported policy × encoder × mode combination, and
+``tests/test_properties.py`` fuzzes it over random seeds.
+"""
+
+from .fleet import FleetResult, FleetRunner, fleet_supported
+from .stacked import (
+    StackedCodeLinUCB,
+    StackedEpsilonGreedy,
+    StackedLinUCB,
+    StackedPolicies,
+    StackedUCB1,
+    policies_stackable,
+    stack_policies,
+)
+
+__all__ = [
+    "FleetRunner",
+    "FleetResult",
+    "fleet_supported",
+    "StackedPolicies",
+    "StackedLinUCB",
+    "StackedEpsilonGreedy",
+    "StackedCodeLinUCB",
+    "StackedUCB1",
+    "stack_policies",
+    "policies_stackable",
+]

@@ -1,0 +1,273 @@
+"""The vectorized fleet engine: simulate an agent population per round.
+
+:class:`FleetRunner` drives ``n`` ``(LocalAgent, UserSession)`` pairs
+round-major — every agent performs interaction ``t`` before any agent
+performs ``t + 1`` — with the policy math executed on stacked arrays
+(:mod:`repro.sim.stacked`).  Because every agent owns independent RNG
+streams (policy, participation, session), round-major stepping consumes
+each stream in exactly the order the sequential agent-major loop does,
+so the two engines are interchangeable; ``tests/sim/`` pins the
+equivalence bit-for-bit.
+
+What stays per-agent Python (all O(1) per agent per round):
+
+* session calls (``next_context`` / ``reward``) — environments are
+  arbitrary stateful objects with their own generators;
+* randomness (tie-breaks, epsilon coins) — batching draws would
+  reorder streams;
+* participation offers and outbox appends — routed through
+  :meth:`~repro.core.agent.LocalAgent.record_interaction`, the same
+  method the sequential path uses;
+* context encoding on *cache miss* — encoders are deterministic (the
+  ``eps_bar = 0`` premise), so re-encoding an unchanged context is pure
+  waste; the runner memoizes per agent and only calls the scalar
+  ``encode`` when the context actually changes.  Fixed-preference
+  populations (the paper's synthetic benchmark) therefore encode once
+  per agent total.
+
+Everything O(d²)–O(k·d²) — scoring, Sherman–Morrison updates — runs as
+single stacked kernel calls per round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.agent import LocalAgent
+from ..core.config import AgentMode
+from ..core.payload import EncodedReport, RawReport
+from ..data.environment import StationaryRewardPlan, UserSession
+from ..utils.exceptions import ConfigError
+from ..utils.validation import check_positive_int
+from .stacked import policies_stackable, stack_policies
+
+__all__ = ["FleetRunner", "FleetResult", "fleet_supported"]
+
+
+def fleet_supported(agents: Sequence[LocalAgent]) -> bool:
+    """Whether this agent population can run on the fleet engine."""
+    agents = list(agents)
+    if not agents:
+        return False
+    if len({a.mode for a in agents}) != 1:
+        return False
+    if len({a.private_context for a in agents}) != 1:
+        return False
+    if agents[0].mode == AgentMode.WARM_PRIVATE:
+        if any(a.encoder is None for a in agents):
+            return False
+        if len({a.encoder.n_codes for a in agents}) != 1:
+            return False
+    return policies_stackable([a.policy for a in agents])
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Per-(agent, interaction) outcome matrices of one fleet run."""
+
+    rewards: np.ndarray  #: realized rewards, shape (n_agents, T)
+    actions: np.ndarray  #: chosen actions, shape (n_agents, T)
+    expected: np.ndarray | None  #: expected-reward channel, or None if untracked
+    expected_mask: np.ndarray  #: per-agent bool: row of ``expected`` is valid
+
+    def measured(self) -> np.ndarray:
+        """The evaluation matrix the experiment harness consumes.
+
+        Row ``i`` is the expected-reward sequence when the environment
+        provided ground truth for agent ``i``, otherwise the realized
+        one — mirroring ``run_setting``'s per-agent fallback.
+        """
+        if self.expected is None:
+            return self.rewards
+        return np.where(self.expected_mask[:, None], self.expected, self.rewards)
+
+
+class FleetRunner:
+    """Vectorized population simulator (see module docstring).
+
+    Parameters
+    ----------
+    agents:
+        A homogeneous population (same mode, same policy kind and
+        hyperparameters; same codebook size when private).
+    sessions:
+        One user session per agent, aligned by index.
+    """
+
+    def __init__(
+        self, agents: Sequence[LocalAgent], sessions: Sequence[UserSession]
+    ) -> None:
+        self.agents = list(agents)
+        self.sessions = list(sessions)
+        if not self.agents:
+            raise ConfigError("FleetRunner needs at least one agent")
+        if len(self.agents) != len(self.sessions):
+            raise ConfigError(
+                f"agents ({len(self.agents)}) and sessions ({len(self.sessions)}) "
+                "must align one-to-one"
+            )
+        if not fleet_supported(self.agents):
+            raise ConfigError(
+                "population not fleet-capable: agents must share mode and "
+                "private_context, and policies must be homogeneous with "
+                "supports_fleet=True (run the sequential engine instead)"
+            )
+        self.mode = self.agents[0].mode
+        self.private_context = self.agents[0].private_context
+
+    # ------------------------------------------------------------------ #
+    def run(self, n_interactions: int, *, track_expected: bool = False) -> FleetResult:
+        """Run ``n_interactions`` rounds over the whole population.
+
+        Side effects match the sequential loop exactly: policies learn
+        (state is written back into each agent's policy object),
+        participation budgets advance, and outboxes fill with the same
+        reports carrying the same metadata.
+        """
+        n_interactions = check_positive_int(n_interactions, name="n_interactions")
+        agents, sessions = self.agents, self.sessions
+        n = len(agents)
+        private = self.mode == AgentMode.WARM_PRIVATE
+        stacked = stack_policies([a.policy for a in agents])
+
+        rewards = np.empty((n, n_interactions), dtype=np.float64)
+        actions_mat = np.empty((n, n_interactions), dtype=np.intp)
+        expected = np.empty((n, n_interactions), dtype=np.float64) if track_expected else None
+        expected_ok = np.full(n, track_expected, dtype=bool)
+
+        # Stationary fast path: when every session pre-realizes its
+        # horizon (fixed context, pre-drawn noise — see
+        # StationaryRewardPlan), the per-round session loops collapse
+        # into array gathers.  Override detection, not try/except:
+        # probing must not consume any session's stream on failure.
+        plans: list[StationaryRewardPlan] | None = None
+        if all(
+            type(s).plan_rewards is not UserSession.plan_rewards for s in sessions
+        ):
+            plans = [s.plan_rewards(n_interactions) for s in sessions]
+
+        if plans is not None:
+            X = np.stack([p.context for p in plans])
+            mean_matrix = np.stack([p.mean_rewards for p in plans])  # (n, A)
+            noise = np.stack([p.noise for p in plans])  # (n, T)
+            acting = self._acting_representation(stacked, X, np.arange(n))
+            idx = np.arange(n)
+            for t in range(n_interactions):
+                acts = stacked.select(acting)
+                actions_mat[:, t] = acts
+                # StationaryRewardPlan.realize, vectorized across agents
+                # for one step: mean[a] + z, clipped — the same
+                # elementwise ops as session.reward (a test pins the
+                # plan to the sequential reward stream)
+                rewards[:, t] = np.clip(mean_matrix[idx, acts] + noise[:, t], 0.0, 1.0)
+                if expected is not None:
+                    expected[:, t] = mean_matrix[idx, acts]
+                stacked.update(acting, acts, rewards[:, t])
+                for i in range(n):
+                    agents[i].record_interaction(X[i], int(acts[i]), float(rewards[i, t]))
+            stacked.writeback()
+            return FleetResult(
+                rewards=rewards,
+                actions=actions_mat,
+                expected=expected,
+                expected_mask=expected_ok,
+            )
+
+        # generic path: arbitrary stateful sessions, stepped per round
+        X = None  # raw contexts, allocated on first round
+        self._cached_ctx = [None] * n
+        self._cached_code = np.empty(n, dtype=np.intp)
+        self._cached_rep = [None] * n  # centroid representations
+
+        for t in range(n_interactions):
+            # -- contexts ------------------------------------------------ #
+            if X is None:
+                first = sessions[0].next_context()
+                X = np.empty((n, first.shape[0]), dtype=np.float64)
+                X[0] = first
+                for i in range(1, n):
+                    X[i] = sessions[i].next_context()
+            else:
+                for i in range(n):
+                    X[i] = sessions[i].next_context()
+
+            # -- acting representation ---------------------------------- #
+            if private:
+                stale = [
+                    i
+                    for i in range(n)
+                    if self._cached_ctx[i] is None
+                    or not np.array_equal(X[i], self._cached_ctx[i])
+                ]
+                acting = self._acting_representation(stacked, X, np.asarray(stale, dtype=np.intp))
+            else:
+                acting = X
+
+            # -- select / reward / update -------------------------------- #
+            acts = stacked.select(acting)
+            actions_mat[:, t] = acts
+            for i in range(n):
+                rewards[i, t] = sessions[i].reward(int(acts[i]))
+                if expected is not None and expected_ok[i]:
+                    try:
+                        expected[i, t] = sessions[i].expected_rewards()[acts[i]]
+                    except NotImplementedError:
+                        expected_ok[i] = False
+            stacked.update(acting, acts, rewards[:, t])
+
+            # -- per-agent bookkeeping (reporting pipeline) -------------- #
+            for i in range(n):
+                agents[i].record_interaction(X[i], int(acts[i]), float(rewards[i, t]))
+
+        stacked.writeback()
+        return FleetResult(
+            rewards=rewards,
+            actions=actions_mat,
+            expected=expected,
+            expected_mask=expected_ok,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _acting_representation(self, stacked, X: np.ndarray, stale: np.ndarray):
+        """The representation the stacked policy consumes for contexts ``X``.
+
+        ``stale`` lists agent indices whose cached encoding must be
+        refreshed (all of them on the first call).  Encoders are
+        deterministic — the ``eps_bar = 0`` premise — so serving a code
+        from cache is exact, not approximate.
+        """
+        if self.mode != AgentMode.WARM_PRIVATE:
+            return X
+        if not hasattr(self, "_cached_ctx"):
+            self._cached_ctx = [None] * len(self.agents)
+            self._cached_code = np.empty(len(self.agents), dtype=np.intp)
+            self._cached_rep = [None] * len(self.agents)
+        for i in stale:
+            i = int(i)
+            self._cached_ctx[i] = X[i].copy()
+            encoder = self.agents[i].encoder
+            self._cached_code[i] = encoder.encode(X[i])
+            if self.private_context == "centroid":
+                self._cached_rep[i] = encoder.decode(int(self._cached_code[i]))
+        if stacked.wants_codes:
+            return self._cached_code
+        if self.private_context == "centroid":
+            return np.stack(self._cached_rep)
+        return self.agents[0].encoder.one_hot_batch(self._cached_code)  # type: ignore[union-attr]
+
+    # ------------------------------------------------------------------ #
+    def drain_outboxes(self) -> list[EncodedReport | RawReport]:
+        """Drain every agent's outbox, in agent order (the batched send).
+
+        Equivalent to concatenating per-agent
+        :meth:`~repro.core.agent.LocalAgent.drain_outbox` calls — same
+        reports, same metadata, same order — which ``tests/sim`` pins
+        through the shuffler.
+        """
+        reports: list[EncodedReport | RawReport] = []
+        for agent in self.agents:
+            reports.extend(agent.drain_outbox())
+        return reports

@@ -1,0 +1,320 @@
+"""Stacked per-agent policy state for the fleet engine.
+
+A stacked policy holds the state of ``n`` *independent* policy
+instances as arrays with a leading agent axis — e.g. LinUCB's design
+inverses as ``(n_agents, n_arms, d, d)`` — and steps all agents per
+round with one kernel call instead of ``n`` Python calls.
+
+Exactness contract (see :mod:`repro.sim`): every floating-point
+operation here is the *same* :mod:`repro.bandits.kernels` einsum or the
+same elementwise expression the scalar policy performs, applied with a
+broadcast leading axis.  Randomness is never batched: each agent's
+tie-breaks and exploration coins are drawn from that agent's own
+generator, in the same within-agent order as the sequential path, so
+stacked and sequential runs consume identical streams.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from ..bandits.base import BanditPolicy, argmax_random_tiebreak
+from ..bandits.code_linucb import CodeLinUCB
+from ..bandits.epsilon_greedy import EpsilonGreedy
+from ..bandits.kernels import linear_scores, mat_vec, sherman_morrison, ucb_explore
+from ..bandits.linucb import LinUCB
+from ..bandits.ucb1 import UCB1
+from ..utils.exceptions import ConfigError
+
+__all__ = [
+    "StackedPolicies",
+    "StackedLinUCB",
+    "StackedEpsilonGreedy",
+    "StackedCodeLinUCB",
+    "StackedUCB1",
+    "stack_policies",
+    "policies_stackable",
+]
+
+
+def _tiebreak_rows(
+    scores: np.ndarray, rngs: Sequence[np.random.Generator]
+) -> np.ndarray:
+    """Row-wise :func:`argmax_random_tiebreak` with per-row generators.
+
+    Rows with a unique maximum take the vectorized argmax and consume
+    no randomness — exactly like the scalar helper.  Only tied rows
+    fall back to that row's generator, with the same ``choice`` call.
+    """
+    row_max = scores.max(axis=1)
+    is_max = scores == row_max[:, None]
+    actions = scores.argmax(axis=1).astype(np.intp)
+    for i in np.flatnonzero(is_max.sum(axis=1) > 1):
+        best = is_max[i].nonzero()[0]
+        # one integers draw == rng.choice(best) on the stream (see
+        # argmax_random_tiebreak), so tied rows stay bit-identical
+        actions[i] = int(best[rngs[i].integers(0, best.size)])
+    return actions
+
+
+def _uniform(values, what: str):
+    """Assert all agents share a hyperparameter; return the shared value."""
+    first = values[0]
+    if any(v != first for v in values[1:]):
+        raise ConfigError(f"cannot stack policies with differing {what}: {sorted(set(values))}")
+    return first
+
+
+class StackedPolicies(abc.ABC):
+    """Base class: ``n`` same-kind policies as one stacked state.
+
+    Subclasses stack in ``__init__``, mutate only their stacked arrays
+    during the run, and copy state back into the policy objects in
+    :meth:`writeback`.  The policy objects' generators are used in
+    place throughout, so their streams are already advanced correctly
+    when writeback happens.
+    """
+
+    #: True when the stacked select/update consume integer codes
+    #: (one-hot specialists) rather than dense context rows.
+    wants_codes: bool = False
+
+    def __init__(self, policies: Sequence[BanditPolicy]) -> None:
+        policies = list(policies)
+        if not policies:
+            raise ConfigError("cannot stack an empty policy list")
+        kinds = {type(p) for p in policies}
+        if len(kinds) != 1:
+            raise ConfigError(
+                f"cannot stack mixed policy types: {sorted(c.__name__ for c in kinds)}"
+            )
+        self.policies = policies
+        self.n_agents = len(policies)
+        self.n_arms = _uniform([p.n_arms for p in policies], "n_arms")
+        self.n_features = _uniform([p.n_features for p in policies], "n_features")
+        self.rngs = [p._rng for p in policies]
+        self.t = np.array([p.t for p in policies], dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def select(self, contexts: np.ndarray) -> np.ndarray:
+        """One action per agent for that agent's context row."""
+
+    @abc.abstractmethod
+    def update(self, contexts: np.ndarray, actions: np.ndarray, rewards: np.ndarray) -> None:
+        """One update per agent (row ``i`` updates agent ``i``'s state)."""
+
+    @abc.abstractmethod
+    def writeback(self) -> None:
+        """Copy stacked state back into the underlying policy objects."""
+
+    def _writeback_t(self) -> None:
+        for i, p in enumerate(self.policies):
+            p.t = int(self.t[i])
+
+
+class _StackedDenseLinear(StackedPolicies):
+    """Shared stacking for the dense ridge family (LinUCB, eps-greedy)."""
+
+    def __init__(self, policies: Sequence[BanditPolicy]) -> None:
+        super().__init__(policies)
+        self.ridge = _uniform([p.ridge for p in policies], "ridge")
+        self.A_inv = np.stack([p.A_inv for p in policies])  # (n, k, d, d)
+        self.b = np.stack([p.b for p in policies])  # (n, k, d)
+        self.theta = np.stack([p.theta for p in policies])  # (n, k, d)
+
+    def _dense_update(
+        self, contexts: np.ndarray, actions: np.ndarray, rewards: np.ndarray
+    ) -> None:
+        idx = np.arange(self.n_agents)
+        A_sel = self.A_inv[idx, actions]  # gather copies (n, d, d)
+        sherman_morrison(A_sel, contexts)
+        b_sel = self.b[idx, actions]
+        b_sel += rewards[:, None] * contexts
+        self.A_inv[idx, actions] = A_sel
+        self.b[idx, actions] = b_sel
+        self.theta[idx, actions] = mat_vec(A_sel, b_sel)
+        self.t += 1
+
+    def _writeback_dense(self) -> None:
+        for i, p in enumerate(self.policies):
+            p.A_inv = self.A_inv[i].copy()
+            p.b = self.b[i].copy()
+            p.theta = self.theta[i].copy()
+        self._writeback_t()
+
+
+class StackedLinUCB(_StackedDenseLinear):
+    """``n`` independent :class:`~repro.bandits.linucb.LinUCB` agents."""
+
+    def __init__(self, policies: Sequence[LinUCB]) -> None:
+        super().__init__(policies)
+        self.alpha = _uniform([p.alpha for p in policies], "alpha")
+        self.arm_counts = np.stack([p.arm_counts for p in policies])
+
+    def scores(self, contexts: np.ndarray) -> np.ndarray:
+        means = linear_scores(self.theta, contexts)
+        explore = ucb_explore(contexts, self.A_inv)
+        return means + self.alpha * np.sqrt(explore)
+
+    def select(self, contexts: np.ndarray) -> np.ndarray:
+        return _tiebreak_rows(self.scores(contexts), self.rngs)
+
+    def update(self, contexts, actions, rewards) -> None:
+        self._dense_update(contexts, actions, rewards)
+        self.arm_counts[np.arange(self.n_agents), actions] += 1
+
+    def writeback(self) -> None:
+        for i, p in enumerate(self.policies):
+            p.arm_counts = self.arm_counts[i].copy()
+        self._writeback_dense()
+
+
+class StackedEpsilonGreedy(_StackedDenseLinear):
+    """``n`` independent :class:`~repro.bandits.epsilon_greedy.EpsilonGreedy` agents."""
+
+    def __init__(self, policies: Sequence[EpsilonGreedy]) -> None:
+        super().__init__(policies)
+        self.decay = _uniform([p.decay for p in policies], "decay")
+        # epsilon is *state* (it decays), so it stays per-agent
+        self.epsilon = np.array([p.epsilon for p in policies], dtype=np.float64)
+
+    def select(self, contexts: np.ndarray) -> np.ndarray:
+        scores = linear_scores(self.theta, contexts)
+        actions = np.empty(self.n_agents, dtype=np.intp)
+        for i in range(self.n_agents):
+            rng = self.rngs[i]
+            if rng.random() < self.epsilon[i]:
+                actions[i] = int(rng.integers(self.n_arms))
+            else:
+                actions[i] = argmax_random_tiebreak(scores[i], rng)
+        return actions
+
+    def update(self, contexts, actions, rewards) -> None:
+        self._dense_update(contexts, actions, rewards)
+        self.epsilon *= self.decay
+
+    def writeback(self) -> None:
+        for i, p in enumerate(self.policies):
+            p.epsilon = float(self.epsilon[i])
+        self._writeback_dense()
+
+
+class StackedCodeLinUCB(StackedPolicies):
+    """``n`` independent :class:`~repro.bandits.code_linucb.CodeLinUCB` agents.
+
+    Operates on integer codes directly (``wants_codes``): the one-hot
+    detour the scalar interface takes is a pure re-derivation of the
+    code, so skipping it changes nothing observable.
+    """
+
+    wants_codes = True
+
+    def __init__(self, policies: Sequence[CodeLinUCB]) -> None:
+        super().__init__(policies)
+        self.alpha = _uniform([p.alpha for p in policies], "alpha")
+        self.ridge = _uniform([p.ridge for p in policies], "ridge")
+        self.counts = np.stack([p.counts for p in policies])  # (n, A, k)
+        self.sums = np.stack([p.sums for p in policies])  # (n, A, k)
+
+    def scores_for_codes(self, codes: np.ndarray) -> np.ndarray:
+        idx = np.arange(self.n_agents)
+        counts_g = self.counts[idx, :, codes]  # (n, A)
+        sums_g = self.sums[idx, :, codes]
+        denom = self.ridge + counts_g
+        means = sums_g / denom
+        return means + self.alpha * np.sqrt(1.0 / denom)
+
+    def select(self, codes: np.ndarray) -> np.ndarray:
+        return _tiebreak_rows(self.scores_for_codes(codes), self.rngs)
+
+    def update(self, codes, actions, rewards) -> None:
+        idx = np.arange(self.n_agents)
+        self.counts[idx, actions, codes] += 1.0
+        self.sums[idx, actions, codes] += rewards
+        self.t += 1
+
+    def writeback(self) -> None:
+        for i, p in enumerate(self.policies):
+            p.counts = self.counts[i].copy()
+            p.sums = self.sums[i].copy()
+        self._writeback_t()
+
+
+class StackedUCB1(StackedPolicies):
+    """``n`` independent :class:`~repro.bandits.ucb1.UCB1` agents (context-free)."""
+
+    def __init__(self, policies: Sequence[UCB1]) -> None:
+        super().__init__(policies)
+        self.c = _uniform([p.c for p in policies], "c")
+        self.counts = np.stack([p.counts for p in policies])  # (n, A) int64
+        self.sums = np.stack([p.sums for p in policies])  # (n, A)
+
+    def scores(self) -> np.ndarray:
+        scores = np.full((self.n_agents, self.n_arms), np.inf)
+        played = self.counts > 0
+        if played.any():
+            means = np.zeros_like(self.sums)
+            np.divide(self.sums, self.counts, out=means, where=played)
+            total = np.maximum(self.t, 1).astype(np.float64)
+            log_over_n = np.zeros_like(self.sums)
+            np.divide(np.log(total)[:, None], self.counts, out=log_over_n, where=played)
+            bonus = self.c * np.sqrt(log_over_n)
+            scores[played] = means[played] + bonus[played]
+        return scores
+
+    def select(self, contexts: np.ndarray | None = None) -> np.ndarray:
+        return _tiebreak_rows(self.scores(), self.rngs)
+
+    def update(self, contexts, actions, rewards) -> None:
+        idx = np.arange(self.n_agents)
+        self.counts[idx, actions] += 1
+        self.sums[idx, actions] += rewards
+        self.t += 1
+
+    def writeback(self) -> None:
+        for i, p in enumerate(self.policies):
+            p.counts = self.counts[i].copy()
+            p.sums = self.sums[i].copy()
+        self._writeback_t()
+
+
+_STACKERS: dict[str, type[StackedPolicies]] = {
+    LinUCB.kind: StackedLinUCB,
+    EpsilonGreedy.kind: StackedEpsilonGreedy,
+    CodeLinUCB.kind: StackedCodeLinUCB,
+    UCB1.kind: StackedUCB1,
+}
+
+
+def policies_stackable(policies: Sequence[BanditPolicy]) -> bool:
+    """Whether :func:`stack_policies` would accept this population."""
+    policies = list(policies)
+    if not policies:
+        return False
+    first = type(policies[0])
+    if not all(type(p) is first for p in policies):
+        return False
+    if not (policies[0].supports_fleet and policies[0].kind in _STACKERS):
+        return False
+    return (
+        len({p.n_arms for p in policies}) == 1
+        and len({p.n_features for p in policies}) == 1
+    )
+
+
+def stack_policies(policies: Sequence[BanditPolicy]) -> StackedPolicies:
+    """Stack a homogeneous policy population for the fleet engine."""
+    policies = list(policies)
+    if not policies:
+        raise ConfigError("cannot stack an empty policy list")
+    kind = policies[0].kind
+    if kind not in _STACKERS or not policies[0].supports_fleet:
+        raise ConfigError(
+            f"policy kind {kind!r} does not support fleet stacking; "
+            f"stackable kinds: {sorted(_STACKERS)}"
+        )
+    return _STACKERS[kind](policies)

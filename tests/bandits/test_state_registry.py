@@ -78,3 +78,39 @@ def test_clone_does_not_share_arrays():
     twin = clone_policy(pol)
     twin.b[0, 0] = 42.0
     assert pol.b[0, 0] == 0.0
+
+
+class TestSetStateDefensiveCopy:
+    """Regression: set_state must copy snapshot arrays, not alias them.
+
+    DeploymentLoop warm-starts every enrolled agent from *one* snapshot
+    dict; with aliasing, all agents silently shared (and jointly
+    corrupted) the same statistics arrays.  The fleet engine's
+    equivalence suite exposed the bug — the stacked path copies state,
+    the sequential path aliased it.
+    """
+
+    def test_two_agents_from_one_snapshot_stay_independent(self):
+        import numpy as np
+
+        from repro.bandits import CodeLinUCB, LinUCB
+
+        for cls, ctx in (
+            (CodeLinUCB, np.array([1.0, 0.0, 0.0])),
+            (LinUCB, np.array([0.5, 0.3, 0.2])),
+        ):
+            donor = cls(n_arms=2, n_features=3, seed=0)
+            donor.update(ctx, 0, 1.0)
+            snapshot = donor.get_state()
+            a = cls(n_arms=2, n_features=3, seed=1)
+            b = cls(n_arms=2, n_features=3, seed=2)
+            a.set_state(snapshot)
+            b.set_state(snapshot)
+            before = b.get_state()
+            a.update(ctx, 1, 1.0)  # must not leak into b or the snapshot
+            after = b.get_state()
+            for key in before:
+                np.testing.assert_array_equal(
+                    np.asarray(before[key]), np.asarray(after[key]),
+                    err_msg=f"{cls.__name__} set_state aliased {key!r}",
+                )

@@ -1,4 +1,4 @@
-"""Tests for repro.clustering.kmeans and _init."""
+"""Tests for repro.clustering.kmeans and repro.clustering.initialization."""
 
 from __future__ import annotations
 

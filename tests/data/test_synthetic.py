@@ -99,3 +99,54 @@ class TestUserSession:
         assert len(users) == 10
         prefs = {tuple(np.round(u.next_context(), 6)) for u in users}
         assert len(prefs) == 10
+
+
+class TestStationaryRewardPlan:
+    """plan_rewards is the fleet engine's stand-in for the sequential
+    next_context()/reward() loop; pin the exact-equivalence contract."""
+
+    def _twin_sessions(self):
+        import numpy as np
+
+        from repro.data.synthetic import SyntheticPreferenceEnvironment
+
+        env = SyntheticPreferenceEnvironment(n_actions=5, n_features=4, seed=2)
+        return env, env.new_user(9), env.new_user(9)
+
+    def test_realize_matches_sequential_reward_stream(self):
+        import numpy as np
+
+        env, planned, sequential = self._twin_sessions()
+        horizon = 17
+        actions = np.random.default_rng(0).integers(0, env.n_actions, size=horizon)
+        plan = planned.plan_rewards(horizon)
+        realized = plan.realize(actions)
+        expected = []
+        for a in actions:
+            sequential.next_context()
+            expected.append(sequential.reward(int(a)))
+        np.testing.assert_array_equal(realized, np.array(expected))
+
+    def test_plan_leaves_stream_where_sequential_would(self):
+        import numpy as np
+
+        from repro.utils.rng import rng_state_digest
+
+        env, planned, sequential = self._twin_sessions()
+        planned.plan_rewards(8)
+        for _ in range(8):
+            sequential.next_context()
+            sequential.reward(0)
+        assert rng_state_digest(planned._rng) == rng_state_digest(sequential._rng)
+        # and the session is still usable afterwards, in sync
+        planned.next_context()
+        sequential.next_context()
+        assert planned.reward(1) == sequential.reward(1)
+
+    def test_plan_context_and_means_match_session_views(self):
+        import numpy as np
+
+        env, planned, _ = self._twin_sessions()
+        plan = planned.plan_rewards(3)
+        np.testing.assert_array_equal(plan.context, planned.preference)
+        np.testing.assert_array_equal(plan.mean_rewards, planned.expected_rewards())

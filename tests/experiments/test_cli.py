@@ -38,3 +38,35 @@ class TestMain:
         target = tmp_path / "fig3.txt"
         assert main(["fig3", "--out", str(target)]) == 0
         assert "epsilon" in target.read_text()
+
+
+class TestEngineFlag:
+    def test_engine_choices_registered(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["fig3", "--engine", "sequential"])
+        assert args.engine == "sequential"
+        args = parser.parse_args(["fig3", "--engine", "fleet"])
+        assert args.engine == "fleet"
+        args = parser.parse_args(["fig3"])
+        assert args.engine == "auto"
+
+    def test_invalid_engine_rejected(self):
+        import pytest
+
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--engine", "warp"])
+
+    def test_engine_flag_sets_process_default(self, capsys):
+        from repro.cli import main
+        from repro.experiments import runner
+
+        try:
+            assert main(["fig3", "--engine", "sequential"]) == 0
+            assert runner.get_default_engine() == "sequential"
+        finally:
+            runner.set_default_engine("auto")
+        capsys.readouterr()

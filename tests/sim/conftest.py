@@ -1,0 +1,13 @@
+"""Fixtures for the fleet/sequential equivalence suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from _testkit import make_kmeans_encoder
+
+
+@pytest.fixture(scope="package")
+def kmeans_encoder():
+    """One fitted codebook shared across the suite (fitting dominates runtime)."""
+    return make_kmeans_encoder()

@@ -1,0 +1,45 @@
+"""Import sanity: every ``repro.*`` submodule must import cleanly.
+
+Guards against dead or shadowed modules (the historical
+``clustering/_init.py`` — an importable file whose name reads like a
+typo of ``__init__.py``) and against modules that only import on the
+happy path of some other entry point.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+_MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+)
+
+
+def test_walk_found_the_tree():
+    # a floor, not an exact count: additions are fine, an empty or
+    # near-empty walk means the package layout broke
+    assert len(_MODULES) > 40
+    for expected in ("repro.bandits.kernels", "repro.sim.fleet", "repro.clustering.initialization"):
+        assert expected in _MODULES
+
+
+@pytest.mark.parametrize("name", _MODULES)
+def test_submodule_imports(name):
+    module = importlib.import_module(name)
+    assert module.__name__ == name
+
+
+def test_no_typo_shadow_modules():
+    """No module whose filename could shadow or be mistaken for a dunder
+    (e.g. ``_init`` vs ``__init__``)."""
+    for name in _MODULES:
+        leaf = name.rsplit(".", 1)[-1]
+        assert leaf not in {"_init", "_main", "_all"}, (
+            f"{name} looks like a typo of a dunder module"
+        )

@@ -145,3 +145,95 @@ def test_property_report_rate_concentrates_around_p(p, seed):
     # 4-sigma band for a binomial(n_users, p)
     sigma = (p * (1 - p) / n_users) ** 0.5
     assert abs(rate - p) < 4 * sigma + 0.01
+
+
+# --------------------------------------------------------------------- #
+# fleet engine == sequential reference, fuzzed over seeds
+# --------------------------------------------------------------------- #
+def _fleet_population(policy_cls, mode, n_agents, seed, encoder, private_context):
+    """Fresh, identically seeded (agents, sessions) for one engine run."""
+    from repro.bandits import EpsilonGreedy, LinUCB  # noqa: F401
+    from repro.core import LocalAgent
+    from repro.data.synthetic import SyntheticPreferenceEnvironment
+    from repro.utils.rng import spawn_seeds
+
+    env = SyntheticPreferenceEnvironment(n_actions=3, n_features=4, seed=13)
+    acting_dim = encoder.n_codes if mode == "warm-private" else 4
+    agents, sessions = [], []
+    for i, s in enumerate(spawn_seeds(seed, n_agents)):
+        policy_seed, part_seed, session_seed = s.spawn(3)
+        policy = policy_cls(n_arms=3, n_features=acting_dim, seed=policy_seed)
+        participation = (
+            None
+            if mode == "cold"
+            else RandomizedParticipation(p=0.7, window=3, max_reports=2, seed=part_seed)
+        )
+        agents.append(
+            LocalAgent(
+                f"u{i}",
+                policy,
+                mode=mode,
+                encoder=encoder if mode == "warm-private" else None,
+                participation=participation,
+                private_context=private_context,
+            )
+        )
+        sessions.append(env.new_user(session_seed))
+    return agents, sessions
+
+
+_FLEET_ENCODER = None
+
+
+def _fleet_encoder():
+    global _FLEET_ENCODER
+    if _FLEET_ENCODER is None:
+        _FLEET_ENCODER = KMeansEncoder(
+            n_codes=6, n_features=4, n_fit_samples=400, seed=21
+        ).fit()
+    return _FLEET_ENCODER
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.sampled_from(["linucb", "epsilon_greedy"]),
+    st.sampled_from(["cold", "warm-nonprivate", "warm-private"]),
+    st.integers(2, 9),
+    st.integers(3, 15),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_fleet_matches_sequential(seed, kind, mode, n_agents, n_interactions):
+    """For random seeds, population sizes and horizons, the fleet engine
+    reproduces the sequential reference bit-for-bit: rewards and final
+    policy state (the repro.sim contract, here fuzzed rather than
+    enumerated)."""
+    from repro.bandits import EpsilonGreedy, LinUCB
+    from repro.experiments.runner import _simulate_agent
+    from repro.sim import FleetRunner
+
+    policy_cls = {"linucb": LinUCB, "epsilon_greedy": EpsilonGreedy}[kind]
+    encoder = _fleet_encoder()
+    seq_agents, seq_sessions = _fleet_population(
+        policy_cls, mode, n_agents, seed, encoder, "one-hot"
+    )
+    fleet_agents, fleet_sessions = _fleet_population(
+        policy_cls, mode, n_agents, seed, encoder, "one-hot"
+    )
+
+    seq_rewards = np.stack(
+        [
+            _simulate_agent(a, s, n_interactions)[0]
+            for a, s in zip(seq_agents, seq_sessions)
+        ]
+    )
+    result = FleetRunner(fleet_agents, fleet_sessions).run(n_interactions)
+
+    np.testing.assert_array_equal(seq_rewards, result.rewards)
+    for sa, fa in zip(seq_agents, fleet_agents):
+        state_seq, state_fleet = sa.policy.get_state(), fa.policy.get_state()
+        assert state_seq.keys() == state_fleet.keys()
+        for key in state_seq:
+            np.testing.assert_array_equal(
+                np.asarray(state_seq[key]), np.asarray(state_fleet[key])
+            )
+        assert [r for r in sa.outbox] == [r for r in fa.outbox]
