@@ -1,9 +1,14 @@
-# Test / benchmark targets.  PYTHONPATH=src everywhere: the package is
-# used in place, never installed.
+# Test / benchmark / lint targets.  PYTHONPATH=src everywhere so the
+# package also works in place without `pip install -e .` (CI installs
+# it properly; see .github/workflows/ci.yml).
+#
+# PYTHONHASHSEED is pinned so anything that iterates hash-ordered
+# containers is reproducible run to run — benches under CI must be
+# deterministic up to wall-clock timings.
 
-PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
+PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) PYTHONHASHSEED=0 python
 
-.PHONY: test smoke bench bench-fleet
+.PHONY: test smoke bench bench-fleet lint format install
 
 # tier-1: the full suite (the driver's acceptance gate)
 test:
@@ -13,10 +18,25 @@ test:
 smoke:
 	$(PY) -m pytest -x -q -m "not slow"
 
-# all paper-figure benches (writes benchmarks/results/*.txt)
+# all paper-figure benches; seeded throughout, writes only into
+# benchmarks/results/ (*.txt tables + BENCH_*.json perf records)
 bench:
 	$(PY) -m pytest benchmarks/ -q
 
-# fleet-engine throughput record (writes benchmarks/results/BENCH_fleet.json)
+# fleet-engine throughput record (writes benchmarks/results/BENCH_fleet.json;
+# speedup floors tunable via BENCH_FLEET_MIN_SPEEDUP[_HET] for noisy CI runners)
 bench-fleet:
 	$(PY) -m pytest benchmarks/bench_fleet_engine.py -q
+
+# lint + format check (config in pyproject.toml [tool.ruff])
+lint:
+	ruff check src tests benchmarks examples
+	ruff format --check src tests benchmarks examples
+
+# apply formatting + autofixes
+format:
+	ruff format src tests benchmarks examples
+	ruff check --fix src tests benchmarks examples
+
+install:
+	pip install -e ".[test]"

@@ -10,9 +10,7 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.clustering import balance_ratio
 from repro.core import EncodedReport, P2BConfig, Shuffler
 from repro.data import SyntheticPreferenceEnvironment
 from repro.encoding import GridEncoder, KMeansEncoder, LSHEncoder

@@ -10,6 +10,14 @@ Machine-readable perf records go through :func:`record_json`
 (``benchmarks/results/BENCH_<name>.json``) so future PRs can track the
 throughput trajectory — ``bench_fleet_engine.py`` writes
 ``BENCH_fleet.json``.
+
+Determinism contract (CI runs ``make bench`` on shared runners): every
+bench seeds all of its randomness explicitly, ``make bench`` pins
+``PYTHONHASHSEED``, and these fixtures are the *only* writers — both
+write exclusively under ``benchmarks/results/``, so a bench run never
+dirties the working tree anywhere else.  Timings (and the JSON fields
+derived from them) are the one thing allowed to vary run to run;
+assertion floors on them are env-tunable (see ``bench_fleet_engine``).
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ def record_figure():
 
     def _record(name: str, text: str) -> None:
         _RESULTS.append((name, text))
-        _RESULTS_DIR.mkdir(exist_ok=True)
+        _RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
 
     return _record
@@ -45,7 +53,7 @@ def record_json():
     """
 
     def _record(name: str, payload: dict) -> Path:
-        _RESULTS_DIR.mkdir(exist_ok=True)
+        _RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         path = _RESULTS_DIR / f"BENCH_{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
         _RESULTS.append((f"BENCH_{name}", json.dumps(payload, indent=2, sort_keys=True)))

@@ -66,7 +66,7 @@ def main() -> None:
     cold = comparison["cold"].mean_reward
     if nonprivate > 0:
         print(
-            f"private warm start recovers "
+            "private warm start recovers "
             f"{100 * (private - cold) / max(nonprivate - cold, 1e-9):.0f}% of the "
             "non-private improvement over cold start"
         )

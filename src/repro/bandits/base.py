@@ -120,6 +120,34 @@ class BanditPolicy(abc.ABC):
     #: so the stacked path is bit-identical to the sequential one.
     supports_fleet: bool = False
 
+    def fleet_key(self) -> tuple | None:
+        """Hashable fingerprint of everything that must match for two
+        instances to share one stacked state in the fleet engine.
+
+        The sharded :class:`~repro.sim.fleet.FleetRunner` groups agents
+        by this key (together with agent-level mode/encoder facts): two
+        policies with equal keys are guaranteed stackable by
+        :func:`repro.sim.stacked.stack_policies`.  Returns ``None`` when
+        the policy cannot be stacked at all (``supports_fleet`` False).
+
+        The concrete class (not just ``kind``) is part of the key so a
+        subclass never lands in a base-class shard — stacking requires
+        exact type equality.
+        """
+        if not self.supports_fleet:
+            return None
+        return (type(self), self.n_arms, self.n_features, *self._fleet_hyperparams())
+
+    def _fleet_hyperparams(self) -> tuple:
+        """The hyperparameters :func:`fleet_key` fingerprints.
+
+        Subclasses with ``supports_fleet = True`` list every constructor
+        hyperparameter their stacked counterpart requires to be uniform
+        (mutable *state* — e.g. a decaying epsilon — stays out: state is
+        stacked per-agent, only shared constants shard).
+        """
+        return ()
+
     def __init__(self, n_arms: int, n_features: int, *, seed=None) -> None:
         self.n_arms = check_positive_int(n_arms, name="n_arms")
         self.n_features = check_positive_int(n_features, name="n_features")
@@ -246,4 +274,7 @@ class BanditPolicy(abc.ABC):
         return argmax_random_tiebreak(self.expected_rewards(context), self._rng)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"{type(self).__name__}(n_arms={self.n_arms}, n_features={self.n_features}, t={self.t})"
+        return (
+            f"{type(self).__name__}(n_arms={self.n_arms}, "
+            f"n_features={self.n_features}, t={self.t})"
+        )

@@ -72,6 +72,9 @@ class CodeLinUCB(BanditPolicy):
         # sums[a, y] — reward totals
         self.sums = np.zeros((self.n_arms, self.n_features), dtype=np.float64)
 
+    def _fleet_hyperparams(self) -> tuple:
+        return (self.alpha, self.ridge)
+
     # ------------------------------------------------------------------ #
     @staticmethod
     def _hot_index(context: np.ndarray) -> int:

@@ -56,6 +56,10 @@ class EpsilonGreedy(BanditPolicy):
         self.b = np.zeros((self.n_arms, d))
         self.theta = np.zeros((self.n_arms, d))
 
+    def _fleet_hyperparams(self) -> tuple:
+        # epsilon is decaying *state* (stacked per-agent), not a shard key
+        return (self.decay, self.ridge)
+
     def expected_rewards(self, context: np.ndarray) -> np.ndarray:
         x = self._check_context(context)
         return linear_scores(self.theta, x)

@@ -90,6 +90,9 @@ class LinUCB(BanditPolicy):
         self.theta = np.zeros((self.n_arms, d))
         self.arm_counts = np.zeros(self.n_arms, dtype=np.int64)
 
+    def _fleet_hyperparams(self) -> tuple:
+        return (self.alpha, self.ridge)
+
     # ------------------------------------------------------------------ #
     def ucb_scores(self, context: np.ndarray) -> np.ndarray:
         """Upper-confidence scores ``theta_a . x + alpha sqrt(x A_a^{-1} x)``."""

@@ -19,13 +19,20 @@ import numpy as np
 
 from ..utils.validation import check_scalar
 from .base import BanditPolicy, argmax_random_tiebreak, grouped_ridge_update
-from .kernels import linear_scores, mat_vec, sherman_morrison
+from .kernels import linear_scores, mat_vec, sherman_morrison, vec_dot
 
 __all__ = ["LinearThompsonSampling"]
 
 
 class LinearThompsonSampling(BanditPolicy):
     """Per-arm Gaussian posterior sampling over linear reward models.
+
+    All float math routes through :mod:`repro.bandits.kernels` and the
+    posterior-draw stream order is defined as *arm-major per selection*
+    (arm 0's ``d`` normals, then arm 1's, …), which is exactly the order
+    one ``standard_normal((A, d))`` fill consumes — the property the
+    stacked fleet counterpart (:class:`repro.sim.stacked.StackedThompson`)
+    relies on to batch the O(d²) math while keeping draws per-agent.
 
     Parameters
     ----------
@@ -36,6 +43,7 @@ class LinearThompsonSampling(BanditPolicy):
     """
 
     kind = "lin_ts"
+    supports_fleet = True
 
     def __init__(
         self,
@@ -59,6 +67,9 @@ class LinearThompsonSampling(BanditPolicy):
         )
         self._chol_fresh = np.ones(self.n_arms, dtype=bool)
 
+    def _fleet_hyperparams(self) -> tuple:
+        return (self.v, self.ridge)
+
     def _refresh_chol(self, a: int) -> None:
         if not self._chol_fresh[a]:
             # A_inv is SPD by construction; jitter guards accumulated error
@@ -77,8 +88,8 @@ class LinearThompsonSampling(BanditPolicy):
         for a in range(self.n_arms):
             self._refresh_chol(a)
             z = self._rng.standard_normal(self.n_features)
-            theta_tilde = self.theta[a] + self.v * (self._chol[a] @ z)
-            scores[a] = float(theta_tilde @ x)
+            theta_tilde = self.theta[a] + self.v * mat_vec(self._chol[a], z)
+            scores[a] = float(vec_dot(theta_tilde, x))
         return scores
 
     def expected_rewards(self, context: np.ndarray) -> np.ndarray:
@@ -88,10 +99,12 @@ class LinearThompsonSampling(BanditPolicy):
     def select(self, context: np.ndarray) -> int:
         return argmax_random_tiebreak(self.sample_scores(context), self._rng)
 
-    # select_batch stays the base-class per-row loop: each selection
-    # draws one posterior sample per arm, and that per-(row, arm) RNG
-    # stream order is the policy's defining semantics — batching the
-    # normal draws would reorder the stream, not just speed it up.
+    # select_batch stays the base-class per-row loop: all rows share
+    # *one* generator, and a tie-break draw for row i must land between
+    # row i's and row i+1's posterior normals — pre-drawing the normals
+    # for every row would reorder that stream.  (The fleet engine is
+    # different: there every agent owns its own generator, so
+    # StackedThompson batches the math and keeps draws per-agent.)
 
     def update(self, context: np.ndarray, action: int, reward: float) -> None:
         x = self._check_context(context)

@@ -30,11 +30,16 @@ class UCB1(BanditPolicy):
     kind = "ucb1"
     supports_fleet = True
 
-    def __init__(self, n_arms: int, n_features: int = 1, *, c: float = np.sqrt(2.0), seed=None) -> None:
+    def __init__(
+        self, n_arms: int, n_features: int = 1, *, c: float = np.sqrt(2.0), seed=None
+    ) -> None:
         super().__init__(n_arms, n_features, seed=seed)
         self.c = check_scalar(c, name="c", minimum=0.0)
         self.counts = np.zeros(self.n_arms, dtype=np.int64)
         self.sums = np.zeros(self.n_arms, dtype=np.float64)
+
+    def _fleet_hyperparams(self) -> tuple:
+        return (self.c,)
 
     def ucb_scores(self, context: np.ndarray | None = None) -> np.ndarray:
         """UCB1 index per arm; unplayed arms get +inf (forced first plays)."""

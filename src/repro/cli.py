@@ -87,9 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--engine",
             choices=list(runner.ENGINES),
             default="auto",
-            help="simulation engine: the vectorized fleet path, the reference "
-            "sequential loop, or auto (fleet whenever the population supports "
-            "it; both engines produce bit-identical results)",
+            help="simulation engine: the vectorized sharded fleet path, the "
+            "reference sequential loop, or auto (fleet whenever every agent's "
+            "policy supports it — heterogeneous populations shard into one "
+            "stacked state per configuration; both engines produce "
+            "bit-identical results)",
         )
     return parser
 

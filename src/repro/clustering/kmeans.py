@@ -166,7 +166,8 @@ class KMeans:
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Assign each row of ``X`` to its nearest learned centroid."""
         check_fitted(self, ["cluster_centers_"])
-        X = check_matrix(X, name="X", n_cols=self.cluster_centers_.shape[1])  # type: ignore[union-attr]
+        n_cols = self.cluster_centers_.shape[1]  # type: ignore[union-attr]
+        X = check_matrix(X, name="X", n_cols=n_cols)
         return np.argmin(pairwise_sq_dists(X, self.cluster_centers_), axis=1)
 
     def fit_predict(self, X: np.ndarray) -> np.ndarray:
@@ -176,7 +177,8 @@ class KMeans:
     def transform(self, X: np.ndarray) -> np.ndarray:
         """Distances (not squared) from each sample to every centroid."""
         check_fitted(self, ["cluster_centers_"])
-        X = check_matrix(X, name="X", n_cols=self.cluster_centers_.shape[1])  # type: ignore[union-attr]
+        n_cols = self.cluster_centers_.shape[1]  # type: ignore[union-attr]
+        X = check_matrix(X, name="X", n_cols=n_cols)
         return np.sqrt(pairwise_sq_dists(X, self.cluster_centers_))
 
     def score(self, X: np.ndarray) -> float:

@@ -148,7 +148,8 @@ class MiniBatchKMeans:
     def predict(self, X: np.ndarray) -> np.ndarray:
         """Nearest-centroid code for each row of ``X`` — ``O(k d)`` per row."""
         check_fitted(self, ["cluster_centers_"])
-        X = check_matrix(X, name="X", n_cols=self.cluster_centers_.shape[1])  # type: ignore[union-attr]
+        n_cols = self.cluster_centers_.shape[1]  # type: ignore[union-attr]
+        X = check_matrix(X, name="X", n_cols=n_cols)
         return np.argmin(pairwise_sq_dists(X, self.cluster_centers_), axis=1)
 
     def fit_predict(self, X: np.ndarray) -> np.ndarray:

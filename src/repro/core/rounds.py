@@ -66,8 +66,9 @@ class DeploymentLoop:
         Root seed.
     engine:
         ``"auto"`` (default) steps each round through the vectorized
-        fleet engine (:mod:`repro.sim`) when the enrolled population
-        supports it — bit-identical to the loop by the sim contract —
+        sharded fleet engine (:mod:`repro.sim`) when the enrolled
+        population supports it — bit-identical to the loop by the sim
+        contract; mixed cohorts shard by configuration —
         ``"sequential"`` forces the reference loop, ``"fleet"`` insists
         and raises when unsupported.
     """

@@ -20,9 +20,7 @@ form".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
-
-import numpy as np
+from typing import Any, Iterable
 
 from ..bandits.code_linucb import CodeLinUCB
 from ..bandits.linucb import LinUCB

@@ -140,7 +140,9 @@ def make_criteo_like(
     check_scalar(base_ctr, name="base_ctr", minimum=0.0, maximum=1.0)
     rng = ensure_rng(seed)
     if vocab_sizes is None:
-        vocab_sizes = tuple(10 if i % 3 == 0 else (100 if i % 3 == 1 else 1000) for i in range(N_CATEGORICAL))
+        vocab_sizes = tuple(
+            10 if i % 3 == 0 else (100 if i % 3 == 1 else 1000) for i in range(N_CATEGORICAL)
+        )
     if len(vocab_sizes) != N_CATEGORICAL:
         raise DataError(f"vocab_sizes must have {N_CATEGORICAL} entries")
 

@@ -26,7 +26,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..utils.exceptions import ValidationError
-from ..utils.rng import ensure_rng
 
 __all__ = ["Environment", "UserSession", "StationaryRewardPlan"]
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..clustering import KMeans, MiniBatchKMeans, cluster_sizes, min_cluster_size
+from ..clustering import KMeans, MiniBatchKMeans, cluster_sizes
 from ..utils.exceptions import ValidationError
 from ..utils.rng import ensure_rng
 from ..utils.validation import (

@@ -26,7 +26,7 @@ from ..data.multilabel import (
 from ..data.synthetic import SyntheticPreferenceEnvironment
 from ..privacy.accounting import epsilon_from_p
 from ..privacy.cardinality import context_cardinality, enumerate_quantized_simplex
-from .results import FigureResult, SettingComparison
+from .results import FigureResult
 from .runner import compare_settings
 from .sweeps import population_sweep
 

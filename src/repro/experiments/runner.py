@@ -20,7 +20,7 @@ every setting faces the same users in the same order.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Callable
 
 import numpy as np
 
@@ -41,10 +41,11 @@ __all__ = [
 ]
 
 #: recognized simulation engines: ``sequential`` is the reference
-#: per-agent loop, ``fleet`` the vectorized population engine
-#: (:mod:`repro.sim`), ``auto`` picks fleet whenever the population
-#: supports it (bit-identical by the sim contract) and falls back
-#: otherwise.
+#: per-agent loop, ``fleet`` the vectorized sharded population engine
+#: (:mod:`repro.sim` — heterogeneous populations partition into one
+#: stacked state per policy/mode configuration), ``auto`` picks fleet
+#: whenever every agent's policy supports it (bit-identical by the sim
+#: contract) and falls back otherwise.
 ENGINES = ("auto", "sequential", "fleet")
 
 _default_engine = "auto"
@@ -89,7 +90,8 @@ def _resolve_engine(engine: str | None, agents) -> bool:
 
         raise ConfigError(
             "engine='fleet' requested but the population is not fleet-capable "
-            "(heterogeneous policies or a policy without supports_fleet)"
+            "(empty, or it contains a policy without supports_fleet — "
+            "heterogeneous populations shard automatically and are fine)"
         )
     return supported
 
@@ -169,11 +171,12 @@ def run_setting(
         environment provides it (falls back to realized otherwise).
         Learning always uses realized rewards.
     engine:
-        ``"sequential"``, ``"fleet"``, ``"auto"`` (fleet when the
-        population supports it), or ``None`` for the process default
-        (see :func:`set_default_engine`).  Fleet and sequential produce
-        bit-identical results whenever both run (the :mod:`repro.sim`
-        contract, pinned by ``tests/sim/``).
+        ``"sequential"``, ``"fleet"``, ``"auto"`` (fleet when every
+        agent's policy supports it; heterogeneous populations shard
+        into one stacked state per configuration), or ``None`` for the
+        process default (see :func:`set_default_engine`).  Fleet and
+        sequential produce bit-identical results whenever both run
+        (the :mod:`repro.sim` contract, pinned by ``tests/sim/``).
     """
     if measure not in ("realized", "expected"):
         from ..utils.exceptions import ConfigError

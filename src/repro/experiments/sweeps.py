@@ -54,6 +54,7 @@ def population_sweep(
     figure_id: str = "fig4",
     description: str = "average reward vs population size U",
     measure: str = "realized",
+    engine: str | None = None,
 ) -> FigureResult:
     """Fig. 4's x-axis: grow the contributing population ``U``."""
     result = FigureResult(
@@ -81,6 +82,7 @@ def population_sweep(
             seed=seed,
             encoder=encoder,
             measure=measure,
+            engine=engine,
         )
         result.add_point(
             int(u),
@@ -103,6 +105,7 @@ def dimension_sweep(
     figure_id: str = "fig5",
     description: str = "average reward vs context dimension d",
     measure: str = "realized",
+    engine: str | None = None,
 ) -> FigureResult:
     """Fig. 5's x-axis: grow the context dimension ``d``.
 
@@ -133,6 +136,7 @@ def dimension_sweep(
             eval_interactions=eval_interactions,
             seed=seed,
             measure=measure,
+            engine=engine,
         )
         result.add_point(
             int(d),
@@ -153,6 +157,7 @@ def codebook_sweep(
     seed: int = 0,
     figure_id: str = "ablation-k",
     description: str = "reward vs codebook size k (warm-private)",
+    engine: str | None = None,
 ) -> FigureResult:
     """Ablation axis: codebook size ``k`` (Fig. 7 compares 2^5 vs 2^7)."""
     from dataclasses import replace
@@ -174,6 +179,7 @@ def codebook_sweep(
             eval_interactions=eval_interactions,
             seed=seed,
             modes=(AgentMode.WARM_PRIVATE,),
+            engine=engine,
         )
         result.add_point(
             int(k),
@@ -194,6 +200,7 @@ def participation_sweep(
     seed: int = 0,
     figure_id: str = "ablation-p",
     description: str = "privacy/utility trade-off over participation p",
+    engine: str | None = None,
 ) -> FigureResult:
     """Ablation axis: participation probability ``p`` — the privacy lever.
 
@@ -219,6 +226,7 @@ def participation_sweep(
             eval_interactions=eval_interactions,
             seed=seed,
             modes=(AgentMode.WARM_PRIVATE,),
+            engine=engine,
         )
         result.add_point(
             float(p),

@@ -89,7 +89,9 @@ class BloomFilter:
         return self.bits.astype(np.float64)
 
     @classmethod
-    def from_item(cls, item: str, *, n_bits: int = 128, n_hashes: int = 2, seed: int = 0) -> "BloomFilter":
+    def from_item(
+        cls, item: str, *, n_bits: int = 128, n_hashes: int = 2, seed: int = 0
+    ) -> "BloomFilter":
         """Single-item filter — exactly a RAPPOR client report pre-noise."""
         bf = cls(n_bits, n_hashes, seed=seed)
         bf.add(item)

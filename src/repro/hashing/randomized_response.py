@@ -74,7 +74,9 @@ class RapporEncoder:
 
     def permanent_report(self, value: str, rng: np.random.Generator) -> np.ndarray:
         """PRR: memoized noisy Bloom bits for ``value`` (one draw here)."""
-        bloom = BloomFilter.from_item(value, n_bits=self.n_bits, n_hashes=self.n_hashes, seed=self.seed)
+        bloom = BloomFilter.from_item(
+            value, n_bits=self.n_bits, n_hashes=self.n_hashes, seed=self.seed
+        )
         return randomized_response_vector(bloom.bits, self.f, rng).astype(np.float64)
 
     def instantaneous_report(self, permanent: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -110,7 +112,9 @@ class RapporEncoder:
         denom = (p1 - p0) * n
         estimates: dict[str, float] = {}
         for cand in candidates:
-            bloom = BloomFilter.from_item(cand, n_bits=self.n_bits, n_hashes=self.n_hashes, seed=self.seed)
+            bloom = BloomFilter.from_item(
+                cand, n_bits=self.n_bits, n_hashes=self.n_hashes, seed=self.seed
+            )
             pos = np.flatnonzero(bloom.bits)
             if denom == 0 or pos.size == 0:
                 estimates[cand] = 0.0

@@ -1,11 +1,12 @@
-"""Fleet simulation engine: vectorized population stepping.
+"""Fleet simulation engine: vectorized, sharded population stepping.
 
 The paper's evaluation (§5) simulates *populations* of on-device
-agents.  The reference implementation drives each agent through a
-per-interaction Python loop (``_simulate_agent`` in
-:mod:`repro.experiments.runner`); this package provides the scaled
-equivalent — :class:`~repro.sim.fleet.FleetRunner` steps the whole
-population per round on stacked numpy state
+agents — including mixtures of configurations (warm/cold,
+private/non-private, different policies).  The reference implementation
+drives each agent through a per-interaction Python loop
+(``_simulate_agent`` in :mod:`repro.experiments.runner`); this package
+provides the scaled equivalent — :class:`~repro.sim.fleet.FleetRunner`
+steps the whole population per round on stacked numpy state
 (:mod:`repro.sim.stacked`), turning ``O(n_agents)`` Python/numpy call
 overhead per interaction into a handful of batched kernel calls per
 round.
@@ -23,36 +24,44 @@ whenever:
    routes all float math through :mod:`repro.bandits.kernels`, whose
    einsum contractions accumulate identically with or without a
    batched leading axis — the reason the scalar policies avoid BLAS
-   ``@``);
-2. the population is homogeneous: one mode, one policy kind with
-   shared hyperparameters, one codebook size when private;
-3. randomness is per-agent: each agent's policy / participation /
-   session generators are independent streams (the
-   ``spawn_seeds`` tree), so stepping round-major instead of
-   agent-major consumes every stream in the same within-agent order.
+   ``@``) and therefore reports a non-``None``
+   :meth:`~repro.bandits.base.BanditPolicy.fleet_key`;
+2. randomness is per-agent: each agent's policy / participation /
+   session generators are independent streams (the ``spawn_seeds``
+   tree), so stepping round-major instead of agent-major consumes
+   every stream in the same within-agent order.
 
-Condition 3 is why the engines can interleave work differently yet
-agree exactly: no stream is shared across agents, and within one agent
-the order select → reward → participation-offer per interaction is
-preserved verbatim (the fleet calls the *same*
-``LocalAgent.record_interaction`` the sequential path uses).
+Homogeneity is **not** a condition: heterogeneous populations are
+partitioned into *shards* by :func:`~repro.sim.fleet.shard_key` —
+(mode, private-context, codebook size, policy kind and
+hyperparameters) — and each shard runs on its own stacked state.  The
+combined run interleaves shards round-major (every shard performs
+interaction ``t`` before any shard performs ``t + 1``); because
+condition 2 makes agent order within a round unobservable, shard order
+is too, and the mixed run stays bit-identical to the sequential
+reference.  Policies whose selection *consumes* randomness join the
+contract by defining their draw order — Thompson sampling draws
+arm-major per selection, so :class:`~repro.sim.stacked.StackedThompson`
+batches the O(d²) Cholesky/scoring math while drawing each agent's
+posterior normals from that agent's own generator.
 
-When any condition fails — heterogeneous policies, a policy without
-fleet support (e.g. Thompson sampling, whose per-(row, arm) posterior
-draws define its stream order) — ``engine="auto"`` callers fall back
-to the sequential loop; ``engine="fleet"`` raises.
+When any condition fails — a policy without fleet support
+(``RandomPolicy``, ``HybridLinUCB``) — ``engine="auto"`` callers fall
+back to the sequential loop; ``engine="fleet"`` raises.
 
 ``tests/sim/`` enforces the contract with seeded equivalence suites
-over every supported policy × encoder × mode combination, and
-``tests/test_properties.py`` fuzzes it over random seeds.
+over every supported policy × encoder × mode combination plus mixed
+populations (``test_sharding.py``), and ``tests/test_properties.py``
+fuzzes it over random seeds.
 """
 
-from .fleet import FleetResult, FleetRunner, fleet_supported
+from .fleet import FleetResult, FleetRunner, fleet_supported, shard_indices, shard_key
 from .stacked import (
     StackedCodeLinUCB,
     StackedEpsilonGreedy,
     StackedLinUCB,
     StackedPolicies,
+    StackedThompson,
     StackedUCB1,
     policies_stackable,
     stack_policies,
@@ -62,9 +71,12 @@ __all__ = [
     "FleetRunner",
     "FleetResult",
     "fleet_supported",
+    "shard_key",
+    "shard_indices",
     "StackedPolicies",
     "StackedLinUCB",
     "StackedEpsilonGreedy",
+    "StackedThompson",
     "StackedCodeLinUCB",
     "StackedUCB1",
     "stack_policies",

@@ -9,24 +9,34 @@ each stream in exactly the order the sequential agent-major loop does,
 so the two engines are interchangeable; ``tests/sim/`` pins the
 equivalence bit-for-bit.
 
+Heterogeneous populations run **sharded**: agents are partitioned by
+:func:`shard_key` — (mode, private-context, codebook size, policy kind
+and hyperparameters) — and each shard steps on its own stacked state.
+Within one round the shards execute in first-appearance order, but
+since no RNG stream is shared across agents, shard order (like agent
+order) is unobservable: a mixed LinUCB + Thompson + epsilon-greedy
+population, warm-private and cold side by side, produces bit-identical
+actions, rewards, policy states and reports to the sequential loop.
+
 What stays per-agent Python (all O(1) per agent per round):
 
 * session calls (``next_context`` / ``reward``) — environments are
   arbitrary stateful objects with their own generators;
-* randomness (tie-breaks, epsilon coins) — batching draws would
-  reorder streams;
+* randomness (tie-breaks, epsilon coins, posterior draws) — batching
+  draws across agents would reorder streams;
 * participation offers and outbox appends — routed through
   :meth:`~repro.core.agent.LocalAgent.record_interaction`, the same
   method the sequential path uses;
 * context encoding on *cache miss* — encoders are deterministic (the
   ``eps_bar = 0`` premise), so re-encoding an unchanged context is pure
-  waste; the runner memoizes per agent and only calls the scalar
+  waste; each shard memoizes per agent and only calls the scalar
   ``encode`` when the context actually changes.  Fixed-preference
   populations (the paper's synthetic benchmark) therefore encode once
   per agent total.
 
-Everything O(d²)–O(k·d²) — scoring, Sherman–Morrison updates — runs as
-single stacked kernel calls per round.
+Everything O(d²)–O(k·d²) — scoring, Cholesky refreshes,
+Sherman–Morrison updates — runs as stacked kernel calls, one set per
+shard per round.
 """
 
 from __future__ import annotations
@@ -42,26 +52,72 @@ from ..core.payload import EncodedReport, RawReport
 from ..data.environment import StationaryRewardPlan, UserSession
 from ..utils.exceptions import ConfigError
 from ..utils.validation import check_positive_int
-from .stacked import policies_stackable, stack_policies
+from .stacked import stack_policies
 
-__all__ = ["FleetRunner", "FleetResult", "fleet_supported"]
+__all__ = [
+    "FleetRunner",
+    "FleetResult",
+    "fleet_supported",
+    "shard_key",
+    "shard_indices",
+]
+
+
+def shard_key(agent: LocalAgent) -> tuple | None:
+    """The stacking-compatibility fingerprint of one agent.
+
+    Two agents share a stacked state if and only if their keys are
+    equal: same mode, same acting representation, same codebook size
+    (when private), and the same policy
+    :meth:`~repro.bandits.base.BanditPolicy.fleet_key` (kind, shapes,
+    hyperparameters).  ``None`` means the agent cannot run on the fleet
+    engine at all — its policy has no fleet support, or it is
+    warm-private without an encoder.
+    """
+    key = agent.policy.fleet_key()
+    if key is None:
+        return None
+    if agent.mode == AgentMode.WARM_PRIVATE:
+        if agent.encoder is None:
+            return None
+        return (agent.mode, agent.private_context, agent.encoder.n_codes, key)
+    return (agent.mode, agent.private_context, None, key)
 
 
 def fleet_supported(agents: Sequence[LocalAgent]) -> bool:
-    """Whether this agent population can run on the fleet engine."""
+    """Whether this agent population can run on the fleet engine.
+
+    Heterogeneity is no barrier — mixed policy kinds, hyperparameters,
+    modes and codebook sizes shard into separate stacked states — so
+    the only requirement is that *every* agent is individually
+    stackable (:func:`shard_key` is not ``None``).
+    """
     agents = list(agents)
-    if not agents:
-        return False
-    if len({a.mode for a in agents}) != 1:
-        return False
-    if len({a.private_context for a in agents}) != 1:
-        return False
-    if agents[0].mode == AgentMode.WARM_PRIVATE:
-        if any(a.encoder is None for a in agents):
-            return False
-        if len({a.encoder.n_codes for a in agents}) != 1:
-            return False
-    return policies_stackable([a.policy for a in agents])
+    return bool(agents) and all(shard_key(a) is not None for a in agents)
+
+
+def shard_indices(agents: Sequence[LocalAgent]) -> list[np.ndarray]:
+    """Partition agent indices into stackable shards.
+
+    Shards are keyed by :func:`shard_key` and ordered by first
+    appearance; within a shard, agent order is preserved.  Raises
+    :class:`~repro.utils.exceptions.ConfigError` when any agent is not
+    fleet-capable.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for i, agent in enumerate(agents):
+        key = shard_key(agent)
+        if key is None:
+            if agent.policy.fleet_key() is None:
+                why = f"policy {type(agent.policy).__name__} has no fleet support"
+            else:
+                why = "it is warm-private but has no encoder"
+            raise ConfigError(
+                f"agent {agent.agent_id!r} (index {i}) is not fleet-capable: "
+                f"{why} (run the sequential engine instead)"
+            )
+        groups.setdefault(key, []).append(i)
+    return [np.asarray(idx, dtype=np.intp) for idx in groups.values()]
 
 
 @dataclass(frozen=True)
@@ -85,14 +141,174 @@ class FleetResult:
         return np.where(self.expected_mask[:, None], self.expected, self.rewards)
 
 
+class _Shard:
+    """One stackable subpopulation with its own stacked state.
+
+    Owns the per-shard context/encoding caches and (when every session
+    in the shard pre-realizes its horizon) the stationary reward plan
+    arrays.  ``step`` writes outcomes into the *global* result matrices
+    at this shard's agent indices.
+    """
+
+    def __init__(
+        self,
+        indices: np.ndarray,
+        agents: list[LocalAgent],
+        sessions: list[UserSession],
+    ) -> None:
+        self.indices = indices
+        self.agents = agents
+        self.sessions = sessions
+        self.n = len(agents)
+        self.mode = agents[0].mode
+        self.private_context = agents[0].private_context
+        self.stacked = stack_policies([a.policy for a in agents])
+        self._rows = np.arange(self.n)
+        # acting-representation caches (warm-private only)
+        self._cached_ctx: list[np.ndarray | None] = [None] * self.n
+        self._cached_code = np.empty(self.n, dtype=np.intp)
+        self._cached_rep: list[np.ndarray | None] = [None] * self.n
+        # raw contexts, allocated on the first generic-path round
+        self._X: np.ndarray | None = None
+        self._plan_means: np.ndarray | None = None
+        self._plan_noise: np.ndarray | None = None
+        self._plan_acting: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    def prepare(self, n_interactions: int) -> None:
+        """Pre-realize stationary sessions (the plan fast path).
+
+        Override detection, not try/except: probing must not consume
+        any session's stream on failure.  Plans collapse the per-round
+        session loops into array gathers; the plan contract (pinned by
+        ``tests/sim``) makes this exact, and pre-realizing one shard
+        before another is unobservable because session streams are
+        per-agent.
+        """
+        if any(
+            type(s).plan_rewards is UserSession.plan_rewards for s in self.sessions
+        ):
+            return
+        plans: list[StationaryRewardPlan] = [
+            s.plan_rewards(n_interactions) for s in self.sessions
+        ]
+        self._X = np.stack([p.context for p in plans])
+        self._plan_means = np.stack([p.mean_rewards for p in plans])  # (n, A)
+        self._plan_noise = np.stack([p.noise for p in plans])  # (n, T)
+        self._plan_acting = self._acting_representation(self._X, self._rows)
+
+    @property
+    def stationary(self) -> bool:
+        return self._plan_means is not None
+
+    # ------------------------------------------------------------------ #
+    def step(
+        self,
+        t: int,
+        rewards: np.ndarray,
+        actions: np.ndarray,
+        expected: np.ndarray | None,
+        expected_ok: np.ndarray,
+    ) -> None:
+        """Run interaction ``t`` for every agent in this shard."""
+        if self.stationary:
+            acting = self._plan_acting
+            X = self._X
+        else:
+            X = self._next_contexts()
+            acting = self._refresh_acting(X)
+
+        acts = self.stacked.select(acting)
+        actions[self.indices, t] = acts
+
+        if self.stationary:
+            # StationaryRewardPlan.realize, vectorized across agents for
+            # one step: mean[a] + z, clipped — the same elementwise ops
+            # as session.reward (a test pins the plan to the sequential
+            # reward stream)
+            r = np.clip(self._plan_means[self._rows, acts] + self._plan_noise[:, t], 0.0, 1.0)
+            rewards[self.indices, t] = r
+            if expected is not None:
+                expected[self.indices, t] = self._plan_means[self._rows, acts]
+        else:
+            r = np.empty(self.n, dtype=np.float64)
+            for j in range(self.n):
+                r[j] = self.sessions[j].reward(int(acts[j]))
+                g = self.indices[j]
+                if expected is not None and expected_ok[g]:
+                    try:
+                        expected[g, t] = self.sessions[j].expected_rewards()[acts[j]]
+                    except NotImplementedError:
+                        expected_ok[g] = False
+            rewards[self.indices, t] = r
+
+        self.stacked.update(acting, acts, r)
+
+        # per-agent bookkeeping (reporting pipeline)
+        for j in range(self.n):
+            self.agents[j].record_interaction(X[j], int(acts[j]), float(r[j]))
+
+    # ------------------------------------------------------------------ #
+    def _next_contexts(self) -> np.ndarray:
+        if self._X is None:
+            first = self.sessions[0].next_context()
+            self._X = np.empty((self.n, first.shape[0]), dtype=np.float64)
+            self._X[0] = first
+            for j in range(1, self.n):
+                self._X[j] = self.sessions[j].next_context()
+        else:
+            for j in range(self.n):
+                self._X[j] = self.sessions[j].next_context()
+        return self._X
+
+    def _refresh_acting(self, X: np.ndarray) -> np.ndarray:
+        if self.mode != AgentMode.WARM_PRIVATE:
+            return X
+        stale = np.asarray(
+            [
+                j
+                for j in range(self.n)
+                if self._cached_ctx[j] is None
+                or not np.array_equal(X[j], self._cached_ctx[j])
+            ],
+            dtype=np.intp,
+        )
+        return self._acting_representation(X, stale)
+
+    def _acting_representation(self, X: np.ndarray, stale: np.ndarray) -> np.ndarray:
+        """The representation the stacked policy consumes for contexts ``X``.
+
+        ``stale`` lists shard-local agent indices whose cached encoding
+        must be refreshed (all of them on the first call).  Encoders are
+        deterministic — the ``eps_bar = 0`` premise — so serving a code
+        from cache is exact, not approximate.
+        """
+        if self.mode != AgentMode.WARM_PRIVATE:
+            return X
+        for j in stale:
+            j = int(j)
+            self._cached_ctx[j] = X[j].copy()
+            encoder = self.agents[j].encoder
+            self._cached_code[j] = encoder.encode(X[j])
+            if self.private_context == "centroid":
+                self._cached_rep[j] = encoder.decode(int(self._cached_code[j]))
+        if self.stacked.wants_codes:
+            return self._cached_code
+        if self.private_context == "centroid":
+            return np.stack(self._cached_rep)
+        return self.agents[0].encoder.one_hot_batch(self._cached_code)  # type: ignore[union-attr]
+
+
 class FleetRunner:
     """Vectorized population simulator (see module docstring).
 
     Parameters
     ----------
     agents:
-        A homogeneous population (same mode, same policy kind and
-        hyperparameters; same codebook size when private).
+        Any population of fleet-capable agents.  Homogeneous
+        populations run as a single shard (the PR-1 fast path);
+        mixed policy kinds / hyperparameters / modes / codebook sizes
+        shard automatically.
     sessions:
         One user session per agent, aligned by index.
     """
@@ -109,14 +325,14 @@ class FleetRunner:
                 f"agents ({len(self.agents)}) and sessions ({len(self.sessions)}) "
                 "must align one-to-one"
             )
-        if not fleet_supported(self.agents):
-            raise ConfigError(
-                "population not fleet-capable: agents must share mode and "
-                "private_context, and policies must be homogeneous with "
-                "supports_fleet=True (run the sequential engine instead)"
-            )
-        self.mode = self.agents[0].mode
-        self.private_context = self.agents[0].private_context
+        # partition eagerly so unsupported populations fail at
+        # construction, not mid-run
+        self._shard_index_groups = shard_indices(self.agents)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of stacked states this population partitions into."""
+        return len(self._shard_index_groups)
 
     # ------------------------------------------------------------------ #
     def run(self, n_interactions: int, *, track_expected: bool = False) -> FleetResult:
@@ -128,135 +344,36 @@ class FleetRunner:
         reports carrying the same metadata.
         """
         n_interactions = check_positive_int(n_interactions, name="n_interactions")
-        agents, sessions = self.agents, self.sessions
-        n = len(agents)
-        private = self.mode == AgentMode.WARM_PRIVATE
-        stacked = stack_policies([a.policy for a in agents])
+        n = len(self.agents)
+
+        shards = [
+            _Shard(
+                idx,
+                [self.agents[i] for i in idx],
+                [self.sessions[i] for i in idx],
+            )
+            for idx in self._shard_index_groups
+        ]
+        for shard in shards:
+            shard.prepare(n_interactions)
 
         rewards = np.empty((n, n_interactions), dtype=np.float64)
         actions_mat = np.empty((n, n_interactions), dtype=np.intp)
         expected = np.empty((n, n_interactions), dtype=np.float64) if track_expected else None
         expected_ok = np.full(n, track_expected, dtype=bool)
 
-        # Stationary fast path: when every session pre-realizes its
-        # horizon (fixed context, pre-drawn noise — see
-        # StationaryRewardPlan), the per-round session loops collapse
-        # into array gathers.  Override detection, not try/except:
-        # probing must not consume any session's stream on failure.
-        plans: list[StationaryRewardPlan] | None = None
-        if all(
-            type(s).plan_rewards is not UserSession.plan_rewards for s in sessions
-        ):
-            plans = [s.plan_rewards(n_interactions) for s in sessions]
-
-        if plans is not None:
-            X = np.stack([p.context for p in plans])
-            mean_matrix = np.stack([p.mean_rewards for p in plans])  # (n, A)
-            noise = np.stack([p.noise for p in plans])  # (n, T)
-            acting = self._acting_representation(stacked, X, np.arange(n))
-            idx = np.arange(n)
-            for t in range(n_interactions):
-                acts = stacked.select(acting)
-                actions_mat[:, t] = acts
-                # StationaryRewardPlan.realize, vectorized across agents
-                # for one step: mean[a] + z, clipped — the same
-                # elementwise ops as session.reward (a test pins the
-                # plan to the sequential reward stream)
-                rewards[:, t] = np.clip(mean_matrix[idx, acts] + noise[:, t], 0.0, 1.0)
-                if expected is not None:
-                    expected[:, t] = mean_matrix[idx, acts]
-                stacked.update(acting, acts, rewards[:, t])
-                for i in range(n):
-                    agents[i].record_interaction(X[i], int(acts[i]), float(rewards[i, t]))
-            stacked.writeback()
-            return FleetResult(
-                rewards=rewards,
-                actions=actions_mat,
-                expected=expected,
-                expected_mask=expected_ok,
-            )
-
-        # generic path: arbitrary stateful sessions, stepped per round
-        X = None  # raw contexts, allocated on first round
-        self._cached_ctx = [None] * n
-        self._cached_code = np.empty(n, dtype=np.intp)
-        self._cached_rep = [None] * n  # centroid representations
-
         for t in range(n_interactions):
-            # -- contexts ------------------------------------------------ #
-            if X is None:
-                first = sessions[0].next_context()
-                X = np.empty((n, first.shape[0]), dtype=np.float64)
-                X[0] = first
-                for i in range(1, n):
-                    X[i] = sessions[i].next_context()
-            else:
-                for i in range(n):
-                    X[i] = sessions[i].next_context()
+            for shard in shards:
+                shard.step(t, rewards, actions_mat, expected, expected_ok)
 
-            # -- acting representation ---------------------------------- #
-            if private:
-                stale = [
-                    i
-                    for i in range(n)
-                    if self._cached_ctx[i] is None
-                    or not np.array_equal(X[i], self._cached_ctx[i])
-                ]
-                acting = self._acting_representation(stacked, X, np.asarray(stale, dtype=np.intp))
-            else:
-                acting = X
-
-            # -- select / reward / update -------------------------------- #
-            acts = stacked.select(acting)
-            actions_mat[:, t] = acts
-            for i in range(n):
-                rewards[i, t] = sessions[i].reward(int(acts[i]))
-                if expected is not None and expected_ok[i]:
-                    try:
-                        expected[i, t] = sessions[i].expected_rewards()[acts[i]]
-                    except NotImplementedError:
-                        expected_ok[i] = False
-            stacked.update(acting, acts, rewards[:, t])
-
-            # -- per-agent bookkeeping (reporting pipeline) -------------- #
-            for i in range(n):
-                agents[i].record_interaction(X[i], int(acts[i]), float(rewards[i, t]))
-
-        stacked.writeback()
+        for shard in shards:
+            shard.stacked.writeback()
         return FleetResult(
             rewards=rewards,
             actions=actions_mat,
             expected=expected,
             expected_mask=expected_ok,
         )
-
-    # ------------------------------------------------------------------ #
-    def _acting_representation(self, stacked, X: np.ndarray, stale: np.ndarray):
-        """The representation the stacked policy consumes for contexts ``X``.
-
-        ``stale`` lists agent indices whose cached encoding must be
-        refreshed (all of them on the first call).  Encoders are
-        deterministic — the ``eps_bar = 0`` premise — so serving a code
-        from cache is exact, not approximate.
-        """
-        if self.mode != AgentMode.WARM_PRIVATE:
-            return X
-        if not hasattr(self, "_cached_ctx"):
-            self._cached_ctx = [None] * len(self.agents)
-            self._cached_code = np.empty(len(self.agents), dtype=np.intp)
-            self._cached_rep = [None] * len(self.agents)
-        for i in stale:
-            i = int(i)
-            self._cached_ctx[i] = X[i].copy()
-            encoder = self.agents[i].encoder
-            self._cached_code[i] = encoder.encode(X[i])
-            if self.private_context == "centroid":
-                self._cached_rep[i] = encoder.decode(int(self._cached_code[i]))
-        if stacked.wants_codes:
-            return self._cached_code
-        if self.private_context == "centroid":
-            return np.stack(self._cached_rep)
-        return self.agents[0].encoder.one_hot_batch(self._cached_code)  # type: ignore[union-attr]
 
     # ------------------------------------------------------------------ #
     def drain_outboxes(self) -> list[EncodedReport | RawReport]:

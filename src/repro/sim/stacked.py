@@ -24,8 +24,9 @@ import numpy as np
 from ..bandits.base import BanditPolicy, argmax_random_tiebreak
 from ..bandits.code_linucb import CodeLinUCB
 from ..bandits.epsilon_greedy import EpsilonGreedy
-from ..bandits.kernels import linear_scores, mat_vec, sherman_morrison, ucb_explore
+from ..bandits.kernels import linear_scores, mat_vec, sherman_morrison, ucb_explore, vec_dot
 from ..bandits.linucb import LinUCB
+from ..bandits.thompson import LinearThompsonSampling
 from ..bandits.ucb1 import UCB1
 from ..utils.exceptions import ConfigError
 
@@ -33,6 +34,7 @@ __all__ = [
     "StackedPolicies",
     "StackedLinUCB",
     "StackedEpsilonGreedy",
+    "StackedThompson",
     "StackedCodeLinUCB",
     "StackedUCB1",
     "stack_policies",
@@ -203,6 +205,73 @@ class StackedEpsilonGreedy(_StackedDenseLinear):
         self._writeback_dense()
 
 
+class StackedThompson(_StackedDenseLinear):
+    """``n`` independent :class:`~repro.bandits.thompson.LinearThompsonSampling` agents.
+
+    All O(d²) work — Cholesky refresh, posterior-mean shifts, scoring,
+    Sherman–Morrison — runs stacked; only the posterior draws stay in a
+    thin per-agent loop, because each draw must come from that agent's
+    own generator.  One ``standard_normal((A, d))`` fill per agent
+    consumes the stream in exactly the arm-major order the scalar
+    policy's per-arm loop does (the stream order
+    :class:`~repro.bandits.thompson.LinearThompsonSampling` defines), so
+    Thompson joins the bit-identity contract instead of breaking it.
+    """
+
+    def __init__(self, policies: Sequence[LinearThompsonSampling]) -> None:
+        super().__init__(policies)
+        self.v = _uniform([p.v for p in policies], "v")
+        self.chol = np.stack([p._chol for p in policies])  # (n, A, d, d)
+        self.chol_fresh = np.stack([p._chol_fresh for p in policies])  # (n, A)
+
+    def _refresh_chol(self) -> None:
+        """Batched equivalent of the scalar lazy per-arm refresh.
+
+        The scalar policy refreshes every stale arm (consuming no RNG)
+        at the top of each selection; here all stale ``(agent, arm)``
+        pairs refresh in one gufunc call — numpy's batched ``cholesky``
+        runs the same LAPACK factorization per matrix, so the factors
+        are bitwise those of the scalar path.
+        """
+        stale = ~self.chol_fresh
+        if not stale.any():
+            return
+        rows, arms = np.nonzero(stale)
+        try:
+            self.chol[rows, arms] = np.linalg.cholesky(self.A_inv[rows, arms])
+        except np.linalg.LinAlgError:
+            # mirror the scalar fallback per matrix: jitter only the
+            # matrices that actually fail
+            jitter = 1e-10 * np.eye(self.n_features)
+            for i, a in zip(rows, arms):
+                try:
+                    self.chol[i, a] = np.linalg.cholesky(self.A_inv[i, a])
+                except np.linalg.LinAlgError:
+                    self.chol[i, a] = np.linalg.cholesky(self.A_inv[i, a] + jitter)
+        self.chol_fresh[rows, arms] = True
+
+    def sample_scores(self, contexts: np.ndarray) -> np.ndarray:
+        self._refresh_chol()
+        Z = np.empty((self.n_agents, self.n_arms, self.n_features))
+        for i, rng in enumerate(self.rngs):
+            Z[i] = rng.standard_normal((self.n_arms, self.n_features))
+        theta_tilde = self.theta + self.v * mat_vec(self.chol, Z)
+        return vec_dot(theta_tilde, contexts[:, None, :])
+
+    def select(self, contexts: np.ndarray) -> np.ndarray:
+        return _tiebreak_rows(self.sample_scores(contexts), self.rngs)
+
+    def update(self, contexts, actions, rewards) -> None:
+        self._dense_update(contexts, actions, rewards)
+        self.chol_fresh[np.arange(self.n_agents), actions] = False
+
+    def writeback(self) -> None:
+        for i, p in enumerate(self.policies):
+            p._chol = self.chol[i].copy()
+            p._chol_fresh = self.chol_fresh[i].copy()
+        self._writeback_dense()
+
+
 class StackedCodeLinUCB(StackedPolicies):
     """``n`` independent :class:`~repro.bandits.code_linucb.CodeLinUCB` agents.
 
@@ -285,25 +354,32 @@ class StackedUCB1(StackedPolicies):
 _STACKERS: dict[str, type[StackedPolicies]] = {
     LinUCB.kind: StackedLinUCB,
     EpsilonGreedy.kind: StackedEpsilonGreedy,
+    LinearThompsonSampling.kind: StackedThompson,
     CodeLinUCB.kind: StackedCodeLinUCB,
     UCB1.kind: StackedUCB1,
 }
 
 
 def policies_stackable(policies: Sequence[BanditPolicy]) -> bool:
-    """Whether :func:`stack_policies` would accept this population."""
+    """Whether :func:`stack_policies` would accept this population.
+
+    Stackability is exactly "every policy shares one non-``None``
+    :meth:`~repro.bandits.base.BanditPolicy.fleet_key`": same kind, same
+    shapes, same hyperparameters.  Populations that merely *mix* keys
+    are not stackable into one state, but the sharded fleet engine
+    (:func:`repro.sim.fleet.shard_indices`) still runs them — one
+    stacked state per key.
+    """
     policies = list(policies)
     if not policies:
         return False
     first = type(policies[0])
     if not all(type(p) is first for p in policies):
         return False
-    if not (policies[0].supports_fleet and policies[0].kind in _STACKERS):
+    key = policies[0].fleet_key()
+    if key is None or policies[0].kind not in _STACKERS:
         return False
-    return (
-        len({p.n_arms for p in policies}) == 1
-        and len({p.n_features for p in policies}) == 1
-    )
+    return all(p.fleet_key() == key for p in policies[1:])
 
 
 def stack_policies(policies: Sequence[BanditPolicy]) -> StackedPolicies:

@@ -15,7 +15,7 @@ so that
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator
 
 import numpy as np
 
@@ -95,7 +95,8 @@ def rng_state_digest(rng: np.random.Generator) -> int:
     randomness from a shared stream.
     """
     state = rng.bit_generator.state
-    return hash(str(sorted(state["state"].items()) if isinstance(state.get("state"), dict) else state))
+    inner = state["state"]
+    return hash(str(sorted(inner.items()) if isinstance(inner, dict) else state))
 
 
 def iter_rngs(seed: RandomState) -> Iterator[np.random.Generator]:

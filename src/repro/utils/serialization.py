@@ -25,7 +25,12 @@ _ARRAY_KEY = "__ndarray__"
 
 def _encode(obj: Any) -> Any:
     if isinstance(obj, np.ndarray):
-        return {_ARRAY_KEY: True, "dtype": str(obj.dtype), "shape": list(obj.shape), "data": obj.ravel().tolist()}
+        return {
+            _ARRAY_KEY: True,
+            "dtype": str(obj.dtype),
+            "shape": list(obj.shape),
+            "data": obj.ravel().tolist(),
+        }
     if isinstance(obj, (np.integer,)):
         return int(obj)
     if isinstance(obj, (np.floating,)):
@@ -82,7 +87,8 @@ def state_to_bytes(state: Mapping[str, Any]) -> bytes:
         else:
             meta[key] = _encode(value)
     buf = io.BytesIO()
-    np.savez_compressed(buf, __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8), **arrays)
+    meta_blob = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez_compressed(buf, __meta__=meta_blob, **arrays)
     return buf.getvalue()
 
 
@@ -96,7 +102,9 @@ def state_from_bytes(blob: bytes) -> dict[str, Any]:
     return out
 
 
-def states_equal(a: Mapping[str, Any], b: Mapping[str, Any], *, rtol: float = 0.0, atol: float = 0.0) -> bool:
+def states_equal(
+    a: Mapping[str, Any], b: Mapping[str, Any], *, rtol: float = 0.0, atol: float = 0.0
+) -> bool:
     """Structural equality of two state dicts (exact by default)."""
     if set(a) != set(b):
         return False

@@ -36,12 +36,18 @@ def format_table(
         return (title + "\n" if title else "") + "(empty table)"
     if isinstance(rows[0], Mapping):
         headers = list(headers) if headers is not None else list(rows[0].keys())
-        body = [[_fmt_cell(r.get(h, ""), floatfmt=floatfmt) for h in headers] for r in rows]  # type: ignore[union-attr]
+        body = [
+            [_fmt_cell(r.get(h, ""), floatfmt=floatfmt) for h in headers]  # type: ignore
+            for r in rows
+        ]
     else:
         if headers is None:
             raise ValueError("headers are required for sequence rows")
         headers = list(headers)
-        body = [[_fmt_cell(c, floatfmt=floatfmt) for c in r] for r in rows]  # type: ignore[union-attr]
+        body = [
+            [_fmt_cell(c, floatfmt=floatfmt) for c in r]  # type: ignore[union-attr]
+            for r in rows
+        ]
     widths = [max(len(h), *(len(row[i]) for row in body)) for i, h in enumerate(headers)]
     sep = "-+-".join("-" * w for w in widths)
     lines = []

@@ -63,7 +63,9 @@ def check_array(
     except (TypeError, ValueError) as exc:
         raise ValidationError(f"{name} is not convertible to an ndarray: {exc}") from exc
     if ndim is not None and arr.ndim != ndim:
-        raise ValidationError(f"{name} must have ndim={ndim}, got ndim={arr.ndim} (shape {arr.shape})")
+        raise ValidationError(
+            f"{name} must have ndim={ndim}, got ndim={arr.ndim} (shape {arr.shape})"
+        )
     if not allow_empty and arr.size == 0:
         raise ValidationError(f"{name} must not be empty")
     if finite and np.issubdtype(arr.dtype, np.floating) and not np.all(np.isfinite(arr)):
@@ -116,7 +118,9 @@ def check_scalar(
     return v
 
 
-def check_probability(value: Any, *, name: str = "p", allow_zero: bool = True, allow_one: bool = True) -> float:
+def check_probability(
+    value: Any, *, name: str = "p", allow_zero: bool = True, allow_one: bool = True
+) -> float:
     """Validate a probability in ``[0, 1]`` (bounds optionally open)."""
     return check_scalar(
         value,

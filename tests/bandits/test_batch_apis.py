@@ -93,7 +93,28 @@ def test_supports_fleet_flags():
     assert EpsilonGreedy.supports_fleet
     assert CodeLinUCB.supports_fleet
     assert UCB1.supports_fleet
-    assert not LinearThompsonSampling.supports_fleet
+    assert LinearThompsonSampling.supports_fleet
+
+
+def test_fleet_keys_shard_by_kind_and_hyperparameters():
+    base = LinUCB(n_arms=3, n_features=4, seed=0)
+    assert base.fleet_key() == LinUCB(n_arms=3, n_features=4, seed=9).fleet_key()
+    assert base.fleet_key() != LinUCB(n_arms=3, n_features=4, alpha=2.0).fleet_key()
+    assert base.fleet_key() != LinUCB(n_arms=4, n_features=4).fleet_key()
+    assert base.fleet_key() != EpsilonGreedy(n_arms=3, n_features=4).fleet_key()
+    # epsilon is mutable state, not a shard key: two different epsilons
+    # still stack (decay/ridge are the shared constants)
+    assert (
+        EpsilonGreedy(n_arms=3, n_features=4, epsilon=0.1).fleet_key()
+        == EpsilonGreedy(n_arms=3, n_features=4, epsilon=0.4).fleet_key()
+    )
+    assert (
+        LinearThompsonSampling(n_arms=3, n_features=4, v=0.5).fleet_key()
+        != LinearThompsonSampling(n_arms=3, n_features=4, v=1.0).fleet_key()
+    )
+    from repro.bandits import RandomPolicy
+
+    assert RandomPolicy(n_arms=3, n_features=4).fleet_key() is None
 
 
 @pytest.mark.parametrize("cls", [LinUCB, EpsilonGreedy, LinearThompsonSampling])

@@ -49,7 +49,8 @@ class TestEquivalenceWithDenseLinUCB:
         dense = LinUCB(n_arms, k, alpha=0.3, ridge=2.5, seed=0)
         fast = CodeLinUCB(n_arms, k, alpha=0.3, ridge=2.5, seed=0)
         for _ in range(40):
-            code, action, reward = int(rng.integers(k)), int(rng.integers(n_arms)), float(rng.random())
+            code = int(rng.integers(k))
+            action, reward = int(rng.integers(n_arms)), float(rng.random())
             dense.update(_one_hot(code, k), action, reward)
             fast.update(_one_hot(code, k), action, reward)
         for code in range(k):

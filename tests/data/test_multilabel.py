@@ -11,7 +11,6 @@ from repro.data import (
     make_multilabel_dataset,
     make_textmining_like,
 )
-from repro.utils.exceptions import DataError
 
 
 class TestGenerator:
@@ -89,7 +88,7 @@ class TestEnvironment:
 
     def test_reward_is_label_membership(self, env):
         user = env.new_user(seed=1)
-        x = user.next_context()
+        user.next_context()  # advance to the first interaction
         truth = user.expected_rewards()
         for a in range(env.n_actions):
             assert user.reward(a) == truth[a]

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.encoding import GridEncoder
 from repro.privacy import enumerate_quantized_simplex

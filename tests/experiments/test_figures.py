@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.experiments import figure2, figure3, figure4, figure6, figure7

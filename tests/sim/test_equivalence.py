@@ -19,7 +19,7 @@ from collections import Counter
 import numpy as np
 import pytest
 
-from repro.bandits import UCB1, CodeLinUCB, EpsilonGreedy, LinUCB
+from repro.bandits import UCB1, CodeLinUCB, EpsilonGreedy, LinUCB, LinearThompsonSampling
 from repro.core.config import AgentMode, P2BConfig
 from repro.core.rounds import DeploymentLoop
 from repro.core.shuffler import Shuffler
@@ -55,9 +55,13 @@ def _ucb1(n_arms, n_features, seed):
     return UCB1(n_arms=n_arms, n_features=n_features, seed=seed)
 
 
+def _thompson(n_arms, n_features, seed):
+    return LinearThompsonSampling(n_arms=n_arms, n_features=n_features, seed=seed)
+
+
 # (factory, modes it can run in); CodeLinUCB needs one-hot codes, so it
 # only participates in warm-private one-hot populations.
-_DENSE_FACTORIES = [_linucb, _eps_greedy, _ucb1]
+_DENSE_FACTORIES = [_linucb, _eps_greedy, _ucb1, _thompson]
 
 
 def _combos():
@@ -152,7 +156,8 @@ def _encoders():
 def _run_setting_cases():
     for name, encoder in _encoders():
         for private_context in ("one-hot", "centroid"):
-            yield f"warm-private/{name}/{private_context}", AgentMode.WARM_PRIVATE, encoder, private_context
+            label = f"warm-private/{name}/{private_context}"
+            yield label, AgentMode.WARM_PRIVATE, encoder, private_context
     yield "cold", AgentMode.COLD, None, "one-hot"
     yield "warm-nonprivate", AgentMode.WARM_NONPRIVATE, None, "one-hot"
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.bandits import EpsilonGreedy, LinUCB, LinearThompsonSampling
+from repro.bandits import EpsilonGreedy, LinUCB, RandomPolicy
 from repro.core.config import AgentMode, P2BConfig
 from repro.core.system import P2BSystem
 from repro.data.synthetic import SyntheticPreferenceEnvironment
@@ -24,8 +24,8 @@ def _linucb(n_arms, n_features, seed):
     return LinUCB(n_arms=n_arms, n_features=n_features, seed=seed)
 
 
-def _thompson(n_arms, n_features, seed):
-    return LinearThompsonSampling(n_arms=n_arms, n_features=n_features, seed=seed)
+def _random(n_arms, n_features, seed):
+    return RandomPolicy(n_arms=n_arms, n_features=n_features, seed=seed)
 
 
 class TestValidation:
@@ -39,12 +39,22 @@ class TestValidation:
             FleetRunner(agents, sessions[:-1])
 
     def test_unsupported_policy_rejected(self):
-        agents, sessions = make_population(_thompson, AgentMode.COLD, 3, 0)
+        agents, sessions = make_population(_random, AgentMode.COLD, 3, 0)
         assert not fleet_supported(agents)
         with pytest.raises(ConfigError):
             FleetRunner(agents, sessions)
 
-    def test_heterogeneous_policies_rejected(self):
+    def test_one_unsupported_agent_poisons_the_population(self):
+        agents, sessions = make_population(_linucb, AgentMode.COLD, 3, 0)
+        bad, bad_sessions = make_population(_random, AgentMode.COLD, 1, 1)
+        mixed = agents + bad
+        assert not fleet_supported(mixed)
+        with pytest.raises(ConfigError, match="not fleet-capable"):
+            FleetRunner(mixed, sessions + bad_sessions)
+
+    def test_heterogeneous_policies_shard(self):
+        # mixed policy kinds are no longer rejected: they partition
+        # into one stacked state per kind
         agents_a, sessions_a = make_population(_linucb, AgentMode.COLD, 2, 0)
         agents_b, sessions_b = make_population(
             lambda a, d, s: EpsilonGreedy(n_arms=a, n_features=d, seed=s),
@@ -53,24 +63,22 @@ class TestValidation:
             1,
         )
         mixed = agents_a + agents_b
-        assert not fleet_supported(mixed)
-        with pytest.raises(ConfigError):
-            FleetRunner(mixed, sessions_a + sessions_b)
+        assert fleet_supported(mixed)
+        runner = FleetRunner(mixed, sessions_a + sessions_b)
+        assert runner.n_shards == 2
 
-    def test_mixed_modes_rejected(self):
+    def test_mixed_modes_shard(self):
         cold, cold_sessions = make_population(_linucb, AgentMode.COLD, 2, 0)
         warm, warm_sessions = make_population(_linucb, AgentMode.WARM_NONPRIVATE, 2, 0)
-        assert not fleet_supported(cold + warm)
-        with pytest.raises(ConfigError):
-            FleetRunner(cold + warm, cold_sessions + warm_sessions)
+        assert fleet_supported(cold + warm)
+        runner = FleetRunner(cold + warm, cold_sessions + warm_sessions)
+        assert runner.n_shards == 2
 
 
 class TestEngineDispatch:
     def test_engine_fleet_raises_on_unsupported_population(self):
-        # Thompson-backed populations cannot stack; run_setting only
-        # builds LinUCB-family agents, so force the error at the
-        # FleetRunner layer instead.
-        agents, sessions = make_population(_thompson, AgentMode.COLD, 2, 0)
+        # RandomPolicy has no fleet support, so the runner must refuse
+        agents, sessions = make_population(_random, AgentMode.COLD, 2, 0)
         with pytest.raises(ConfigError):
             FleetRunner(agents, sessions)
 

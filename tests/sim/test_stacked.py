@@ -10,6 +10,7 @@ from repro.sim import (
     StackedCodeLinUCB,
     StackedEpsilonGreedy,
     StackedLinUCB,
+    StackedThompson,
     StackedUCB1,
     policies_stackable,
     stack_policies,
@@ -30,6 +31,7 @@ class TestDispatch:
         [
             (LinUCB, StackedLinUCB),
             (EpsilonGreedy, StackedEpsilonGreedy),
+            (LinearThompsonSampling, StackedThompson),
             (CodeLinUCB, StackedCodeLinUCB),
             (UCB1, StackedUCB1),
         ],
@@ -39,8 +41,10 @@ class TestDispatch:
         assert isinstance(stacked, stacked_cls)
         assert stacked.n_agents == 5
 
-    def test_thompson_not_stackable(self):
-        policies = _population(LinearThompsonSampling, 3)
+    def test_unsupported_policy_not_stackable(self):
+        from repro.bandits import RandomPolicy
+
+        policies = _population(RandomPolicy, 3)
         assert not policies_stackable(policies)
         with pytest.raises(ConfigError):
             stack_policies(policies)

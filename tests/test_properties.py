@@ -196,7 +196,7 @@ def _fleet_encoder():
 
 @given(
     st.integers(0, 2**31 - 1),
-    st.sampled_from(["linucb", "epsilon_greedy"]),
+    st.sampled_from(["linucb", "epsilon_greedy", "lin_ts"]),
     st.sampled_from(["cold", "warm-nonprivate", "warm-private"]),
     st.integers(2, 9),
     st.integers(3, 15),
@@ -207,11 +207,15 @@ def test_property_fleet_matches_sequential(seed, kind, mode, n_agents, n_interac
     reproduces the sequential reference bit-for-bit: rewards and final
     policy state (the repro.sim contract, here fuzzed rather than
     enumerated)."""
-    from repro.bandits import EpsilonGreedy, LinUCB
+    from repro.bandits import EpsilonGreedy, LinUCB, LinearThompsonSampling
     from repro.experiments.runner import _simulate_agent
     from repro.sim import FleetRunner
 
-    policy_cls = {"linucb": LinUCB, "epsilon_greedy": EpsilonGreedy}[kind]
+    policy_cls = {
+        "linucb": LinUCB,
+        "epsilon_greedy": EpsilonGreedy,
+        "lin_ts": LinearThompsonSampling,
+    }[kind]
     encoder = _fleet_encoder()
     seq_agents, seq_sessions = _fleet_population(
         policy_cls, mode, n_agents, seed, encoder, "one-hot"
@@ -237,3 +241,65 @@ def test_property_fleet_matches_sequential(seed, kind, mode, n_agents, n_interac
                 np.asarray(state_seq[key]), np.asarray(state_fleet[key])
             )
         assert [r for r in sa.outbox] == [r for r in fa.outbox]
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.lists(
+        st.sampled_from(["linucb", "epsilon_greedy", "lin_ts", "ucb1"]),
+        min_size=2,
+        max_size=8,
+    ),
+    st.integers(3, 12),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_sharded_fleet_matches_sequential(seed, kinds, n_interactions):
+    """Mixed populations — an arbitrary per-agent assignment of policy
+    kinds — run sharded on the fleet engine and still reproduce the
+    sequential reference bit-for-bit (rewards, actions, final states)."""
+    from repro.bandits import UCB1, EpsilonGreedy, LinUCB, LinearThompsonSampling
+    from repro.experiments.runner import _simulate_agent
+    from repro.sim import FleetRunner, fleet_supported
+
+    classes = {
+        "linucb": LinUCB,
+        "epsilon_greedy": EpsilonGreedy,
+        "lin_ts": LinearThompsonSampling,
+        "ucb1": UCB1,
+    }
+
+    def build():
+        from repro.core import LocalAgent
+        from repro.data.synthetic import SyntheticPreferenceEnvironment
+        from repro.utils.rng import spawn_seeds
+
+        env = SyntheticPreferenceEnvironment(n_actions=3, n_features=4, seed=13)
+        agents, sessions = [], []
+        for i, s in enumerate(spawn_seeds(seed, len(kinds))):
+            policy_seed, session_seed = s.spawn(2)
+            policy = classes[kinds[i]](n_arms=3, n_features=4, seed=policy_seed)
+            agents.append(LocalAgent(f"u{i}", policy, mode="cold"))
+            sessions.append(env.new_user(session_seed))
+        return agents, sessions
+
+    seq_agents, seq_sessions = build()
+    fleet_agents, fleet_sessions = build()
+    assert fleet_supported(fleet_agents)
+
+    seq_rewards = np.stack(
+        [
+            _simulate_agent(a, s, n_interactions)[0]
+            for a, s in zip(seq_agents, seq_sessions)
+        ]
+    )
+    runner = FleetRunner(fleet_agents, fleet_sessions)
+    assert runner.n_shards == len(set(kinds))
+    result = runner.run(n_interactions)
+
+    np.testing.assert_array_equal(seq_rewards, result.rewards)
+    for sa, fa in zip(seq_agents, fleet_agents):
+        state_seq, state_fleet = sa.policy.get_state(), fa.policy.get_state()
+        for key in state_seq:
+            np.testing.assert_array_equal(
+                np.asarray(state_seq[key]), np.asarray(state_fleet[key])
+            )
