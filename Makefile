@@ -8,7 +8,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) PYTHONHASHSEED=0 python
 
-.PHONY: test smoke bench bench-fleet lint format install
+.PHONY: test smoke bench bench-fleet bench-replay lint format install
 
 # tier-1: the full suite (the driver's acceptance gate)
 test:
@@ -27,6 +27,12 @@ bench:
 # speedup floors tunable via BENCH_FLEET_MIN_SPEEDUP[_HET] for noisy CI runners)
 bench-fleet:
 	$(PY) -m pytest benchmarks/bench_fleet_engine.py -q
+
+# replay-plan fast path on the dataset workloads (multilabel + Criteo;
+# writes benchmarks/results/BENCH_replay.json; floor tunable via
+# BENCH_REPLAY_MIN_SPEEDUP)
+bench-replay:
+	$(PY) -m pytest benchmarks/bench_replay.py -q
 
 # lint + format check (config in pyproject.toml [tool.ruff])
 lint:

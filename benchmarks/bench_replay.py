@@ -1,0 +1,297 @@
+"""Replay-plan fast path: ≥5x fleet-over-sequential on dataset sessions.
+
+The paper's headline empirical claims live in the multilabel and
+Criteo experiments (§5.2–§5.3, Figs. 6–7), which replay logged dataset
+rows — exactly the workloads the fleet engine could not vectorize
+before the trace-plan fast path: dataset sessions fell back to the
+generic per-round Python session loop.  With ``has_trace_plan``
+sessions the engine pre-materializes each agent's row walk
+(:meth:`~repro.data.environment.UserSession.plan_trace`), batch-encodes
+whole horizons for warm-private shards, and turns per-round session +
+encode calls into array gathers.
+
+Headline workloads — the paper's own §5.2/§5.3 protocol, warm-private
+P2B agents (CodeLinUCB over a k=2^6 codebook, randomized
+participation) on:
+
+* the MediaMill-like multilabel corpus (d=20, A=40, 100 samples/user);
+* the Criteo-like replay stream (d=10, A=40, 300 impressions/user).
+
+The sequential baseline is timed on a subsample of the *same*
+population (agents are independent, so per-interaction cost is
+population-size-invariant), and the subsample's sequential rewards,
+final policy states and outboxes are asserted bit-identical to the
+matching fleet rows — the bench doubles as an equivalence check at
+scale.  A cold dense-LinUCB multilabel population is recorded as a
+secondary workload (no speedup floor): its per-round ``(n, A, d, d)``
+einsums are compute-bound, so its speedup is structurally lower —
+tracking it over PRs is the point.
+
+The last record exercises shard-level parallelism: a two-shard
+multilabel population (warm-private CodeLinUCB + cold LinUCB) stepped
+serially and with ``n_workers=2``, asserted bit-identical.
+
+Speedup floors are environment-tunable (``BENCH_REPLAY_MIN_SPEEDUP``)
+for CI runners with noisy neighbours.  Writes
+``benchmarks/results/BENCH_replay.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.bandits import LinUCB
+from repro.core.agent import LocalAgent
+from repro.core.config import AgentMode, P2BConfig
+from repro.core.system import P2BSystem
+from repro.data.criteo import CriteoBanditEnvironment, build_criteo_actions, make_criteo_like
+from repro.data.multilabel import MultilabelBanditEnvironment, make_mediamill_like
+from repro.experiments.runner import _simulate_agent
+from repro.sim import FleetRunner
+from repro.utils.rng import spawn_seeds
+
+N_AGENTS = 2_000
+N_SEQ_AGENTS = 150
+N_INTERACTIONS = 100
+N_CODES = 2**6
+SEED = 0
+
+MIN_SPEEDUP = float(os.environ.get("BENCH_REPLAY_MIN_SPEEDUP", "5.0"))
+MIN_SPEEDUP_DENSE = float(os.environ.get("BENCH_REPLAY_MIN_SPEEDUP_DENSE", "1.2"))
+
+_ML_DATASET = None
+_CRITEO_DATASET = None
+
+
+def _multilabel_dataset():
+    global _ML_DATASET
+    if _ML_DATASET is None:
+        _ML_DATASET = make_mediamill_like(6_000, seed=SEED)
+    return _ML_DATASET
+
+
+def _criteo_dataset():
+    global _CRITEO_DATASET
+    if _CRITEO_DATASET is None:
+        _CRITEO_DATASET = build_criteo_actions(make_criteo_like(30_000, seed=SEED))
+    return _CRITEO_DATASET
+
+
+def _multilabel_env():
+    return MultilabelBanditEnvironment(
+        _multilabel_dataset(), samples_per_user=100, seed=SEED + 1
+    )
+
+
+def _criteo_env():
+    return CriteoBanditEnvironment(
+        _criteo_dataset(), impressions_per_user=300, seed=SEED + 1
+    )
+
+
+def _warm_private_population(env_factory, n_features):
+    """The paper's §5.2/§5.3 deployment: system-wired warm-private agents."""
+
+    def make(n_agents):
+        config = P2BConfig(
+            n_actions=40,
+            n_features=n_features,
+            n_codes=N_CODES,
+            q=1,
+            p=0.5,
+            window=10,
+            shuffler_threshold=10,
+        )
+        system = P2BSystem(config, mode=AgentMode.WARM_PRIVATE, seed=SEED)
+        env = env_factory()
+        agents = [system.new_agent() for _ in range(n_agents)]
+        sessions = [env.new_user(s) for s in spawn_seeds(SEED + 2, n_agents)]
+        return agents, sessions
+
+    return make
+
+
+def _cold_multilabel_population(n_agents):
+    """Secondary workload: dense cold LinUCB (einsum compute-bound)."""
+    env = _multilabel_env()
+    agents, sessions = [], []
+    for i, s in enumerate(spawn_seeds(SEED, n_agents)):
+        policy_seed, session_seed = s.spawn(2)
+        agents.append(
+            LocalAgent(
+                f"agent-{i}",
+                LinUCB(n_arms=40, n_features=20, seed=policy_seed),
+                mode="cold",
+            )
+        )
+        sessions.append(env.new_user(session_seed))
+    return agents, sessions
+
+
+def _assert_prefix_identical(seq_agents, fleet_agents):
+    for sa, fa in zip(seq_agents, fleet_agents):
+        state_seq, state_fleet = sa.policy.get_state(), fa.policy.get_state()
+        assert state_seq.keys() == state_fleet.keys()
+        for key in state_seq:
+            np.testing.assert_array_equal(
+                np.asarray(state_seq[key]), np.asarray(state_fleet[key])
+            )
+        assert sa.outbox == fa.outbox
+
+
+def _throughputs(make_population, n_fleet=N_AGENTS, n_seq=N_SEQ_AGENTS):
+    """(sequential, fleet) interactions/second + the equivalence check.
+
+    Deliberately mirrors ``bench_fleet_engine._throughputs`` (same
+    subsample protocol, same record keys, so the two JSON records stay
+    comparable) but asserts *more* — state and outbox prefix identity —
+    because the replay fast path rewires the session/encode pipeline
+    this bench exists to distrust.  Keep the record keys in sync with
+    the sibling when editing either.
+    """
+    seq_agents, seq_sessions = make_population(n_seq)
+    t0 = time.perf_counter()
+    seq_rewards = np.stack(
+        [
+            _simulate_agent(a, s, N_INTERACTIONS)[0]
+            for a, s in zip(seq_agents, seq_sessions)
+        ]
+    )
+    seq_elapsed = time.perf_counter() - t0
+
+    fleet_agents, fleet_sessions = make_population(n_fleet)
+    runner = FleetRunner(fleet_agents, fleet_sessions)
+    t0 = time.perf_counter()
+    result = runner.run(N_INTERACTIONS)
+    fleet_elapsed = time.perf_counter() - t0
+
+    # equivalence at scale: shared-prefix agents agree bit-for-bit —
+    # rewards, final policy states, and pending reports
+    np.testing.assert_array_equal(seq_rewards, result.rewards[:n_seq])
+    _assert_prefix_identical(seq_agents, fleet_agents[:n_seq])
+
+    return {
+        "n_shards": runner.n_shards,
+        "sequential_seconds": round(seq_elapsed, 4),
+        "fleet_seconds": round(fleet_elapsed, 4),
+        "sequential_interactions_per_second": round(
+            n_seq * N_INTERACTIONS / seq_elapsed, 1
+        ),
+        "fleet_interactions_per_second": round(
+            n_fleet * N_INTERACTIONS / fleet_elapsed, 1
+        ),
+        "speedup": round(
+            (n_fleet * N_INTERACTIONS / fleet_elapsed)
+            / (n_seq * N_INTERACTIONS / seq_elapsed),
+            2,
+        ),
+    }
+
+
+def _mixed_population(n_agents):
+    """Two shards over one multilabel corpus: warm-private + cold."""
+    config = P2BConfig(
+        n_actions=40,
+        n_features=20,
+        n_codes=N_CODES,
+        q=1,
+        p=0.5,
+        window=10,
+        shuffler_threshold=10,
+    )
+    system = P2BSystem(config, mode=AgentMode.WARM_PRIVATE, seed=SEED)
+    env = _multilabel_env()
+    agents, sessions = [], []
+    for i, s in enumerate(spawn_seeds(SEED + 3, n_agents)):
+        policy_seed, session_seed = s.spawn(2)
+        if i % 2 == 0:
+            agents.append(system.new_agent())
+        else:
+            agents.append(
+                LocalAgent(
+                    f"agent-{i}",
+                    LinUCB(n_arms=40, n_features=20, seed=policy_seed),
+                    mode="cold",
+                )
+            )
+        sessions.append(env.new_user(session_seed))
+    return agents, sessions
+
+
+def _parallel_record(n_agents=1_000):
+    """Serial vs ``n_workers=2`` shard stepping: identical, timed."""
+    serial_agents, serial_sessions = _mixed_population(n_agents)
+    runner = FleetRunner(serial_agents, serial_sessions)
+    assert runner.n_shards == 2
+    t0 = time.perf_counter()
+    serial = runner.run(N_INTERACTIONS)
+    serial_elapsed = time.perf_counter() - t0
+
+    par_agents, par_sessions = _mixed_population(n_agents)
+    t0 = time.perf_counter()
+    parallel = FleetRunner(par_agents, par_sessions, n_workers=2).run(N_INTERACTIONS)
+    parallel_elapsed = time.perf_counter() - t0
+
+    np.testing.assert_array_equal(serial.rewards, parallel.rewards)
+    np.testing.assert_array_equal(serial.actions, parallel.actions)
+    _assert_prefix_identical(serial_agents, par_agents)
+
+    return {
+        "n_agents": n_agents,
+        "n_shards": 2,
+        # timings are informational: thread parallelism needs real
+        # cores (cpu_count lets readers interpret the two numbers) —
+        # the *assertion* is bit-identity, which holds everywhere
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_elapsed, 4),
+        "parallel_seconds": round(parallel_elapsed, 4),
+        "identical": True,
+    }
+
+
+def test_replay_fast_path_speedup(record_json):
+    multilabel = _throughputs(_warm_private_population(_multilabel_env, 20))
+    criteo = _throughputs(_warm_private_population(_criteo_env, 10))
+    cold_dense = _throughputs(_cold_multilabel_population)
+    parallel = _parallel_record()
+    record_json(
+        "replay",
+        {
+            "config": {
+                "n_agents_fleet": N_AGENTS,
+                "n_agents_sequential": N_SEQ_AGENTS,
+                "n_interactions": N_INTERACTIONS,
+                "n_codes": N_CODES,
+                "multilabel": {"dataset": "mediamill-like", "d": 20, "A": 40},
+                "criteo": {"dataset": "criteo-like", "d": 10, "A": 40},
+            },
+            "multilabel_warm_private": multilabel,
+            "criteo_warm_private": criteo,
+            "multilabel_cold_dense_linucb": cold_dense,
+            "parallel_two_shards": parallel,
+        },
+    )
+    assert multilabel["speedup"] >= MIN_SPEEDUP, (
+        f"replay fast path must be >= {MIN_SPEEDUP}x sequential on the "
+        f"multilabel workload, got {multilabel['speedup']}x"
+    )
+    assert criteo["speedup"] >= MIN_SPEEDUP, (
+        f"replay fast path must be >= {MIN_SPEEDUP}x sequential on the "
+        f"Criteo workload, got {criteo['speedup']}x"
+    )
+    # the dense workload is informational but must never regress below
+    # a sanity floor (its einsums bound the speedup structurally);
+    # env-tunable like the headline floor for noisy CI runners
+    assert cold_dense["speedup"] >= MIN_SPEEDUP_DENSE
+    assert parallel["identical"]
+
+
+if __name__ == "__main__":  # pragma: no cover - manual convenience
+    import sys
+
+    import pytest as _pytest
+
+    sys.exit(_pytest.main([__file__, "-q"]))

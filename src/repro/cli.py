@@ -65,6 +65,17 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
 }
 
 
+def _positive_int(value: str) -> int:
+    """argparse type: a clean usage error instead of a traceback."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {parsed}")
+    return parsed
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -93,6 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
             "stacked state per configuration; both engines produce "
             "bit-identical results)",
         )
+        p.add_argument(
+            "--workers",
+            type=_positive_int,
+            default=1,
+            help="fleet shard parallelism: shards of a heterogeneous "
+            "population step concurrently within each round (results are "
+            "identical to serial stepping; only multi-shard populations "
+            "benefit)",
+        )
     return parser
 
 
@@ -100,6 +120,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     runner.set_default_engine(args.engine)
+    runner.set_default_n_workers(args.workers)
     renderer, _ = _COMMANDS[args.command]
     text = renderer(args)
     if args.out:

@@ -71,6 +71,9 @@ class DeploymentLoop:
         contract; mixed cohorts shard by configuration —
         ``"sequential"`` forces the reference loop, ``"fleet"`` insists
         and raises when unsupported.
+    n_workers:
+        Fleet shard parallelism per round (default 1 = serial); the
+        per-round stats are identical either way (the sim contract).
     """
 
     config: P2BConfig
@@ -79,6 +82,7 @@ class DeploymentLoop:
     refresh: bool = True
     seed: int | None = None
     engine: str = "auto"
+    n_workers: int = 1
 
     system: P2BSystem = field(init=False)
     rounds: list[RoundStats] = field(init=False, default_factory=list)
@@ -86,6 +90,7 @@ class DeploymentLoop:
 
     def __post_init__(self) -> None:
         check_positive_int(self.interactions_per_round, name="interactions_per_round")
+        check_positive_int(self.n_workers, name="n_workers")
         if self.engine not in ("auto", "sequential", "fleet"):
             raise ConfigError(
                 f"engine must be 'auto', 'sequential' or 'fleet', got {self.engine!r}"
@@ -148,7 +153,11 @@ class DeploymentLoop:
                     "not fleet-capable"
                 )
         if use_fleet:
-            return FleetRunner(agents, sessions).run(self.interactions_per_round).rewards
+            return (
+                FleetRunner(agents, sessions, n_workers=self.n_workers)
+                .run(self.interactions_per_round)
+                .rewards
+            )
         rewards = np.empty((len(agents), self.interactions_per_round), dtype=np.float64)
         for u, (agent, session) in enumerate(self._users):
             for t in range(self.interactions_per_round):

@@ -8,7 +8,13 @@ from .criteo import (
     build_criteo_actions,
     make_criteo_like,
 )
-from .environment import Environment, StationaryRewardPlan, UserSession
+from .environment import (
+    Environment,
+    ReplayUserSession,
+    StationaryRewardPlan,
+    TracePlan,
+    UserSession,
+)
 from .multilabel import (
     MultilabelBanditEnvironment,
     MultilabelDataset,
@@ -23,7 +29,9 @@ from .synthetic import SyntheticPreferenceEnvironment, SyntheticUserSession
 __all__ = [
     "Environment",
     "UserSession",
+    "ReplayUserSession",
     "StationaryRewardPlan",
+    "TracePlan",
     "SyntheticPreferenceEnvironment",
     "SyntheticUserSession",
     "MultilabelDataset",

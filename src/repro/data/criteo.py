@@ -42,7 +42,7 @@ from ..utils.exceptions import DataError
 from ..utils.math import normalize_simplex
 from ..utils.rng import ensure_rng
 from ..utils.validation import check_in_range, check_positive_int, check_scalar
-from .environment import Environment, UserSession
+from .environment import Environment, ReplayUserSession
 
 __all__ = [
     "CriteoLikeRecords",
@@ -280,33 +280,31 @@ def build_criteo_actions(
     )
 
 
-class CriteoUserSession(UserSession):
+class CriteoUserSession(ReplayUserSession):
     """One user's pass over its assigned impressions.
 
     Reward (paper §5.3): 1 iff the proposed action equals the logged
     action *and* the logged impression was clicked — the standard
-    replay-style offline bandit evaluation.
+    replay-style offline bandit evaluation.  Replay rewards are
+    deterministic row lookups, so the session is traceable for the
+    fleet engine (``has_trace_plan`` via :class:`ReplayUserSession`):
+    row ``i``'s reward table is the one-hot of the logged action,
+    zeroed when the impression was not clicked.
     """
 
     def __init__(
         self, dataset: CriteoBanditDataset, indices: np.ndarray, rng: np.random.Generator
     ) -> None:
-        if indices.size == 0:
-            raise DataError("a user session needs at least one impression")
         self._dataset = dataset
-        self._indices = np.asarray(indices, dtype=np.intp)
-        self._rng = rng
-        self._order = rng.permutation(self._indices.size)
-        self._cursor = -1
-        self._current: int | None = None
+        super().__init__(indices, rng, noun="impression")
 
-    def next_context(self) -> np.ndarray:
-        self._cursor += 1
-        if self._cursor >= self._order.size:
-            self._order = self._rng.permutation(self._indices.size)
-            self._cursor = 0
-        self._current = int(self._indices[self._order[self._cursor]])
-        return self._dataset.X[self._current].copy()
+    def _context_rows(self, rows: np.ndarray) -> np.ndarray:
+        return self._dataset.X[rows]
+
+    def _reward_rows(self, rows: np.ndarray) -> np.ndarray:
+        d = self._dataset
+        one_hot = d.actions[rows, None] == np.arange(d.n_actions)[None, :]
+        return one_hot & d.clicked[rows, None]
 
     def reward(self, action: int) -> float:
         self._require_context(self._current)

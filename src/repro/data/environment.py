@@ -16,6 +16,26 @@ Sessions expose :meth:`UserSession.expected_rewards` where the
 environment knows ground truth (synthetic benchmark) so benches can
 compute regret; dataset-replay sessions return the realized label
 indicator instead.
+
+Plan capabilities
+-----------------
+
+The fleet engine (:mod:`repro.sim`) collapses per-round session calls
+into array gathers when a session can pre-materialize its horizon.
+Two plan kinds exist, advertised by class-level capability flags so
+subclasses inherit fast-path eligibility (the engine keys off the
+flags, never off method identity):
+
+* ``has_reward_plan`` → :meth:`UserSession.plan_rewards` returns a
+  :class:`StationaryRewardPlan` (fixed context, pre-drawn noise —
+  the synthetic benchmark);
+* ``has_trace_plan`` → :meth:`UserSession.plan_trace` returns a
+  :class:`TracePlan` (per-step contexts plus a per-step-per-action
+  reward table — dataset replay: multilabel, Criteo).
+
+Either plan must be an *exact* stand-in for ``horizon`` iterations of
+``next_context()`` + ``reward()``: same values, same generator
+consumption, session left in the same state.  ``tests/sim`` pins this.
 """
 
 from __future__ import annotations
@@ -25,9 +45,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..utils.exceptions import ValidationError
+from ..utils.exceptions import DataError, ValidationError
+from ..utils.validation import check_positive_int
 
-__all__ = ["Environment", "UserSession", "StationaryRewardPlan"]
+__all__ = [
+    "Environment",
+    "UserSession",
+    "ReplayUserSession",
+    "StationaryRewardPlan",
+    "TracePlan",
+]
 
 
 @dataclass(frozen=True)
@@ -58,8 +85,59 @@ class StationaryRewardPlan:
         return np.clip(self.mean_rewards[actions] + self.noise[: actions.shape[0]], 0.0, 1.0)
 
 
+@dataclass(frozen=True)
+class TracePlan:
+    """Pre-materialized replay horizon for a dataset-backed session.
+
+    Produced by :meth:`UserSession.plan_trace` for sessions whose
+    per-step reward is a *deterministic lookup* given the step's
+    dataset row (multilabel: the label row; Criteo: logged action +
+    click).  The realized reward of action ``a`` at step ``t`` is
+    ``action_rewards[t, a]``; no randomness remains after the row walk
+    is materialized, so any generator consumption (reshuffles of the
+    sample walk) happens *during planning*, leaving the session's
+    stream exactly where ``horizon`` sequential ``next_context()``
+    calls would have left it.
+
+    ``action_rewards`` may use any dtype whose values survive a cast
+    to ``float64`` unchanged (the engines gather then cast; dataset
+    rewards are 0/1 so boolean tables are the natural choice).
+    """
+
+    contexts: np.ndarray  #: per-step contexts, shape (horizon, d)
+    action_rewards: np.ndarray  #: realized reward per action per step, shape (horizon, A)
+    expected: np.ndarray | None = None  #: ground-truth channel, shape (horizon, A), or None
+
+    def __post_init__(self) -> None:
+        if self.contexts.ndim != 2 or self.action_rewards.ndim != 2:
+            raise DataError("contexts and action_rewards must be 2-D")
+        if self.contexts.shape[0] != self.action_rewards.shape[0]:
+            raise DataError(
+                f"contexts cover {self.contexts.shape[0]} steps but action_rewards "
+                f"covers {self.action_rewards.shape[0]}"
+            )
+        if self.expected is not None and self.expected.shape != self.action_rewards.shape:
+            raise DataError("expected must match action_rewards in shape")
+
+    @property
+    def horizon(self) -> int:
+        return self.contexts.shape[0]
+
+    def realize(self, actions: np.ndarray) -> np.ndarray:
+        """Realized rewards for one action per step, shape ``(horizon,)``."""
+        actions = np.asarray(actions, dtype=np.intp).ravel()
+        steps = np.arange(actions.shape[0])
+        return self.action_rewards[steps, actions].astype(np.float64)
+
+
 class UserSession(abc.ABC):
     """One user's interaction stream."""
+
+    #: class-level capability flags — the fleet engine's fast-path
+    #: dispatch keys off these (never off method identity), so
+    #: subclasses that inherit a working plan stay on the fast path.
+    has_reward_plan: bool = False  #: :meth:`plan_rewards` is implemented
+    has_trace_plan: bool = False  #: :meth:`plan_trace` is implemented
 
     @abc.abstractmethod
     def next_context(self) -> np.ndarray:
@@ -86,19 +164,129 @@ class UserSession(abc.ABC):
         """Optional fleet fast path: pre-realize ``horizon`` interactions.
 
         Only sessions with a *stationary* context/reward distribution
-        can implement this.  The contract (pinned by ``tests/sim``): a
-        plan must be an exact stand-in for ``horizon`` iterations of
-        ``next_context()`` + ``reward()`` — same realized values, same
-        generator consumption — so the session afterwards behaves as if
-        the sequential loop had run.  Non-stationary sessions (dataset
-        replay) keep the default and the fleet engine falls back to
-        per-call stepping.
+        can implement this (set ``has_reward_plan = True`` alongside).
+        The contract (pinned by ``tests/sim``): a plan must be an exact
+        stand-in for ``horizon`` iterations of ``next_context()`` +
+        ``reward()`` — same realized values, same generator consumption
+        — so the session afterwards behaves as if the sequential loop
+        had run.
         """
         raise NotImplementedError(f"{type(self).__name__} has no stationary reward plan")
+
+    def plan_trace(self, horizon: int) -> TracePlan:
+        """Optional fleet fast path: pre-materialize a replay horizon.
+
+        For sessions that walk logged dataset rows with deterministic
+        per-row rewards (set ``has_trace_plan = True`` alongside).  The
+        same exactness contract as :meth:`plan_rewards` applies: the
+        materialized walk must consume the session's generator exactly
+        as ``horizon`` ``next_context()`` calls would, and leave the
+        session in the identical state.
+        """
+        raise NotImplementedError(f"{type(self).__name__} has no trace plan")
 
     def _require_context(self, current) -> None:
         if current is None:
             raise ValidationError("reward() called before next_context()")
+
+
+class ReplayUserSession(UserSession):
+    """Shared sample-walk machinery for dataset-replay sessions.
+
+    A replay session visits an assigned set of dataset rows in a random
+    order, reshuffling (a user re-encountering content) whenever the
+    walk exhausts its assignment — this keeps long-interaction sweeps
+    well-defined, as in Fig. 6's x-axis up to 100 interactions.  The
+    walk state is ``(_order, _cursor)`` plus the session's own
+    generator, which is consumed *only* at reshuffles; rewards are
+    deterministic row lookups, which is what makes the whole horizon
+    traceable (:meth:`plan_trace`) without perturbing any stream.
+
+    Subclasses provide the dataset views:
+
+    * :meth:`_context_rows` — contexts of a block of dataset rows;
+    * :meth:`_reward_rows` — the per-action realized-reward table of a
+      block of rows (any dtype exact under ``float64`` cast);
+    * :meth:`_expected_rows` — the ground-truth channel (defaults to
+      the realized table: for logged data they coincide).
+    """
+
+    has_trace_plan = True
+
+    def __init__(
+        self, indices: np.ndarray, rng: np.random.Generator, *, noun: str = "sample"
+    ) -> None:
+        if indices.size == 0:
+            raise DataError(f"a user session needs at least one {noun}")
+        self._indices = np.asarray(indices, dtype=np.intp)
+        self._rng = rng
+        self._order = rng.permutation(self._indices.size)
+        self._cursor = -1
+        self._current: int | None = None
+
+    # -- dataset views ------------------------------------------------- #
+    @abc.abstractmethod
+    def _context_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Contexts of dataset rows ``rows``, shape ``(len(rows), d)``."""
+
+    @abc.abstractmethod
+    def _reward_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Per-action realized rewards of rows, shape ``(len(rows), A)``."""
+
+    def _expected_rows(self, rows: np.ndarray, reward_table: np.ndarray) -> np.ndarray:
+        """Ground-truth channel for ``rows``; ``reward_table`` is the
+        already-computed :meth:`_reward_rows` result.  For logged data
+        the two coincide, so the default returns it *by reference* —
+        the plan then carries no second table."""
+        return reward_table
+
+    # -- the walk ------------------------------------------------------ #
+    def _advance_rows(self, horizon: int) -> np.ndarray:
+        """Advance the walk ``horizon`` steps; returns the visited rows.
+
+        Block-copies between reshuffle boundaries, so the Python-level
+        work is O(number of reshuffles), not O(horizon) — but the walk
+        state and generator consumption after the call are *identical*
+        to ``horizon`` single-step advances
+        (``tests/sim/test_replay_plans.py`` pins this).
+        """
+        rows = np.empty(horizon, dtype=np.intp)
+        filled = 0
+        while filled < horizon:
+            self._cursor += 1
+            if self._cursor >= self._order.size:
+                self._order = self._rng.permutation(self._indices.size)
+                self._cursor = 0
+            take = min(self._order.size - self._cursor, horizon - filled)
+            rows[filled : filled + take] = self._indices[
+                self._order[self._cursor : self._cursor + take]
+            ]
+            self._cursor += take - 1
+            filled += take
+        self._current = int(rows[-1])
+        return rows
+
+    def next_context(self) -> np.ndarray:
+        # one-step advance through the same code path plan_trace uses,
+        # so the two can never drift apart
+        return self._context_rows(self._advance_rows(1))[0]
+
+    def plan_trace(self, horizon: int) -> TracePlan:
+        """Materialize ``horizon`` steps of the walk (fleet fast path).
+
+        Generator consumption and walk state match ``horizon``
+        sequential ``next_context()`` calls exactly (``reward()``
+        consumes nothing), so the plan is an exact stand-in for the
+        sequential loop — the :mod:`repro.sim` contract.
+        """
+        horizon = check_positive_int(horizon, name="horizon")
+        rows = self._advance_rows(horizon)
+        table = self._reward_rows(rows)
+        return TracePlan(
+            contexts=self._context_rows(rows),
+            action_rewards=table,
+            expected=self._expected_rows(rows, table),
+        )
 
 
 class Environment(abc.ABC):

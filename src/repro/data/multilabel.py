@@ -30,7 +30,7 @@ from ..utils.exceptions import DataError
 from ..utils.math import normalize_simplex
 from ..utils.rng import ensure_rng
 from ..utils.validation import check_in_range, check_positive_int, check_scalar
-from .environment import Environment, UserSession
+from .environment import Environment, ReplayUserSession
 
 __all__ = [
     "MultilabelDataset",
@@ -204,13 +204,15 @@ def make_textmining_like(
     )
 
 
-class MultilabelUserSession(UserSession):
+class MultilabelUserSession(ReplayUserSession):
     """One agent's walk through its assigned samples.
 
     Samples are visited in a random order; if the agent interacts more
     times than it has samples, the walk reshuffles and repeats (a user
-    re-encountering content) — this keeps long-interaction sweeps
-    well-defined, as in Fig. 6's x-axis up to 100 interactions.
+    re-encountering content) — see :class:`ReplayUserSession`, which
+    also makes the whole horizon traceable for the fleet engine
+    (``has_trace_plan``): the reward of action ``a`` at a sample is the
+    deterministic label lookup ``Y[sample, a]``.
     """
 
     def __init__(
@@ -219,22 +221,14 @@ class MultilabelUserSession(UserSession):
         indices: np.ndarray,
         rng: np.random.Generator,
     ) -> None:
-        if indices.size == 0:
-            raise DataError("a user session needs at least one sample")
         self._dataset = dataset
-        self._indices = np.asarray(indices, dtype=np.intp)
-        self._rng = rng
-        self._order = rng.permutation(self._indices.size)
-        self._cursor = -1
-        self._current: int | None = None
+        super().__init__(indices, rng, noun="sample")
 
-    def next_context(self) -> np.ndarray:
-        self._cursor += 1
-        if self._cursor >= self._order.size:
-            self._order = self._rng.permutation(self._indices.size)
-            self._cursor = 0
-        self._current = int(self._indices[self._order[self._cursor]])
-        return self._dataset.X[self._current].copy()
+    def _context_rows(self, rows: np.ndarray) -> np.ndarray:
+        return self._dataset.X[rows]
+
+    def _reward_rows(self, rows: np.ndarray) -> np.ndarray:
+        return self._dataset.Y[rows]
 
     def reward(self, action: int) -> float:
         self._require_context(self._current)

@@ -40,6 +40,8 @@ __all__ = ["SyntheticPreferenceEnvironment", "SyntheticUserSession"]
 class SyntheticUserSession(UserSession):
     """One synthetic user: fixed preference vector, noisy scaled-softmax rewards."""
 
+    has_reward_plan = True  # stationary: plan_rewards() is an exact stand-in
+
     def __init__(
         self,
         preference: np.ndarray,

@@ -38,7 +38,20 @@ class Encoder(abc.ABC):
         """Code for a single context vector."""
 
     def encode_batch(self, contexts: np.ndarray) -> np.ndarray:
-        """Vectorized encoding; default loops over rows."""
+        """Vectorized encoding; default loops over rows.
+
+        Contract: ``encode_batch(X)[i] == encode(X[i])`` *bit-exactly*,
+        for every input — not just with high probability.  The default
+        row loop is trivially exact; overrides must keep row ``i``'s
+        float operations identical to the scalar path (elementwise
+        expressions with a broadcast leading axis, einsum contractions,
+        reductions along the trailing axis — never a BLAS expansion
+        whose accumulation differs from the scalar expression).  The
+        fleet engine's replay fast path batch-encodes entire horizons
+        through this method, and its bit-identity guarantee
+        (:mod:`repro.sim`) inherits this contract;
+        ``tests/encoding`` checks it on every implementation.
+        """
         contexts = check_matrix(contexts, name="contexts", n_cols=self.n_features)
         return np.array([self.encode(x) for x in contexts], dtype=np.intp)
 

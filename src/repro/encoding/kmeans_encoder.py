@@ -147,12 +147,27 @@ class KMeansEncoder(Encoder):
         return int(np.argmin(d2))
 
     def encode_batch(self, contexts: np.ndarray) -> np.ndarray:
+        """Batch nearest-centroid, bit-exact against :meth:`encode`.
+
+        Uses the scalar path's direct squared-difference expression
+        with a broadcast leading axis (a trailing-axis reduction is
+        independent of outer dimensions), *not* the BLAS expansion
+        ``|x|² - 2x·c + |c|²`` of :func:`~repro.clustering.pairwise_sq_dists`,
+        whose accumulation differs from the scalar expression and could
+        flip an argmin near a tie — the base-class exactness contract
+        forbids that.  Chunked so the ``(chunk, k, d)`` temporary stays
+        small at fleet-horizon batch sizes.
+        """
         check_fitted(self, ["centers_"])
         contexts = check_matrix(contexts, name="contexts", n_cols=self.n_features)
         Xq = quantize_simplex(contexts, self.q)
-        from ..clustering import pairwise_sq_dists
-
-        return np.argmin(pairwise_sq_dists(Xq, self.centers_), axis=1)
+        out = np.empty(Xq.shape[0], dtype=np.intp)
+        chunk = max(1, (1 << 22) // (self.n_codes * self.n_features))
+        for start in range(0, Xq.shape[0], chunk):
+            block = Xq[start : start + chunk]
+            d2 = ((self.centers_[None, :, :] - block[:, None, :]) ** 2).sum(axis=2)
+            out[start : start + chunk] = np.argmin(d2, axis=1)
+        return out
 
     def decode(self, code: int) -> np.ndarray:
         check_fitted(self, ["centers_"])

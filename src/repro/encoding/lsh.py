@@ -78,7 +78,11 @@ class LSHEncoder(Encoder):
     def _signature(self, Xq: np.ndarray) -> np.ndarray:
         if self.center:
             Xq = Xq - 1.0 / self.n_features
-        proj = Xq @ self.hyperplanes_.T  # type: ignore[union-attr]
+        # einsum, not BLAS @: its per-row accumulation over d is
+        # independent of the batch size, so the scalar encode (a 1-row
+        # batch) and encode_batch agree bit-exactly — the base-class
+        # contract the fleet replay fast path relies on
+        proj = np.einsum("nd,bd->nb", Xq, self.hyperplanes_)  # type: ignore[arg-type]
         return (proj >= 0).astype(np.int64)
 
     def encode(self, context: np.ndarray) -> int:

@@ -37,6 +37,8 @@ __all__ = [
     "compare_settings",
     "set_default_engine",
     "get_default_engine",
+    "set_default_n_workers",
+    "get_default_n_workers",
     "ENGINES",
 ]
 
@@ -65,6 +67,33 @@ def set_default_engine(engine: str) -> None:
 def get_default_engine() -> str:
     """The engine used when ``engine=None`` (default: ``"auto"``)."""
     return _default_engine
+
+
+_default_n_workers = 1
+
+
+def set_default_n_workers(n_workers: int) -> None:
+    """Set the fleet shard-parallelism used when callers pass ``n_workers=None``.
+
+    Same rationale as :func:`set_default_engine`: entry points (the
+    CLI's ``--workers``) sit far above :func:`run_setting`.  Only
+    affects fleet-engine runs of multi-shard populations; results are
+    identical to serial stepping regardless (the :mod:`repro.sim`
+    contract).
+    """
+    global _default_n_workers
+    _default_n_workers = check_positive_int(n_workers, name="n_workers")
+
+
+def get_default_n_workers() -> int:
+    """The shard parallelism used when ``n_workers=None`` (default: 1)."""
+    return _default_n_workers
+
+
+def _resolve_n_workers(n_workers: int | None) -> int:
+    if n_workers is None:
+        return _default_n_workers
+    return check_positive_int(n_workers, name="n_workers")
 
 
 def _check_engine(engine: str) -> str:
@@ -139,6 +168,7 @@ def run_setting(
     encoder=None,
     measure: str = "realized",
     engine: str | None = None,
+    n_workers: int | None = None,
 ) -> ExperimentResult:
     """Simulate one setting end-to-end (see module docstring).
 
@@ -177,6 +207,10 @@ def run_setting(
         process default (see :func:`set_default_engine`).  Fleet and
         sequential produce bit-identical results whenever both run
         (the :mod:`repro.sim` contract, pinned by ``tests/sim/``).
+    n_workers:
+        Fleet shard parallelism (``None`` for the process default, see
+        :func:`set_default_n_workers`).  Multi-shard populations step
+        their shards concurrently; results stay identical to serial.
     """
     if measure not in ("realized", "expected"):
         from ..utils.exceptions import ConfigError
@@ -192,6 +226,7 @@ def run_setting(
             f"match config ({config.n_actions} actions, {config.n_features} features)"
         )
     sys_seed, contrib_users_seed, eval_users_seed = spawn_seeds(seed, 3)
+    workers = _resolve_n_workers(n_workers)
     system = P2BSystem(config, mode=mode, encoder=encoder, seed=sys_seed)
 
     n_reports = n_released = 0
@@ -207,7 +242,7 @@ def run_setting(
             env.new_user(s) for s in spawn_seeds(contrib_users_seed, n_contributors)
         ]
         if _resolve_engine(engine, contributors):
-            FleetRunner(contributors, sessions).run(t_contrib)
+            FleetRunner(contributors, sessions, n_workers=workers).run(t_contrib)
         else:
             for agent, session in zip(contributors, sessions):
                 _simulate_agent(agent, session, t_contrib)
@@ -227,7 +262,7 @@ def run_setting(
     ]
     if _resolve_engine(engine, eval_agents):
         eval_sessions = [env.new_user(s) for s in eval_seeds]
-        result = FleetRunner(eval_agents, eval_sessions).run(
+        result = FleetRunner(eval_agents, eval_sessions, n_workers=workers).run(
             eval_interactions, track_expected=want_expected
         )
         reward_matrix = result.measured()
@@ -275,6 +310,7 @@ def compare_settings(
     encoder=None,
     measure: str = "realized",
     engine: str | None = None,
+    n_workers: int | None = None,
 ) -> SettingComparison:
     """Run the three §5 settings on identically seeded workloads.
 
@@ -297,5 +333,6 @@ def compare_settings(
             encoder=encoder,
             measure=measure,
             engine=engine,
+            n_workers=n_workers,
         )
     return SettingComparison(results=results)

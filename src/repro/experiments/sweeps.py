@@ -55,6 +55,7 @@ def population_sweep(
     description: str = "average reward vs population size U",
     measure: str = "realized",
     engine: str | None = None,
+    n_workers: int | None = None,
 ) -> FigureResult:
     """Fig. 4's x-axis: grow the contributing population ``U``."""
     result = FigureResult(
@@ -83,6 +84,7 @@ def population_sweep(
             encoder=encoder,
             measure=measure,
             engine=engine,
+            n_workers=n_workers,
         )
         result.add_point(
             int(u),
@@ -106,6 +108,7 @@ def dimension_sweep(
     description: str = "average reward vs context dimension d",
     measure: str = "realized",
     engine: str | None = None,
+    n_workers: int | None = None,
 ) -> FigureResult:
     """Fig. 5's x-axis: grow the context dimension ``d``.
 
@@ -137,6 +140,7 @@ def dimension_sweep(
             seed=seed,
             measure=measure,
             engine=engine,
+            n_workers=n_workers,
         )
         result.add_point(
             int(d),
@@ -158,6 +162,7 @@ def codebook_sweep(
     figure_id: str = "ablation-k",
     description: str = "reward vs codebook size k (warm-private)",
     engine: str | None = None,
+    n_workers: int | None = None,
 ) -> FigureResult:
     """Ablation axis: codebook size ``k`` (Fig. 7 compares 2^5 vs 2^7)."""
     from dataclasses import replace
@@ -180,6 +185,7 @@ def codebook_sweep(
             seed=seed,
             modes=(AgentMode.WARM_PRIVATE,),
             engine=engine,
+            n_workers=n_workers,
         )
         result.add_point(
             int(k),
@@ -201,6 +207,7 @@ def participation_sweep(
     figure_id: str = "ablation-p",
     description: str = "privacy/utility trade-off over participation p",
     engine: str | None = None,
+    n_workers: int | None = None,
 ) -> FigureResult:
     """Ablation axis: participation probability ``p`` — the privacy lever.
 
@@ -227,6 +234,7 @@ def participation_sweep(
             seed=seed,
             modes=(AgentMode.WARM_PRIVATE,),
             engine=engine,
+            n_workers=n_workers,
         )
         result.add_point(
             float(p),

@@ -45,14 +45,36 @@ arm-major per selection, so :class:`~repro.sim.stacked.StackedThompson`
 batches the O(d²) Cholesky/scoring math while drawing each agent's
 posterior normals from that agent's own generator.
 
+Per-round *session* calls additionally vanish for shards whose
+sessions advertise a plan capability (class flags on
+:class:`~repro.data.environment.UserSession`): ``has_reward_plan``
+sessions (synthetic, stationary) pre-realize their reward noise, and
+``has_trace_plan`` sessions (dataset replay: multilabel, Criteo)
+pre-materialize their row walk into per-step context and
+reward-table arrays — both by contract exact stand-ins for the
+sequential calls (same values, same generator consumption, session
+left in the same state), so the fast paths stay inside the
+bit-identity guarantee.  A shard mixing plan-capable and plan-less
+sessions falls back to per-round session stepping, still
+bit-identical.
+
+Because shards share no mutable state and never synchronize,
+``FleetRunner(n_workers=k)`` runs each shard's whole horizon as one
+concurrent task — on a thread pool, or in worker processes with
+``worker_backend="process"`` — again without leaving the contract:
+shard order is unobservable, so parallel results are identical to
+serial ones.
+
 When any condition fails — a policy without fleet support
 (``RandomPolicy``, ``HybridLinUCB``) — ``engine="auto"`` callers fall
 back to the sequential loop; ``engine="fleet"`` raises.
 
 ``tests/sim/`` enforces the contract with seeded equivalence suites
 over every supported policy × encoder × mode combination plus mixed
-populations (``test_sharding.py``), and ``tests/test_properties.py``
-fuzzes it over random seeds.
+populations (``test_sharding.py``), dataset-replay populations
+(``test_replay_plans.py``) and parallel shard stepping
+(``test_parallel.py``); ``tests/test_properties.py`` fuzzes it over
+random seeds and random synthetic/replay population mixtures.
 """
 
 from .fleet import FleetResult, FleetRunner, fleet_supported, shard_indices, shard_key

@@ -18,10 +18,28 @@ order) is unobservable: a mixed LinUCB + Thompson + epsilon-greedy
 population, warm-private and cold side by side, produces bit-identical
 actions, rewards, policy states and reports to the sequential loop.
 
+Plan fast paths
+---------------
+
+Per-round session calls vanish entirely for shards whose sessions can
+pre-materialize their horizon (capability flags on
+:class:`~repro.data.environment.UserSession`):
+
+* ``has_reward_plan`` — stationary sessions (the synthetic benchmark)
+  pre-realize reward noise (:class:`StationaryRewardPlan`); rewards
+  become one gather + clip per round;
+* ``has_trace_plan`` — dataset-replay sessions (multilabel, Criteo)
+  pre-materialize their row walk (:class:`TracePlan`); per-step
+  contexts and per-action reward tables become array gathers.
+
+A shard mixing plan-capable and plan-less sessions falls back to the
+generic per-round session loop — still bit-identical, just slower.
+
 What stays per-agent Python (all O(1) per agent per round):
 
-* session calls (``next_context`` / ``reward``) — environments are
-  arbitrary stateful objects with their own generators;
+* session calls (``next_context`` / ``reward``) on *unplanned* shards —
+  environments are arbitrary stateful objects with their own
+  generators;
 * randomness (tie-breaks, epsilon coins, posterior draws) — batching
   draws across agents would reorder streams;
 * participation offers and outbox appends — routed through
@@ -32,15 +50,35 @@ What stays per-agent Python (all O(1) per agent per round):
   waste; each shard memoizes per agent and only calls the scalar
   ``encode`` when the context actually changes.  Fixed-preference
   populations (the paper's synthetic benchmark) therefore encode once
-  per agent total.
+  per agent total — and *traced* shards skip per-round encoding
+  entirely by batch-encoding the whole horizon at plan time
+  (:meth:`Encoder.encode_batch` is row-exact by contract).
 
 Everything O(d²)–O(k·d²) — scoring, Cholesky refreshes,
 Sherman–Morrison updates — runs as stacked kernel calls, one set per
 shard per round.
+
+Parallel shard stepping
+-----------------------
+
+Shards share no mutable state — disjoint agents, disjoint result rows,
+per-agent RNG/session/outbox — and they never synchronize: the
+round-major interleaving across shards is purely cosmetic, because
+agent streams are per-agent.  ``FleetRunner(..., n_workers=k)``
+therefore runs each shard's *entire horizon* as one thread-pool task
+(no per-round barrier or submit overhead; the einsum kernels release
+the GIL, so compute-bound shards overlap); results are identical to
+serial stepping because nothing observable depends on shard order.
+``worker_backend="process"`` is the escape hatch for populations whose
+per-agent Python dominates: the same whole-horizon tasks run in worker
+processes instead, and the mutated agent/session state is adopted back
+into the caller's objects — see :func:`_run_shard_remote` for the
+(documented) identity caveats.
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -49,7 +87,7 @@ import numpy as np
 from ..core.agent import LocalAgent
 from ..core.config import AgentMode
 from ..core.payload import EncodedReport, RawReport
-from ..data.environment import StationaryRewardPlan, UserSession
+from ..data.environment import StationaryRewardPlan, TracePlan, UserSession
 from ..utils.exceptions import ConfigError
 from ..utils.validation import check_positive_int
 from .stacked import stack_policies
@@ -60,7 +98,14 @@ __all__ = [
     "fleet_supported",
     "shard_key",
     "shard_indices",
+    "WORKER_BACKENDS",
 ]
+
+#: recognized shard-parallelism backends: ``thread`` steps shards of
+#: each round on a thread pool (GIL-releasing kernels, zero copy),
+#: ``process`` runs each shard's whole horizon in a worker process
+#: (serialization-heavy escape hatch for Python-bound populations).
+WORKER_BACKENDS = ("thread", "process")
 
 
 def shard_key(agent: LocalAgent) -> tuple | None:
@@ -144,10 +189,11 @@ class FleetResult:
 class _Shard:
     """One stackable subpopulation with its own stacked state.
 
-    Owns the per-shard context/encoding caches and (when every session
-    in the shard pre-realizes its horizon) the stationary reward plan
-    arrays.  ``step`` writes outcomes into the *global* result matrices
-    at this shard's agent indices.
+    Owns the per-shard context/encoding caches and — when every session
+    in the shard advertises a plan capability — the pre-materialized
+    plan arrays (stationary reward plans or replay traces).  ``step``
+    writes outcomes into the *global* result matrices at this shard's
+    agent indices.
     """
 
     def __init__(
@@ -170,36 +216,109 @@ class _Shard:
         self._cached_rep: list[np.ndarray | None] = [None] * self.n
         # raw contexts, allocated on the first generic-path round
         self._X: np.ndarray | None = None
+        # stationary-plan arrays (has_reward_plan shards)
         self._plan_means: np.ndarray | None = None
         self._plan_noise: np.ndarray | None = None
         self._plan_acting: np.ndarray | None = None
+        # trace-plan arrays (has_trace_plan shards)
+        self._trace_ctx: np.ndarray | None = None
+        self._trace_rewards: np.ndarray | None = None
+        self._trace_expected: np.ndarray | None = None
+        self._trace_expected_ok: np.ndarray | None = None
+        self._trace_codes: np.ndarray | None = None
+        self._trace_reps: np.ndarray | None = None
+        self._trace_expected_is_rewards = False
 
     # ------------------------------------------------------------------ #
-    def prepare(self, n_interactions: int) -> None:
-        """Pre-realize stationary sessions (the plan fast path).
+    def prepare(self, n_interactions: int, *, track_expected: bool = False) -> None:
+        """Pre-materialize plan-capable sessions (the plan fast paths).
 
-        Override detection, not try/except: probing must not consume
-        any session's stream on failure.  Plans collapse the per-round
+        Capability *flags* decide the path (never method-identity
+        probing, which silently kicked plan-inheriting subclasses off
+        the fast path, and never try/except, which could consume a
+        session's stream on failure).  Plans collapse the per-round
         session loops into array gathers; the plan contract (pinned by
         ``tests/sim``) makes this exact, and pre-realizing one shard
         before another is unobservable because session streams are
-        per-agent.
+        per-agent.  Shards mixing plan-capable and plan-less sessions
+        take the generic per-round path.
         """
-        if any(
-            type(s).plan_rewards is UserSession.plan_rewards for s in self.sessions
-        ):
-            return
-        plans: list[StationaryRewardPlan] = [
-            s.plan_rewards(n_interactions) for s in self.sessions
-        ]
-        self._X = np.stack([p.context for p in plans])
-        self._plan_means = np.stack([p.mean_rewards for p in plans])  # (n, A)
-        self._plan_noise = np.stack([p.noise for p in plans])  # (n, T)
-        self._plan_acting = self._acting_representation(self._X, self._rows)
+        if all(s.has_reward_plan for s in self.sessions):
+            plans: list[StationaryRewardPlan] = [
+                s.plan_rewards(n_interactions) for s in self.sessions
+            ]
+            self._X = np.stack([p.context for p in plans])
+            self._plan_means = np.stack([p.mean_rewards for p in plans])  # (n, A)
+            self._plan_noise = np.stack([p.noise for p in plans])  # (n, T)
+            self._plan_acting = self._acting_representation(self._X, self._rows)
+        elif all(s.has_trace_plan for s in self.sessions):
+            traces: list[TracePlan] = [
+                s.plan_trace(n_interactions) for s in self.sessions
+            ]
+            self._trace_ctx = np.stack([p.contexts for p in traces])  # (n, T, d)
+            self._trace_rewards = np.stack([p.action_rewards for p in traces])  # (n, T, A)
+            self._trace_expected_ok = np.asarray(
+                [p.expected is not None for p in traces], dtype=bool
+            )
+            # the expected channel is only materialized when the run
+            # tracks it; logged-data plans usually alias it to the
+            # reward table (expected == realized), in which case the
+            # per-step values fall out of the reward gather for free
+            if track_expected and self._trace_expected_ok.any():
+                if all(p.expected is p.action_rewards for p in traces):
+                    self._trace_expected_is_rewards = True
+                else:
+                    # absent expected channels stay zero; their agents
+                    # are masked out of the expected matrix at step 0
+                    ref = next(p.expected for p in traces if p.expected is not None)
+                    self._trace_expected = np.zeros(
+                        (self.n, *ref.shape), dtype=np.float64
+                    )
+                    for j, p in enumerate(traces):
+                        if p.expected is not None:
+                            self._trace_expected[j] = p.expected
+            if self.mode == AgentMode.WARM_PRIVATE:
+                self._precompute_trace_codes()
+
+    def _precompute_trace_codes(self) -> None:
+        """Batch-encode the whole trace (warm-private traced shards).
+
+        Encoders are deterministic and :meth:`Encoder.encode_batch` is
+        row-exact against scalar ``encode`` (the base-class contract),
+        so encoding at plan time instead of per round is exact — and
+        collapses the last per-agent-per-round Python of the replay
+        fast path into one batched call per *distinct encoder* (shards
+        only guarantee equal codebook size, so agents are grouped by
+        encoder object).
+        """
+        n, horizon, d = self._trace_ctx.shape
+        codes = np.empty((n, horizon), dtype=np.intp)
+        groups: dict[int, list[int]] = {}
+        for j in range(n):
+            groups.setdefault(id(self.agents[j].encoder), []).append(j)
+        for members in groups.values():
+            encoder = self.agents[members[0]].encoder
+            block = self._trace_ctx[members].reshape(len(members) * horizon, d)
+            codes[members] = encoder.encode_batch(block).reshape(len(members), horizon)
+        self._trace_codes = codes
+        if self.private_context == "centroid":
+            reps = np.empty((n, horizon, d), dtype=np.float64)
+            for members in groups.values():
+                encoder = self.agents[members[0]].encoder
+                reps[members] = encoder.decode_batch(codes[members].ravel()).reshape(
+                    len(members), horizon, d
+                )
+            self._trace_reps = reps
 
     @property
     def stationary(self) -> bool:
+        """This shard runs on pre-realized stationary reward plans."""
         return self._plan_means is not None
+
+    @property
+    def traced(self) -> bool:
+        """This shard runs on pre-materialized replay traces."""
+        return self._trace_rewards is not None
 
     # ------------------------------------------------------------------ #
     def step(
@@ -210,10 +329,19 @@ class _Shard:
         expected: np.ndarray | None,
         expected_ok: np.ndarray,
     ) -> None:
-        """Run interaction ``t`` for every agent in this shard."""
+        """Run interaction ``t`` for every agent in this shard.
+
+        Thread-safe against other shards stepping the same ``t``: all
+        writes land at this shard's (disjoint) agent indices, and all
+        touched objects — sessions, agents, stacked state, caches — are
+        owned by this shard alone.
+        """
         if self.stationary:
             acting = self._plan_acting
             X = self._X
+        elif self.traced:
+            X = self._trace_ctx[:, t]
+            acting = self._trace_acting(t, X)
         else:
             X = self._next_contexts()
             acting = self._refresh_acting(X)
@@ -230,6 +358,18 @@ class _Shard:
             rewards[self.indices, t] = r
             if expected is not None:
                 expected[self.indices, t] = self._plan_means[self._rows, acts]
+        elif self.traced:
+            # TracePlan.realize, vectorized across agents for one step:
+            # a pure table gather — replay rewards are deterministic
+            r = self._trace_rewards[self._rows, t, acts].astype(np.float64)
+            rewards[self.indices, t] = r
+            if expected is not None:
+                if t == 0:
+                    expected_ok[self.indices] &= self._trace_expected_ok
+                if self._trace_expected_is_rewards:
+                    expected[self.indices, t] = r
+                elif self._trace_expected is not None:
+                    expected[self.indices, t] = self._trace_expected[self._rows, t, acts]
         else:
             r = np.empty(self.n, dtype=np.float64)
             for j in range(self.n):
@@ -260,6 +400,22 @@ class _Shard:
             for j in range(self.n):
                 self._X[j] = self.sessions[j].next_context()
         return self._X
+
+    def _trace_acting(self, t: int, X: np.ndarray) -> np.ndarray:
+        """Acting representation for step ``t`` of a traced shard.
+
+        Warm-private representations come from the plan-time batch
+        encoding (:meth:`_precompute_trace_codes`) — pure gathers, no
+        per-agent calls.
+        """
+        if self.mode != AgentMode.WARM_PRIVATE:
+            return X
+        if self.stacked.wants_codes:
+            return self._trace_codes[:, t]
+        if self.private_context == "centroid":
+            return self._trace_reps[:, t]
+        encoder = self.agents[0].encoder
+        return encoder.one_hot_batch(self._trace_codes[:, t])  # type: ignore[union-attr]
 
     def _refresh_acting(self, X: np.ndarray) -> np.ndarray:
         if self.mode != AgentMode.WARM_PRIVATE:
@@ -299,6 +455,29 @@ class _Shard:
         return self.agents[0].encoder.one_hot_batch(self._cached_code)  # type: ignore[union-attr]
 
 
+def _run_shard_remote(payload: bytes) -> bytes:
+    """Worker-process body for ``worker_backend="process"``.
+
+    Receives one pickled shard population, runs its *entire* horizon
+    (shards never interact, so no per-round synchronization with the
+    parent is needed), and ships back the result matrices plus the
+    mutated agents and sessions.  The parent adopts the returned state
+    into its own objects (:meth:`FleetRunner._adopt`).
+    """
+    agents, sessions, n_interactions, track_expected = pickle.loads(payload)
+    n = len(agents)
+    shard = _Shard(np.arange(n, dtype=np.intp), agents, sessions)
+    shard.prepare(n_interactions, track_expected=track_expected)
+    rewards = np.empty((n, n_interactions), dtype=np.float64)
+    actions = np.empty((n, n_interactions), dtype=np.intp)
+    expected = np.empty((n, n_interactions), dtype=np.float64) if track_expected else None
+    expected_ok = np.full(n, track_expected, dtype=bool)
+    for t in range(n_interactions):
+        shard.step(t, rewards, actions, expected, expected_ok)
+    shard.stacked.writeback()
+    return pickle.dumps((rewards, actions, expected, expected_ok, agents, sessions))
+
+
 class FleetRunner:
     """Vectorized population simulator (see module docstring).
 
@@ -311,13 +490,41 @@ class FleetRunner:
         shard automatically.
     sessions:
         One user session per agent, aligned by index.
+    n_workers:
+        Shard-level parallelism (default 1 = serial).  Shards are
+        fully independent, so ``n_workers > 1`` runs each shard's
+        whole horizon concurrently — results are identical to serial
+        stepping (shard order is unobservable;
+        ``tests/sim/test_parallel.py`` pins it).  Only populations
+        with more than one shard can benefit from threads.
+    worker_backend:
+        ``"thread"`` (default) or ``"process"`` — see
+        :data:`WORKER_BACKENDS`.  Choosing ``"process"`` is always
+        honored (even with ``n_workers=1`` or a single shard), so its
+        semantics never silently vary.  The process backend requires a
+        picklable population and, as it must ship mutated state back,
+        *rebinds the component objects* of each agent/session (the
+        ``LocalAgent`` and session objects keep their identity, but
+        e.g. ``agent.policy`` becomes a state-equal replacement); hold
+        references through the agent, not to its parts.
     """
 
     def __init__(
-        self, agents: Sequence[LocalAgent], sessions: Sequence[UserSession]
+        self,
+        agents: Sequence[LocalAgent],
+        sessions: Sequence[UserSession],
+        *,
+        n_workers: int = 1,
+        worker_backend: str = "thread",
     ) -> None:
         self.agents = list(agents)
         self.sessions = list(sessions)
+        self.n_workers = check_positive_int(n_workers, name="n_workers")
+        if worker_backend not in WORKER_BACKENDS:
+            raise ConfigError(
+                f"worker_backend must be one of {WORKER_BACKENDS}, got {worker_backend!r}"
+            )
+        self.worker_backend = worker_backend
         if not self.agents:
             raise ConfigError("FleetRunner needs at least one agent")
         if len(self.agents) != len(self.sessions):
@@ -346,6 +553,13 @@ class FleetRunner:
         n_interactions = check_positive_int(n_interactions, name="n_interactions")
         n = len(self.agents)
 
+        # an explicit process request is always honored — regardless of
+        # shard count or n_workers — so the documented process-backend
+        # semantics (pickling requirements, component-object rebinding)
+        # never silently vary with the population's shape
+        if self.worker_backend == "process":
+            return self._run_process(n_interactions, track_expected=track_expected)
+
         shards = [
             _Shard(
                 idx,
@@ -354,17 +568,36 @@ class FleetRunner:
             )
             for idx in self._shard_index_groups
         ]
-        for shard in shards:
-            shard.prepare(n_interactions)
 
         rewards = np.empty((n, n_interactions), dtype=np.float64)
         actions_mat = np.empty((n, n_interactions), dtype=np.intp)
         expected = np.empty((n, n_interactions), dtype=np.float64) if track_expected else None
         expected_ok = np.full(n, track_expected, dtype=bool)
 
-        for t in range(n_interactions):
+        n_workers = min(self.n_workers, len(shards))
+        if n_workers > 1:
+            # shards never interact — round-major interleaving across
+            # shards is purely cosmetic (streams are per-agent) — so
+            # each shard's *whole horizon*, plan materialization
+            # included, runs as one task: no per-round barrier, no
+            # per-round submit overhead; all writes land at the shard's
+            # disjoint agent rows
+            from concurrent.futures import ThreadPoolExecutor
+
+            def run_shard(shard: _Shard) -> None:
+                shard.prepare(n_interactions, track_expected=track_expected)
+                for t in range(n_interactions):
+                    shard.step(t, rewards, actions_mat, expected, expected_ok)
+
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                for future in [pool.submit(run_shard, shard) for shard in shards]:
+                    future.result()
+        else:
             for shard in shards:
-                shard.step(t, rewards, actions_mat, expected, expected_ok)
+                shard.prepare(n_interactions, track_expected=track_expected)
+            for t in range(n_interactions):
+                for shard in shards:
+                    shard.step(t, rewards, actions_mat, expected, expected_ok)
 
         for shard in shards:
             shard.stacked.writeback()
@@ -374,6 +607,78 @@ class FleetRunner:
             expected=expected,
             expected_mask=expected_ok,
         )
+
+    # ------------------------------------------------------------------ #
+    def _run_process(self, n_interactions: int, *, track_expected: bool) -> FleetResult:
+        """Process-pool escape hatch: one whole-horizon task per shard.
+
+        Shards never interact, so instead of a per-round barrier each
+        worker runs its shard start to finish and returns the mutated
+        population; the parent merges result rows and adopts the state
+        back into the caller-visible objects.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        n = len(self.agents)
+        payloads = []
+        for idx in self._shard_index_groups:
+            try:
+                payloads.append(
+                    pickle.dumps(
+                        (
+                            [self.agents[i] for i in idx],
+                            [self.sessions[i] for i in idx],
+                            n_interactions,
+                            track_expected,
+                        )
+                    )
+                )
+            except Exception as exc:  # pickle errors vary by payload
+                raise ConfigError(
+                    "worker_backend='process' requires a picklable population "
+                    f"(pickling a shard failed: {exc}); use the thread backend"
+                ) from exc
+
+        rewards = np.empty((n, n_interactions), dtype=np.float64)
+        actions_mat = np.empty((n, n_interactions), dtype=np.intp)
+        expected = np.empty((n, n_interactions), dtype=np.float64) if track_expected else None
+        expected_ok = np.full(n, track_expected, dtype=bool)
+
+        n_workers = min(self.n_workers, len(payloads))
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            results = list(pool.map(_run_shard_remote, payloads))
+
+        for idx, blob in zip(self._shard_index_groups, results):
+            s_rewards, s_actions, s_expected, s_ok, s_agents, s_sessions = pickle.loads(blob)
+            rewards[idx] = s_rewards
+            actions_mat[idx] = s_actions
+            if expected is not None and s_expected is not None:
+                expected[idx] = s_expected
+            expected_ok[idx] = s_ok
+            for i, agent, session in zip(idx, s_agents, s_sessions):
+                self._adopt(self.agents[i], agent)
+                self._adopt(self.sessions[i], session)
+        return FleetResult(
+            rewards=rewards,
+            actions=actions_mat,
+            expected=expected,
+            expected_mask=expected_ok,
+        )
+
+    @staticmethod
+    def _adopt(mine, theirs) -> None:
+        """Adopt a worker-mutated object's state into the caller's object.
+
+        Keeps the caller-visible object identity (the ``LocalAgent`` /
+        session instances the caller constructed) while taking every
+        attribute — policy state, outbox, participation budget, walk
+        cursors, generator state — from the worker's copy.  Component
+        objects hanging off the adopted one (``agent.policy``, a
+        session's dataset reference) are *rebound* to the worker's
+        copies; that is the documented process-backend caveat.
+        """
+        mine.__dict__.clear()
+        mine.__dict__.update(theirs.__dict__)
 
     # ------------------------------------------------------------------ #
     def drain_outboxes(self) -> list[EncodedReport | RawReport]:

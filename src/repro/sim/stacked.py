@@ -12,6 +12,13 @@ broadcast leading axis.  Randomness is never batched: each agent's
 tie-breaks and exploration coins are drawn from that agent's own
 generator, in the same within-agent order as the sequential path, so
 stacked and sequential runs consume identical streams.
+
+Concurrency: a stacked policy is confined to its shard — its arrays,
+generators and policy objects belong to that shard's agents alone — so
+:class:`~repro.sim.fleet.FleetRunner`'s parallel shard stepping
+(``n_workers > 1``) never has two threads inside the same stacked
+state; the numpy kernels additionally release the GIL, which is what
+makes thread-level shard parallelism pay.
 """
 
 from __future__ import annotations

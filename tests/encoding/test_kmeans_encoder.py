@@ -54,6 +54,34 @@ class TestKMeansEncoder:
         singles = [fitted.encode(x) for x in X]
         np.testing.assert_array_equal(batch, singles)
 
+    def test_batch_matches_single_under_distance_ties(self, fitted):
+        # the base-class contract demands *bit-exact* agreement, not
+        # just agreement in the generic position: forge a codebook with
+        # duplicated centroids so several rows tie exactly, and check
+        # argmin resolution matches the scalar path (a BLAS expansion
+        # of the distances would not guarantee this — the fleet replay
+        # fast path rides on it)
+        forged = KMeansEncoder(n_codes=16, n_features=4, n_fit_samples=3000, seed=0).fit()
+        forged.centers_ = fitted.centers_.copy()
+        forged.centers_[1] = forged.centers_[0]
+        forged.centers_[5] = forged.centers_[3]
+        X = np.vstack([np.eye(4), forged.centers_[:6]])
+        np.testing.assert_array_equal(
+            forged.encode_batch(X), [forged.encode(x) for x in X]
+        )
+
+    def test_batch_chunking_transparent(self, fitted):
+        rng = np.random.default_rng(7)
+        X = rng.dirichlet(np.ones(4), size=33)
+        whole = fitted.encode_batch(X)
+        # re-encode row blocks of every size: chunk boundaries must not
+        # change any code
+        for block in (1, 2, 5, 33):
+            parts = np.concatenate(
+                [fitted.encode_batch(X[i : i + block]) for i in range(0, 33, block)]
+            )
+            np.testing.assert_array_equal(whole, parts)
+
     def test_similar_contexts_same_code(self, fitted):
         x = np.array([0.7, 0.1, 0.1, 0.1])
         assert fitted.encode(x) == fitted.encode(x + np.array([0.004, -0.004, 0.0, 0.0]))

@@ -303,3 +303,80 @@ def test_property_sharded_fleet_matches_sequential(seed, kinds, n_interactions):
             np.testing.assert_array_equal(
                 np.asarray(state_seq[key]), np.asarray(state_fleet[key])
             )
+
+
+_REPLAY_ML_DATASET = None
+
+
+def _replay_dataset():
+    global _REPLAY_ML_DATASET
+    if _REPLAY_ML_DATASET is None:
+        from repro.data.multilabel import make_multilabel_dataset
+
+        _REPLAY_ML_DATASET = make_multilabel_dataset(70, 4, 3, n_clusters=3, seed=17)
+    return _REPLAY_ML_DATASET
+
+
+@given(
+    st.integers(0, 2**31 - 1),
+    st.lists(
+        st.tuples(
+            st.sampled_from(["linucb", "epsilon_greedy", "ucb1"]),
+            st.booleans(),  # True => multilabel replay session, False => synthetic
+        ),
+        min_size=2,
+        max_size=8,
+    ),
+    st.integers(3, 14),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_replay_and_synthetic_mixtures_match_sequential(
+    seed, specs, n_interactions
+):
+    """Arbitrary per-agent mixtures of *planned dataset sessions*
+    (multilabel replay, `has_trace_plan`) and synthetic sessions
+    (`has_reward_plan`) across policy shards stay bit-identical to the
+    sequential reference — including shards that mix both session
+    kinds and therefore fall back to the generic per-round path."""
+    from repro.bandits import UCB1, EpsilonGreedy, LinUCB
+    from repro.core import LocalAgent
+    from repro.data.multilabel import MultilabelBanditEnvironment
+    from repro.data.synthetic import SyntheticPreferenceEnvironment
+    from repro.experiments.runner import _simulate_agent
+    from repro.sim import FleetRunner
+    from repro.utils.rng import spawn_seeds
+
+    classes = {"linucb": LinUCB, "epsilon_greedy": EpsilonGreedy, "ucb1": UCB1}
+
+    def build():
+        syn = SyntheticPreferenceEnvironment(n_actions=3, n_features=4, seed=13)
+        ml = MultilabelBanditEnvironment(_replay_dataset(), samples_per_user=5, seed=2)
+        agents, sessions = [], []
+        for i, s in enumerate(spawn_seeds(seed, len(specs))):
+            policy_seed, session_seed = s.spawn(2)
+            kind, replay = specs[i]
+            policy = classes[kind](n_arms=3, n_features=4, seed=policy_seed)
+            agents.append(LocalAgent(f"u{i}", policy, mode="cold"))
+            sessions.append((ml if replay else syn).new_user(session_seed))
+        return agents, sessions
+
+    seq_agents, seq_sessions = build()
+    fleet_agents, fleet_sessions = build()
+
+    seq_rewards = np.stack(
+        [
+            _simulate_agent(a, s, n_interactions)[0]
+            for a, s in zip(seq_agents, seq_sessions)
+        ]
+    )
+    runner = FleetRunner(fleet_agents, fleet_sessions)
+    assert runner.n_shards == len({kind for kind, _ in specs})
+    result = runner.run(n_interactions)
+
+    np.testing.assert_array_equal(seq_rewards, result.rewards)
+    for sa, fa in zip(seq_agents, fleet_agents):
+        state_seq, state_fleet = sa.policy.get_state(), fa.policy.get_state()
+        for key in state_seq:
+            np.testing.assert_array_equal(
+                np.asarray(state_seq[key]), np.asarray(state_fleet[key])
+            )
