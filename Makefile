@@ -8,7 +8,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) PYTHONHASHSEED=0 python
 
-.PHONY: test smoke bench bench-fleet bench-replay lint format install
+.PHONY: test smoke bench bench-fleet bench-replay bench-reporting lint format install
 
 # tier-1: the full suite (the driver's acceptance gate)
 test:
@@ -33,6 +33,12 @@ bench-fleet:
 # BENCH_REPLAY_MIN_SPEEDUP)
 bench-replay:
 	$(PY) -m pytest benchmarks/bench_replay.py -q
+
+# columnar reporting pipeline, end-to-end with collection rounds
+# (writes benchmarks/results/BENCH_reporting.json; floor tunable via
+# BENCH_REPORTING_MIN_SPEEDUP)
+bench-reporting:
+	$(PY) -m pytest benchmarks/bench_reporting.py -q
 
 # lint + format check (config in pyproject.toml [tool.ruff])
 lint:

@@ -2,8 +2,16 @@
 
 from .agent import LocalAgent
 from .config import AgentMode, P2BConfig
-from .participation import RandomizedParticipation
-from .payload import EncodedReport, RawReport, strip_metadata
+from .participation import RandomizedParticipation, StackedParticipation
+from .payload import (
+    EncodedReport,
+    PendingReports,
+    RawReport,
+    ReportBatch,
+    ReportLog,
+    drain_report_batches,
+    strip_metadata,
+)
 from .rounds import DeploymentLoop, RoundStats
 from .server import NonPrivateServer, PrivateServer
 from .shuffler import Shuffler, ShufflerStats
@@ -14,8 +22,13 @@ __all__ = [
     "AgentMode",
     "P2BConfig",
     "RandomizedParticipation",
+    "StackedParticipation",
     "EncodedReport",
     "RawReport",
+    "ReportBatch",
+    "ReportLog",
+    "PendingReports",
+    "drain_report_batches",
     "strip_metadata",
     "PrivateServer",
     "NonPrivateServer",

@@ -34,7 +34,7 @@ from ..utils.exceptions import ConfigError
 from ..utils.validation import check_vector
 from .config import AgentMode
 from .participation import RandomizedParticipation
-from .payload import EncodedReport, RawReport
+from .payload import EncodedReport, PendingReports, RawReport, ReportLog
 
 __all__ = ["LocalAgent"]
 
@@ -109,7 +109,11 @@ class LocalAgent:
         self.encoder = encoder
         self.participation = participation
         self.private_context = private_context
-        self.outbox: list[EncodedReport | RawReport] = []
+        #: pending reports; may transiently hold columnar
+        #: :class:`~repro.core.payload.PendingReports` markers dropped
+        #: by the fleet engine — the ``outbox`` property materializes
+        #: them on access, so object-path consumers never see them
+        self._outbox: list[EncodedReport | RawReport | PendingReports] = []
         self.n_interactions = 0
         self.total_reward = 0.0
 
@@ -162,11 +166,11 @@ class LocalAgent:
         metadata = {"agent_id": self.agent_id, "interaction_index": self.n_interactions}
         if self.mode == AgentMode.WARM_PRIVATE:
             code = self.encoder.encode(s_ctx)  # type: ignore[union-attr]
-            self.outbox.append(
+            self._outbox.append(
                 EncodedReport(code=code, action=s_action, reward=s_reward, metadata=metadata)
             )
         else:
-            self.outbox.append(
+            self._outbox.append(
                 RawReport(context=s_ctx, action=s_action, reward=s_reward, metadata=metadata)
             )
 
@@ -179,6 +183,62 @@ class LocalAgent:
         return action, reward
 
     # ------------------------------------------------------------------ #
+    @property
+    def outbox(self) -> list[EncodedReport | RawReport]:
+        """Pending reports as objects (the scalar reference view).
+
+        The fleet engine records reports columnar-side and parks
+        :class:`~repro.core.payload.PendingReports` markers here;
+        reading this property materializes them in place — same
+        reports, same metadata, same order as the scalar path — so any
+        object-path consumer stays oblivious.  The columnar collection
+        fast path (:meth:`~repro.core.system.P2BSystem.collect`)
+        deliberately bypasses this property to keep arrays arrays.
+        """
+        if any(isinstance(e, PendingReports) for e in self._outbox):
+            expanded: list[EncodedReport | RawReport] = []
+            for entry in self._outbox:
+                if isinstance(entry, PendingReports):
+                    expanded.extend(entry.materialize())
+                else:
+                    expanded.append(entry)
+            self._outbox = expanded
+        return self._outbox  # type: ignore[return-value]
+
+    @outbox.setter
+    def outbox(self, value: list[EncodedReport | RawReport]) -> None:
+        self._outbox = list(value)
+
+    def adopt_report_log(self, log: ReportLog, row: int) -> None:
+        """Attach a columnar report log (the fleet engine's outbox form).
+
+        Reports the engine appends to ``log`` under ``row`` belong to
+        this agent; they are drained through the same outbox semantics
+        as object reports.
+        """
+        self._outbox.append(PendingReports(log, row))
+
+    def pending_entries(self) -> list[EncodedReport | RawReport | PendingReports]:
+        """The raw pending-outbox entries, *without* materializing.
+
+        The columnar collection path
+        (:func:`~repro.core.payload.drain_report_batches`) inspects
+        these to decide between the array and object drains; anything
+        that wants report objects should use :attr:`outbox` /
+        :meth:`drain_outbox` instead.
+        """
+        return list(self._outbox)
+
+    def clear_pending(self) -> None:
+        """Drop every pending entry (the columnar drain's commit step).
+
+        Only meaningful after the caller has consumed the entries via
+        :meth:`pending_entries` — this is how
+        :func:`~repro.core.payload.drain_report_batches` mirrors the
+        destructive semantics of :meth:`drain_outbox`.
+        """
+        self._outbox = []
+
     def drain_outbox(self) -> list[EncodedReport | RawReport]:
         """Remove and return all pending reports (the network send)."""
         out, self.outbox = self.outbox, []

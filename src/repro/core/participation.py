@@ -22,14 +22,14 @@ module implements the sampling policy exactly as stated:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generic, TypeVar
+from typing import Generic, Sequence, TypeVar
 
 import numpy as np
 
 from ..utils.rng import ensure_rng
 from ..utils.validation import check_positive_int, check_probability
 
-__all__ = ["RandomizedParticipation"]
+__all__ = ["RandomizedParticipation", "StackedParticipation"]
 
 T_co = TypeVar("T_co")
 
@@ -106,3 +106,105 @@ class RandomizedParticipation(Generic[T_co]):
         self._buffer.clear()
         self.reports_sent = 0
         self.windows_seen = 0
+
+
+class StackedParticipation:
+    """``n`` independent :class:`RandomizedParticipation` policies, stepped per round.
+
+    The fleet engine's columnar reporting path: all window/budget
+    bookkeeping — buffer fill levels, report budgets, window counters —
+    lives in stacked arrays and advances with vectorized masks, while
+    the Bernoulli coin and the within-window index are drawn from each
+    agent's *own* generator in exactly the order the scalar
+    :meth:`RandomizedParticipation.offer` consumes them (the same
+    per-agent-stream trick as ``StackedThompson``).  Because streams
+    are per-agent and exhausted/mid-window agents consume no
+    randomness at all, a stacked run is bit-interchangeable with the
+    scalar call sequence.
+
+    Construction *adopts* the scalar policies mid-stream: fill levels
+    come from their live buffers, budgets from their counters, and the
+    generators are shared by reference — so a population that already
+    ran on the object path (a previous deployment round, a partial
+    window) continues exactly where the scalar calls left off.
+    :meth:`writeback` pushes the advanced counters back into the
+    scalar objects; rebuilding their buffered *items* is the caller's
+    job (the caller owns the item data; see
+    ``repro.sim.fleet._Shard.finish``).
+
+    Per-agent parameters need not be uniform: ``p``, ``window`` and
+    ``max_reports`` are all arrays.
+    """
+
+    def __init__(self, policies: Sequence[RandomizedParticipation]) -> None:
+        policies = list(policies)
+        if not policies:
+            raise ValueError("StackedParticipation needs at least one policy")
+        self.policies = policies
+        self.n = len(policies)
+        self.p = np.array([pol.p for pol in policies], dtype=np.float64)
+        self.window = np.array([pol.window for pol in policies], dtype=np.intp)
+        self.max_reports = np.array([pol.max_reports for pol in policies], dtype=np.intp)
+        self.rngs = [pol._rng for pol in policies]
+        self.fill = np.array([len(pol._buffer) for pol in policies], dtype=np.intp)
+        self.reports_sent = np.array([pol.reports_sent for pol in policies], dtype=np.intp)
+        self.windows_seen = np.array([pol.windows_seen for pol in policies], dtype=np.intp)
+        #: items buffered *since adoption* that are still pending
+        #: (resets at every window boundary; frozen once exhausted)
+        self.new_buffered = np.zeros(self.n, dtype=np.intp)
+        #: whether any window boundary fired since adoption — when
+        #: False, the scalar policy's pre-adoption buffer items are
+        #: still live
+        self.flipped = np.zeros(self.n, dtype=bool)
+
+    def step(self) -> tuple[np.ndarray, np.ndarray]:
+        """Advance every agent's window by one buffered interaction.
+
+        Equivalent to one ``offer`` call per agent: budget-exhausted
+        agents are skipped (no buffering, no RNG — the scalar early
+        return), everyone else buffers, and agents whose buffer just
+        reached ``window`` flip their coin.
+
+        Returns
+        -------
+        (reported, within)
+            ``reported`` is a boolean mask of agents that emitted a
+            report this step; ``within[j]`` (valid where ``reported``)
+            is the sampled index into agent ``j``'s conceptual window
+            buffer — ``window[j] - 1`` is the current interaction,
+            ``0`` the oldest buffered one.
+        """
+        active = self.reports_sent < self.max_reports
+        self.fill[active] += 1
+        self.new_buffered[active] += 1
+        boundary = active & (self.fill >= self.window)
+        reported = np.zeros(self.n, dtype=bool)
+        within = np.zeros(self.n, dtype=np.intp)
+        if boundary.any():
+            self.windows_seen[boundary] += 1
+            self.fill[boundary] = 0
+            self.new_buffered[boundary] = 0
+            self.flipped[boundary] = True
+            # the draws stay per-agent — each must come from that
+            # agent's own stream, in the scalar offer() order: one
+            # uniform for the coin, then (heads only) one integer for
+            # the within-window index
+            for j in np.nonzero(boundary)[0]:
+                rng = self.rngs[j]
+                if rng.random() < self.p[j]:
+                    self.reports_sent[j] += 1
+                    reported[j] = True
+                    within[j] = int(rng.integers(self.window[j]))
+        return reported, within
+
+    def writeback(self) -> None:
+        """Push the advanced budget/window counters into the scalar objects.
+
+        Generators were shared by reference all along, so only the
+        integer counters need copying back.  Buffer *contents* are the
+        caller's responsibility (:attr:`new_buffered` and
+        :attr:`flipped` say which items are live).
+        """
+        for j, pol in enumerate(self.policies):
+            pol.reports_sent = int(self.reports_sent[j])
+            pol.windows_seen = int(self.windows_seen[j])

@@ -18,7 +18,7 @@ Both are immutable; equality ignores metadata so that tests can assert
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -27,7 +27,11 @@ from ..utils.validation import check_scalar, check_vector
 __all__ = [
     "EncodedReport",
     "RawReport",
+    "ReportBatch",
+    "ReportLog",
+    "PendingReports",
     "strip_metadata",
+    "drain_report_batches",
     "encoded_reports_to_arrays",
     "encoded_reports_from_arrays",
 ]
@@ -109,6 +113,320 @@ class RawReport:
 def strip_metadata(reports: list[EncodedReport] | list[RawReport]):
     """Anonymize a batch of reports (list comprehension convenience)."""
     return [r.anonymized() for r in reports]
+
+
+@dataclass
+class ReportBatch:
+    """Struct-of-arrays form of a pending-report batch.
+
+    The columnar pipeline's working representation from device to
+    server: ``m`` reports are ``m`` rows across parallel arrays instead
+    of ``m`` payload objects.  Exactly one of :attr:`codes` (encoded
+    batches) and :attr:`contexts` (raw batches) is set.
+
+    ``agent_rows`` and ``interaction_indices`` carry the transport
+    metadata in columnar form (who reported, at which lifetime
+    interaction); like object metadata they are dropped the moment the
+    batch enters the shuffler.  ``agent_ids`` (optional) maps agent
+    rows to identifiers so :meth:`to_reports` can rebuild the object
+    view — metadata included — bit-identically to the scalar path.
+    """
+
+    actions: np.ndarray  #: (m,) intp
+    rewards: np.ndarray  #: (m,) float64
+    agent_rows: np.ndarray  #: (m,) intp — caller-defined agent numbering
+    interaction_indices: np.ndarray  #: (m,) intp — per-agent lifetime index
+    codes: np.ndarray | None = None  #: (m,) intp, encoded batches only
+    contexts: np.ndarray | None = None  #: (m, d) float64, raw batches only
+    agent_ids: tuple[str, ...] | None = None  #: agent_row -> identifier
+
+    def __post_init__(self) -> None:
+        if (self.codes is None) == (self.contexts is None):
+            raise ValueError("exactly one of codes/contexts must be set")
+        m = self.actions.shape[0]
+        payload_len = self.codes.shape[0] if self.codes is not None else self.contexts.shape[0]
+        if not (
+            m
+            == self.rewards.shape[0]
+            == self.agent_rows.shape[0]
+            == self.interaction_indices.shape[0]
+            == payload_len
+        ):
+            raise ValueError("ReportBatch columns must have matching lengths")
+
+    @property
+    def kind(self) -> str:
+        """``"encoded"`` (code payloads) or ``"raw"`` (context payloads)."""
+        return "encoded" if self.codes is not None else "raw"
+
+    def __len__(self) -> int:
+        return int(self.actions.shape[0])
+
+    @classmethod
+    def empty(cls, kind: str, *, n_features: int = 0) -> "ReportBatch":
+        """A zero-row batch of the given kind."""
+        none = np.empty(0, dtype=np.intp)
+        return cls(
+            actions=none,
+            rewards=np.empty(0, dtype=np.float64),
+            agent_rows=none.copy(),
+            interaction_indices=none.copy(),
+            codes=none.copy() if kind == "encoded" else None,
+            contexts=np.empty((0, n_features), dtype=np.float64) if kind == "raw" else None,
+        )
+
+    def take(self, order: np.ndarray) -> "ReportBatch":
+        """Reindexed copy (gather) of this batch."""
+        return ReportBatch(
+            actions=self.actions[order],
+            rewards=self.rewards[order],
+            agent_rows=self.agent_rows[order],
+            interaction_indices=self.interaction_indices[order],
+            codes=self.codes[order] if self.codes is not None else None,
+            contexts=self.contexts[order] if self.contexts is not None else None,
+            agent_ids=self.agent_ids,
+        )
+
+    @staticmethod
+    def concat(batches: Sequence["ReportBatch"], kind: str) -> "ReportBatch":
+        """Row-concatenate batches of one kind (ids are not merged)."""
+        batches = [b for b in batches if len(b)]
+        if not batches:
+            return ReportBatch.empty(kind)
+        if any(b.kind != kind for b in batches):
+            raise ValueError("cannot concatenate batches of different kinds")
+        return ReportBatch(
+            actions=np.concatenate([b.actions for b in batches]),
+            rewards=np.concatenate([b.rewards for b in batches]),
+            agent_rows=np.concatenate([b.agent_rows for b in batches]),
+            interaction_indices=np.concatenate([b.interaction_indices for b in batches]),
+            codes=np.concatenate([b.codes for b in batches]) if kind == "encoded" else None,
+            contexts=np.concatenate([b.contexts for b in batches]) if kind == "raw" else None,
+        )
+
+    def to_reports(self) -> list["EncodedReport | RawReport"]:
+        """Object view: the exact reports the scalar path would have built.
+
+        Metadata (``agent_id`` + ``interaction_index``) is attached when
+        :attr:`agent_ids` is present, matching
+        :meth:`~repro.core.agent.LocalAgent.record_interaction` field
+        for field; otherwise the reports are metadata-free (the
+        post-anonymization form).
+        """
+        out: list[EncodedReport | RawReport] = []
+        for i in range(len(self)):
+            metadata: Mapping[str, Any] = {}
+            if self.agent_ids is not None:
+                metadata = {
+                    "agent_id": self.agent_ids[int(self.agent_rows[i])],
+                    "interaction_index": int(self.interaction_indices[i]),
+                }
+            if self.codes is not None:
+                out.append(
+                    EncodedReport(
+                        code=int(self.codes[i]),
+                        action=int(self.actions[i]),
+                        reward=float(self.rewards[i]),
+                        metadata=metadata,
+                    )
+                )
+            else:
+                out.append(
+                    RawReport(
+                        context=self.contexts[i].copy(),
+                        action=int(self.actions[i]),
+                        reward=float(self.rewards[i]),
+                        metadata=metadata,
+                    )
+                )
+        return out
+
+
+class ReportLog:
+    """Append-only columnar store of one agent group's pending reports.
+
+    The fleet engine's native outbox: each shard owns one log per run
+    and appends per-round report columns; agents reference their rows
+    through :class:`PendingReports` markers in their outboxes, so the
+    object API (:meth:`LocalAgent.drain_outbox`) and the columnar API
+    (:func:`drain_report_batches`) both see exactly the reports the
+    scalar path would have produced — the former by materializing
+    views, the latter as pure array gathers.
+
+    Entries are drained at most once (a taken row is dead), mirroring
+    the destructive semantics of draining an object outbox.
+    """
+
+    def __init__(self, kind: str, agent_ids: Sequence[str]) -> None:
+        if kind not in ("encoded", "raw"):
+            raise ValueError(f"kind must be 'encoded' or 'raw', got {kind!r}")
+        self.kind = kind
+        self.agent_ids = tuple(str(a) for a in agent_ids)
+        self._chunks: list[ReportBatch] = []
+        self._batch: ReportBatch | None = None
+        self._live: np.ndarray | None = None
+        # lazy row -> entry-positions index so per-agent takes (the
+        # object-view materialization path) stay O(entries-of-agent)
+        # instead of rescanning the whole log per agent
+        self._row_index: dict[int, np.ndarray] | None = None
+
+    def append(
+        self,
+        agent_rows: np.ndarray,
+        payload: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        interaction_indices: np.ndarray,
+    ) -> None:
+        """Append one round's reports (rows aligned across the columns)."""
+        self._chunks.append(
+            ReportBatch(
+                actions=np.asarray(actions, dtype=np.intp),
+                rewards=np.asarray(rewards, dtype=np.float64),
+                agent_rows=np.asarray(agent_rows, dtype=np.intp),
+                interaction_indices=np.asarray(interaction_indices, dtype=np.intp),
+                codes=np.asarray(payload, dtype=np.intp) if self.kind == "encoded" else None,
+                contexts=np.asarray(payload, dtype=np.float64) if self.kind == "raw" else None,
+            )
+        )
+
+    def _finalize(self) -> None:
+        if self._chunks:
+            merged = ReportBatch.concat(
+                ([self._batch] if self._batch is not None else []) + self._chunks,
+                self.kind,
+            )
+            n_new = len(merged) - (len(self._batch) if self._batch is not None else 0)
+            old_live = self._live if self._live is not None else np.empty(0, dtype=bool)
+            self._live = np.concatenate([old_live, np.ones(n_new, dtype=bool)])
+            self._batch = merged
+            self._chunks = []
+            self._row_index = None
+        elif self._batch is None:
+            self._batch = ReportBatch.empty(self.kind)
+            self._live = np.zeros(0, dtype=bool)
+
+    def _positions_of(self, agent_rows: np.ndarray) -> np.ndarray:
+        """Entry positions of the given rows, ascending (append order).
+
+        One stable grouping pass over the log, cached until the next
+        append — so draining a whole population agent by agent costs
+        one sort total, not one full-log scan per agent.
+        """
+        if self._row_index is None:
+            self._row_index = {}
+            if self._batch.agent_rows.size:
+                order = np.argsort(self._batch.agent_rows, kind="stable")
+                sorted_rows = self._batch.agent_rows[order]
+                starts = np.concatenate([[0], np.nonzero(np.diff(sorted_rows))[0] + 1])
+                ends = np.concatenate([starts[1:], [sorted_rows.size]])
+                self._row_index = {
+                    int(sorted_rows[s]): order[s:e] for s, e in zip(starts, ends)
+                }
+        empty = np.empty(0, dtype=np.intp)
+        parts = [self._row_index.get(int(r), empty) for r in np.unique(agent_rows)]
+        positions = np.concatenate(parts) if parts else empty
+        return np.sort(positions)
+
+    def take_rows(self, agent_rows: np.ndarray) -> ReportBatch:
+        """Drain the still-pending entries of the given agent rows.
+
+        Entries come back in append (chronological) order, carrying
+        :attr:`agent_ids` so object views can be materialized; taken
+        entries are dead for every future take.
+        """
+        self._finalize()
+        assert self._batch is not None and self._live is not None
+        agent_rows = np.asarray(agent_rows, dtype=np.intp)
+        positions = self._positions_of(agent_rows)
+        positions = positions[self._live[positions]]
+        self._live[positions] = False
+        taken = self._batch.take(positions)
+        taken.agent_ids = self.agent_ids
+        return taken
+
+
+class PendingReports:
+    """Outbox marker: one agent's pending rows in a :class:`ReportLog`.
+
+    A lightweight stand-in the fleet engine drops into
+    ``LocalAgent.outbox`` instead of per-report objects; touching the
+    object API materializes it (:meth:`materialize`), while the
+    columnar collection path consumes the underlying log directly.
+    """
+
+    __slots__ = ("log", "row")
+
+    def __init__(self, log: ReportLog, row: int) -> None:
+        self.log = log
+        self.row = int(row)
+
+    def materialize(self) -> list[EncodedReport | RawReport]:
+        """Drain this agent's log rows as the equivalent report objects."""
+        return self.log.take_rows(np.array([self.row], dtype=np.intp)).to_reports()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PendingReports(kind={self.log.kind!r}, row={self.row})"
+
+
+def drain_report_batches(
+    agents: Iterable,
+) -> tuple[ReportBatch, ReportBatch] | None:
+    """Drain a population's pending reports in columnar form.
+
+    Returns ``(encoded, raw)`` batches holding every pending report of
+    ``agents`` — ordered agent-major by the given agent order and
+    chronologically within each agent, i.e. exactly the order
+    sequential per-agent ``drain_outbox`` concatenation would produce —
+    or ``None`` when any agent holds a materialized report *object*,
+    in which case the caller must use the object path (mixed histories
+    cannot be ordered columnar-side without materializing anyway).
+
+    On success every involved outbox is emptied and the taken log rows
+    are dead, mirroring the destructive object-path drain.
+    """
+    slices: list[tuple[PendingReports, int]] = []
+    touched: list = []
+    for pos, agent in enumerate(agents):
+        for entry in agent.pending_entries():
+            if not isinstance(entry, PendingReports):
+                return None
+            slices.append((entry, pos))
+        touched.append(agent)
+    for agent in touched:
+        agent.clear_pending()
+
+    by_kind: dict[str, list[ReportBatch]] = {"encoded": [], "raw": []}
+    by_log: dict[int, tuple[ReportLog, list[int], list[int]]] = {}
+    for entry, pos in slices:
+        log_id = id(entry.log)
+        if log_id not in by_log:
+            by_log[log_id] = (entry.log, [], [])
+        _, rows, poses = by_log[log_id]
+        rows.append(entry.row)
+        poses.append(pos)
+    for log, rows, poses in by_log.values():
+        row_arr = np.asarray(rows, dtype=np.intp)
+        part = log.take_rows(row_arr)
+        part.agent_ids = None
+        # remap log-local agent rows to the caller's agent positions so
+        # the cross-log sort below is over one shared numbering
+        posarr = np.full(len(log.agent_ids), -1, dtype=np.intp)
+        posarr[row_arr] = np.asarray(poses, dtype=np.intp)
+        part.agent_rows = posarr[part.agent_rows]
+        by_kind[log.kind].append(part)
+
+    out = []
+    for kind in ("encoded", "raw"):
+        batch = ReportBatch.concat(by_kind[kind], kind)
+        if len(batch):
+            # agent-major, chronological within agent: the per-agent
+            # lifetime interaction index is the chronological key (it
+            # is strictly increasing per agent across runs and logs)
+            order = np.lexsort((batch.interaction_indices, batch.agent_rows))
+            batch = batch.take(order)
+        out.append(batch)
+    return out[0], out[1]
 
 
 def encoded_reports_to_arrays(

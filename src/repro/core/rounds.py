@@ -70,7 +70,11 @@ class DeploymentLoop:
         population supports it — bit-identical to the loop by the sim
         contract; mixed cohorts shard by configuration —
         ``"sequential"`` forces the reference loop, ``"fleet"`` insists
-        and raises when unsupported.
+        and raises when unsupported.  Fleet rounds record reports
+        columnar-side, so each round's collection flows arrays straight
+        through the shuffler into the server
+        (:meth:`~repro.core.system.P2BSystem.collect`'s fast path) —
+        no per-report objects anywhere in the cycle, same round stats.
     n_workers:
         Fleet shard parallelism per round (default 1 = serial); the
         per-round stats are identical either way (the sim contract).

@@ -85,25 +85,55 @@ class PrivateServer(_ServerBase):
         self.context_mode = context_mode
 
     def ingest(self, batch: Sequence[EncodedReport]) -> None:
-        """Train the central model on a shuffled, thresholded batch."""
+        """Train the central model on a shuffled, thresholded batch.
+
+        Thin object adapter over :meth:`ingest_arrays` — the columnar
+        form is the native one, so both entry points drive the central
+        policy through byte-identical arrays.
+        """
         if not batch:
             self.n_batches += 1
             return
+        self.ingest_arrays(
+            np.array([r.code for r in batch], dtype=np.intp),
+            np.array([r.action for r in batch], dtype=np.intp),
+            np.array([r.reward for r in batch], dtype=np.float64),
+        )
+
+    def ingest_arrays(
+        self, codes: np.ndarray, actions: np.ndarray, rewards: np.ndarray
+    ) -> None:
+        """Columnar fast path: train directly on report columns.
+
+        The device → shuffler → server pipeline's terminal stage; codes
+        become one-hot indicators (or codebook centroids via the
+        batched decode) and feed ``update_batch`` — no report objects
+        anywhere.
+        """
+        codes = np.asarray(codes, dtype=np.intp).ravel()
+        actions = np.asarray(actions, dtype=np.intp).ravel()
+        rewards = np.asarray(rewards, dtype=np.float64).ravel()
+        if not (codes.shape[0] == actions.shape[0] == rewards.shape[0]):
+            raise ValidationError(
+                "codes, actions and rewards must have matching lengths: "
+                f"{codes.shape[0]}, {actions.shape[0]}, {rewards.shape[0]}"
+            )
+        n = codes.shape[0]
+        if n == 0:
+            self.n_batches += 1
+            return
         k = self.encoder.n_codes
-        codes = np.array([r.code for r in batch], dtype=np.intp)
         if codes.max(initial=0) >= k:
             raise ValidationError(
                 f"batch contains code {int(codes.max())} outside the codebook of size {k}"
             )
         if self.context_mode == "one-hot":
-            contexts = np.zeros((len(batch), k), dtype=np.float64)
-            contexts[np.arange(len(batch)), codes] = 1.0
+            contexts = np.zeros((n, k), dtype=np.float64)
+            contexts[np.arange(n), codes] = 1.0
         else:
-            contexts = np.stack([self.encoder.decode(int(c)) for c in codes])
-        actions = np.array([r.action for r in batch], dtype=np.intp)
-        rewards = np.array([r.reward for r in batch], dtype=np.float64)
+            contexts = self.encoder.decode_batch(codes)
         self.policy.update_batch(contexts, actions, rewards)
-        self.n_tuples_ingested += len(batch)
+        self.n_tuples_ingested += n
         self.n_batches += 1
 
 
@@ -115,14 +145,36 @@ class NonPrivateServer(_ServerBase):
         if not batch:
             self.n_batches += 1
             return
-        contexts = np.stack([r.context for r in batch])
+        self.ingest_arrays(
+            np.stack([r.context for r in batch]),
+            np.array([r.action for r in batch], dtype=np.intp),
+            np.array([r.reward for r in batch], dtype=np.float64),
+        )
+
+    def ingest_arrays(
+        self, contexts: np.ndarray, actions: np.ndarray, rewards: np.ndarray
+    ) -> None:
+        """Columnar fast path: train directly on raw-context columns."""
+        contexts = np.asarray(contexts, dtype=np.float64)
+        actions = np.asarray(actions, dtype=np.intp).ravel()
+        rewards = np.asarray(rewards, dtype=np.float64).ravel()
+        if contexts.ndim != 2:
+            raise ValidationError(
+                f"contexts must be a 2-D batch, got ndim={contexts.ndim}"
+            )
+        if not (contexts.shape[0] == actions.shape[0] == rewards.shape[0]):
+            raise ValidationError(
+                "contexts, actions and rewards must have matching lengths: "
+                f"{contexts.shape[0]}, {actions.shape[0]}, {rewards.shape[0]}"
+            )
+        if contexts.shape[0] == 0:
+            self.n_batches += 1
+            return
         if contexts.shape[1] != self.policy.n_features:
             raise ValidationError(
                 f"batch context dimension {contexts.shape[1]} does not match "
                 f"central policy n_features {self.policy.n_features}"
             )
-        actions = np.array([r.action for r in batch], dtype=np.intp)
-        rewards = np.array([r.reward for r in batch], dtype=np.float64)
         self.policy.update_batch(contexts, actions, rewards)
-        self.n_tuples_ingested += len(batch)
+        self.n_tuples_ingested += contexts.shape[0]
         self.n_batches += 1

@@ -106,22 +106,27 @@ class Shuffler:
         if n_received:
             order = self._rng.permutation(n_received)
             codes, actions, rewards = codes[order], actions[order], rewards[order]
-        # 3. thresholding (via unique, not bincount: code spaces can be
-        # huge and sparse, e.g. 2^30 for wide LSH signatures)
-        codes_received = int(np.unique(codes).size)
+        # 3. thresholding (via one unique call, not bincount: code
+        # spaces can be huge and sparse, e.g. 2^30 for wide LSH
+        # signatures; the same counts drive the release mask and both
+        # code-diversity stats)
+        codes_received = codes_released = 0
         if n_received:
             _, inverse, batch_counts = np.unique(
                 codes, return_inverse=True, return_counts=True
             )
-            keep = batch_counts[inverse] >= self.threshold
+            codes_received = int(batch_counts.size)
+            released_mask = batch_counts >= self.threshold
+            codes_released = int(np.count_nonzero(released_mask))
+            keep = released_mask[inverse]
             codes, actions, rewards = codes[keep], actions[keep], rewards[keep]
-        audit = verify_crowd_blending(codes.tolist(), self.threshold)
+        audit = verify_crowd_blending(codes, self.threshold)
         stats = ShufflerStats(
             n_received=n_received,
             n_released=int(codes.shape[0]),
             n_dropped=n_received - int(codes.shape[0]),
             codes_received=codes_received,
-            codes_released=int(np.unique(codes).size),
+            codes_released=codes_released,
             audit=audit,
         )
         return codes, actions, rewards, stats

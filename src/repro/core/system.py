@@ -31,7 +31,7 @@ from ..utils.rng import spawn_seeds
 from .agent import LocalAgent
 from .config import AgentMode, P2BConfig
 from .participation import RandomizedParticipation
-from .payload import EncodedReport, RawReport
+from .payload import EncodedReport, RawReport, drain_report_batches
 from .server import NonPrivateServer, PrivateServer
 from .shuffler import Shuffler, ShufflerStats
 
@@ -195,7 +195,47 @@ class P2BSystem:
         Private mode: reports pass through the shuffler; only the
         released (crowd-blended) tuples reach the server.  Non-private
         mode: raw reports go straight to the server.  Cold mode: no-op.
+
+        When every pending report is columnar (the population just ran
+        on the fleet engine), the whole round stays columnar: report
+        columns flow through :meth:`Shuffler.process_arrays` into
+        ``ingest_arrays`` without a single payload object — bit-exactly
+        the object path's release stream, stats, audit and server
+        update (the shuffler consumes the same permutation draw and the
+        batch enters it in the same agent-major order).  Any agent
+        holding materialized report objects sends the round down the
+        object path instead; both are always available mid-stream.
         """
+        agents = list(agents)
+        batches = drain_report_batches(agents)
+        if batches is None:
+            return self._collect_objects(agents)
+        encoded_batch, raw_batch = batches
+        n_reports = len(encoded_batch) + len(raw_batch)
+        if self.mode == AgentMode.COLD or self.server is None:
+            return CollectionResult(n_reports=n_reports, n_released=0, shuffler_stats=None)
+        if self.mode == AgentMode.WARM_PRIVATE:
+            assert self.shuffler is not None
+            r_codes, r_actions, r_rewards, stats = self.shuffler.process_arrays(
+                encoded_batch.codes, encoded_batch.actions, encoded_batch.rewards
+            )
+            stats.audit.raise_if_violated()
+            self.server.ingest_arrays(r_codes, r_actions, r_rewards)  # type: ignore[union-attr]
+            self._collected_codes.extend(int(c) for c in r_codes)
+            return CollectionResult(
+                n_reports=n_reports,
+                n_released=int(r_codes.shape[0]),
+                shuffler_stats=stats,
+            )
+        self.server.ingest_arrays(  # type: ignore[union-attr]
+            raw_batch.contexts, raw_batch.actions, raw_batch.rewards
+        )
+        return CollectionResult(
+            n_reports=n_reports, n_released=len(raw_batch), shuffler_stats=None
+        )
+
+    def _collect_objects(self, agents: Iterable[LocalAgent]) -> CollectionResult:
+        """The object-path collection round (the scalar reference)."""
         reports: list[EncodedReport | RawReport] = []
         for agent in agents:
             reports.extend(agent.drain_outbox())

@@ -246,6 +246,9 @@ def run_setting(
         else:
             for agent, session in zip(contributors, sessions):
                 _simulate_agent(agent, session, t_contrib)
+        # fleet-run contributors hold columnar pending reports, so this
+        # collection round flows arrays end-to-end (shuffler + server
+        # ingest_arrays) — bit-identical to the sequential object drain
         outcome = system.collect(contributors)
         n_reports, n_released = outcome.n_reports, outcome.n_released
 

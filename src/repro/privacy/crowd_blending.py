@@ -27,8 +27,16 @@ __all__ = [
 ]
 
 
-def code_histogram(codes: Iterable[int]) -> dict[int, int]:
-    """Frequency of each code value in a released batch."""
+def code_histogram(codes: Iterable[int] | np.ndarray) -> dict[int, int]:
+    """Frequency of each code value in a released batch.
+
+    Accepts ndarrays natively (one ``unique`` call, no Python-list
+    round trip — the shuffler's columnar path audits every release)
+    as well as arbitrary iterables of ints.
+    """
+    if isinstance(codes, np.ndarray):
+        uniq, counts = np.unique(codes.ravel(), return_counts=True)
+        return {int(c): int(k) for c, k in zip(uniq, counts)}
     return dict(Counter(int(c) for c in codes))
 
 
@@ -86,7 +94,7 @@ def verify_crowd_blending(codes: Sequence[int] | np.ndarray, l: int) -> CrowdBle
     {2: 1}
     """
     l = check_positive_int(l, name="l")
-    hist = code_histogram(np.asarray(codes, dtype=np.int64).ravel().tolist())
+    hist = code_histogram(np.asarray(codes, dtype=np.int64))
     violations = {code: count for code, count in hist.items() if count < l}
     smallest = min(hist.values()) if hist else 0
     return CrowdBlendingAudit(

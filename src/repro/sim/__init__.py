@@ -58,6 +58,21 @@ bit-identity guarantee.  A shard mixing plan-capable and plan-less
 sessions falls back to per-round session stepping, still
 bit-identical.
 
+The *reporting* pipeline is columnar on the same plan-capable shards:
+participation advances through
+:class:`~repro.core.participation.StackedParticipation` (vectorized
+window/budget masks; the Bernoulli coin and within-window index still
+drawn from each agent's own generator in the scalar ``offer`` order),
+and reports land in a struct-of-arrays
+:class:`~repro.core.payload.ReportLog` instead of per-report objects —
+codes gathered from the plan-time batch encodings, never re-encoded.
+Agent outboxes hold lightweight markers that materialize into the
+exact scalar report objects on access, while
+:meth:`~repro.core.system.P2BSystem.collect` flows the columns
+straight through ``Shuffler.process_arrays`` into
+``ingest_arrays`` — the same released tuples, stats and audit as the
+object path, with no payload object ever built on the fast path.
+
 Because shards share no mutable state and never synchronize,
 ``FleetRunner(n_workers=k)`` runs each shard's whole horizon as one
 concurrent task — on a thread pool, or in worker processes with

@@ -42,9 +42,17 @@ What stays per-agent Python (all O(1) per agent per round):
   generators;
 * randomness (tie-breaks, epsilon coins, posterior draws) — batching
   draws across agents would reorder streams;
-* participation offers and outbox appends — routed through
-  :meth:`~repro.core.agent.LocalAgent.record_interaction`, the same
-  method the sequential path uses;
+* participation offers and outbox appends on *unplanned* shards —
+  routed through :meth:`~repro.core.agent.LocalAgent.record_interaction`,
+  the same method the sequential path uses.  Plan-capable shards
+  instead record **columnar**: window/budget masks advance through
+  :class:`~repro.core.participation.StackedParticipation` (only the
+  coin and within-window draws stay per-agent, from each agent's own
+  stream), and report payloads are gathered — codes from the plan-time
+  batch encodings, actions/rewards from the result matrices — into a
+  per-shard :class:`~repro.core.payload.ReportLog`; agent outboxes
+  reference their rows and materialize objects only if the object API
+  is touched;
 * context encoding on *cache miss* — encoders are deterministic (the
   ``eps_bar = 0`` premise), so re-encoding an unchanged context is pure
   waste; each shard memoizes per agent and only calls the scalar
@@ -86,7 +94,8 @@ import numpy as np
 
 from ..core.agent import LocalAgent
 from ..core.config import AgentMode
-from ..core.payload import EncodedReport, RawReport
+from ..core.participation import StackedParticipation
+from ..core.payload import EncodedReport, RawReport, ReportLog
 from ..data.environment import StationaryRewardPlan, TracePlan, UserSession
 from ..utils.exceptions import ConfigError
 from ..utils.validation import check_positive_int
@@ -228,6 +237,14 @@ class _Shard:
         self._trace_codes: np.ndarray | None = None
         self._trace_reps: np.ndarray | None = None
         self._trace_expected_is_rewards = False
+        # columnar reporting state (plan-capable shards only)
+        self._batch_recording = False
+        self._horizon = 0
+        self._base_inter: np.ndarray | None = None
+        self._reward_acc: np.ndarray | None = None
+        self._part: StackedParticipation | None = None
+        self._log: ReportLog | None = None
+        self._pre_buffers: list[list] | None = None
 
     # ------------------------------------------------------------------ #
     def prepare(self, n_interactions: int, *, track_expected: bool = False) -> None:
@@ -279,6 +296,38 @@ class _Shard:
                             self._trace_expected[j] = p.expected
             if self.mode == AgentMode.WARM_PRIVATE:
                 self._precompute_trace_codes()
+        if self.stationary or self.traced:
+            self._init_batch_recording(n_interactions)
+
+    def _init_batch_recording(self, n_interactions: int) -> None:
+        """Switch this shard's reporting pipeline to the columnar path.
+
+        Plan-capable shards keep their whole context history in arrays
+        (fixed plan contexts or the trace tensor), so the sampled
+        window item of any report is a pure gather — the per-agent
+        ``record_interaction`` loop is replaced by
+        :class:`StackedParticipation` masks plus per-round appends into
+        a :class:`~repro.core.payload.ReportLog` the agents' outboxes
+        reference.  Counters (``n_interactions``, ``total_reward``)
+        accumulate in shard arrays, written back by :meth:`finish` in
+        the scalar accumulation order.
+        """
+        self._batch_recording = True
+        self._horizon = n_interactions
+        self._base_inter = np.array([a.n_interactions for a in self.agents], dtype=np.intp)
+        self._reward_acc = np.array([a.total_reward for a in self.agents], dtype=np.float64)
+        if self.mode == AgentMode.COLD:
+            return
+        parts = [a.participation for a in self.agents]
+        self._part = StackedParticipation(parts)
+        # items buffered before this run (partial windows of a previous
+        # round / object-path prefix) can still be sampled at the first
+        # window boundary; keep them reachable
+        self._pre_buffers = [list(p._buffer) for p in parts]
+        kind = "encoded" if self.mode == AgentMode.WARM_PRIVATE else "raw"
+        self._log = ReportLog(kind, [a.agent_id for a in self.agents])
+        for j, agent in enumerate(self.agents):
+            agent.adopt_report_log(self._log, j)
 
     def _precompute_trace_codes(self) -> None:
         """Batch-encode the whole trace (warm-private traced shards).
@@ -384,9 +433,113 @@ class _Shard:
 
         self.stacked.update(acting, acts, r)
 
-        # per-agent bookkeeping (reporting pipeline)
-        for j in range(self.n):
-            self.agents[j].record_interaction(X[j], int(acts[j]), float(r[j]))
+        # reporting pipeline: columnar for plan-capable shards, the
+        # scalar record_interaction loop otherwise
+        if self._batch_recording:
+            self._record_batch(t, acts, r, rewards, actions)
+        else:
+            for j in range(self.n):
+                self.agents[j].record_interaction(X[j], int(acts[j]), float(r[j]))
+
+    # ------------------------------------------------------------------ #
+    def _record_batch(
+        self,
+        t: int,
+        acts: np.ndarray,
+        r: np.ndarray,
+        rewards: np.ndarray,
+        actions: np.ndarray,
+    ) -> None:
+        """Columnar stand-in for the per-agent ``record_interaction`` loop.
+
+        Counters accumulate in shard arrays; participation advances
+        through :class:`StackedParticipation` (vectorized masks,
+        per-agent RNG draws in the scalar order); report payloads are
+        *gathered* — codes from the plan-time batch encodings
+        (``_trace_codes`` / the stationary encode cache), contexts from
+        the plan arrays, sampled actions/rewards from the already
+        filled result matrices — instead of re-encoded or re-built per
+        report.
+        """
+        self._reward_acc += r
+        if self._part is None:  # cold shard: counters only
+            return
+        fired, within = self._part.step()
+        rows = np.nonzero(fired)[0]
+        if rows.size == 0:
+            return
+        # the sampled item of agent j is `back` steps behind the
+        # current interaction; negative sample steps land in the items
+        # buffered before this run (the scalar buffer prefix)
+        back = self._part.window[rows] - 1 - within[rows]
+        sample_t = t - back
+        inter_idx = self._base_inter[rows] + (t + 1)
+        acts_s = np.empty(rows.size, dtype=np.intp)
+        rew_s = np.empty(rows.size, dtype=np.float64)
+        fresh = sample_t >= 0
+        f_rows, f_t = rows[fresh], sample_t[fresh]
+        g_rows = self.indices[f_rows]
+        acts_s[fresh] = actions[g_rows, f_t]
+        rew_s[fresh] = rewards[g_rows, f_t]
+        if self.mode == AgentMode.WARM_PRIVATE:
+            payload = np.empty(rows.size, dtype=np.intp)
+            payload[fresh] = (
+                self._trace_codes[f_rows, f_t] if self.traced else self._cached_code[f_rows]
+            )
+        else:
+            ctx_source = self._trace_ctx if self.traced else self._X
+            d = ctx_source.shape[-1]
+            payload = np.empty((rows.size, d), dtype=np.float64)
+            payload[fresh] = self._trace_ctx[f_rows, f_t] if self.traced else self._X[f_rows]
+        if not fresh.all():
+            # rare first-boundary case: the sampled item predates this
+            # run and lives in the scalar buffer prefix — resolve it
+            # exactly as the scalar path would (encode at report time)
+            for i in np.nonzero(~fresh)[0]:
+                j = int(rows[i])
+                ctx, action, reward = self._pre_buffers[j][int(within[j])]
+                acts_s[i] = int(action)
+                rew_s[i] = float(reward)
+                if self.mode == AgentMode.WARM_PRIVATE:
+                    payload[i] = self.agents[j].encoder.encode(ctx)
+                else:
+                    payload[i] = np.asarray(ctx, dtype=np.float64)
+        self._log.append(rows, payload, acts_s, rew_s, inter_idx)
+
+    def finish(self, rewards: np.ndarray, actions: np.ndarray) -> None:
+        """Write columnar bookkeeping back into the scalar objects.
+
+        After this, agents and their participation policies are in
+        byte-for-byte the state the sequential loop would have left:
+        counters, report budgets, and the participation buffers
+        (rebuilt from the plan context history so a later object-path
+        round continues identically).
+        """
+        if not self._batch_recording:
+            return
+        T = self._horizon
+        for j, agent in enumerate(self.agents):
+            agent.n_interactions = int(self._base_inter[j] + T)
+            agent.total_reward = float(self._reward_acc[j])
+        if self._part is None:
+            return
+        self._part.writeback()
+        for j, agent in enumerate(self.agents):
+            part = agent.participation
+            n_new = int(self._part.new_buffered[j])
+            buf: list = [] if self._part.flipped[j] else list(self._pre_buffers[j])
+            if n_new:
+                g = int(self.indices[j])
+                for t in range(T - n_new, T):
+                    ctx = self._trace_ctx[j, t] if self.traced else self._X[j]
+                    buf.append(
+                        (
+                            np.asarray(ctx, dtype=np.float64).copy(),
+                            int(actions[g, t]),
+                            float(rewards[g, t]),
+                        )
+                    )
+            part._buffer = buf
 
     # ------------------------------------------------------------------ #
     def _next_contexts(self) -> np.ndarray:
@@ -474,6 +627,7 @@ def _run_shard_remote(payload: bytes) -> bytes:
     expected_ok = np.full(n, track_expected, dtype=bool)
     for t in range(n_interactions):
         shard.step(t, rewards, actions, expected, expected_ok)
+    shard.finish(rewards, actions)
     shard.stacked.writeback()
     return pickle.dumps((rewards, actions, expected, expected_ok, agents, sessions))
 
@@ -588,6 +742,7 @@ class FleetRunner:
                 shard.prepare(n_interactions, track_expected=track_expected)
                 for t in range(n_interactions):
                     shard.step(t, rewards, actions_mat, expected, expected_ok)
+                shard.finish(rewards, actions_mat)
 
             with ThreadPoolExecutor(max_workers=n_workers) as pool:
                 for future in [pool.submit(run_shard, shard) for shard in shards]:
@@ -598,6 +753,8 @@ class FleetRunner:
             for t in range(n_interactions):
                 for shard in shards:
                     shard.step(t, rewards, actions_mat, expected, expected_ok)
+            for shard in shards:
+                shard.finish(rewards, actions_mat)
 
         for shard in shards:
             shard.stacked.writeback()

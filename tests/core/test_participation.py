@@ -7,8 +7,9 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import RandomizedParticipation
+from repro.core import RandomizedParticipation, StackedParticipation
 from repro.utils.exceptions import ValidationError
+from repro.utils.rng import rng_state_digest, spawn_seeds
 
 
 class TestBasicBehaviour:
@@ -94,3 +95,140 @@ class TestSamplingStatistics:
         part = RandomizedParticipation(p=p, window=window, max_reports=budget, seed=0)
         sent = sum(part.offer(i) is not None for i in range(200))
         assert sent <= budget
+
+
+# --------------------------------------------------------------------- #
+# StackedParticipation: the columnar pipeline's vectorized sampler
+# --------------------------------------------------------------------- #
+def _population(specs, seed=0):
+    """One RandomizedParticipation per (p, window, max_reports) spec."""
+    return [
+        RandomizedParticipation(p=p, window=w, max_reports=m, seed=s)
+        for (p, w, m), s in zip(specs, spawn_seeds(seed, len(specs)))
+    ]
+
+
+def _scalar_offers(policies, horizon):
+    """Reference: offered step index per (agent, t), -1 when silent.
+
+    Items are the step indices themselves, so the returned matrix pins
+    *which* buffered interaction each report sampled.
+    """
+    out = np.full((len(policies), horizon), -1, dtype=np.intp)
+    for j, pol in enumerate(policies):
+        for t in range(horizon):
+            sampled = pol.offer(t)
+            if sampled is not None:
+                out[j, t] = sampled
+    return out
+
+
+def _stacked_offers(stacked, horizon):
+    """Same matrix through StackedParticipation.step()."""
+    out = np.full((stacked.n, horizon), -1, dtype=np.intp)
+    for t in range(horizon):
+        reported, within = stacked.step()
+        rows = np.nonzero(reported)[0]
+        out[rows, t] = t - (stacked.window[rows] - 1 - within[rows])
+    return out
+
+
+class TestStackedParticipation:
+    SPECS = [
+        (0.5, 3, 2),
+        (0.0, 2, 5),  # p=0: always refuses, still consumes the coin
+        (1.0, 4, 1),  # p=1: always reports at the first boundary
+        (0.7, 1, 3),  # window=1: a coin every step
+        (0.9, 50, 2),  # window longer than any test horizon
+        (0.8, 3, 0),  # max_reports=0: exhausted from the start, no RNG
+        (0.6, 5, 10),
+    ]
+
+    def test_matches_scalar_offers_and_streams(self):
+        horizon = 30
+        scalar = _population(self.SPECS, seed=3)
+        stacked_pols = _population(self.SPECS, seed=3)
+        stacked = StackedParticipation(stacked_pols)
+        np.testing.assert_array_equal(
+            _scalar_offers(scalar, horizon), _stacked_offers(stacked, horizon)
+        )
+        stacked.writeback()
+        for a, b in zip(scalar, stacked_pols):
+            # identical counters AND identical generator states: the
+            # stacked path consumed each agent's stream exactly as the
+            # scalar call sequence would
+            assert a.reports_sent == b.reports_sent
+            assert a.windows_seen == b.windows_seen
+            assert rng_state_digest(a._rng) == rng_state_digest(b._rng)
+
+    def test_exhausted_agents_consume_no_rng(self):
+        pol = RandomizedParticipation(p=0.8, window=3, max_reports=0, seed=1)
+        stacked = StackedParticipation([pol])
+        before = rng_state_digest(pol._rng)
+        for _ in range(20):
+            reported, _ = stacked.step()
+            assert not reported.any()
+        assert rng_state_digest(pol._rng) == before
+        assert pol.reports_sent == 0 and len(pol._buffer) == 0
+
+    def test_window_longer_than_horizon_never_fires(self):
+        pols = _population([(1.0, 40, 1)] * 3, seed=2)
+        stacked = StackedParticipation(pols)
+        for _ in range(10):
+            reported, _ = stacked.step()
+            assert not reported.any()
+        assert (stacked.fill == 10).all()
+        assert not stacked.flipped.any()
+        assert (stacked.new_buffered == 10).all()
+
+    def test_mid_stream_adoption_continues_scalar_state(self):
+        """Adopting policies with partial buffers / spent budgets mid-run
+        reproduces the scalar continuation exactly."""
+        horizon_pre, horizon_post = 7, 20
+        scalar = _population(self.SPECS, seed=9)
+        adopted = _population(self.SPECS, seed=9)
+        pre_s = _scalar_offers(scalar, horizon_pre)
+        pre_a = _scalar_offers(adopted, horizon_pre)  # object path prefix
+        np.testing.assert_array_equal(pre_s, pre_a)
+        stacked = StackedParticipation(adopted)
+        assert (stacked.fill == [len(p._buffer) for p in adopted]).all()
+        post_s = _scalar_offers(scalar, horizon_post)
+        # stacked continuation counts steps from adoption; sampled
+        # indices < 0 refer into the pre-adoption buffer
+        post_a = np.full((stacked.n, horizon_post), -1, dtype=np.intp)
+        for t in range(horizon_post):
+            reported, within = stacked.step()
+            rows = np.nonzero(reported)[0]
+            post_a[rows, t] = t - (stacked.window[rows] - 1 - within[rows])
+        # scalar offers used absolute step indices 0..horizon_post-1 in
+        # the post phase; items carried over from the pre phase appear
+        # as their pre-phase indices.  Translate the stacked view: a
+        # sampled index s >= 0 is post-step s; s < 0 is pre-buffer
+        # position (s + b0) where b0 was the fill at adoption.
+        fresh = _population(self.SPECS, seed=9)
+        _scalar_offers(fresh, horizon_pre)
+        fills0 = [len(p._buffer) for p in fresh]
+        for j in range(stacked.n):
+            for t in range(horizon_post):
+                s_val, a_val = post_s[j, t], post_a[j, t]
+                assert (s_val == -1) == (a_val == -1)
+                if s_val == -1:
+                    continue
+                if a_val >= 0:
+                    assert s_val == a_val
+                else:
+                    # pre-buffer item: scalar offered a pre-phase step
+                    pre_items = [
+                        i
+                        for i in range(horizon_pre - fills0[j], horizon_pre)
+                    ]
+                    assert s_val == pre_items[a_val + fills0[j]]
+        stacked.writeback()
+        for a, b in zip(scalar, adopted):
+            assert a.reports_sent == b.reports_sent
+            assert a.windows_seen == b.windows_seen
+            assert rng_state_digest(a._rng) == rng_state_digest(b._rng)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            StackedParticipation([])

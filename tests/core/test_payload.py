@@ -5,7 +5,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import EncodedReport, RawReport, strip_metadata
+from repro.core import (
+    EncodedReport,
+    PendingReports,
+    RawReport,
+    ReportBatch,
+    ReportLog,
+    drain_report_batches,
+    strip_metadata,
+)
 
 
 class TestEncodedReport:
@@ -76,3 +84,150 @@ def test_strip_metadata_batch():
     stripped = strip_metadata(reports)
     assert all(r.metadata == {} for r in stripped)
     assert [r.code for r in stripped] == list(range(5))
+
+
+def _encoded_batch(codes, rows, inter):
+    n = len(codes)
+    return ReportBatch(
+        actions=np.arange(n, dtype=np.intp) % 3,
+        rewards=np.linspace(0, 1, n),
+        agent_rows=np.asarray(rows, dtype=np.intp),
+        interaction_indices=np.asarray(inter, dtype=np.intp),
+        codes=np.asarray(codes, dtype=np.intp),
+    )
+
+
+class TestReportBatch:
+    def test_exactly_one_payload_column(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ReportBatch(
+                actions=np.zeros(1, np.intp),
+                rewards=np.zeros(1),
+                agent_rows=np.zeros(1, np.intp),
+                interaction_indices=np.zeros(1, np.intp),
+            )
+
+    def test_kind_and_len(self):
+        batch = _encoded_batch([1, 2], [0, 1], [1, 1])
+        assert batch.kind == "encoded" and len(batch) == 2
+        assert ReportBatch.empty("raw", n_features=3).kind == "raw"
+
+    def test_to_reports_metadata(self):
+        batch = _encoded_batch([4, 5], [1, 0], [3, 7])
+        batch.agent_ids = ("alice", "bob")
+        reports = batch.to_reports()
+        assert reports[0].metadata == {"agent_id": "bob", "interaction_index": 3}
+        assert reports[1].metadata == {"agent_id": "alice", "interaction_index": 7}
+        assert [r.code for r in reports] == [4, 5]
+
+    def test_concat_and_take(self):
+        a = _encoded_batch([1], [0], [1])
+        b = _encoded_batch([2, 3], [1, 0], [1, 2])
+        merged = ReportBatch.concat([a, b], "encoded")
+        assert list(merged.codes) == [1, 2, 3]
+        reordered = merged.take(np.array([2, 0, 1]))
+        assert list(reordered.codes) == [3, 1, 2]
+
+    def test_concat_kind_mismatch(self):
+        a = _encoded_batch([1], [0], [1])
+        raw = ReportBatch(
+            actions=np.zeros(1, np.intp),
+            rewards=np.zeros(1),
+            agent_rows=np.zeros(1, np.intp),
+            interaction_indices=np.zeros(1, np.intp),
+            contexts=np.zeros((1, 2)),
+        )
+        with pytest.raises(ValueError, match="different kinds"):
+            ReportBatch.concat([a, raw], "encoded")
+
+
+class TestReportLog:
+    def test_take_rows_drains_once(self):
+        log = ReportLog("encoded", ["a", "b", "c"])
+        log.append(
+            np.array([0, 2]), np.array([5, 6]), np.array([0, 1]),
+            np.array([0.5, 1.0]), np.array([3, 3]),
+        )
+        first = log.take_rows(np.array([2]))
+        assert list(first.codes) == [6]
+        assert first.agent_ids == ("a", "b", "c")
+        again = log.take_rows(np.array([2]))
+        assert len(again) == 0
+        rest = log.take_rows(np.array([0, 1]))
+        assert list(rest.codes) == [5]
+
+    def test_append_after_take(self):
+        log = ReportLog("encoded", ["a"])
+        log.append(np.array([0]), np.array([1]), np.array([0]), np.array([1.0]), np.array([1]))
+        assert len(log.take_rows(np.array([0]))) == 1
+        log.append(np.array([0]), np.array([2]), np.array([0]), np.array([1.0]), np.array([2]))
+        taken = log.take_rows(np.array([0]))
+        assert list(taken.codes) == [2]
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            ReportLog("tabular", ["a"])
+
+
+class _AgentStub:
+    """Just enough of LocalAgent for drain_report_batches."""
+
+    def __init__(self, entries):
+        self._outbox = list(entries)
+
+    def pending_entries(self):
+        return list(self._outbox)
+
+    def clear_pending(self):
+        self._outbox = []
+
+
+class TestDrainReportBatches:
+    def test_agent_major_chronological_order(self):
+        log = ReportLog("encoded", ["a", "b"])
+        # round-major appends: (agent 0, t1), (agent 1, t1), (agent 0, t2)
+        log.append(np.array([0, 1]), np.array([10, 20]), np.array([0, 0]),
+                   np.array([1.0, 1.0]), np.array([1, 1]))
+        log.append(np.array([0]), np.array([11]), np.array([0]),
+                   np.array([1.0]), np.array([2]))
+        agents = [_AgentStub([PendingReports(log, 0)]), _AgentStub([PendingReports(log, 1)])]
+        enc, raw = drain_report_batches(agents)
+        assert len(raw) == 0
+        # agent-major: both of agent 0's reports (chronological) first
+        assert list(enc.codes) == [10, 11, 20]
+        assert list(enc.agent_rows) == [0, 0, 1]
+        assert all(a._outbox == [] for a in agents)
+
+    def test_materialized_objects_force_fallback(self):
+        log = ReportLog("encoded", ["a"])
+        agents = [
+            _AgentStub([PendingReports(log, 0)]),
+            _AgentStub([EncodedReport(code=1, action=0, reward=1.0)]),
+        ]
+        assert drain_report_batches(agents) is None
+        # fallback detection must not have drained anything
+        assert len(agents[0]._outbox) == 1 and len(agents[1]._outbox) == 1
+
+    def test_two_logs_ordered_by_interaction_index(self):
+        log1 = ReportLog("encoded", ["a"])
+        log2 = ReportLog("encoded", ["a"])
+        log1.append(np.array([0]), np.array([1]), np.array([0]), np.array([1.0]), np.array([2]))
+        log2.append(np.array([0]), np.array([2]), np.array([0]), np.array([1.0]), np.array([9]))
+        agents = [_AgentStub([PendingReports(log1, 0), PendingReports(log2, 0)])]
+        enc, _ = drain_report_batches(agents)
+        assert list(enc.codes) == [1, 2]
+        assert list(enc.interaction_indices) == [2, 9]
+
+    def test_mixed_kinds_split(self):
+        enc_log = ReportLog("encoded", ["a"])
+        raw_log = ReportLog("raw", ["b"])
+        enc_log.append(np.array([0]), np.array([3]), np.array([0]), np.array([1.0]), np.array([1]))
+        raw_log.append(np.array([0]), np.array([[0.1, 0.9]]), np.array([1]),
+                       np.array([0.5]), np.array([1]))
+        agents = [
+            _AgentStub([PendingReports(enc_log, 0)]),
+            _AgentStub([PendingReports(raw_log, 0)]),
+        ]
+        enc, raw = drain_report_batches(agents)
+        assert len(enc) == 1 and len(raw) == 1
+        np.testing.assert_array_equal(raw.contexts, [[0.1, 0.9]])

@@ -148,6 +148,67 @@ class TestColumnarPath:
         assert set(r_codes.tolist()) == {2**30 - 1}
         assert stats.n_released == 4
 
+    def test_stats_pinned_after_single_unique_refactor(self):
+        """Satellite pin: ShufflerStats field-for-field golden values
+        (the one-unique-call thresholding must not change any stat)."""
+        import numpy as np
+
+        codes = np.array([4, 4, 4, 9, 9, 2, 7, 7, 7, 7, 2], dtype=np.intp)
+        _, _, _, stats = Shuffler(threshold=3, seed=5).process_arrays(
+            codes, np.zeros(codes.size, dtype=np.intp), np.ones(codes.size)
+        )
+        assert stats.n_received == 11
+        assert stats.n_released == 7
+        assert stats.n_dropped == 4
+        assert stats.codes_received == 4
+        assert stats.codes_released == 2
+        assert stats.audit.satisfied
+        assert stats.audit.smallest == 3
+        assert stats.audit.n_tuples == 7
+        assert stats.audit.violations == {}
+
+    def test_audit_accepts_ndarrays_natively(self):
+        """Satellite: the audit consumes code arrays without a Python
+        list round trip, with identical results."""
+        import numpy as np
+
+        from repro.privacy import verify_crowd_blending
+
+        codes = np.array([1, 1, 1, 2, 2, 5], dtype=np.intp)
+        from_array = verify_crowd_blending(codes, 3)
+        from_list = verify_crowd_blending(codes.tolist(), 3)
+        assert from_array == from_list
+        assert from_array.violations == {2: 2, 5: 1}
+
+    def test_mid_stream_object_array_interleaving(self):
+        """Satellite: one shuffler serving object and array batches
+        alternately stays stream-identical to an all-object twin (each
+        non-empty batch consumes exactly one permutation draw)."""
+        import numpy as np
+
+        batches = [
+            [3, 3, 1],
+            [],
+            [2, 2, 2, 2],
+            [5, 3, 5, 5, 3],
+            [],
+            [0, 0],
+        ]
+        mixed = Shuffler(threshold=2, seed=42)
+        pure = Shuffler(threshold=2, seed=42)
+        for i, codes in enumerate(batches):
+            released_obj, stats_obj = pure.process(_reports(codes))
+            if i % 2 == 0:  # alternate entry points on the *same* stream
+                arr = np.asarray(codes, dtype=np.intp)
+                r_codes, r_actions, r_rewards, stats_arr = mixed.process_arrays(
+                    arr, np.zeros(arr.size, dtype=np.intp), np.ones(arr.size)
+                )
+                assert [r.code for r in released_obj] == list(map(int, r_codes))
+            else:
+                released_mixed, stats_arr = mixed.process(_reports(codes))
+                assert released_mixed == released_obj
+            assert stats_obj == stats_arr
+
     def test_report_array_round_trip(self):
         import numpy as np
 

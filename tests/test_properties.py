@@ -305,6 +305,92 @@ def test_property_sharded_fleet_matches_sequential(seed, kinds, n_interactions):
             )
 
 
+@given(
+    st.integers(0, 2**31 - 1),
+    st.lists(
+        st.tuples(
+            st.sampled_from(["linucb", "epsilon_greedy"]),
+            st.booleans(),  # True => multilabel replay session
+        ),
+        min_size=3,
+        max_size=7,
+    ),
+    st.sampled_from(["warm-private", "warm-nonprivate"]),
+    st.integers(4, 12),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_columnar_collection_matches_sequential(
+    seed, specs, mode, n_interactions
+):
+    """Mixed fleet populations *with participation and a collection
+    round*: the columnar pipeline (StackedParticipation masks +
+    ReportLog arrays + process_arrays + ingest_arrays) releases the
+    same stream and trains the same central model as the sequential
+    object path, for arbitrary policy/session mixtures."""
+    from repro.bandits import EpsilonGreedy, LinUCB
+    from repro.core import LocalAgent, P2BConfig, P2BSystem
+    from repro.data.multilabel import MultilabelBanditEnvironment
+    from repro.data.synthetic import SyntheticPreferenceEnvironment
+    from repro.experiments.runner import _simulate_agent
+    from repro.sim import FleetRunner
+    from repro.utils.rng import spawn_seeds
+
+    classes = {"linucb": LinUCB, "epsilon_greedy": EpsilonGreedy}
+    encoder = _fleet_encoder()
+    config = P2BConfig(
+        n_actions=3,
+        n_features=4,
+        n_codes=encoder.n_codes,
+        q=1,
+        p=0.6,
+        window=3,
+        shuffler_threshold=2,
+        max_reports_per_user=2,
+    )
+    acting_dim = encoder.n_codes if mode == "warm-private" else 4
+
+    def build():
+        system = P2BSystem(config, mode=mode, encoder=encoder, seed=0)
+        syn = SyntheticPreferenceEnvironment(n_actions=3, n_features=4, seed=13)
+        ml = MultilabelBanditEnvironment(_replay_dataset(), samples_per_user=5, seed=2)
+        agents, sessions = [], []
+        for i, s in enumerate(spawn_seeds(seed, len(specs))):
+            policy_seed, part_seed, session_seed = s.spawn(3)
+            kind, replay = specs[i]
+            policy = classes[kind](n_arms=3, n_features=acting_dim, seed=policy_seed)
+            agents.append(
+                LocalAgent(
+                    f"u{i}",
+                    policy,
+                    mode=mode,
+                    encoder=encoder if mode == "warm-private" else None,
+                    participation=RandomizedParticipation(
+                        p=0.6, window=3, max_reports=2, seed=part_seed
+                    ),
+                )
+            )
+            sessions.append((ml if replay else syn).new_user(session_seed))
+        return system, agents, sessions
+
+    seq_system, seq_agents, seq_sessions = build()
+    fleet_system, fleet_agents, fleet_sessions = build()
+    for a, s in zip(seq_agents, seq_sessions):
+        _simulate_agent(a, s, n_interactions)
+    FleetRunner(fleet_agents, fleet_sessions).run(n_interactions)
+
+    out_seq = seq_system.collect(seq_agents)
+    out_fleet = fleet_system.collect(fleet_agents)
+    assert out_seq == out_fleet
+    state_seq = seq_system.server.model_snapshot()
+    state_fleet = fleet_system.server.model_snapshot()
+    for key in state_seq:
+        np.testing.assert_array_equal(
+            np.asarray(state_seq[key]), np.asarray(state_fleet[key])
+        )
+    if mode == "warm-private":
+        assert seq_system._collected_codes == fleet_system._collected_codes
+
+
 _REPLAY_ML_DATASET = None
 
 
