@@ -8,7 +8,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) PYTHONHASHSEED=0 python
 
-.PHONY: test smoke bench bench-fleet bench-replay bench-reporting lint format install
+.PHONY: test smoke bench bench-fleet bench-replay bench-reporting bench-memory lint format install
 
 # tier-1: the full suite (the driver's acceptance gate)
 test:
@@ -39,6 +39,13 @@ bench-replay:
 # BENCH_REPORTING_MIN_SPEEDUP)
 bench-reporting:
 	$(PY) -m pytest benchmarks/bench_reporting.py -q
+
+# traced-plan memory record: shared row tables vs per-agent tables +
+# chunked horizons (writes benchmarks/results/BENCH_memory.json; the
+# byte-accounting floor is deterministic, tunable via
+# BENCH_MEMORY_MIN_REDUCTION)
+bench-memory:
+	$(PY) -m pytest benchmarks/bench_memory.py -q
 
 # lint + format check (config in pyproject.toml [tool.ruff])
 lint:

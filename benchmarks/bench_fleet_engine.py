@@ -54,8 +54,11 @@ from repro.experiments.runner import _simulate_agent
 from repro.sim import FleetRunner
 from repro.utils.rng import spawn_seeds
 
-N_AGENTS = 10_000
-N_SEQ_AGENTS = 1_000
+# population scale is env-tunable so the CI bench-smoke job can run a
+# reduced workload (the speedup record is still meaningful — agents
+# are independent, so per-interaction cost is size-invariant)
+N_AGENTS = int(os.environ.get("BENCH_FLEET_N_AGENTS", "10000"))
+N_SEQ_AGENTS = int(os.environ.get("BENCH_FLEET_N_SEQ_AGENTS", "1000"))
 N_INTERACTIONS = 100
 N_ACTIONS = 10
 N_FEATURES = 10
@@ -64,8 +67,8 @@ SEED = 0
 
 # heterogeneous workload: Thompson's per-agent posterior draws make the
 # mixed population structurally slower per agent, so it runs smaller
-N_HET_AGENTS = 4_000
-N_HET_SEQ_AGENTS = 400
+N_HET_AGENTS = max(4, N_AGENTS * 2 // 5)
+N_HET_SEQ_AGENTS = max(4, N_SEQ_AGENTS * 2 // 5)
 
 MIN_SPEEDUP = float(os.environ.get("BENCH_FLEET_MIN_SPEEDUP", "10.0"))
 MIN_SPEEDUP_HET = float(os.environ.get("BENCH_FLEET_MIN_SPEEDUP_HET", "2.0"))

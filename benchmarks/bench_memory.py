@@ -1,0 +1,198 @@
+"""Traced-plan memory record: shared row tables vs per-agent tables.
+
+The ROADMAP's scaling ceiling before this record was plan memory:
+dense trace plans materialize ``(T, d)`` contexts plus a ``(T, A)``
+reward table *per agent*, so the §5.2 workload (mediamill-like, d=20,
+A=40, T=100) costs ~21 KB of plan per agent — ``n x T x A`` growth
+that caps the population well short of the million-agent north star.
+The shared-row-table form (``plan_form="indexed"``) keeps one
+``(rows, d)`` context table and one ``(rows, A)`` reward table per
+*dataset* (for multilabel they alias the dataset arrays outright) plus
+an ``(n, T)`` row-index walk, cutting per-agent plan bytes roughly
+A-fold; chunked horizons (``plan_chunk_size``) bound the dense form at
+``O(n x chunk)`` for sessions that cannot share a table.
+
+This bench measures all of it on the §5.2 protocol — exact byte
+accounting via ``_Shard.plan_nbytes`` (deterministic: the assertion
+floor is not timing-sensitive), ``tracemalloc`` peaks around plan
+materialization, and process peak RSS for a large indexed replay run —
+and asserts the ISSUE's acceptance floor: the indexed form reduces
+per-agent traced-plan bytes by at least ``A/2`` (= 20 on this
+workload; ``BENCH_MEMORY_MIN_REDUCTION`` overrides).  Writes
+``benchmarks/results/BENCH_memory.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.core.config import AgentMode, P2BConfig
+from repro.core.system import P2BSystem
+from repro.data.multilabel import MultilabelBanditEnvironment, make_mediamill_like
+from repro.sim import FleetRunner
+from repro.sim.fleet import _Shard
+from repro.utils.rng import spawn_seeds
+
+# population scale is env-tunable so the CI bench-smoke job can run a
+# reduced workload; the reduction ratio only improves with scale (the
+# shared tables amortize over more agents)
+N_AGENTS = int(os.environ.get("BENCH_MEMORY_N_AGENTS", "6000"))
+N_DENSE_AGENTS = int(os.environ.get("BENCH_MEMORY_N_DENSE_AGENTS", "250"))
+N_DATASET_ROWS = 4_000
+N_INTERACTIONS = 100
+N_CODES = 2**6
+N_ACTIONS = 40
+N_FEATURES = 20
+PLAN_CHUNK = 10
+SEED = 0
+
+#: acceptance floor on the per-agent traced-plan byte reduction —
+#: the ISSUE asks for >= A/2 on the §5.2 workload (A = 40)
+MIN_REDUCTION = float(os.environ.get("BENCH_MEMORY_MIN_REDUCTION", str(N_ACTIONS / 2)))
+
+_DATASET = None
+
+
+def _dataset():
+    global _DATASET
+    if _DATASET is None:
+        _DATASET = make_mediamill_like(N_DATASET_ROWS, seed=SEED)
+    return _DATASET
+
+
+def _population(n_agents):
+    """The paper's §5.2 deployment: system-wired warm-private agents."""
+    config = P2BConfig(
+        n_actions=N_ACTIONS,
+        n_features=N_FEATURES,
+        n_codes=N_CODES,
+        q=1,
+        p=0.5,
+        window=10,
+        shuffler_threshold=10,
+    )
+    system = P2BSystem(config, mode=AgentMode.WARM_PRIVATE, seed=SEED)
+    env = MultilabelBanditEnvironment(_dataset(), samples_per_user=100, seed=SEED + 1)
+    agents = [system.new_agent() for _ in range(n_agents)]
+    sessions = [env.new_user(s) for s in spawn_seeds(SEED + 2, n_agents)]
+    return agents, sessions
+
+
+def _plan_record(n_agents, *, plan_form, plan_chunk_size=None):
+    """Prepare one shard and account its plan bytes exactly.
+
+    ``tracemalloc`` brackets the prepare call (numpy registers its data
+    allocations with it), so the record carries both the steady-state
+    accounting and the materialization peak.
+    """
+    agents, sessions = _population(n_agents)
+    shard = _Shard(
+        np.arange(n_agents, dtype=np.intp),
+        agents,
+        sessions,
+        plan_form=plan_form,
+        plan_chunk_size=plan_chunk_size,
+    )
+    tracemalloc.start()
+    shard.prepare(N_INTERACTIONS)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    sizes = shard.plan_nbytes()
+    per_agent_total = (sizes["per_agent"] + sizes["shared"]) / n_agents
+    return {
+        "n_agents": n_agents,
+        "plan_form": plan_form,
+        "plan_chunk_size": plan_chunk_size,
+        "plan_bytes_per_agent_arrays": round(sizes["per_agent"] / n_agents, 1),
+        "plan_bytes_shared_tables": sizes["shared"],
+        "plan_bytes_total": sizes["total"],
+        "plan_bytes_per_agent_amortized": round(per_agent_total, 1),
+        "prepare_tracemalloc_peak_bytes": int(peak),
+    }
+
+
+def _indexed_run_record():
+    """Run the large indexed population end to end; record peak RSS."""
+    agents, sessions = _population(N_AGENTS)
+    runner = FleetRunner(agents, sessions, plan_form="indexed")
+    t0 = time.perf_counter()
+    runner.run(N_INTERACTIONS)
+    elapsed = time.perf_counter() - t0
+    # ru_maxrss is in KiB on Linux (bytes on macOS; CI runs Linux)
+    peak_rss_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "n_agents": N_AGENTS,
+        "n_interactions": N_INTERACTIONS,
+        "seconds": round(elapsed, 4),
+        "interactions_per_second": round(N_AGENTS * N_INTERACTIONS / elapsed, 1),
+        "peak_rss_kib": int(peak_rss_kib),
+    }
+
+
+def test_shared_row_table_memory_reduction(record_json):
+    dense = _plan_record(N_DENSE_AGENTS, plan_form="dense")
+    dense_chunked = _plan_record(
+        N_DENSE_AGENTS, plan_form="dense", plan_chunk_size=PLAN_CHUNK
+    )
+    indexed = _plan_record(N_AGENTS, plan_form="indexed")
+    indexed_chunked = _plan_record(
+        N_AGENTS, plan_form="indexed", plan_chunk_size=PLAN_CHUNK
+    )
+    run = _indexed_run_record()
+
+    reduction = (
+        dense["plan_bytes_per_agent_amortized"]
+        / indexed["plan_bytes_per_agent_amortized"]
+    )
+    chunk_bound = (
+        dense_chunked["plan_bytes_per_agent_arrays"]
+        / dense["plan_bytes_per_agent_arrays"]
+    )
+    record_json(
+        "memory",
+        {
+            "config": {
+                "workload": "§5.2 mediamill-like warm-private P2B",
+                "dataset_rows": N_DATASET_ROWS,
+                "d": N_FEATURES,
+                "A": N_ACTIONS,
+                "n_codes": N_CODES,
+                "n_interactions": N_INTERACTIONS,
+                "plan_chunk_size": PLAN_CHUNK,
+            },
+            "dense": dense,
+            "dense_chunked": dense_chunked,
+            "indexed": indexed,
+            "indexed_chunked": indexed_chunked,
+            "indexed_run": run,
+            "reduction_per_agent_plan_bytes": round(reduction, 2),
+            "dense_chunked_fraction_of_unchunked": round(chunk_bound, 3),
+        },
+    )
+    # the tentpole's acceptance floor: byte accounting is exact and
+    # deterministic, so this never flakes on noisy runners
+    assert reduction >= MIN_REDUCTION, (
+        f"shared-row-table plans must cut per-agent traced-plan bytes "
+        f">= {MIN_REDUCTION}x on the §5.2 workload, got {reduction:.1f}x"
+    )
+    # chunking must bound dense per-agent plan arrays to ~chunk/T of the
+    # full materialization (the history tail adds a little)
+    assert chunk_bound <= 2.5 * PLAN_CHUNK / N_INTERACTIONS, (
+        f"chunked dense plans should hold ~{PLAN_CHUNK}/{N_INTERACTIONS} "
+        f"of the full horizon, got fraction {chunk_bound:.3f}"
+    )
+    # the indexed per-agent walk is exactly T intp entries
+    assert indexed["plan_bytes_per_agent_arrays"] == N_INTERACTIONS * np.intp(0).nbytes
+
+
+if __name__ == "__main__":  # pragma: no cover - manual convenience
+    import sys
+
+    import pytest as _pytest
+
+    sys.exit(_pytest.main([__file__, "-q"]))

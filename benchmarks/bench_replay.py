@@ -53,8 +53,11 @@ from repro.experiments.runner import _simulate_agent
 from repro.sim import FleetRunner
 from repro.utils.rng import spawn_seeds
 
-N_AGENTS = 2_000
-N_SEQ_AGENTS = 150
+# population scale is env-tunable so the CI bench-smoke job can run a
+# reduced workload (agents are independent; per-interaction cost is
+# population-size-invariant)
+N_AGENTS = int(os.environ.get("BENCH_REPLAY_N_AGENTS", "2000"))
+N_SEQ_AGENTS = int(os.environ.get("BENCH_REPLAY_N_SEQ_AGENTS", "150"))
 N_INTERACTIONS = 100
 N_CODES = 2**6
 SEED = 0
@@ -221,8 +224,10 @@ def _mixed_population(n_agents):
     return agents, sessions
 
 
-def _parallel_record(n_agents=1_000):
+def _parallel_record(n_agents=None):
     """Serial vs ``n_workers=2`` shard stepping: identical, timed."""
+    if n_agents is None:
+        n_agents = max(4, N_AGENTS // 2)
     serial_agents, serial_sessions = _mixed_population(n_agents)
     runner = FleetRunner(serial_agents, serial_sessions)
     assert runner.n_shards == 2

@@ -34,9 +34,11 @@ from repro.core.config import P2BConfig
 from repro.core.rounds import DeploymentLoop
 from repro.data.synthetic import SyntheticPreferenceEnvironment
 
-N_USERS = 6_000
-N_SEQ_USERS = 600
-N_EQ_USERS = 400
+# population scale is env-tunable so the CI bench-smoke job can run a
+# reduced workload
+N_USERS = int(os.environ.get("BENCH_REPORTING_N_USERS", "6000"))
+N_SEQ_USERS = int(os.environ.get("BENCH_REPORTING_N_SEQ_USERS", "600"))
+N_EQ_USERS = max(4, N_SEQ_USERS * 2 // 3)
 N_ROUNDS = 3
 INTERACTIONS_PER_ROUND = 20
 N_ACTIONS = 10

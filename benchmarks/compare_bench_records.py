@@ -1,0 +1,110 @@
+"""Render a markdown table comparing fresh vs committed bench records.
+
+The CI bench jobs regenerate ``benchmarks/results/BENCH_*.json`` and
+pipe this script's output into ``$GITHUB_STEP_SUMMARY`` so every PR
+(and every nightly run) shows at a glance how the regenerated speedup
+and memory numbers compare against the records committed in the repo.
+
+The committed baseline is read from git (``git show HEAD:<path>``), so
+the working-tree files can hold the freshly regenerated records.
+Headline metrics are any numeric leaves whose key names a ratio the
+repo tracks (``speedup``, ``reduction...``, ``interactions_per_second``);
+nested records are flattened with dotted paths.
+
+Usage::
+
+    python benchmarks/compare_bench_records.py >> "$GITHUB_STEP_SUMMARY"
+    python benchmarks/compare_bench_records.py --baseline-ref origin/main
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
+
+#: numeric leaf keys worth surfacing (exact match or prefix)
+_METRIC_KEYS = ("speedup", "reduction", "interactions_per_second")
+
+
+def _is_metric(key: str) -> bool:
+    return any(key == m or key.startswith(m + "_") or key.endswith("_" + m) for m in _METRIC_KEYS)
+
+
+def _flatten(payload, prefix=""):
+    """Yield ``(dotted.path, value)`` for every metric leaf."""
+    if isinstance(payload, dict):
+        for key, value in sorted(payload.items()):
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, dict):
+                yield from _flatten(value, path)
+            elif isinstance(value, (int, float)) and _is_metric(key):
+                yield path, float(value)
+
+
+def _committed(path: Path, ref: str) -> dict | None:
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"{ref}:{rel}"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        return json.loads(blob)
+    except (subprocess.CalledProcessError, json.JSONDecodeError):
+        return None  # new record, or no git history available
+
+
+def render(ref: str) -> str:
+    lines = [
+        "## Bench records vs committed baselines",
+        "",
+        f"Regenerated `BENCH_*.json` compared against `{ref}` "
+        "(committed records come from the development machine; CI runners "
+        "are slower and noisier — byte-accounting metrics are exact).",
+        "",
+        "| record | metric | committed | regenerated | ratio |",
+        "|---|---|---:|---:|---:|",
+    ]
+    rows = 0
+    for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+        fresh = json.loads(path.read_text(encoding="utf-8"))
+        base = _committed(path, ref)
+        base_metrics = dict(_flatten(base)) if base else {}
+        for metric, value in _flatten(fresh):
+            committed = base_metrics.get(metric)
+            if committed is None:
+                committed_cell, ratio_cell = "—", "new"
+            else:
+                committed_cell = f"{committed:g}"
+                ratio_cell = f"{value / committed:.2f}x" if committed else "n/a"
+            lines.append(
+                f"| {path.stem} | {metric} | {committed_cell} | {value:g} | {ratio_cell} |"
+            )
+            rows += 1
+    if rows == 0:
+        lines.append("| _no records found_ | | | | |")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-ref",
+        default="HEAD",
+        help="git ref whose committed records are the baseline (default: HEAD)",
+    )
+    args = parser.parse_args(argv)
+    sys.stdout.write(render(args.baseline_ref))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

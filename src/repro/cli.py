@@ -113,6 +113,15 @@ def build_parser() -> argparse.ArgumentParser:
             "identical to serial stepping; only multi-shard populations "
             "benefit)",
         )
+        p.add_argument(
+            "--plan-chunk-size",
+            type=_positive_int,
+            default=None,
+            help="fleet plan-chunk size: materialize session plans in "
+            "horizon slices of this many steps instead of whole horizons, "
+            "bounding plan memory at large population scale (results are "
+            "bit-identical for every chunk size; default: unchunked)",
+        )
     return parser
 
 
@@ -121,6 +130,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     runner.set_default_engine(args.engine)
     runner.set_default_n_workers(args.workers)
+    runner.set_default_plan_chunk_size(args.plan_chunk_size)
     renderer, _ = _COMMANDS[args.command]
     text = renderer(args)
     if args.out:

@@ -78,6 +78,14 @@ class DeploymentLoop:
     n_workers:
         Fleet shard parallelism per round (default 1 = serial); the
         per-round stats are identical either way (the sim contract).
+    plan_chunk_size:
+        Fleet plan-chunk size per round (default ``None`` = whole
+        horizons): session plans materialize in bounded slices, and a
+        chunk size at or above ``interactions_per_round`` degenerates
+        to the unchunked path.  Collection rounds compose freely with
+        chunking — a report buffered mid-chunk is collected with the
+        identical payload (the sim contract) — so the per-round stats
+        never depend on the chunk size.
     """
 
     config: P2BConfig
@@ -87,6 +95,7 @@ class DeploymentLoop:
     seed: int | None = None
     engine: str = "auto"
     n_workers: int = 1
+    plan_chunk_size: int | None = None
 
     system: P2BSystem = field(init=False)
     rounds: list[RoundStats] = field(init=False, default_factory=list)
@@ -95,6 +104,8 @@ class DeploymentLoop:
     def __post_init__(self) -> None:
         check_positive_int(self.interactions_per_round, name="interactions_per_round")
         check_positive_int(self.n_workers, name="n_workers")
+        if self.plan_chunk_size is not None:
+            check_positive_int(self.plan_chunk_size, name="plan_chunk_size")
         if self.engine not in ("auto", "sequential", "fleet"):
             raise ConfigError(
                 f"engine must be 'auto', 'sequential' or 'fleet', got {self.engine!r}"
@@ -158,7 +169,12 @@ class DeploymentLoop:
                 )
         if use_fleet:
             return (
-                FleetRunner(agents, sessions, n_workers=self.n_workers)
+                FleetRunner(
+                    agents,
+                    sessions,
+                    n_workers=self.n_workers,
+                    plan_chunk_size=self.plan_chunk_size,
+                )
                 .run(self.interactions_per_round)
                 .rewards
             )

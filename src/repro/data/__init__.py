@@ -10,9 +10,11 @@ from .criteo import (
 )
 from .environment import (
     Environment,
+    IndexedTracePlan,
     ReplayUserSession,
     StationaryRewardPlan,
     TracePlan,
+    TraceRowTable,
     UserSession,
 )
 from .multilabel import (
@@ -32,6 +34,8 @@ __all__ = [
     "ReplayUserSession",
     "StationaryRewardPlan",
     "TracePlan",
+    "TraceRowTable",
+    "IndexedTracePlan",
     "SyntheticPreferenceEnvironment",
     "SyntheticUserSession",
     "MultilabelDataset",

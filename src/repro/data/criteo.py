@@ -42,7 +42,7 @@ from ..utils.exceptions import DataError
 from ..utils.math import normalize_simplex
 from ..utils.rng import ensure_rng
 from ..utils.validation import check_in_range, check_positive_int, check_scalar
-from .environment import Environment, ReplayUserSession
+from .environment import Environment, ReplayUserSession, TraceRowTable
 
 __all__ = [
     "CriteoLikeRecords",
@@ -289,8 +289,14 @@ class CriteoUserSession(ReplayUserSession):
     deterministic row lookups, so the session is traceable for the
     fleet engine (``has_trace_plan`` via :class:`ReplayUserSession`):
     row ``i``'s reward table is the one-hot of the logged action,
-    zeroed when the impression was not clicked.
+    zeroed when the impression was not clicked.  The one-hot expansion
+    is also available as a shared per-dataset row table
+    (``has_indexed_trace_plan``) — materialized once per dataset (a
+    boolean ``(n, A)`` view of ``actions``/``clicked``) instead of once
+    per agent per step.
     """
+
+    has_indexed_trace_plan = True
 
     def __init__(
         self, dataset: CriteoBanditDataset, indices: np.ndarray, rng: np.random.Generator
@@ -305,6 +311,18 @@ class CriteoUserSession(ReplayUserSession):
         d = self._dataset
         one_hot = d.actions[rows, None] == np.arange(d.n_actions)[None, :]
         return one_hot & d.clicked[rows, None]
+
+    def _row_table_owner(self):
+        return self._dataset
+
+    def _build_row_table(self) -> TraceRowTable:
+        # the same expression as _reward_rows, evaluated once over the
+        # whole stream (bit-identical per row by construction); expected
+        # rewards coincide with realized ones for logged data
+        d = self._dataset
+        one_hot = d.actions[:, None] == np.arange(d.n_actions)[None, :]
+        rewards = one_hot & d.clicked[:, None]
+        return TraceRowTable(contexts=d.X, action_rewards=rewards, expected=rewards)
 
     def reward(self, action: int) -> float:
         self._require_context(self._current)

@@ -22,7 +22,7 @@ Plan capabilities
 
 The fleet engine (:mod:`repro.sim`) collapses per-round session calls
 into array gathers when a session can pre-materialize its horizon.
-Two plan kinds exist, advertised by class-level capability flags so
+Three plan kinds exist, advertised by class-level capability flags so
 subclasses inherit fast-path eligibility (the engine keys off the
 flags, never off method identity):
 
@@ -31,16 +31,27 @@ flags, never off method identity):
   the synthetic benchmark);
 * ``has_trace_plan`` → :meth:`UserSession.plan_trace` returns a
   :class:`TracePlan` (per-step contexts plus a per-step-per-action
-  reward table — dataset replay: multilabel, Criteo).
+  reward table — dataset replay: multilabel, Criteo);
+* ``has_indexed_trace_plan`` → :meth:`ReplayUserSession.plan_trace_indexed`
+  returns an :class:`IndexedTracePlan` — the *shared-row-table* form
+  of a trace plan: a per-agent ``(horizon,)`` row-index walk into one
+  per-dataset :class:`TraceRowTable` that every session over the same
+  dataset shares.  Same realized values as :meth:`plan_trace`, A-fold
+  less memory per agent (the reward table is stored once per dataset,
+  not once per agent per step).
 
-Either plan must be an *exact* stand-in for ``horizon`` iterations of
+Every plan must be an *exact* stand-in for ``horizon`` iterations of
 ``next_context()`` + ``reward()``: same values, same generator
-consumption, session left in the same state.  ``tests/sim`` pins this.
+consumption, session left in the same state.  In particular, planning
+a horizon in consecutive slices (``plan_trace(c)`` called repeatedly —
+the fleet engine's ``plan_chunk_size``) must realize exactly the same
+walk as one full-horizon plan.  ``tests/sim`` pins all of this.
 """
 
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -54,7 +65,13 @@ __all__ = [
     "ReplayUserSession",
     "StationaryRewardPlan",
     "TracePlan",
+    "TraceRowTable",
+    "IndexedTracePlan",
 ]
+
+#: serializes per-dataset row-table construction so every session —
+#: across threads — shares one table object per dataset
+_ROW_TABLE_BUILD_LOCK = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -130,6 +147,119 @@ class TracePlan:
         return self.action_rewards[steps, actions].astype(np.float64)
 
 
+@dataclass(frozen=True)
+class TraceRowTable:
+    """Per-dataset row tables shared by every session over one dataset.
+
+    The shared half of the *indexed* trace-plan form: row ``i`` holds
+    dataset row ``i``'s context and per-action realized-reward table,
+    so an agent's whole horizon is just a ``(horizon,)`` walk of row
+    indices into this table — the table itself is materialized **once
+    per dataset**, not once per agent, which is what cuts traced-plan
+    memory A-fold at population scale.
+
+    The arrays may (and for replay datasets do) *alias* the dataset's
+    own storage — building a table allocates nothing new beyond what
+    the dataset already holds, except where a derived view is needed
+    (Criteo's one-hot-of-logged-action reward table).  ``expected``
+    follows the :class:`TracePlan` convention: for logged data it is
+    the realized table *by reference*, so consumers can detect the
+    aliasing and skip a second gather.
+    """
+
+    contexts: np.ndarray  #: per-row contexts, shape (n_rows, d)
+    action_rewards: np.ndarray  #: realized reward per action per row, shape (n_rows, A)
+    expected: np.ndarray | None = None  #: ground-truth channel, shape (n_rows, A), or None
+
+    def __post_init__(self) -> None:
+        if self.contexts.ndim != 2 or self.action_rewards.ndim != 2:
+            raise DataError("contexts and action_rewards must be 2-D")
+        if self.contexts.shape[0] != self.action_rewards.shape[0]:
+            raise DataError(
+                f"contexts cover {self.contexts.shape[0]} rows but action_rewards "
+                f"covers {self.action_rewards.shape[0]}"
+            )
+        if self.expected is not None and self.expected.shape != self.action_rewards.shape:
+            raise DataError("expected must match action_rewards in shape")
+
+    @property
+    def n_rows(self) -> int:
+        return self.contexts.shape[0]
+
+    @property
+    def n_actions(self) -> int:
+        return self.action_rewards.shape[1]
+
+    def nbytes(self) -> int:
+        """Bytes held by the table's arrays (aliased ``expected`` not
+        double-counted)."""
+        total = self.contexts.nbytes + self.action_rewards.nbytes
+        if self.expected is not None and self.expected is not self.action_rewards:
+            total += self.expected.nbytes
+        return total
+
+
+@dataclass(frozen=True)
+class IndexedTracePlan:
+    """Shared-row-table form of a replay horizon.
+
+    Produced by :meth:`ReplayUserSession.plan_trace_indexed`.  Realizes
+    exactly the same values as the dense :class:`TracePlan` the same
+    walk would produce — ``contexts[t] == table.contexts[rows[t]]`` and
+    ``action_rewards[t] == table.action_rewards[rows[t]]`` by the
+    row-table contract — but the per-agent payload is only the
+    ``(horizon,)`` index walk; the tables live once per dataset.
+    Sessions over the same dataset return the *same* table object, so a
+    fleet shard can verify sharing by identity and gather every
+    context, reward and encoding through one table.
+    """
+
+    rows: np.ndarray  #: per-step dataset row indices, shape (horizon,)
+    table: TraceRowTable  #: the shared per-dataset tables
+
+    def __post_init__(self) -> None:
+        if self.rows.ndim != 1:
+            raise DataError("rows must be 1-D")
+        if self.rows.size and (
+            self.rows.min() < 0 or self.rows.max() >= self.table.n_rows
+        ):
+            raise DataError("rows must index into the row table")
+
+    @property
+    def horizon(self) -> int:
+        return self.rows.shape[0]
+
+    def densify(self) -> TracePlan:
+        """The equivalent dense per-agent :class:`TracePlan` (gathers).
+
+        Used by the fleet engine when sessions of one shard walk
+        *different* datasets (no single table to share); bit-identical
+        to what :meth:`ReplayUserSession.plan_trace` would have built
+        from the same walk.
+        """
+        rewards = self.table.action_rewards[self.rows]
+        if self.table.expected is None:
+            expected = None
+        elif self.table.expected is self.table.action_rewards:
+            # preserve the aliasing convention so densified plans keep
+            # the expected-equals-realized fast path
+            expected = rewards
+        else:
+            expected = self.table.expected[self.rows]
+        return TracePlan(
+            contexts=self.table.contexts[self.rows],
+            action_rewards=rewards,
+            expected=expected,
+        )
+
+    def realize(self, actions: np.ndarray) -> np.ndarray:
+        """Realized rewards for one action per step, shape ``(horizon,)``."""
+        actions = np.asarray(actions, dtype=np.intp).ravel()
+        return self.table.action_rewards[
+            self.rows[: actions.shape[0]], actions
+        ].astype(np.float64)
+
+
 class UserSession(abc.ABC):
     """One user's interaction stream."""
 
@@ -138,6 +268,9 @@ class UserSession(abc.ABC):
     #: subclasses that inherit a working plan stay on the fast path.
     has_reward_plan: bool = False  #: :meth:`plan_rewards` is implemented
     has_trace_plan: bool = False  #: :meth:`plan_trace` is implemented
+    #: :meth:`ReplayUserSession.plan_trace_indexed` is implemented —
+    #: the session's dataset exposes a shared :class:`TraceRowTable`
+    has_indexed_trace_plan: bool = False
 
     @abc.abstractmethod
     def next_context(self) -> np.ndarray:
@@ -209,6 +342,12 @@ class ReplayUserSession(UserSession):
       block of rows (any dtype exact under ``float64`` cast);
     * :meth:`_expected_rows` — the ground-truth channel (defaults to
       the realized table: for logged data they coincide).
+
+    Subclasses whose views are pure *dataset-row* lookups additionally
+    opt into the shared-row-table plan form by setting
+    ``has_indexed_trace_plan = True`` and implementing
+    :meth:`_row_table_owner` + :meth:`_build_row_table`; see
+    :meth:`plan_trace_indexed`.
     """
 
     has_trace_plan = True
@@ -287,6 +426,71 @@ class ReplayUserSession(UserSession):
             action_rewards=table,
             expected=self._expected_rows(rows, table),
         )
+
+    # -- shared-row-table plan form ------------------------------------ #
+    def trace_row_table(self) -> TraceRowTable:
+        """The per-dataset :class:`TraceRowTable` this session walks.
+
+        Subclasses that set ``has_indexed_trace_plan = True`` override
+        :meth:`_build_row_table`; the table is built **once per dataset
+        object** and cached on it, so every session over the same
+        dataset — across environments, shards and runs — returns the
+        identical object.  The row-table contract (pinned by
+        ``tests/sim``): for any rows ``r``,
+        ``table.contexts[r] == _context_rows(r)`` and
+        ``table.action_rewards[r] == _reward_rows(r)``.
+
+        Building and caching the table consumes no randomness, so
+        probing it (the fleet engine does, to decide the plan form)
+        never perturbs a session's stream.
+        """
+        dataset = self._row_table_owner()
+        table = getattr(dataset, "_p2b_row_table", None)
+        if table is None:
+            # double-checked locking: concurrent shard.prepare() calls
+            # (FleetRunner n_workers > 1) must all receive the *same*
+            # table object — the identity is what shards key sharing
+            # off — so exactly one thread builds per dataset
+            with _ROW_TABLE_BUILD_LOCK:
+                table = getattr(dataset, "_p2b_row_table", None)
+                if table is None:
+                    table = self._build_row_table()
+                    try:
+                        # datasets are frozen dataclasses;
+                        # object.__setattr__ is the sanctioned backdoor
+                        # for caching derived views on them (the table
+                        # is a pure function of the dataset)
+                        object.__setattr__(dataset, "_p2b_row_table", table)
+                    except (AttributeError, TypeError):  # pragma: no cover
+                        pass
+        return table
+
+    def _row_table_owner(self):
+        """The object the cached row table lives on (the dataset)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no shared row table"
+        )
+
+    def _build_row_table(self) -> TraceRowTable:
+        """Construct the dataset's row table (cache miss only)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no shared row table"
+        )
+
+    def plan_trace_indexed(self, horizon: int) -> IndexedTracePlan:
+        """Shared-row-table variant of :meth:`plan_trace`.
+
+        Advances the walk exactly like :meth:`plan_trace` (same
+        generator consumption, same end state — the two forms realize
+        the identical horizon), but returns only the ``(horizon,)``
+        row-index walk plus the shared per-dataset table: per-agent
+        plan memory drops from ``horizon × (d + A)`` values to
+        ``horizon`` integers.  Only available when
+        ``has_indexed_trace_plan`` is set.
+        """
+        horizon = check_positive_int(horizon, name="horizon")
+        table = self.trace_row_table()
+        return IndexedTracePlan(rows=self._advance_rows(horizon), table=table)
 
 
 class Environment(abc.ABC):

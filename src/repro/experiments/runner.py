@@ -39,7 +39,10 @@ __all__ = [
     "get_default_engine",
     "set_default_n_workers",
     "get_default_n_workers",
+    "set_default_plan_chunk_size",
+    "get_default_plan_chunk_size",
     "ENGINES",
+    "UNSET",
 ]
 
 #: recognized simulation engines: ``sequential`` is the reference
@@ -94,6 +97,44 @@ def _resolve_n_workers(n_workers: int | None) -> int:
     if n_workers is None:
         return _default_n_workers
     return check_positive_int(n_workers, name="n_workers")
+
+
+_default_plan_chunk_size: int | None = None
+
+
+def set_default_plan_chunk_size(plan_chunk_size: int | None) -> None:
+    """Set the fleet plan-chunk size used when callers pass the default.
+
+    Same rationale as :func:`set_default_engine`: entry points (the
+    CLI's ``--plan-chunk-size``) sit far above :func:`run_setting`.
+    ``None`` (the initial default) materializes whole horizons; any
+    chunk size is bit-identical (the :mod:`repro.sim` contract) and
+    only bounds plan memory.
+    """
+    global _default_plan_chunk_size
+    if plan_chunk_size is not None:
+        plan_chunk_size = check_positive_int(plan_chunk_size, name="plan_chunk_size")
+    _default_plan_chunk_size = plan_chunk_size
+
+
+def get_default_plan_chunk_size() -> int | None:
+    """The plan-chunk size used by default (``None`` = whole horizons)."""
+    return _default_plan_chunk_size
+
+
+#: default-argument sentinel distinguishing "not passed" (use the
+#: process default) from an explicit ``None`` (``None`` is itself a
+#: meaningful chunk size: whole horizons); shared by the sweep
+#: functions, which forward their ``plan_chunk_size`` here
+UNSET = object()
+
+
+def _resolve_plan_chunk_size(plan_chunk_size) -> int | None:
+    if plan_chunk_size is UNSET:
+        return _default_plan_chunk_size
+    if plan_chunk_size is not None:
+        plan_chunk_size = check_positive_int(plan_chunk_size, name="plan_chunk_size")
+    return plan_chunk_size
 
 
 def _check_engine(engine: str) -> str:
@@ -169,6 +210,7 @@ def run_setting(
     measure: str = "realized",
     engine: str | None = None,
     n_workers: int | None = None,
+    plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
 ) -> ExperimentResult:
     """Simulate one setting end-to-end (see module docstring).
 
@@ -211,6 +253,12 @@ def run_setting(
         Fleet shard parallelism (``None`` for the process default, see
         :func:`set_default_n_workers`).  Multi-shard populations step
         their shards concurrently; results stay identical to serial.
+    plan_chunk_size:
+        Fleet plan-chunk size (omit for the process default, see
+        :func:`set_default_plan_chunk_size`): session plans materialize
+        in horizon slices of this many steps, bounding plan memory;
+        ``None`` materializes whole horizons.  Results are identical
+        for every chunk size (the :mod:`repro.sim` contract).
     """
     if measure not in ("realized", "expected"):
         from ..utils.exceptions import ConfigError
@@ -227,6 +275,7 @@ def run_setting(
         )
     sys_seed, contrib_users_seed, eval_users_seed = spawn_seeds(seed, 3)
     workers = _resolve_n_workers(n_workers)
+    chunk = _resolve_plan_chunk_size(plan_chunk_size)
     system = P2BSystem(config, mode=mode, encoder=encoder, seed=sys_seed)
 
     n_reports = n_released = 0
@@ -242,7 +291,9 @@ def run_setting(
             env.new_user(s) for s in spawn_seeds(contrib_users_seed, n_contributors)
         ]
         if _resolve_engine(engine, contributors):
-            FleetRunner(contributors, sessions, n_workers=workers).run(t_contrib)
+            FleetRunner(
+                contributors, sessions, n_workers=workers, plan_chunk_size=chunk
+            ).run(t_contrib)
         else:
             for agent, session in zip(contributors, sessions):
                 _simulate_agent(agent, session, t_contrib)
@@ -265,9 +316,9 @@ def run_setting(
     ]
     if _resolve_engine(engine, eval_agents):
         eval_sessions = [env.new_user(s) for s in eval_seeds]
-        result = FleetRunner(eval_agents, eval_sessions, n_workers=workers).run(
-            eval_interactions, track_expected=want_expected
-        )
+        result = FleetRunner(
+            eval_agents, eval_sessions, n_workers=workers, plan_chunk_size=chunk
+        ).run(eval_interactions, track_expected=want_expected)
         reward_matrix = result.measured()
     else:
         reward_matrix = np.empty((n_eval_agents, eval_interactions), dtype=np.float64)
@@ -314,6 +365,7 @@ def compare_settings(
     measure: str = "realized",
     engine: str | None = None,
     n_workers: int | None = None,
+    plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
 ) -> SettingComparison:
     """Run the three §5 settings on identically seeded workloads.
 
@@ -337,5 +389,6 @@ def compare_settings(
             measure=measure,
             engine=engine,
             n_workers=n_workers,
+            plan_chunk_size=plan_chunk_size,
         )
     return SettingComparison(results=results)

@@ -16,7 +16,7 @@ from ..data.synthetic import SyntheticPreferenceEnvironment
 from ..encoding.kmeans_encoder import KMeansEncoder
 from ..privacy.accounting import epsilon_from_p
 from .results import FigureResult
-from .runner import compare_settings
+from .runner import UNSET, compare_settings
 
 __all__ = [
     "population_sweep",
@@ -56,6 +56,7 @@ def population_sweep(
     measure: str = "realized",
     engine: str | None = None,
     n_workers: int | None = None,
+    plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
 ) -> FigureResult:
     """Fig. 4's x-axis: grow the contributing population ``U``."""
     result = FigureResult(
@@ -85,6 +86,7 @@ def population_sweep(
             measure=measure,
             engine=engine,
             n_workers=n_workers,
+            plan_chunk_size=plan_chunk_size,
         )
         result.add_point(
             int(u),
@@ -109,6 +111,7 @@ def dimension_sweep(
     measure: str = "realized",
     engine: str | None = None,
     n_workers: int | None = None,
+    plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
 ) -> FigureResult:
     """Fig. 5's x-axis: grow the context dimension ``d``.
 
@@ -141,6 +144,7 @@ def dimension_sweep(
             measure=measure,
             engine=engine,
             n_workers=n_workers,
+            plan_chunk_size=plan_chunk_size,
         )
         result.add_point(
             int(d),
@@ -163,6 +167,7 @@ def codebook_sweep(
     description: str = "reward vs codebook size k (warm-private)",
     engine: str | None = None,
     n_workers: int | None = None,
+    plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
 ) -> FigureResult:
     """Ablation axis: codebook size ``k`` (Fig. 7 compares 2^5 vs 2^7)."""
     from dataclasses import replace
@@ -186,6 +191,7 @@ def codebook_sweep(
             modes=(AgentMode.WARM_PRIVATE,),
             engine=engine,
             n_workers=n_workers,
+            plan_chunk_size=plan_chunk_size,
         )
         result.add_point(
             int(k),
@@ -208,6 +214,7 @@ def participation_sweep(
     description: str = "privacy/utility trade-off over participation p",
     engine: str | None = None,
     n_workers: int | None = None,
+    plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
 ) -> FigureResult:
     """Ablation axis: participation probability ``p`` — the privacy lever.
 
@@ -235,6 +242,7 @@ def participation_sweep(
             modes=(AgentMode.WARM_PRIVATE,),
             engine=engine,
             n_workers=n_workers,
+            plan_chunk_size=plan_chunk_size,
         )
         result.add_point(
             float(p),

@@ -58,6 +58,18 @@ bit-identity guarantee.  A shard mixing plan-capable and plan-less
 sessions falls back to per-round session stepping, still
 bit-identical.
 
+Traced plans take the **shared-row-table** form whenever every session
+of a shard walks the same per-dataset
+:class:`~repro.data.environment.TraceRowTable`
+(``has_indexed_trace_plan``): the shard keeps one row-index walk per
+agent and gathers contexts, rewards and plan-time encodings through
+tables that exist once per dataset — traced-plan memory drops A-fold
+and each distinct dataset row is encoded at most once per encoder.
+``FleetRunner(plan_chunk_size=C)`` additionally materializes plans in
+bounded horizon slices; both knobs preserve bit-identity (chunk
+boundaries straddle participation windows through a short history
+tail, and slice-by-slice planning is exact by the plan contract).
+
 The *reporting* pipeline is columnar on the same plan-capable shards:
 participation advances through
 :class:`~repro.core.participation.StackedParticipation` (vectorized

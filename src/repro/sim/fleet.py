@@ -30,10 +30,36 @@ pre-materialize their horizon (capability flags on
   become one gather + clip per round;
 * ``has_trace_plan`` — dataset-replay sessions (multilabel, Criteo)
   pre-materialize their row walk (:class:`TracePlan`); per-step
-  contexts and per-action reward tables become array gathers.
+  contexts and per-action reward tables become array gathers;
+* ``has_indexed_trace_plan`` — replay sessions whose dataset exposes a
+  shared :class:`~repro.data.environment.TraceRowTable` take the
+  **shared-row-table** form when every session of the shard walks the
+  *same* table: the shard holds one ``(n, T)`` row-index walk and
+  gathers contexts, rewards, expected rewards — and, warm-private,
+  codes and centroid representations — through per-dataset tables that
+  exist once, not once per agent.  Traced-plan memory drops A-fold and
+  each distinct dataset row is encoded at most once per encoder,
+  however many agents and steps visit it.  ``plan_form="dense"``
+  forces the per-agent form (the memory bench compares the two);
+  ``plan_form="indexed"`` insists and raises when unavailable.
 
 A shard mixing plan-capable and plan-less sessions falls back to the
 generic per-round session loop — still bit-identical, just slower.
+
+Chunked horizons (``plan_chunk_size``) bound the plan materialization:
+instead of planning all ``T`` steps up front, a shard re-plans its
+sessions every ``C`` steps — exact by the plan contract (planning a
+horizon in consecutive slices consumes session streams identically to
+one full plan) — so dense traced-plan memory is ``O(n x C)`` instead
+of ``O(n x T)``.  Chunk boundaries are invisible to everything else:
+participation windows straddle them through a short history tail (a
+report may sample an interaction up to ``window - 1`` steps back, so
+dense shards retain that many trailing steps of context/codes), the
+columnar report gathers and ``finish``'s buffer rebuild read through
+the same tail, and ``plan_chunk_size >= T`` (or ``None``) degenerates
+to exactly the unchunked path — one chunk, no tail.  Indexed shards
+need no tail at all: the full row walk plus the shared tables
+regenerate any past step.
 
 What stays per-agent Python (all O(1) per agent per round):
 
@@ -96,7 +122,12 @@ from ..core.agent import LocalAgent
 from ..core.config import AgentMode
 from ..core.participation import StackedParticipation
 from ..core.payload import EncodedReport, RawReport, ReportLog
-from ..data.environment import StationaryRewardPlan, TracePlan, UserSession
+from ..data.environment import (
+    StationaryRewardPlan,
+    TracePlan,
+    TraceRowTable,
+    UserSession,
+)
 from ..utils.exceptions import ConfigError
 from ..utils.validation import check_positive_int
 from .stacked import stack_policies
@@ -108,6 +139,7 @@ __all__ = [
     "shard_key",
     "shard_indices",
     "WORKER_BACKENDS",
+    "PLAN_FORMS",
 ]
 
 #: recognized shard-parallelism backends: ``thread`` steps shards of
@@ -115,6 +147,14 @@ __all__ = [
 #: ``process`` runs each shard's whole horizon in a worker process
 #: (serialization-heavy escape hatch for Python-bound populations).
 WORKER_BACKENDS = ("thread", "process")
+
+#: recognized traced-plan forms: ``auto`` uses the shared-row-table
+#: ("indexed") form whenever every session of a shard walks the same
+#: :class:`~repro.data.environment.TraceRowTable` and falls back to
+#: per-agent ("dense") trace tables otherwise; ``dense`` forces the
+#: per-agent form; ``indexed`` insists on the shared form and raises
+#: when a shard cannot take it.  All forms are bit-identical.
+PLAN_FORMS = ("auto", "indexed", "dense")
 
 
 def shard_key(agent: LocalAgent) -> tuple | None:
@@ -199,10 +239,12 @@ class _Shard:
     """One stackable subpopulation with its own stacked state.
 
     Owns the per-shard context/encoding caches and — when every session
-    in the shard advertises a plan capability — the pre-materialized
-    plan arrays (stationary reward plans or replay traces).  ``step``
-    writes outcomes into the *global* result matrices at this shard's
-    agent indices.
+    in the shard advertises a plan capability — the plan
+    materialization: stationary reward plans, per-agent replay traces
+    ("dense"), or a shared-row-table walk ("indexed").  Plans
+    materialize in horizon chunks of ``plan_chunk_size`` steps (the
+    whole horizon when ``None``).  ``step`` writes outcomes into the
+    *global* result matrices at this shard's agent indices.
     """
 
     def __init__(
@@ -210,6 +252,9 @@ class _Shard:
         indices: np.ndarray,
         agents: list[LocalAgent],
         sessions: list[UserSession],
+        *,
+        plan_chunk_size: int | None = None,
+        plan_form: str = "auto",
     ) -> None:
         self.indices = indices
         self.agents = agents
@@ -219,17 +264,27 @@ class _Shard:
         self.private_context = agents[0].private_context
         self.stacked = stack_policies([a.policy for a in agents])
         self._rows = np.arange(self.n)
+        self._plan_chunk_size = plan_chunk_size
+        self._plan_form = plan_form
+        # which plan fast path this shard runs on (None = generic loop)
+        self._plan_path: str | None = None
+        self._track_expected = False
         # acting-representation caches (warm-private only)
         self._cached_ctx: list[np.ndarray | None] = [None] * self.n
         self._cached_code = np.empty(self.n, dtype=np.intp)
         self._cached_rep: list[np.ndarray | None] = [None] * self.n
         # raw contexts, allocated on the first generic-path round
         self._X: np.ndarray | None = None
+        # chunk state: plan arrays cover global steps
+        # [_chunk_start, _chunk_start + _chunk_len)
+        self._chunk = 0
+        self._chunk_start = 0
+        self._chunk_len = 0
         # stationary-plan arrays (has_reward_plan shards)
         self._plan_means: np.ndarray | None = None
         self._plan_noise: np.ndarray | None = None
         self._plan_acting: np.ndarray | None = None
-        # trace-plan arrays (has_trace_plan shards)
+        # dense trace-plan arrays (per-agent, chunk-local)
         self._trace_ctx: np.ndarray | None = None
         self._trace_rewards: np.ndarray | None = None
         self._trace_expected: np.ndarray | None = None
@@ -237,6 +292,22 @@ class _Shard:
         self._trace_codes: np.ndarray | None = None
         self._trace_reps: np.ndarray | None = None
         self._trace_expected_is_rewards = False
+        # shared-row-table state (indexed shards): the full-horizon row
+        # walk plus per-dataset tables gathered through it
+        self._row_table: TraceRowTable | None = None
+        self._trace_rows: np.ndarray | None = None  # (n, T) intp
+        self._row_codes: np.ndarray | None = None  # (groups, n_rows) intp
+        self._row_reps: np.ndarray | None = None  # (groups, n_rows, d)
+        self._row_encoded: np.ndarray | None = None  # (groups, n_rows) bool
+        self._enc_groups: list[np.ndarray] | None = None
+        self._agent_group: np.ndarray | None = None
+        # history tail (dense traced chunked shards): the last
+        # ``max(window) - 1`` steps of context/codes before the current
+        # chunk, for report gathers and buffer rebuilds that straddle a
+        # chunk boundary
+        self._hist_len = 0
+        self._hist_ctx: np.ndarray | None = None
+        self._hist_codes: np.ndarray | None = None
         # columnar reporting state (plan-capable shards only)
         self._batch_recording = False
         self._horizon = 0
@@ -248,7 +319,7 @@ class _Shard:
 
     # ------------------------------------------------------------------ #
     def prepare(self, n_interactions: int, *, track_expected: bool = False) -> None:
-        """Pre-materialize plan-capable sessions (the plan fast paths).
+        """Pick the plan fast path and materialize its first chunk.
 
         Capability *flags* decide the path (never method-identity
         probing, which silently kicked plan-inheriting subclasses off
@@ -260,28 +331,167 @@ class _Shard:
         per-agent.  Shards mixing plan-capable and plan-less sessions
         take the generic per-round path.
         """
+        self._horizon = n_interactions
+        self._track_expected = track_expected
         if all(s.has_reward_plan for s in self.sessions):
-            plans: list[StationaryRewardPlan] = [
-                s.plan_rewards(n_interactions) for s in self.sessions
-            ]
-            self._X = np.stack([p.context for p in plans])
-            self._plan_means = np.stack([p.mean_rewards for p in plans])  # (n, A)
-            self._plan_noise = np.stack([p.noise for p in plans])  # (n, T)
-            self._plan_acting = self._acting_representation(self._X, self._rows)
+            path = "stationary"
         elif all(s.has_trace_plan for s in self.sessions):
-            traces: list[TracePlan] = [
-                s.plan_trace(n_interactions) for s in self.sessions
-            ]
-            self._trace_ctx = np.stack([p.contexts for p in traces])  # (n, T, d)
-            self._trace_rewards = np.stack([p.action_rewards for p in traces])  # (n, T, A)
-            self._trace_expected_ok = np.asarray(
-                [p.expected is not None for p in traces], dtype=bool
+            path = self._pick_trace_form()
+        else:
+            path = None
+        if path in (None, "stationary") and self._plan_form == "indexed":
+            raise ConfigError(
+                "plan_form='indexed' requested but a shard's sessions have no "
+                "trace plans to share (plan-less or stationary sessions); use "
+                "plan_form='auto'"
             )
+        if path is None:
+            return
+        self._plan_path = path
+        self._chunk = (
+            n_interactions
+            if self._plan_chunk_size is None
+            else min(self._plan_chunk_size, n_interactions)
+        )
+        if path == "indexed":
+            # the per-agent half of the shared-row-table form: one row
+            # index per step — everything else lives in the shared
+            # per-dataset tables
+            self._trace_rows = np.empty((self.n, n_interactions), dtype=np.intp)
+            self._init_row_encodings()
+        self._init_batch_recording(n_interactions)
+        self._init_history()
+        self._materialize_chunk(0)
+
+    def _pick_trace_form(self) -> str:
+        """Shared-row-table ("indexed") or per-agent ("dense") traces.
+
+        The shared form applies when every session advertises
+        ``has_indexed_trace_plan`` *and* they all walk the same
+        :class:`TraceRowTable` (sessions over one dataset share the
+        table by identity; probing it consumes no randomness).  Mixed
+        datasets within one shard fall back to dense per-agent tables —
+        bit-identical either way.  ``plan_form`` forces the choice.
+        """
+        if self._plan_form == "dense":
+            return "dense"
+        if all(s.has_indexed_trace_plan for s in self.sessions):
+            tables = [s.trace_row_table() for s in self.sessions]
+            if all(t is tables[0] for t in tables):
+                self._row_table = tables[0]
+                return "indexed"
+            why = "its sessions walk different datasets (no single row table to share)"
+        else:
+            why = "not every session has a shared-row-table plan"
+        if self._plan_form == "indexed":
+            raise ConfigError(f"plan_form='indexed' requested but {why}")
+        return "dense"
+
+    def _encoder_groups(self) -> list[np.ndarray]:
+        """Shard-local agent indices grouped by encoder object (cached).
+
+        Shards only guarantee equal codebook *size*, so batch encodings
+        group agents by the encoder they actually hold; both trace
+        forms — and every chunk — reuse this one grouping.
+        """
+        if self._enc_groups is None:
+            groups: dict[int, list[int]] = {}
+            for j in range(self.n):
+                groups.setdefault(id(self.agents[j].encoder), []).append(j)
+            self._enc_groups = [np.asarray(m, dtype=np.intp) for m in groups.values()]
+        return self._enc_groups
+
+    def _init_row_encodings(self) -> None:
+        """Allocate the shared per-row code tables (warm-private only).
+
+        Each encoder group owns one ``(n_rows,)`` code table (plus a
+        centroid table when acting on centroids) filled lazily by
+        :meth:`_encode_new_rows` as chunks visit rows.
+        """
+        if self.mode != AgentMode.WARM_PRIVATE:
+            return
+        groups = self._encoder_groups()
+        self._agent_group = np.empty(self.n, dtype=np.intp)
+        for g, members in enumerate(groups):
+            self._agent_group[members] = g
+        shape = (len(groups), self._row_table.n_rows)
+        self._row_codes = np.zeros(shape, dtype=np.intp)
+        self._row_encoded = np.zeros(shape, dtype=bool)
+        if self.private_context == "centroid":
+            d = self._row_table.contexts.shape[1]
+            self._row_reps = np.zeros((*shape, d), dtype=np.float64)
+
+    def _init_history(self) -> None:
+        """Size the cross-chunk history tail (dense chunked shards only).
+
+        A report samples an interaction at most ``window - 1`` steps
+        back, and ``finish`` rebuilds at most ``window - 1`` buffered
+        items (a window that never fills holds at most that many
+        in-run steps), so retaining ``max(window) - 1`` trailing steps
+        of context/codes bridges every chunk boundary.  Indexed shards
+        regenerate any step from the full row walk plus the shared
+        tables; stationary contexts never change; cold shards never
+        report — none of them need a tail.
+        """
+        self._hist_len = 0
+        if self._plan_path != "dense" or self._chunk >= self._horizon:
+            return
+        if self._part is None:
+            return
+        self._hist_len = int(self._part.window.max()) - 1
+
+    def _materialize_chunk(self, start: int) -> None:
+        """Materialize plan arrays for global steps ``[start, start + C)``.
+
+        Re-planning slice by slice is exact by the plan contract: each
+        plan call consumes the session streams precisely as that many
+        sequential interactions would, so consecutive chunks realize
+        the same walks and noise as one full-horizon plan
+        (``tests/sim/test_chunked_plans.py`` pins the equivalence).
+        """
+        length = min(self._chunk, self._horizon - start)
+        self._chunk_start = start
+        self._chunk_len = length
+        if self._plan_path == "stationary":
+            plans: list[StationaryRewardPlan] = [
+                s.plan_rewards(length) for s in self.sessions
+            ]
+            self._plan_noise = np.stack([p.noise for p in plans])  # (n, C)
+            if start == 0:
+                self._X = np.stack([p.context for p in plans])
+                self._plan_means = np.stack([p.mean_rewards for p in plans])  # (n, A)
+                self._plan_acting = self._acting_representation(self._X, self._rows)
+        elif self._plan_path == "indexed":
+            rows = np.stack(
+                [s.plan_trace_indexed(length).rows for s in self.sessions]
+            )
+            self._trace_rows[:, start : start + length] = rows
+            if start == 0:
+                table = self._row_table
+                self._trace_expected_ok = np.full(
+                    self.n, table.expected is not None, dtype=bool
+                )
+                self._trace_expected_is_rewards = (
+                    table.expected is table.action_rewards
+                )
+            if self.mode == AgentMode.WARM_PRIVATE:
+                self._encode_new_rows(rows)
+        else:  # dense per-agent traces
+            traces: list[TracePlan] = [s.plan_trace(length) for s in self.sessions]
+            self._trace_ctx = np.stack([p.contexts for p in traces])  # (n, C, d)
+            self._trace_rewards = np.stack(
+                [p.action_rewards for p in traces]
+            )  # (n, C, A)
+            if start == 0:
+                self._trace_expected_ok = np.asarray(
+                    [p.expected is not None for p in traces], dtype=bool
+                )
             # the expected channel is only materialized when the run
             # tracks it; logged-data plans usually alias it to the
             # reward table (expected == realized), in which case the
             # per-step values fall out of the reward gather for free
-            if track_expected and self._trace_expected_ok.any():
+            self._trace_expected = None
+            if self._track_expected and self._trace_expected_ok.any():
                 if all(p.expected is p.action_rewards for p in traces):
                     self._trace_expected_is_rewards = True
                 else:
@@ -296,8 +506,42 @@ class _Shard:
                             self._trace_expected[j] = p.expected
             if self.mode == AgentMode.WARM_PRIVATE:
                 self._precompute_trace_codes()
-        if self.stationary or self.traced:
-            self._init_batch_recording(n_interactions)
+
+    def _roll_history(self) -> None:
+        """Retain the chunk tail needed across the boundary (dense only)."""
+        if self._hist_len <= 0:
+            return
+        keep = self._hist_len
+
+        def tail(hist: np.ndarray | None, chunk: np.ndarray) -> np.ndarray:
+            joined = chunk if hist is None else np.concatenate([hist, chunk], axis=1)
+            return joined[:, max(0, joined.shape[1] - keep) :].copy()
+
+        self._hist_ctx = tail(self._hist_ctx, self._trace_ctx)
+        if self._trace_codes is not None:
+            self._hist_codes = tail(self._hist_codes, self._trace_codes)
+
+    def _encode_new_rows(self, chunk_rows: np.ndarray) -> None:
+        """Extend the shared code tables to cover this chunk's rows.
+
+        The indexed counterpart of :meth:`_precompute_trace_codes`:
+        encoders are deterministic and ``encode_batch`` row-exact, so
+        each distinct *dataset row* is encoded at most once per
+        encoder — no matter how many agents or steps visit it, and no
+        matter how the horizon is chunked — and every later use
+        (acting, report payloads) is a pure gather.
+        """
+        for g, members in enumerate(self._encoder_groups()):
+            visited = np.unique(chunk_rows[members])
+            new = visited[~self._row_encoded[g, visited]]
+            if new.size == 0:
+                continue
+            encoder = self.agents[members[0]].encoder
+            codes = encoder.encode_batch(self._row_table.contexts[new])
+            self._row_codes[g, new] = codes
+            if self._row_reps is not None:
+                self._row_reps[g, new] = encoder.decode_batch(codes)
+            self._row_encoded[g, new] = True
 
     def _init_batch_recording(self, n_interactions: int) -> None:
         """Switch this shard's reporting pipeline to the columnar path.
@@ -342,32 +586,70 @@ class _Shard:
         """
         n, horizon, d = self._trace_ctx.shape
         codes = np.empty((n, horizon), dtype=np.intp)
-        groups: dict[int, list[int]] = {}
-        for j in range(n):
-            groups.setdefault(id(self.agents[j].encoder), []).append(j)
-        for members in groups.values():
+        groups = self._encoder_groups()
+        for members in groups:
             encoder = self.agents[members[0]].encoder
-            block = self._trace_ctx[members].reshape(len(members) * horizon, d)
-            codes[members] = encoder.encode_batch(block).reshape(len(members), horizon)
+            block = self._trace_ctx[members].reshape(members.size * horizon, d)
+            codes[members] = encoder.encode_batch(block).reshape(members.size, horizon)
         self._trace_codes = codes
         if self.private_context == "centroid":
             reps = np.empty((n, horizon, d), dtype=np.float64)
-            for members in groups.values():
+            for members in groups:
                 encoder = self.agents[members[0]].encoder
                 reps[members] = encoder.decode_batch(codes[members].ravel()).reshape(
-                    len(members), horizon, d
+                    members.size, horizon, d
                 )
             self._trace_reps = reps
 
     @property
     def stationary(self) -> bool:
         """This shard runs on pre-realized stationary reward plans."""
-        return self._plan_means is not None
+        return self._plan_path == "stationary"
 
     @property
     def traced(self) -> bool:
-        """This shard runs on pre-materialized replay traces."""
-        return self._trace_rewards is not None
+        """This shard runs on pre-materialized replay traces (either form)."""
+        return self._plan_path in ("dense", "indexed")
+
+    @property
+    def indexed(self) -> bool:
+        """This shard runs on the shared-row-table trace form."""
+        return self._plan_path == "indexed"
+
+    def plan_nbytes(self) -> dict[str, int]:
+        """Bytes currently held by this shard's plan materialization.
+
+        ``per_agent`` counts arrays scaling with ``n_agents x steps``
+        (dense trace blocks, history tails, row walks, stationary
+        noise); ``shared`` counts per-dataset arrays whose size is
+        independent of the population (the row table and the per-row
+        code/centroid tables).  The memory bench
+        (``benchmarks/bench_memory.py``) records both; the
+        shared-row-table claim is their ratio.
+        """
+        arrays = [
+            self._plan_noise,
+            self._trace_ctx,
+            self._trace_rewards,
+            self._trace_expected,
+            self._trace_codes,
+            self._trace_reps,
+            self._trace_rows,
+            self._hist_ctx,
+            self._hist_codes,
+        ]
+        if self.stationary:
+            arrays += [self._X, self._plan_means]
+            if self._plan_acting is not self._X:  # aliased when acting on raw contexts
+                arrays.append(self._plan_acting)
+        per_agent = sum(a.nbytes for a in arrays if a is not None)
+        shared = self._row_table.nbytes() if self._row_table is not None else 0
+        shared += sum(
+            a.nbytes
+            for a in (self._row_codes, self._row_reps, self._row_encoded)
+            if a is not None
+        )
+        return {"per_agent": per_agent, "shared": shared, "total": per_agent + shared}
 
     # ------------------------------------------------------------------ #
     def step(
@@ -385,12 +667,21 @@ class _Shard:
         touched objects — sessions, agents, stacked state, caches — are
         owned by this shard alone.
         """
+        if self._plan_path is not None and t == self._chunk_start + self._chunk_len:
+            self._roll_history()
+            self._materialize_chunk(t)
+        s = t - self._chunk_start  # chunk-local step into the plan arrays
+        rows_t = None
         if self.stationary:
             acting = self._plan_acting
             X = self._X
+        elif self.indexed:
+            rows_t = self._trace_rows[:, t]
+            acting = self._indexed_acting(rows_t)
+            X = None  # every gather goes through the shared row table
         elif self.traced:
-            X = self._trace_ctx[:, t]
-            acting = self._trace_acting(t, X)
+            X = self._trace_ctx[:, s]
+            acting = self._trace_acting(s, X)
         else:
             X = self._next_contexts()
             acting = self._refresh_acting(X)
@@ -403,14 +694,27 @@ class _Shard:
             # one step: mean[a] + z, clipped — the same elementwise ops
             # as session.reward (a test pins the plan to the sequential
             # reward stream)
-            r = np.clip(self._plan_means[self._rows, acts] + self._plan_noise[:, t], 0.0, 1.0)
+            r = np.clip(self._plan_means[self._rows, acts] + self._plan_noise[:, s], 0.0, 1.0)
             rewards[self.indices, t] = r
             if expected is not None:
                 expected[self.indices, t] = self._plan_means[self._rows, acts]
+        elif self.indexed:
+            # IndexedTracePlan.realize, vectorized across agents for one
+            # step: a gather through the *shared* per-dataset reward
+            # table — replay rewards are deterministic
+            r = self._row_table.action_rewards[rows_t, acts].astype(np.float64)
+            rewards[self.indices, t] = r
+            if expected is not None:
+                if t == 0:
+                    expected_ok[self.indices] &= self._trace_expected_ok
+                if self._trace_expected_is_rewards:
+                    expected[self.indices, t] = r
+                elif self._row_table.expected is not None:
+                    expected[self.indices, t] = self._row_table.expected[rows_t, acts]
         elif self.traced:
             # TracePlan.realize, vectorized across agents for one step:
             # a pure table gather — replay rewards are deterministic
-            r = self._trace_rewards[self._rows, t, acts].astype(np.float64)
+            r = self._trace_rewards[self._rows, s, acts].astype(np.float64)
             rewards[self.indices, t] = r
             if expected is not None:
                 if t == 0:
@@ -418,7 +722,7 @@ class _Shard:
                 if self._trace_expected_is_rewards:
                     expected[self.indices, t] = r
                 elif self._trace_expected is not None:
-                    expected[self.indices, t] = self._trace_expected[self._rows, t, acts]
+                    expected[self.indices, t] = self._trace_expected[self._rows, s, acts]
         else:
             r = np.empty(self.n, dtype=np.float64)
             for j in range(self.n):
@@ -483,14 +787,10 @@ class _Shard:
         rew_s[fresh] = rewards[g_rows, f_t]
         if self.mode == AgentMode.WARM_PRIVATE:
             payload = np.empty(rows.size, dtype=np.intp)
-            payload[fresh] = (
-                self._trace_codes[f_rows, f_t] if self.traced else self._cached_code[f_rows]
-            )
+            payload[fresh] = self._codes_at(f_rows, f_t)
         else:
-            ctx_source = self._trace_ctx if self.traced else self._X
-            d = ctx_source.shape[-1]
-            payload = np.empty((rows.size, d), dtype=np.float64)
-            payload[fresh] = self._trace_ctx[f_rows, f_t] if self.traced else self._X[f_rows]
+            payload = np.empty((rows.size, self._ctx_dim()), dtype=np.float64)
+            payload[fresh] = self._contexts_at(f_rows, f_t)
         if not fresh.all():
             # rare first-boundary case: the sampled item predates this
             # run and lives in the scalar buffer prefix — resolve it
@@ -530,11 +830,12 @@ class _Shard:
             buf: list = [] if self._part.flipped[j] else list(self._pre_buffers[j])
             if n_new:
                 g = int(self.indices[j])
-                for t in range(T - n_new, T):
-                    ctx = self._trace_ctx[j, t] if self.traced else self._X[j]
+                steps = np.arange(T - n_new, T)
+                ctx_rows = self._contexts_at(np.full(n_new, j, dtype=np.intp), steps)
+                for i, t in enumerate(steps):
                     buf.append(
                         (
-                            np.asarray(ctx, dtype=np.float64).copy(),
+                            np.asarray(ctx_rows[i], dtype=np.float64).copy(),
                             int(actions[g, t]),
                             float(rewards[g, t]),
                         )
@@ -554,8 +855,8 @@ class _Shard:
                 self._X[j] = self.sessions[j].next_context()
         return self._X
 
-    def _trace_acting(self, t: int, X: np.ndarray) -> np.ndarray:
-        """Acting representation for step ``t`` of a traced shard.
+    def _trace_acting(self, s: int, X: np.ndarray) -> np.ndarray:
+        """Acting representation for chunk-local step ``s`` (dense form).
 
         Warm-private representations come from the plan-time batch
         encoding (:meth:`_precompute_trace_codes`) — pure gathers, no
@@ -564,11 +865,86 @@ class _Shard:
         if self.mode != AgentMode.WARM_PRIVATE:
             return X
         if self.stacked.wants_codes:
-            return self._trace_codes[:, t]
+            return self._trace_codes[:, s]
         if self.private_context == "centroid":
-            return self._trace_reps[:, t]
+            return self._trace_reps[:, s]
         encoder = self.agents[0].encoder
-        return encoder.one_hot_batch(self._trace_codes[:, t])  # type: ignore[union-attr]
+        return encoder.one_hot_batch(self._trace_codes[:, s])  # type: ignore[union-attr]
+
+    def _indexed_acting(self, rows_t: np.ndarray) -> np.ndarray:
+        """Acting representation for one step of an indexed shard.
+
+        Every form is a gather through the shared per-dataset tables —
+        raw contexts from the row table, codes / centroid
+        representations from the per-row encoding tables filled by
+        :meth:`_encode_new_rows`.
+        """
+        if self.mode != AgentMode.WARM_PRIVATE:
+            return self._row_table.contexts[rows_t]
+        codes = self._row_codes[self._agent_group, rows_t]
+        if self.stacked.wants_codes:
+            return codes
+        if self.private_context == "centroid":
+            return self._row_reps[self._agent_group, rows_t]
+        return self.agents[0].encoder.one_hot_batch(codes)  # type: ignore[union-attr]
+
+    def _ctx_dim(self) -> int:
+        """Context dimension of this shard's raw-payload source."""
+        if self.indexed:
+            return self._row_table.contexts.shape[1]
+        if self.traced:
+            return self._trace_ctx.shape[2]
+        return self._X.shape[1]
+
+    def _codes_at(self, agent_rows: np.ndarray, steps: np.ndarray) -> np.ndarray:
+        """Plan-time codes of ``(shard-local agent, global step)`` pairs.
+
+        Serves the columnar report-payload gathers: indexed shards read
+        the shared per-row code tables through the full row walk (any
+        step, any chunk), dense traced shards read the current chunk
+        block or its history tail (a window straddling the boundary
+        looks back at most ``window - 1 <= hist_len`` steps), and
+        stationary shards read the per-agent encode cache (contexts are
+        fixed, so the cached code *is* the step's code).  Codes are
+        never re-encoded on any path.
+        """
+        if self.indexed:
+            return self._row_codes[
+                self._agent_group[agent_rows], self._trace_rows[agent_rows, steps]
+            ]
+        if self.traced:
+            out = np.empty(agent_rows.size, dtype=np.intp)
+            loc = steps - self._chunk_start
+            cur = loc >= 0
+            out[cur] = self._trace_codes[agent_rows[cur], loc[cur]]
+            if not cur.all():
+                past = ~cur
+                out[past] = self._hist_codes[
+                    agent_rows[past], self._hist_codes.shape[1] + loc[past]
+                ]
+            return out
+        return self._cached_code[agent_rows]
+
+    def _contexts_at(self, agent_rows: np.ndarray, steps: np.ndarray) -> np.ndarray:
+        """Raw contexts of ``(shard-local agent, global step)`` pairs.
+
+        Same dispatch as :meth:`_codes_at`; serves the raw report
+        payloads and :meth:`finish`'s participation-buffer rebuild.
+        """
+        if self.indexed:
+            return self._row_table.contexts[self._trace_rows[agent_rows, steps]]
+        if self.traced:
+            out = np.empty((agent_rows.size, self._trace_ctx.shape[2]), dtype=np.float64)
+            loc = steps - self._chunk_start
+            cur = loc >= 0
+            out[cur] = self._trace_ctx[agent_rows[cur], loc[cur]]
+            if not cur.all():
+                past = ~cur
+                out[past] = self._hist_ctx[
+                    agent_rows[past], self._hist_ctx.shape[1] + loc[past]
+                ]
+            return out
+        return self._X[agent_rows]
 
     def _refresh_acting(self, X: np.ndarray) -> np.ndarray:
         if self.mode != AgentMode.WARM_PRIVATE:
@@ -617,9 +993,22 @@ def _run_shard_remote(payload: bytes) -> bytes:
     mutated agents and sessions.  The parent adopts the returned state
     into its own objects (:meth:`FleetRunner._adopt`).
     """
-    agents, sessions, n_interactions, track_expected = pickle.loads(payload)
+    (
+        agents,
+        sessions,
+        n_interactions,
+        track_expected,
+        plan_chunk_size,
+        plan_form,
+    ) = pickle.loads(payload)
     n = len(agents)
-    shard = _Shard(np.arange(n, dtype=np.intp), agents, sessions)
+    shard = _Shard(
+        np.arange(n, dtype=np.intp),
+        agents,
+        sessions,
+        plan_chunk_size=plan_chunk_size,
+        plan_form=plan_form,
+    )
     shard.prepare(n_interactions, track_expected=track_expected)
     rewards = np.empty((n, n_interactions), dtype=np.float64)
     actions = np.empty((n, n_interactions), dtype=np.intp)
@@ -661,6 +1050,22 @@ class FleetRunner:
         ``LocalAgent`` and session objects keep their identity, but
         e.g. ``agent.policy`` becomes a state-equal replacement); hold
         references through the agent, not to its parts.
+    plan_chunk_size:
+        Materialize session plans in horizon slices of this many steps
+        instead of all at once (default ``None`` = the whole horizon) —
+        bounds dense traced-plan memory at ``O(n_agents x chunk)``.
+        Any chunk size produces bit-identical results (the plan
+        contract makes slice-by-slice planning exact; participation
+        windows straddle chunk boundaries through a short history
+        tail), and a chunk size ``>= n_interactions`` *is* the
+        unchunked path.  Only affects plan-capable shards.
+    plan_form:
+        Traced-plan representation, one of :data:`PLAN_FORMS`
+        (default ``"auto"``: shared-row-table gathers whenever every
+        session of a shard walks the same per-dataset
+        :class:`~repro.data.environment.TraceRowTable`, per-agent
+        tables otherwise).  All forms are bit-identical; the knob
+        exists so benches and tests can pin a form.
     """
 
     def __init__(
@@ -670,6 +1075,8 @@ class FleetRunner:
         *,
         n_workers: int = 1,
         worker_backend: str = "thread",
+        plan_chunk_size: int | None = None,
+        plan_form: str = "auto",
     ) -> None:
         self.agents = list(agents)
         self.sessions = list(sessions)
@@ -679,6 +1086,12 @@ class FleetRunner:
                 f"worker_backend must be one of {WORKER_BACKENDS}, got {worker_backend!r}"
             )
         self.worker_backend = worker_backend
+        if plan_chunk_size is not None:
+            plan_chunk_size = check_positive_int(plan_chunk_size, name="plan_chunk_size")
+        self.plan_chunk_size = plan_chunk_size
+        if plan_form not in PLAN_FORMS:
+            raise ConfigError(f"plan_form must be one of {PLAN_FORMS}, got {plan_form!r}")
+        self.plan_form = plan_form
         if not self.agents:
             raise ConfigError("FleetRunner needs at least one agent")
         if len(self.agents) != len(self.sessions):
@@ -719,6 +1132,8 @@ class FleetRunner:
                 idx,
                 [self.agents[i] for i in idx],
                 [self.sessions[i] for i in idx],
+                plan_chunk_size=self.plan_chunk_size,
+                plan_form=self.plan_form,
             )
             for idx in self._shard_index_groups
         ]
@@ -787,6 +1202,8 @@ class FleetRunner:
                             [self.sessions[i] for i in idx],
                             n_interactions,
                             track_expected,
+                            self.plan_chunk_size,
+                            self.plan_form,
                         )
                     )
                 )

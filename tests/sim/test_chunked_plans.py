@@ -1,0 +1,390 @@
+"""Chunked plan horizons: bounded-memory slices, bit-identical.
+
+``FleetRunner(plan_chunk_size=C)`` re-plans sessions every ``C`` steps
+instead of materializing the whole horizon.  These suites pin the edge
+cases the ISSUE names: horizons not divisible by the chunk size,
+participation windows straddling a chunk boundary (the dense history
+tail), collection rounds landing mid-chunk (``DeploymentLoop``), and
+chunk sizes at or above the horizon degenerating to exactly the
+unchunked path — all bit-identical to the sequential reference on both
+trace forms and on stationary plans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bandits import CodeLinUCB, LinUCB
+from repro.core.agent import LocalAgent
+from repro.core.config import AgentMode, P2BConfig
+from repro.core.participation import RandomizedParticipation
+from repro.core.rounds import DeploymentLoop
+from repro.data.criteo import (
+    CriteoBanditEnvironment,
+    build_criteo_actions,
+    make_criteo_like,
+)
+from repro.data.multilabel import MultilabelBanditEnvironment, make_multilabel_dataset
+from repro.data.synthetic import SyntheticPreferenceEnvironment
+from repro.experiments.runner import _simulate_agent, run_setting
+from repro.sim import FleetRunner
+from repro.sim.fleet import _Shard
+from repro.utils.exceptions import ValidationError
+from repro.utils.rng import spawn_seeds
+
+from _testkit import assert_outboxes_equal, assert_states_equal
+
+N_ACTIONS = 5
+N_FEATURES = 6
+
+_ML_DATASET = make_multilabel_dataset(120, N_FEATURES, N_ACTIONS, n_clusters=4, seed=0)
+_CRITEO_DATASET = build_criteo_actions(
+    make_criteo_like(2_500, seed=0), n_actions=N_ACTIONS, d=N_FEATURES
+)
+
+
+def _ml_env():
+    return MultilabelBanditEnvironment(_ML_DATASET, samples_per_user=7, seed=1)
+
+
+def _criteo_env():
+    return CriteoBanditEnvironment(_CRITEO_DATASET, impressions_per_user=9, seed=1)
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    from repro.encoding.kmeans_encoder import KMeansEncoder
+
+    return KMeansEncoder(
+        n_codes=8, n_features=N_FEATURES, n_fit_samples=400, seed=3
+    ).fit()
+
+
+def make_population(
+    env_factory,
+    policy_factory,
+    mode: str,
+    n_agents: int,
+    seed: int,
+    *,
+    encoder=None,
+    private_context: str = "one-hot",
+    p: float = 0.8,
+    window: int = 3,
+    max_reports: int = 2,
+):
+    env = env_factory()
+    if mode == AgentMode.WARM_PRIVATE and private_context == "one-hot":
+        acting_dim = encoder.n_codes
+    else:
+        acting_dim = N_FEATURES
+    agents, sessions = [], []
+    for i, s in enumerate(spawn_seeds(seed, n_agents)):
+        policy_seed, part_seed, session_seed = s.spawn(3)
+        participation = (
+            None
+            if mode == AgentMode.COLD
+            else RandomizedParticipation(
+                p=p, window=window, max_reports=max_reports, seed=part_seed
+            )
+        )
+        agents.append(
+            LocalAgent(
+                f"agent-{i}",
+                policy_factory(N_ACTIONS, acting_dim, policy_seed),
+                mode=mode,
+                encoder=encoder if mode == AgentMode.WARM_PRIVATE else None,
+                participation=participation,
+                private_context=private_context,
+            )
+        )
+        sessions.append(env.new_user(session_seed))
+    return agents, sessions
+
+
+def _code_linucb(n_arms, n_features, seed):
+    return CodeLinUCB(n_arms=n_arms, n_features=n_features, seed=seed)
+
+
+def _linucb(n_arms, n_features, seed):
+    return LinUCB(n_arms=n_arms, n_features=n_features, seed=seed)
+
+
+def _assert_agents_identical(agents_a, agents_b):
+    for a, b in zip(agents_a, agents_b):
+        assert a.n_interactions == b.n_interactions
+        assert a.total_reward == b.total_reward
+        assert_states_equal(a.policy, b.policy)
+        if a.participation is not None:
+            pa, pb = a.participation, b.participation
+            assert pa.reports_sent == pb.reports_sent
+            assert pa.windows_seen == pb.windows_seen
+            assert len(pa._buffer) == len(pb._buffer)
+            for (xa, aa, ra), (xb, ab, rb) in zip(pa._buffer, pb._buffer):
+                np.testing.assert_array_equal(xa, xb)
+                assert aa == ab and ra == rb
+    assert_outboxes_equal(agents_a, agents_b)
+
+
+# --------------------------------------------------------------------- #
+# chunked == sequential, both trace forms, awkward chunk sizes
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("env_factory", [_ml_env, _criteo_env], ids=["multilabel", "criteo"])
+@pytest.mark.parametrize("plan_form", ["indexed", "dense"])
+@pytest.mark.parametrize("chunk", [1, 5, 7, 16, 40])
+def test_chunked_replay_matches_sequential(env_factory, plan_form, chunk, encoder):
+    """T = 16 with chunks of 1 / 5 / 7 (not divisors), 16 (exact) and
+    40 (> T): warm-private populations with window-3 participation —
+    windows straddle every chunk boundary — stay bit-identical to the
+    sequential loop, reports and buffers included."""
+    n_agents, n_interactions, seed = 9, 16, 42
+    seq_agents, seq_sessions = make_population(
+        env_factory, _code_linucb, AgentMode.WARM_PRIVATE, n_agents, seed,
+        encoder=encoder,
+    )
+    for agent, session in zip(seq_agents, seq_sessions):
+        _simulate_agent(agent, session, n_interactions)
+
+    fleet_agents, fleet_sessions = make_population(
+        env_factory, _code_linucb, AgentMode.WARM_PRIVATE, n_agents, seed,
+        encoder=encoder,
+    )
+    FleetRunner(
+        fleet_agents, fleet_sessions, plan_form=plan_form, plan_chunk_size=chunk
+    ).run(n_interactions)
+    _assert_agents_identical(seq_agents, fleet_agents)
+
+
+@pytest.mark.parametrize("chunk", [1, 4, 9, 20])
+def test_chunked_stationary_matches_sequential(chunk):
+    """Stationary shards re-draw their noise per chunk; block draws
+    split at any boundary consume the stream like scalar draws, so the
+    synthetic population stays bit-identical too."""
+    n_agents, n_interactions = 8, 9
+    env_seed, seed = 7, 4
+
+    def build():
+        env = SyntheticPreferenceEnvironment(
+            n_actions=N_ACTIONS, n_features=N_FEATURES, seed=env_seed
+        )
+        agents, sessions = [], []
+        for i, s in enumerate(spawn_seeds(seed, n_agents)):
+            policy_seed, session_seed = s.spawn(2)
+            agents.append(
+                LocalAgent(
+                    f"a{i}",
+                    _linucb(N_ACTIONS, N_FEATURES, policy_seed),
+                    mode="cold",
+                )
+            )
+            sessions.append(env.new_user(session_seed))
+        return agents, sessions
+
+    seq_agents, seq_sessions = build()
+    seq_rewards = np.stack(
+        [
+            _simulate_agent(a, s, n_interactions)[0]
+            for a, s in zip(seq_agents, seq_sessions)
+        ]
+    )
+    fleet_agents, fleet_sessions = build()
+    result = FleetRunner(fleet_agents, fleet_sessions, plan_chunk_size=chunk).run(
+        n_interactions
+    )
+    np.testing.assert_array_equal(seq_rewards, result.rewards)
+    for sa, fa in zip(seq_agents, fleet_agents):
+        assert_states_equal(sa.policy, fa.policy)
+
+
+def test_block_noise_draws_split_like_scalar_draws():
+    """The stationary-chunking premise: ``normal(size=a)`` then
+    ``normal(size=b)`` equals one ``normal(size=a + b)`` draw."""
+    a = np.random.default_rng(123).normal(0.0, 0.1, size=13)
+    rng = np.random.default_rng(123)
+    b = np.concatenate(
+        [rng.normal(0.0, 0.1, size=5), rng.normal(0.0, 0.1, size=7), rng.normal(0.0, 0.1, size=1)]
+    )
+    np.testing.assert_array_equal(a, b)
+
+
+# --------------------------------------------------------------------- #
+# participation windows straddling chunk boundaries (the history tail)
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("env_factory", [_ml_env, _criteo_env], ids=["multilabel", "criteo"])
+def test_window_larger_than_chunk_straddles_boundaries(env_factory, encoder):
+    """window = 5 > chunk = 2 with p = 1: every report samples from a
+    window spanning multiple chunks, so the payload gather must reach
+    through the dense history tail — still identical reports."""
+    n_agents, n_interactions, seed = 8, 17, 31
+    kwargs = dict(encoder=encoder, p=1.0, window=5, max_reports=3)
+    seq_agents, seq_sessions = make_population(
+        env_factory, _code_linucb, AgentMode.WARM_PRIVATE, n_agents, seed, **kwargs
+    )
+    for agent, session in zip(seq_agents, seq_sessions):
+        _simulate_agent(agent, session, n_interactions)
+    assert any(a.outbox for a in seq_agents)
+
+    fleet_agents, fleet_sessions = make_population(
+        env_factory, _code_linucb, AgentMode.WARM_PRIVATE, n_agents, seed, **kwargs
+    )
+    FleetRunner(
+        fleet_agents, fleet_sessions, plan_form="dense", plan_chunk_size=2
+    ).run(n_interactions)
+    _assert_agents_identical(seq_agents, fleet_agents)
+
+
+def test_window_never_fills_across_chunks(encoder):
+    """window > T: no report ever fires, but ``finish`` must rebuild
+    the full partial buffer across every chunk boundary."""
+    n_agents, n_interactions, seed = 6, 10, 12
+    kwargs = dict(encoder=encoder, p=1.0, window=50, max_reports=1)
+    seq_agents, seq_sessions = make_population(
+        _ml_env, _code_linucb, AgentMode.WARM_PRIVATE, n_agents, seed, **kwargs
+    )
+    for agent, session in zip(seq_agents, seq_sessions):
+        _simulate_agent(agent, session, n_interactions)
+    assert all(len(a.participation._buffer) == n_interactions for a in seq_agents)
+
+    fleet_agents, fleet_sessions = make_population(
+        _ml_env, _code_linucb, AgentMode.WARM_PRIVATE, n_agents, seed, **kwargs
+    )
+    FleetRunner(
+        fleet_agents, fleet_sessions, plan_form="dense", plan_chunk_size=3
+    ).run(n_interactions)
+    _assert_agents_identical(seq_agents, fleet_agents)
+
+
+@pytest.mark.parametrize("plan_form", ["indexed", "dense"])
+def test_raw_payloads_straddle_boundaries(plan_form, encoder):
+    """Warm-nonprivate shards carry raw contexts in reports; the
+    context gather crosses chunk boundaries too."""
+    n_agents, n_interactions, seed = 7, 13, 23
+    kwargs = dict(p=1.0, window=4, max_reports=3)
+    seq_agents, seq_sessions = make_population(
+        _ml_env, _linucb, AgentMode.WARM_NONPRIVATE, n_agents, seed, **kwargs
+    )
+    for agent, session in zip(seq_agents, seq_sessions):
+        _simulate_agent(agent, session, n_interactions)
+
+    fleet_agents, fleet_sessions = make_population(
+        _ml_env, _linucb, AgentMode.WARM_NONPRIVATE, n_agents, seed, **kwargs
+    )
+    FleetRunner(
+        fleet_agents, fleet_sessions, plan_form=plan_form, plan_chunk_size=3
+    ).run(n_interactions)
+    _assert_agents_identical(seq_agents, fleet_agents)
+
+
+# --------------------------------------------------------------------- #
+# degenerate and boundary chunk sizes
+# --------------------------------------------------------------------- #
+def test_chunk_at_least_horizon_is_the_unchunked_path(encoder):
+    """chunk >= T resolves to a single whole-horizon chunk: one plan
+    call per session, no history tail — the unchunked path, exactly."""
+    agents, sessions = make_population(
+        _ml_env, _code_linucb, AgentMode.WARM_PRIVATE, 5, 2, encoder=encoder
+    )
+    shard = _Shard(np.arange(5), agents, sessions, plan_chunk_size=99)
+    calls = {"n": 0}
+    real = type(sessions[0]).plan_trace_indexed
+
+    def counting(self, horizon):
+        calls["n"] += 1
+        return real(self, horizon)
+
+    type(sessions[0]).plan_trace_indexed = counting
+    try:
+        shard.prepare(8)
+    finally:
+        type(sessions[0]).plan_trace_indexed = real
+    assert shard._chunk == 8 and shard._chunk_len == 8
+    assert shard._hist_len == 0
+    assert calls["n"] == len(sessions)
+
+
+def test_chunk_size_validation():
+    from repro.utils.exceptions import ConfigError
+
+    agents, sessions = make_population(_ml_env, _linucb, AgentMode.COLD, 2, 0)
+    with pytest.raises((ConfigError, ValidationError)):
+        FleetRunner(agents, sessions, plan_chunk_size=0)
+
+
+# --------------------------------------------------------------------- #
+# collection rounds landing mid-chunk
+# --------------------------------------------------------------------- #
+@pytest.mark.slow
+def test_deployment_loop_collects_mid_chunk():
+    """Fig. 1 loop on the multilabel workload with chunks that divide
+    neither the round length nor the participation window: every
+    round's collection lands mid-chunk and mid-window, partial buffers
+    carry across rounds (and therefore across chunk boundaries), and
+    all round stats match the sequential engine."""
+    config = P2BConfig(
+        n_actions=N_ACTIONS,
+        n_features=N_FEATURES,
+        n_codes=8,
+        p=0.9,
+        window=6,
+        max_reports_per_user=3,
+        shuffler_threshold=1,
+    )
+
+    def build(engine, plan_chunk_size=None):
+        return DeploymentLoop(
+            config,
+            _ml_env(),
+            interactions_per_round=10,
+            seed=11,
+            engine=engine,
+            plan_chunk_size=plan_chunk_size,
+        )
+
+    loop_seq = build("sequential")
+    loop_chunked = build("fleet", plan_chunk_size=4)
+    for new_users in (8, 4, 0):
+        stats_seq = loop_seq.run_round(new_users=new_users)
+        stats_chunked = loop_chunked.run_round(new_users=new_users)
+        assert stats_seq == stats_chunked
+    assert loop_seq.privacy_report() == loop_chunked.privacy_report()
+    np.testing.assert_array_equal(
+        loop_seq.mean_reward_trajectory, loop_chunked.mean_reward_trajectory
+    )
+    server_seq = loop_seq.system.server
+    server_chunked = loop_chunked.system.server
+    assert server_seq.n_tuples_ingested == server_chunked.n_tuples_ingested
+
+
+@pytest.mark.slow
+def test_run_setting_identical_with_chunking(encoder):
+    """The full §5.2 protocol agrees between the sequential engine and
+    a chunked fleet run (contribution, shuffler release, warm eval)."""
+    config = P2BConfig(
+        n_actions=N_ACTIONS,
+        n_features=N_FEATURES,
+        n_codes=encoder.n_codes,
+        p=0.9,
+        window=4,
+        shuffler_threshold=1,
+    )
+    results = {}
+    for engine, chunk in (("sequential", None), ("fleet", 3)):
+        results[engine] = run_setting(
+            _ml_env(),
+            config,
+            AgentMode.WARM_PRIVATE,
+            n_contributors=20,
+            n_eval_agents=6,
+            eval_interactions=10,
+            seed=31,
+            encoder=encoder,
+            engine=engine,
+            plan_chunk_size=chunk,
+        )
+    seq, fleet = results["sequential"], results["fleet"]
+    assert seq.mean_reward == fleet.mean_reward
+    np.testing.assert_array_equal(seq.curve, fleet.curve)
+    assert seq.n_reports == fleet.n_reports
+    assert seq.n_released == fleet.n_released
+    assert seq.privacy == fleet.privacy

@@ -1,0 +1,433 @@
+"""Shared-row-table trace plans: the indexed plan form end to end.
+
+Pins the :meth:`plan_trace_indexed` contract (same walk, same generator
+consumption, same realized values as the dense ``plan_trace``), the
+per-dataset table sharing (one :class:`TraceRowTable` object per
+dataset, aliasing the dataset's own arrays where possible), and the
+fleet-engine consequences: indexed shards are bit-identical to the
+dense form and to the sequential reference on the multilabel and
+Criteo populations across every mode, report payloads gather through
+the same row indices (each dataset row encoded at most once per
+encoder), and the per-agent plan footprint shrinks by the A-fold the
+ROADMAP promises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bandits import CodeLinUCB, LinUCB
+from repro.core.agent import LocalAgent
+from repro.core.config import AgentMode
+from repro.core.participation import RandomizedParticipation
+from repro.data.criteo import (
+    CriteoBanditEnvironment,
+    build_criteo_actions,
+    make_criteo_like,
+)
+from repro.data.environment import TracePlan
+from repro.data.multilabel import MultilabelBanditEnvironment, make_multilabel_dataset
+from repro.experiments.runner import _simulate_agent
+from repro.sim import FleetRunner
+from repro.sim.fleet import _Shard
+from repro.utils.exceptions import ConfigError
+from repro.utils.rng import spawn_seeds
+
+from _testkit import assert_outboxes_equal, assert_states_equal
+
+N_ACTIONS = 5
+N_FEATURES = 6
+
+_ML_DATASET = make_multilabel_dataset(120, N_FEATURES, N_ACTIONS, n_clusters=4, seed=0)
+_CRITEO_DATASET = build_criteo_actions(
+    make_criteo_like(2_500, seed=0), n_actions=N_ACTIONS, d=N_FEATURES
+)
+
+
+def _ml_env():
+    return MultilabelBanditEnvironment(_ML_DATASET, samples_per_user=7, seed=1)
+
+
+def _criteo_env():
+    return CriteoBanditEnvironment(_CRITEO_DATASET, impressions_per_user=9, seed=1)
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    from repro.encoding.kmeans_encoder import KMeansEncoder
+
+    return KMeansEncoder(
+        n_codes=8, n_features=N_FEATURES, n_fit_samples=400, seed=3
+    ).fit()
+
+
+def make_population(
+    env_factory,
+    policy_factory,
+    mode: str,
+    n_agents: int,
+    seed: int,
+    *,
+    encoder=None,
+    private_context: str = "one-hot",
+    p: float = 0.8,
+):
+    env = env_factory()
+    if mode == AgentMode.WARM_PRIVATE and private_context == "one-hot":
+        acting_dim = encoder.n_codes
+    else:
+        acting_dim = N_FEATURES
+    agents, sessions = [], []
+    for i, s in enumerate(spawn_seeds(seed, n_agents)):
+        policy_seed, part_seed, session_seed = s.spawn(3)
+        participation = (
+            None
+            if mode == AgentMode.COLD
+            else RandomizedParticipation(p=p, window=3, max_reports=2, seed=part_seed)
+        )
+        agents.append(
+            LocalAgent(
+                f"agent-{i}",
+                policy_factory(N_ACTIONS, acting_dim, policy_seed),
+                mode=mode,
+                encoder=encoder if mode == AgentMode.WARM_PRIVATE else None,
+                participation=participation,
+                private_context=private_context,
+            )
+        )
+        sessions.append(env.new_user(session_seed))
+    return agents, sessions
+
+
+def _linucb(n_arms, n_features, seed):
+    return LinUCB(n_arms=n_arms, n_features=n_features, seed=seed)
+
+
+def _code_linucb(n_arms, n_features, seed):
+    return CodeLinUCB(n_arms=n_arms, n_features=n_features, seed=seed)
+
+
+# --------------------------------------------------------------------- #
+# plan_trace_indexed contract
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("env_factory", [_ml_env, _criteo_env], ids=["multilabel", "criteo"])
+def test_indexed_plan_realizes_the_dense_walk(env_factory):
+    """Same walk as ``plan_trace``: gathered values, generator
+    consumption and post-plan session state all coincide."""
+    horizon = 20  # > samples/impressions per user => reshuffles happen
+    dense_session = env_factory().new_user(11)
+    indexed_session = env_factory().new_user(11)
+    dense = dense_session.plan_trace(horizon)
+    indexed = indexed_session.plan_trace_indexed(horizon)
+
+    assert indexed.horizon == horizon
+    table = indexed.table
+    np.testing.assert_array_equal(dense.contexts, table.contexts[indexed.rows])
+    np.testing.assert_array_equal(dense.action_rewards, table.action_rewards[indexed.rows])
+    actions = np.random.default_rng(5).integers(0, N_ACTIONS, size=horizon)
+    np.testing.assert_array_equal(dense.realize(actions), indexed.realize(actions))
+
+    densified = indexed.densify()
+    assert isinstance(densified, TracePlan)
+    np.testing.assert_array_equal(dense.contexts, densified.contexts)
+    np.testing.assert_array_equal(dense.action_rewards, densified.action_rewards)
+    # logged data: expected aliases realized in both forms
+    assert densified.expected is densified.action_rewards
+    assert table.expected is table.action_rewards
+
+    # generator and walk state: the two plan forms are interchangeable
+    assert (
+        dense_session._rng.bit_generator.state
+        == indexed_session._rng.bit_generator.state
+    )
+    assert dense_session._cursor == indexed_session._cursor
+    np.testing.assert_array_equal(dense_session._order, indexed_session._order)
+    for _ in range(5):
+        np.testing.assert_array_equal(
+            dense_session.next_context(), indexed_session.next_context()
+        )
+
+
+@pytest.mark.parametrize("env_factory", [_ml_env, _criteo_env], ids=["multilabel", "criteo"])
+def test_row_table_is_shared_per_dataset(env_factory):
+    """Every session over one dataset returns the identical table
+    object — the property the fleet shard keys sharing off."""
+    env_a, env_b = env_factory(), env_factory()
+    tables = {
+        id(s.trace_row_table())
+        for s in (env_a.new_user(0), env_a.new_user(1), env_b.new_user(2))
+    }
+    assert len(tables) == 1
+
+
+def test_multilabel_table_aliases_the_dataset():
+    """The multilabel row table allocates nothing: contexts are X,
+    rewards are Y, expected aliases rewards."""
+    table = _ml_env().new_user(0).trace_row_table()
+    assert table.contexts is _ML_DATASET.X
+    assert table.action_rewards is _ML_DATASET.Y
+    assert table.expected is _ML_DATASET.Y
+    assert table.n_rows == _ML_DATASET.n_samples
+    assert table.n_actions == N_ACTIONS
+
+
+def test_criteo_table_matches_reward_rows():
+    """The Criteo table is the per-row one-hot-and-clicked expansion —
+    bit-equal to what ``_reward_rows`` computes on the fly."""
+    session = _criteo_env().new_user(0)
+    table = session.trace_row_table()
+    rows = np.arange(_CRITEO_DATASET.n_samples)
+    np.testing.assert_array_equal(table.action_rewards, session._reward_rows(rows))
+    assert table.contexts is _CRITEO_DATASET.X
+
+
+# --------------------------------------------------------------------- #
+# golden fleet equivalence: indexed vs dense vs sequential
+# --------------------------------------------------------------------- #
+def _combos():
+    yield _linucb, AgentMode.COLD, "one-hot"
+    yield _linucb, AgentMode.WARM_NONPRIVATE, "one-hot"
+    yield _linucb, AgentMode.WARM_PRIVATE, "centroid"
+    yield _code_linucb, AgentMode.WARM_PRIVATE, "one-hot"
+
+
+@pytest.mark.parametrize("env_factory", [_ml_env, _criteo_env], ids=["multilabel", "criteo"])
+@pytest.mark.parametrize(
+    "factory,mode,private_context",
+    list(_combos()),
+    ids=lambda v: getattr(v, "__name__", str(v)).lstrip("_"),
+)
+def test_indexed_fleet_matches_sequential(
+    env_factory, factory, mode, private_context, encoder
+):
+    """The tentpole golden: the shared-row-table engine (insisted via
+    ``plan_form='indexed'``) reproduces the sequential loop bit for bit
+    on both datasets across every mode."""
+    n_agents, n_interactions, seed = 9, 16, 42
+    seq_agents, seq_sessions = make_population(
+        env_factory, factory, mode, n_agents, seed,
+        encoder=encoder, private_context=private_context,
+    )
+    fleet_agents, fleet_sessions = make_population(
+        env_factory, factory, mode, n_agents, seed,
+        encoder=encoder, private_context=private_context,
+    )
+
+    seq_rewards = np.stack(
+        [
+            _simulate_agent(a, s, n_interactions)[0]
+            for a, s in zip(seq_agents, seq_sessions)
+        ]
+    )
+    runner = FleetRunner(fleet_agents, fleet_sessions, plan_form="indexed")
+    result = runner.run(n_interactions)
+    np.testing.assert_array_equal(seq_rewards, result.rewards)
+    for sa, fa in zip(seq_agents, fleet_agents):
+        assert sa.n_interactions == fa.n_interactions
+        assert sa.total_reward == fa.total_reward
+        assert_states_equal(sa.policy, fa.policy, label=f"{mode}/{private_context}")
+    assert_outboxes_equal(seq_agents, fleet_agents)
+
+
+@pytest.mark.parametrize("env_factory", [_ml_env, _criteo_env], ids=["multilabel", "criteo"])
+def test_indexed_and_dense_forms_are_interchangeable(env_factory, encoder):
+    """``plan_form`` never changes results: rewards, actions, policy
+    states and reports agree bit-for-bit between the two trace forms."""
+    n_agents, n_interactions, seed = 10, 14, 7
+
+    def run(plan_form):
+        agents, sessions = make_population(
+            env_factory, _code_linucb, AgentMode.WARM_PRIVATE, n_agents, seed,
+            encoder=encoder,
+        )
+        result = FleetRunner(agents, sessions, plan_form=plan_form).run(n_interactions)
+        return agents, result
+
+    idx_agents, idx_result = run("indexed")
+    dense_agents, dense_result = run("dense")
+    np.testing.assert_array_equal(idx_result.rewards, dense_result.rewards)
+    np.testing.assert_array_equal(idx_result.actions, dense_result.actions)
+    for ia, da in zip(idx_agents, dense_agents):
+        assert_states_equal(ia.policy, da.policy)
+    assert_outboxes_equal(idx_agents, dense_agents)
+
+
+def test_expected_channel_identical_across_forms(encoder):
+    """``track_expected`` gathers through the shared expected table."""
+    n_agents, n_interactions, seed = 8, 12, 3
+
+    def run(plan_form):
+        agents, sessions = make_population(
+            _ml_env, _linucb, AgentMode.COLD, n_agents, seed
+        )
+        return FleetRunner(agents, sessions, plan_form=plan_form).run(
+            n_interactions, track_expected=True
+        )
+
+    idx, dense = run("indexed"), run("dense")
+    assert idx.expected is not None and dense.expected is not None
+    np.testing.assert_array_equal(idx.expected, dense.expected)
+    np.testing.assert_array_equal(idx.expected_mask, dense.expected_mask)
+    np.testing.assert_array_equal(idx.measured(), dense.measured())
+
+
+# --------------------------------------------------------------------- #
+# form selection and fallbacks
+# --------------------------------------------------------------------- #
+def _cold_agents(n, seed):
+    return [
+        LocalAgent(
+            f"a{i}", LinUCB(n_arms=N_ACTIONS, n_features=N_FEATURES, seed=s), mode="cold"
+        )
+        for i, s in enumerate(spawn_seeds(seed, n))
+    ]
+
+
+def test_auto_picks_indexed_for_one_dataset():
+    env = _ml_env()
+    sessions = [env.new_user(s) for s in spawn_seeds(3, 4)]
+    shard = _Shard(np.arange(4), _cold_agents(4, 0), sessions)
+    shard.prepare(6)
+    assert shard.indexed and shard.traced and not shard.stationary
+
+
+def test_mixed_dataset_shard_falls_back_to_dense():
+    """Sessions over *different* datasets share no table, so the shard
+    takes the dense per-agent form — and stays bit-identical."""
+    other = make_multilabel_dataset(90, N_FEATURES, N_ACTIONS, n_clusters=3, seed=5)
+
+    def build(seed):
+        env_a = _ml_env()
+        env_b = MultilabelBanditEnvironment(other, samples_per_user=6, seed=2)
+        agents = _cold_agents(6, seed)
+        sessions = [
+            (env_a if i % 2 else env_b).new_user(s)
+            for i, s in enumerate(spawn_seeds(seed + 50, 6))
+        ]
+        return agents, sessions
+
+    agents, sessions = build(9)
+    shard = _Shard(np.arange(6), agents, sessions)
+    shard.prepare(5)
+    assert shard.traced and not shard.indexed
+
+    with pytest.raises(ConfigError, match="different datasets"):
+        probe = _Shard(np.arange(6), *build(9), plan_form="indexed")
+        probe.prepare(5)
+
+    seq_agents, seq_sessions = build(13)
+    seq_rewards = np.stack(
+        [_simulate_agent(a, s, 8)[0] for a, s in zip(seq_agents, seq_sessions)]
+    )
+    fleet_agents, fleet_sessions = build(13)
+    result = FleetRunner(fleet_agents, fleet_sessions).run(8)
+    np.testing.assert_array_equal(seq_rewards, result.rewards)
+    for sa, fa in zip(seq_agents, fleet_agents):
+        assert_states_equal(sa.policy, fa.policy)
+
+
+def test_plan_form_indexed_insists_on_trace_support():
+    """Stationary (and plan-less) shards cannot take the indexed form;
+    insisting raises instead of silently running another path."""
+    from repro.data.synthetic import SyntheticPreferenceEnvironment
+
+    syn = SyntheticPreferenceEnvironment(
+        n_actions=N_ACTIONS, n_features=N_FEATURES, seed=2
+    )
+    sessions = [syn.new_user(s) for s in spawn_seeds(4, 3)]
+    shard = _Shard(np.arange(3), _cold_agents(3, 1), sessions, plan_form="indexed")
+    with pytest.raises(ConfigError, match="plan_form='indexed'"):
+        shard.prepare(4)
+
+
+def test_plan_form_validated_at_construction():
+    agents, sessions = make_population(_ml_env, _linucb, AgentMode.COLD, 2, 0)
+    with pytest.raises(ConfigError, match="plan_form"):
+        FleetRunner(agents, sessions, plan_form="sparse")
+
+
+# --------------------------------------------------------------------- #
+# encode-once and memory properties
+# --------------------------------------------------------------------- #
+def test_each_dataset_row_encoded_at_most_once(encoder, monkeypatch):
+    """Warm-private indexed shards encode *dataset rows*, not steps:
+    with 9 agents x 30 steps over a 120-row dataset, the encoder sees
+    each visited row once and the scalar ``encode`` never runs."""
+    agents, sessions = make_population(
+        _ml_env, _code_linucb, AgentMode.WARM_PRIVATE, 9, 21, encoder=encoder
+    )
+    seen_rows: list[int] = []
+    real_batch = type(encoder).encode_batch
+
+    def counting_batch(self, X):
+        seen_rows.append(X.shape[0])
+        return real_batch(self, X)
+
+    def no_scalar(self, x):  # pragma: no cover - the assertion is that it never runs
+        raise AssertionError("scalar encode must not run on the indexed path")
+
+    monkeypatch.setattr(type(encoder), "encode_batch", counting_batch)
+    monkeypatch.setattr(type(encoder), "encode", no_scalar)
+    FleetRunner(agents, sessions, plan_form="indexed").run(30)
+    # one batched call (one encoder group, one chunk), bounded by the
+    # dataset size — not by agents x steps = 270
+    assert sum(seen_rows) <= _ML_DATASET.n_samples
+
+
+def test_concurrent_shards_share_one_table():
+    """Two shards over one dataset, stepped with ``n_workers=2`` on a
+    cold table cache: both must receive the identical row table (the
+    build is serialized by a lock), so the insisting ``indexed`` form
+    never spuriously falls back or raises — and parallel equals serial."""
+    from repro.bandits import EpsilonGreedy
+
+    dataset = make_multilabel_dataset(100, N_FEATURES, N_ACTIONS, n_clusters=4, seed=8)
+
+    def build():
+        env = MultilabelBanditEnvironment(dataset, samples_per_user=7, seed=1)
+        agents, sessions = [], []
+        for i, s in enumerate(spawn_seeds(3, 12)):
+            policy_seed, session_seed = s.spawn(2)
+            policy = (
+                LinUCB(n_arms=N_ACTIONS, n_features=N_FEATURES, seed=policy_seed)
+                if i % 2
+                else EpsilonGreedy(
+                    n_arms=N_ACTIONS, n_features=N_FEATURES, seed=policy_seed
+                )
+            )
+            agents.append(LocalAgent(f"a{i}", policy, mode="cold"))
+            sessions.append(env.new_user(session_seed))
+        return agents, sessions
+
+    runner = FleetRunner(*build(), n_workers=2, plan_form="indexed")
+    assert runner.n_shards == 2
+    parallel = runner.run(10)
+    serial = FleetRunner(*build(), plan_form="indexed").run(10)
+    np.testing.assert_array_equal(parallel.rewards, serial.rewards)
+    np.testing.assert_array_equal(parallel.actions, serial.actions)
+
+
+def test_indexed_plan_bytes_shrink_a_fold(encoder):
+    """The ROADMAP claim in miniature: per-agent plan bytes of the
+    indexed form are a small fraction of the dense form's."""
+    n_agents, horizon = 12, 20
+
+    def prepared(plan_form):
+        agents, sessions = make_population(
+            _ml_env, _code_linucb, AgentMode.WARM_PRIVATE, n_agents, 17,
+            encoder=encoder,
+        )
+        shard = _Shard(np.arange(n_agents), agents, sessions, plan_form=plan_form)
+        shard.prepare(horizon)
+        return shard.plan_nbytes()
+
+    dense = prepared("dense")
+    indexed = prepared("indexed")
+    assert dense["shared"] == 0
+    # the per-agent side is exactly the row walk: horizon intp entries
+    assert indexed["per_agent"] == n_agents * horizon * np.intp(0).nbytes
+    # dense carries (T, d) float contexts + (T, A) rewards + (T,) codes
+    # per agent — at least A-fold more than the walk even at this toy
+    # scale (the §5.2-scale ratio is asserted in bench_memory)
+    assert dense["per_agent"] >= N_ACTIONS * indexed["per_agent"]

@@ -414,16 +414,21 @@ def _replay_dataset():
         max_size=8,
     ),
     st.integers(3, 14),
+    st.sampled_from([None, 1, 2, 3, 5, 20]),
+    st.sampled_from(["auto", "dense"]),
 )
 @settings(max_examples=25, deadline=None)
 def test_property_replay_and_synthetic_mixtures_match_sequential(
-    seed, specs, n_interactions
+    seed, specs, n_interactions, plan_chunk_size, plan_form
 ):
     """Arbitrary per-agent mixtures of *planned dataset sessions*
     (multilabel replay, `has_trace_plan`) and synthetic sessions
     (`has_reward_plan`) across policy shards stay bit-identical to the
     sequential reference — including shards that mix both session
-    kinds and therefore fall back to the generic per-round path."""
+    kinds and therefore fall back to the generic per-round path, and
+    under any plan chunk size / traced-plan form (replay shards take
+    the shared-row-table form on ``auto``; ``dense`` forces per-agent
+    tables; chunking slices the horizon arbitrarily)."""
     from repro.bandits import UCB1, EpsilonGreedy, LinUCB
     from repro.core import LocalAgent
     from repro.data.multilabel import MultilabelBanditEnvironment
@@ -455,7 +460,12 @@ def test_property_replay_and_synthetic_mixtures_match_sequential(
             for a, s in zip(seq_agents, seq_sessions)
         ]
     )
-    runner = FleetRunner(fleet_agents, fleet_sessions)
+    runner = FleetRunner(
+        fleet_agents,
+        fleet_sessions,
+        plan_chunk_size=plan_chunk_size,
+        plan_form=plan_form,
+    )
     assert runner.n_shards == len({kind for kind, _ in specs})
     result = runner.run(n_interactions)
 
