@@ -8,8 +8,8 @@ and memory numbers compare against the records committed in the repo.
 The committed baseline is read from git (``git show HEAD:<path>``), so
 the working-tree files can hold the freshly regenerated records.
 Headline metrics are any numeric leaves whose key names a ratio the
-repo tracks (``speedup``, ``reduction...``, ``interactions_per_second``);
-nested records are flattened with dotted paths.
+repo tracks (``speedup``, ``reduction...``, ``interactions_per_second``,
+``...bytes_per_agent``); nested records are flattened with dotted paths.
 
 Usage::
 
@@ -29,7 +29,7 @@ RESULTS_DIR = Path(__file__).parent / "results"
 REPO_ROOT = Path(__file__).parent.parent
 
 #: numeric leaf keys worth surfacing (exact match or prefix)
-_METRIC_KEYS = ("speedup", "reduction", "interactions_per_second")
+_METRIC_KEYS = ("speedup", "reduction", "interactions_per_second", "bytes_per_agent")
 
 
 def _is_metric(key: str) -> bool:

@@ -52,9 +52,16 @@ def record_json():
     figure tables.
     """
 
-    def _record(name: str, payload: dict) -> Path:
+    def _record(name: str, payload: dict, *, merge: bool = False) -> Path:
         _RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         path = _RESULTS_DIR / f"BENCH_{name}.json"
+        if merge and path.exists():
+            # top-level merge so independent bench tests can contribute
+            # sections of one record (e.g. BENCH_memory.json's
+            # ``fast_tier``) without clobbering each other
+            existing = json.loads(path.read_text(encoding="utf-8"))
+            existing.update(payload)
+            payload = existing
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
         _RESULTS.append((f"BENCH_{name}", json.dumps(payload, indent=2, sort_keys=True)))
         return path

@@ -11,7 +11,13 @@ from .epsilon_greedy import EpsilonGreedy
 from .hybrid import HybridLinUCB
 from .linucb import LinUCB
 from .random_policy import RandomPolicy
-from .state import POLICY_REGISTRY, clone_policy, policy_from_state, register_policy
+from .state import (
+    POLICY_REGISTRY,
+    clone_policy,
+    policy_from_state,
+    policy_state_nbytes,
+    register_policy,
+)
 from .thompson import LinearThompsonSampling
 from .ucb1 import UCB1
 
@@ -29,4 +35,5 @@ __all__ = [
     "register_policy",
     "clone_policy",
     "POLICY_REGISTRY",
+    "policy_state_nbytes",
 ]

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping
 
+import numpy as np
+
 from ..utils.exceptions import ValidationError
 from .base import BanditPolicy
 from .code_linucb import CodeLinUCB
@@ -20,7 +22,27 @@ from .random_policy import RandomPolicy
 from .thompson import LinearThompsonSampling
 from .ucb1 import UCB1
 
-__all__ = ["policy_from_state", "register_policy", "POLICY_REGISTRY", "clone_policy"]
+__all__ = [
+    "policy_from_state",
+    "register_policy",
+    "POLICY_REGISTRY",
+    "clone_policy",
+    "policy_state_nbytes",
+]
+
+
+def policy_state_nbytes(policy: BanditPolicy) -> int:
+    """Bytes held by a policy's learned-state arrays.
+
+    Sums the ``nbytes`` of every ndarray leaf in
+    :meth:`BanditPolicy.get_state` — the table footprint the memory
+    bench compares across exactness tiers (a ``fast``-tier writeback
+    leaves float32 tables, halving this).  Scalars, the ``kind`` tag,
+    and generator state are not counted.
+    """
+    return sum(
+        v.nbytes for v in policy.get_state().values() if isinstance(v, np.ndarray)
+    )
 
 
 def _build_linucb(state: Mapping[str, Any], seed) -> BanditPolicy:

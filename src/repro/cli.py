@@ -122,6 +122,16 @@ def build_parser() -> argparse.ArgumentParser:
             "bounding plan memory at large population scale (results are "
             "bit-identical for every chunk size; default: unchunked)",
         )
+        p.add_argument(
+            "--exactness",
+            choices=list(runner.EXACTNESS_TIERS),
+            default="bit",
+            help="fleet contract tier: 'bit' (default) is bit-identical to "
+            "the sequential reference; 'fast' holds memory-lean float32 "
+            "sparse policy state and streams curves instead of result "
+            "matrices — statistically equivalent output at a fraction of "
+            "the memory (the million-agent regime)",
+        )
     return parser
 
 
@@ -131,6 +141,7 @@ def main(argv: list[str] | None = None) -> int:
     runner.set_default_engine(args.engine)
     runner.set_default_n_workers(args.workers)
     runner.set_default_plan_chunk_size(args.plan_chunk_size)
+    runner.set_default_exactness(args.exactness)
     renderer, _ = _COMMANDS[args.command]
     text = renderer(args)
     if args.out:

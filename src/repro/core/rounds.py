@@ -86,6 +86,13 @@ class DeploymentLoop:
         chunking — a report buffered mid-chunk is collected with the
         identical payload (the sim contract) — so the per-round stats
         never depend on the chunk size.
+    exactness:
+        Fleet contract tier per round, one of
+        :data:`~repro.sim.EXACTNESS_TIERS` (default ``"bit"`` =
+        bit-identical to the sequential loop).  ``"fast"`` runs
+        memory-lean policy state; round statistics become
+        statistically, not bitwise, equivalent.  Sequential rounds
+        ignore the tier.
     """
 
     config: P2BConfig
@@ -96,6 +103,7 @@ class DeploymentLoop:
     engine: str = "auto"
     n_workers: int = 1
     plan_chunk_size: int | None = None
+    exactness: str = "bit"
 
     system: P2BSystem = field(init=False)
     rounds: list[RoundStats] = field(init=False, default_factory=list)
@@ -109,6 +117,12 @@ class DeploymentLoop:
         if self.engine not in ("auto", "sequential", "fleet"):
             raise ConfigError(
                 f"engine must be 'auto', 'sequential' or 'fleet', got {self.engine!r}"
+            )
+        from ..sim import EXACTNESS_TIERS
+
+        if self.exactness not in EXACTNESS_TIERS:
+            raise ConfigError(
+                f"exactness must be one of {EXACTNESS_TIERS}, got {self.exactness!r}"
             )
         sys_seed, self._user_seed_root = spawn_seeds(self.seed, 2)
         self.system = P2BSystem(self.config, mode=AgentMode.WARM_PRIVATE, seed=sys_seed)
@@ -174,6 +188,7 @@ class DeploymentLoop:
                     sessions,
                     n_workers=self.n_workers,
                     plan_chunk_size=self.plan_chunk_size,
+                    exactness=self.exactness,
                 )
                 .run(self.interactions_per_round)
                 .rewards

@@ -3,13 +3,122 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Mapping, Protocol, runtime_checkable
 
 import numpy as np
 
 from ..utils.tables import format_kv, format_series, format_table
 
-__all__ = ["ExperimentResult", "SettingComparison", "FigureResult"]
+__all__ = [
+    "ExperimentResult",
+    "SettingComparison",
+    "FigureResult",
+    "ResultSink",
+    "CurveSink",
+    "NullSink",
+]
+
+
+@runtime_checkable
+class ResultSink(Protocol):
+    """Streaming consumer of fleet result columns.
+
+    Passed to :meth:`repro.sim.fleet.FleetRunner.run` (``sink=``), a
+    sink receives each round's outcomes as they are produced instead
+    of the engine materializing ``(n_agents, T)`` matrices — the
+    memory saving that makes curve-only million-agent runs fit in RAM.
+
+    Contract: ``begin`` is called once before any column; ``emit`` may
+    deliver *partial* rows (one call per shard per round) in any round
+    order across shards, and the arrays it receives are copies the
+    sink may keep or reduce freely; ``finish`` is called exactly once
+    after the last column (also for empty populations, with
+    ``begin(0, T)``).  ``emit`` runs under the engine's sink lock —
+    implementations need no locking of their own but must stay cheap.
+    """
+
+    def begin(self, n_agents: int, n_interactions: int) -> None: ...
+
+    def emit(
+        self,
+        t: int,
+        rows: np.ndarray,
+        rewards: np.ndarray,
+        expected: np.ndarray | None,
+        expected_ok: np.ndarray,
+    ) -> None: ...
+
+    def finish(self) -> None: ...
+
+
+class CurveSink:
+    """Accumulate per-round reward sums — the curve without the matrices.
+
+    Reduces every emitted column into two ``(T,)`` accumulators:
+    realized rewards and the *measured* channel (expected reward where
+    the session provides ground truth, realized otherwise — the same
+    per-agent fallback :meth:`~repro.sim.fleet.FleetResult.measured`
+    applies).  The resulting :attr:`curve` / :attr:`cumulative_curve` /
+    :attr:`mean_reward` match what ``run_setting`` derives from the
+    full matrices up to float summation order.
+    """
+
+    def __init__(self) -> None:
+        self.n_agents = 0
+        self.n_interactions = 0
+        self._realized: np.ndarray | None = None
+        self._measured: np.ndarray | None = None
+
+    def begin(self, n_agents: int, n_interactions: int) -> None:
+        self.n_agents = n_agents
+        self.n_interactions = n_interactions
+        self._realized = np.zeros(n_interactions, dtype=np.float64)
+        self._measured = np.zeros(n_interactions, dtype=np.float64)
+
+    def emit(self, t, rows, rewards, expected, expected_ok) -> None:
+        self._realized[t] += rewards.sum()
+        if expected is None:
+            self._measured[t] += rewards.sum()
+        else:
+            self._measured[t] += np.where(expected_ok, expected, rewards).sum()
+
+    def finish(self) -> None:
+        pass
+
+    @property
+    def curve(self) -> np.ndarray:
+        """Per-interaction mean measured reward across agents."""
+        return self._measured / max(self.n_agents, 1)
+
+    @property
+    def cumulative_curve(self) -> np.ndarray:
+        """Running mean of :attr:`curve` (the paper's plotted series)."""
+        return np.cumsum(self.curve) / np.arange(1, self.n_interactions + 1)
+
+    @property
+    def mean_reward(self) -> float:
+        """Mean measured reward over all (agent, interaction) pairs."""
+        if self.n_agents == 0 or self.n_interactions == 0:
+            return 0.0
+        return float(self.curve.mean())
+
+
+class NullSink:
+    """Discard every column — run the fleet for its side effects only.
+
+    For phases that need learning, participation, and outboxes but
+    never read the result matrices (e.g. the contributor phase of
+    ``run_setting``), this drops the O(n x T) result memory outright.
+    """
+
+    def begin(self, n_agents: int, n_interactions: int) -> None:
+        pass
+
+    def emit(self, t, rows, rewards, expected, expected_ok) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
 
 
 @dataclass(frozen=True)

@@ -27,10 +27,10 @@ import numpy as np
 from ..core.config import AgentMode, P2BConfig
 from ..core.system import P2BSystem
 from ..data.environment import Environment
-from ..sim import FleetRunner, fleet_supported
+from ..sim import EXACTNESS_TIERS, FleetRunner, fleet_supported
 from ..utils.rng import spawn_seeds
 from ..utils.validation import check_positive_int
-from .results import ExperimentResult, SettingComparison
+from .results import CurveSink, ExperimentResult, NullSink, SettingComparison
 
 __all__ = [
     "run_setting",
@@ -41,7 +41,10 @@ __all__ = [
     "get_default_n_workers",
     "set_default_plan_chunk_size",
     "get_default_plan_chunk_size",
+    "set_default_exactness",
+    "get_default_exactness",
     "ENGINES",
+    "EXACTNESS_TIERS",
     "UNSET",
 ]
 
@@ -137,6 +140,43 @@ def _resolve_plan_chunk_size(plan_chunk_size) -> int | None:
     return plan_chunk_size
 
 
+_default_exactness = "bit"
+
+
+def set_default_exactness(exactness: str) -> None:
+    """Set the exactness tier used when callers pass ``exactness=None``.
+
+    Same rationale as :func:`set_default_engine`: entry points (the
+    CLI's ``--exactness``) sit far above :func:`run_setting`.
+    ``"bit"`` (the initial default) keeps every engine bit-identical
+    to the sequential reference; ``"fast"`` trades bit-identity for
+    memory on fleet runs (see :data:`repro.sim.EXACTNESS_TIERS`).
+    """
+    global _default_exactness
+    _default_exactness = _check_exactness(exactness)
+
+
+def get_default_exactness() -> str:
+    """The exactness tier used when ``exactness=None`` (default: ``"bit"``)."""
+    return _default_exactness
+
+
+def _check_exactness(exactness: str) -> str:
+    if exactness not in EXACTNESS_TIERS:
+        from ..utils.exceptions import ConfigError
+
+        raise ConfigError(
+            f"exactness must be one of {EXACTNESS_TIERS}, got {exactness!r}"
+        )
+    return exactness
+
+
+def _resolve_exactness(exactness: str | None) -> str:
+    if exactness is None:
+        return _default_exactness
+    return _check_exactness(exactness)
+
+
 def _check_engine(engine: str) -> str:
     if engine not in ENGINES:
         from ..utils.exceptions import ConfigError
@@ -211,6 +251,7 @@ def run_setting(
     engine: str | None = None,
     n_workers: int | None = None,
     plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
+    exactness: str | None = None,
 ) -> ExperimentResult:
     """Simulate one setting end-to-end (see module docstring).
 
@@ -259,6 +300,15 @@ def run_setting(
         in horizon slices of this many steps, bounding plan memory;
         ``None`` materializes whole horizons.  Results are identical
         for every chunk size (the :mod:`repro.sim` contract).
+    exactness:
+        Contract tier for fleet runs, one of
+        :data:`~repro.sim.EXACTNESS_TIERS`, or ``None`` for the process
+        default (see :func:`set_default_exactness`).  ``"bit"`` (the
+        initial default) is bit-identical to the sequential loop;
+        ``"fast"`` holds memory-lean policy state and streams curve
+        sums instead of materializing result matrices — statistically
+        equivalent curves, not bitwise (sequential-engine runs ignore
+        the tier; they are the bit reference by definition).
     """
     if measure not in ("realized", "expected"):
         from ..utils.exceptions import ConfigError
@@ -276,6 +326,7 @@ def run_setting(
     sys_seed, contrib_users_seed, eval_users_seed = spawn_seeds(seed, 3)
     workers = _resolve_n_workers(n_workers)
     chunk = _resolve_plan_chunk_size(plan_chunk_size)
+    tier = _resolve_exactness(exactness)
     system = P2BSystem(config, mode=mode, encoder=encoder, seed=sys_seed)
 
     n_reports = n_released = 0
@@ -291,9 +342,16 @@ def run_setting(
             env.new_user(s) for s in spawn_seeds(contrib_users_seed, n_contributors)
         ]
         if _resolve_engine(engine, contributors):
+            # the contributor phase never reads its result matrices, so
+            # the fast tier streams them into a discarding sink — zero
+            # O(n x T) result memory on the million-contributor runs
             FleetRunner(
-                contributors, sessions, n_workers=workers, plan_chunk_size=chunk
-            ).run(t_contrib)
+                contributors,
+                sessions,
+                n_workers=workers,
+                plan_chunk_size=chunk,
+                exactness=tier,
+            ).run(t_contrib, sink=NullSink() if tier == "fast" else None)
         else:
             for agent, session in zip(contributors, sessions):
                 _simulate_agent(agent, session, t_contrib)
@@ -314,12 +372,26 @@ def run_setting(
         system.new_warm_agent() if warm else system.new_agent()
         for _ in range(n_eval_agents)
     ]
+    curve = None
     if _resolve_engine(engine, eval_agents):
         eval_sessions = [env.new_user(s) for s in eval_seeds]
-        result = FleetRunner(
-            eval_agents, eval_sessions, n_workers=workers, plan_chunk_size=chunk
-        ).run(eval_interactions, track_expected=want_expected)
-        reward_matrix = result.measured()
+        fleet = FleetRunner(
+            eval_agents,
+            eval_sessions,
+            n_workers=workers,
+            plan_chunk_size=chunk,
+            exactness=tier,
+        )
+        if tier == "fast":
+            # curve-only reduction: per-round sums stream into the sink
+            # and the (n, T) matrices are never materialized
+            sink = CurveSink()
+            fleet.run(eval_interactions, track_expected=want_expected, sink=sink)
+            curve = sink.curve
+            mean_reward = sink.mean_reward
+        else:
+            result = fleet.run(eval_interactions, track_expected=want_expected)
+            reward_matrix = result.measured()
     else:
         reward_matrix = np.empty((n_eval_agents, eval_interactions), dtype=np.float64)
         for i, user_seed in enumerate(eval_seeds):
@@ -332,14 +404,16 @@ def run_setting(
                 expected if (want_expected and expected is not None) else realized
             )
 
-    curve = reward_matrix.mean(axis=0)
+    if curve is None:
+        curve = reward_matrix.mean(axis=0)
+        mean_reward = float(reward_matrix.mean())
     cumulative = np.cumsum(curve) / np.arange(1, eval_interactions + 1)
     privacy = None
     if mode == AgentMode.WARM_PRIVATE:
         privacy = system.privacy_report().as_dict()
     return ExperimentResult(
         mode=mode,
-        mean_reward=float(reward_matrix.mean()),
+        mean_reward=mean_reward,
         curve=curve,
         cumulative_curve=cumulative,
         n_contributors=n_contributors if mode != AgentMode.COLD else 0,
@@ -366,6 +440,7 @@ def compare_settings(
     engine: str | None = None,
     n_workers: int | None = None,
     plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
+    exactness: str | None = None,
 ) -> SettingComparison:
     """Run the three §5 settings on identically seeded workloads.
 
@@ -390,5 +465,6 @@ def compare_settings(
             engine=engine,
             n_workers=n_workers,
             plan_chunk_size=plan_chunk_size,
+            exactness=exactness,
         )
     return SettingComparison(results=results)

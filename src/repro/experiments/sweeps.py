@@ -57,6 +57,7 @@ def population_sweep(
     engine: str | None = None,
     n_workers: int | None = None,
     plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
+    exactness: str | None = None,
 ) -> FigureResult:
     """Fig. 4's x-axis: grow the contributing population ``U``."""
     result = FigureResult(
@@ -87,6 +88,7 @@ def population_sweep(
             engine=engine,
             n_workers=n_workers,
             plan_chunk_size=plan_chunk_size,
+            exactness=exactness,
         )
         result.add_point(
             int(u),
@@ -112,6 +114,7 @@ def dimension_sweep(
     engine: str | None = None,
     n_workers: int | None = None,
     plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
+    exactness: str | None = None,
 ) -> FigureResult:
     """Fig. 5's x-axis: grow the context dimension ``d``.
 
@@ -145,6 +148,7 @@ def dimension_sweep(
             engine=engine,
             n_workers=n_workers,
             plan_chunk_size=plan_chunk_size,
+            exactness=exactness,
         )
         result.add_point(
             int(d),
@@ -168,6 +172,7 @@ def codebook_sweep(
     engine: str | None = None,
     n_workers: int | None = None,
     plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
+    exactness: str | None = None,
 ) -> FigureResult:
     """Ablation axis: codebook size ``k`` (Fig. 7 compares 2^5 vs 2^7)."""
     from dataclasses import replace
@@ -192,6 +197,7 @@ def codebook_sweep(
             engine=engine,
             n_workers=n_workers,
             plan_chunk_size=plan_chunk_size,
+            exactness=exactness,
         )
         result.add_point(
             int(k),
@@ -215,6 +221,7 @@ def participation_sweep(
     engine: str | None = None,
     n_workers: int | None = None,
     plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
+    exactness: str | None = None,
 ) -> FigureResult:
     """Ablation axis: participation probability ``p`` — the privacy lever.
 
@@ -243,6 +250,7 @@ def participation_sweep(
             engine=engine,
             n_workers=n_workers,
             plan_chunk_size=plan_chunk_size,
+            exactness=exactness,
         )
         result.add_point(
             float(p),

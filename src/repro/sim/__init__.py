@@ -92,6 +92,26 @@ concurrent task — on a thread pool, or in worker processes with
 shard order is unobservable, so parallel results are identical to
 serial ones.
 
+Exactness tiers
+---------------
+
+Bit-identity is the default **contract tier** (``exactness="bit"``),
+not the only one.  ``FleetRunner(exactness="fast")`` opts into a
+memory-lean tier for the million-agent regime: policy kinds with a
+fast stacker (currently ``code_linucb`` via
+:class:`~repro.sim.stacked.StackedCodeLinUCBFast`) hold float32
+sparse count/sum state — touched ``(agent, arm, code)`` cells only,
+densifying per shard when occupancy crosses a threshold — and
+curve-only callers can stream per-round sums through a
+:class:`~repro.experiments.results.ResultSink` instead of
+materializing ``(n_agents, T)`` result matrices.  The fast tier's
+guarantee is *statistical* equivalence (same math on the same touched
+cells up to float32 rounding, which can flip near-exact tie-breaks):
+``tests/sim/test_exactness.py`` pins fast-vs-bit curves within
+tolerance bands across seeds.  Kinds without a fast stacker run their
+bit stacker unchanged, so ``"fast"`` degenerates to ``"bit"`` —
+bitwise — for them.
+
 When any condition fails — a policy without fleet support
 (``RandomPolicy``, ``HybridLinUCB``) — ``engine="auto"`` callers fall
 back to the sequential loop; ``engine="fleet"`` raises.
@@ -104,9 +124,18 @@ populations (``test_sharding.py``), dataset-replay populations
 random seeds and random synthetic/replay population mixtures.
 """
 
-from .fleet import FleetResult, FleetRunner, fleet_supported, shard_indices, shard_key
+from .fleet import (
+    FleetResult,
+    FleetRunner,
+    aggregate_plan_nbytes,
+    fleet_supported,
+    shard_indices,
+    shard_key,
+)
 from .stacked import (
+    EXACTNESS_TIERS,
     StackedCodeLinUCB,
+    StackedCodeLinUCBFast,
     StackedEpsilonGreedy,
     StackedLinUCB,
     StackedPolicies,
@@ -122,11 +151,14 @@ __all__ = [
     "fleet_supported",
     "shard_key",
     "shard_indices",
+    "aggregate_plan_nbytes",
+    "EXACTNESS_TIERS",
     "StackedPolicies",
     "StackedLinUCB",
     "StackedEpsilonGreedy",
     "StackedThompson",
     "StackedCodeLinUCB",
+    "StackedCodeLinUCBFast",
     "StackedUCB1",
     "stack_policies",
     "policies_stackable",

@@ -130,7 +130,7 @@ from ..data.environment import (
 )
 from ..utils.exceptions import ConfigError
 from ..utils.validation import check_positive_int
-from .stacked import stack_policies
+from .stacked import EXACTNESS_TIERS, stack_policies
 
 __all__ = [
     "FleetRunner",
@@ -138,8 +138,10 @@ __all__ = [
     "fleet_supported",
     "shard_key",
     "shard_indices",
+    "aggregate_plan_nbytes",
     "WORKER_BACKENDS",
     "PLAN_FORMS",
+    "EXACTNESS_TIERS",
 ]
 
 #: recognized shard-parallelism backends: ``thread`` steps shards of
@@ -255,6 +257,8 @@ class _Shard:
         *,
         plan_chunk_size: int | None = None,
         plan_form: str = "auto",
+        exactness: str = "bit",
+        result_window: int | None = None,
     ) -> None:
         self.indices = indices
         self.agents = agents
@@ -262,10 +266,14 @@ class _Shard:
         self.n = len(agents)
         self.mode = agents[0].mode
         self.private_context = agents[0].private_context
-        self.stacked = stack_policies([a.policy for a in agents])
+        self.stacked = stack_policies([a.policy for a in agents], exactness=exactness)
         self._rows = np.arange(self.n)
         self._plan_chunk_size = plan_chunk_size
         self._plan_form = plan_form
+        # when streaming into a ResultSink the result matrices are a
+        # ring of this many columns (covering every lookback the
+        # reporting pipeline performs); None = full-horizon matrices
+        self._colmod = result_window
         # which plan fast path this shard runs on (None = generic loop)
         self._plan_path: str | None = None
         self._track_expected = False
@@ -616,7 +624,16 @@ class _Shard:
         """This shard runs on the shared-row-table trace form."""
         return self._plan_path == "indexed"
 
-    def plan_nbytes(self) -> dict[str, int]:
+    def _col(self, t):
+        """Result-matrix column for global step ``t`` (scalar or array).
+
+        Identity without a result ring; ``t % result_window`` with one.
+        Only result-matrix reads/writes map through this — plan arrays
+        always index by global step.
+        """
+        return t if self._colmod is None else t % self._colmod
+
+    def plan_nbytes(self, *, seen: set[int] | None = None) -> dict[str, int]:
         """Bytes currently held by this shard's plan materialization.
 
         ``per_agent`` counts arrays scaling with ``n_agents x steps``
@@ -626,6 +643,12 @@ class _Shard:
         code/centroid tables).  The memory bench
         (``benchmarks/bench_memory.py``) records both; the
         shared-row-table claim is their ratio.
+
+        ``seen`` (a set of ``id(row_table)``) dedupes the shared row
+        table across shards that gather through the *same* object —
+        without it a multi-shard sum attributes those bytes once per
+        shard.  :func:`aggregate_plan_nbytes` threads one ``seen``
+        through a whole shard list.
         """
         arrays = [
             self._plan_noise,
@@ -643,7 +666,12 @@ class _Shard:
             if self._plan_acting is not self._X:  # aliased when acting on raw contexts
                 arrays.append(self._plan_acting)
         per_agent = sum(a.nbytes for a in arrays if a is not None)
-        shared = self._row_table.nbytes() if self._row_table is not None else 0
+        shared = 0
+        if self._row_table is not None:
+            if seen is None or id(self._row_table) not in seen:
+                shared = self._row_table.nbytes()
+                if seen is not None:
+                    seen.add(id(self._row_table))
         shared += sum(
             a.nbytes
             for a in (self._row_codes, self._row_reps, self._row_encoded)
@@ -671,6 +699,7 @@ class _Shard:
             self._roll_history()
             self._materialize_chunk(t)
         s = t - self._chunk_start  # chunk-local step into the plan arrays
+        tc = self._col(t)  # result-matrix column (ring when streaming)
         rows_t = None
         if self.stationary:
             acting = self._plan_acting
@@ -687,7 +716,7 @@ class _Shard:
             acting = self._refresh_acting(X)
 
         acts = self.stacked.select(acting)
-        actions[self.indices, t] = acts
+        actions[self.indices, tc] = acts
 
         if self.stationary:
             # StationaryRewardPlan.realize, vectorized across agents for
@@ -695,34 +724,34 @@ class _Shard:
             # as session.reward (a test pins the plan to the sequential
             # reward stream)
             r = np.clip(self._plan_means[self._rows, acts] + self._plan_noise[:, s], 0.0, 1.0)
-            rewards[self.indices, t] = r
+            rewards[self.indices, tc] = r
             if expected is not None:
-                expected[self.indices, t] = self._plan_means[self._rows, acts]
+                expected[self.indices, tc] = self._plan_means[self._rows, acts]
         elif self.indexed:
             # IndexedTracePlan.realize, vectorized across agents for one
             # step: a gather through the *shared* per-dataset reward
             # table — replay rewards are deterministic
             r = self._row_table.action_rewards[rows_t, acts].astype(np.float64)
-            rewards[self.indices, t] = r
+            rewards[self.indices, tc] = r
             if expected is not None:
                 if t == 0:
                     expected_ok[self.indices] &= self._trace_expected_ok
                 if self._trace_expected_is_rewards:
-                    expected[self.indices, t] = r
+                    expected[self.indices, tc] = r
                 elif self._row_table.expected is not None:
-                    expected[self.indices, t] = self._row_table.expected[rows_t, acts]
+                    expected[self.indices, tc] = self._row_table.expected[rows_t, acts]
         elif self.traced:
             # TracePlan.realize, vectorized across agents for one step:
             # a pure table gather — replay rewards are deterministic
             r = self._trace_rewards[self._rows, s, acts].astype(np.float64)
-            rewards[self.indices, t] = r
+            rewards[self.indices, tc] = r
             if expected is not None:
                 if t == 0:
                     expected_ok[self.indices] &= self._trace_expected_ok
                 if self._trace_expected_is_rewards:
-                    expected[self.indices, t] = r
+                    expected[self.indices, tc] = r
                 elif self._trace_expected is not None:
-                    expected[self.indices, t] = self._trace_expected[self._rows, s, acts]
+                    expected[self.indices, tc] = self._trace_expected[self._rows, s, acts]
         else:
             r = np.empty(self.n, dtype=np.float64)
             for j in range(self.n):
@@ -730,10 +759,10 @@ class _Shard:
                 g = self.indices[j]
                 if expected is not None and expected_ok[g]:
                     try:
-                        expected[g, t] = self.sessions[j].expected_rewards()[acts[j]]
+                        expected[g, tc] = self.sessions[j].expected_rewards()[acts[j]]
                     except NotImplementedError:
                         expected_ok[g] = False
-            rewards[self.indices, t] = r
+            rewards[self.indices, tc] = r
 
         self.stacked.update(acting, acts, r)
 
@@ -783,8 +812,9 @@ class _Shard:
         fresh = sample_t >= 0
         f_rows, f_t = rows[fresh], sample_t[fresh]
         g_rows = self.indices[f_rows]
-        acts_s[fresh] = actions[g_rows, f_t]
-        rew_s[fresh] = rewards[g_rows, f_t]
+        f_c = self._col(f_t)  # ring columns still hold steps >= t - window + 1
+        acts_s[fresh] = actions[g_rows, f_c]
+        rew_s[fresh] = rewards[g_rows, f_c]
         if self.mode == AgentMode.WARM_PRIVATE:
             payload = np.empty(rows.size, dtype=np.intp)
             payload[fresh] = self._codes_at(f_rows, f_t)
@@ -836,8 +866,8 @@ class _Shard:
                     buf.append(
                         (
                             np.asarray(ctx_rows[i], dtype=np.float64).copy(),
-                            int(actions[g, t]),
-                            float(rewards[g, t]),
+                            int(actions[g, self._col(t)]),
+                            float(rewards[g, self._col(t)]),
                         )
                     )
             part._buffer = buf
@@ -984,6 +1014,24 @@ class _Shard:
         return self.agents[0].encoder.one_hot_batch(self._cached_code)  # type: ignore[union-attr]
 
 
+def aggregate_plan_nbytes(shards: Sequence[_Shard]) -> dict[str, int]:
+    """Sum :meth:`_Shard.plan_nbytes` over ``shards`` without double counting.
+
+    Shards over one dataset gather through the *same*
+    :class:`~repro.data.environment.TraceRowTable` object (PR 5 aliases
+    them deliberately), so a naive per-shard sum attributes the shared
+    table's bytes once per shard.  One ``seen`` set threaded through
+    every shard counts each table exactly once — the honest multi-shard
+    totals ``bench_memory.py`` records.
+    """
+    totals = {"per_agent": 0, "shared": 0, "total": 0}
+    seen: set[int] = set()
+    for shard in shards:
+        for key, value in shard.plan_nbytes(seen=seen).items():
+            totals[key] += value
+    return totals
+
+
 def _run_shard_remote(payload: bytes) -> bytes:
     """Worker-process body for ``worker_backend="process"``.
 
@@ -1000,6 +1048,7 @@ def _run_shard_remote(payload: bytes) -> bytes:
         track_expected,
         plan_chunk_size,
         plan_form,
+        exactness,
     ) = pickle.loads(payload)
     n = len(agents)
     shard = _Shard(
@@ -1008,6 +1057,7 @@ def _run_shard_remote(payload: bytes) -> bytes:
         sessions,
         plan_chunk_size=plan_chunk_size,
         plan_form=plan_form,
+        exactness=exactness,
     )
     shard.prepare(n_interactions, track_expected=track_expected)
     rewards = np.empty((n, n_interactions), dtype=np.float64)
@@ -1066,6 +1116,16 @@ class FleetRunner:
         :class:`~repro.data.environment.TraceRowTable`, per-agent
         tables otherwise).  All forms are bit-identical; the knob
         exists so benches and tests can pin a form.
+    exactness:
+        Contract tier, one of :data:`EXACTNESS_TIERS` (default
+        ``"bit"``: every result bit-identical to the sequential loop,
+        today's behavior).  ``"fast"`` trades bit-identity for memory:
+        policy kinds with a fast stacker (currently ``code_linucb``)
+        hold float32 sparse state — trajectories are *statistically*
+        equivalent to the bit tier (``tests/sim/test_exactness.py``
+        pins tolerance bands), not bitwise; kinds without one run
+        their bit stacker unchanged, so ``"fast"`` degenerates to
+        ``"bit"`` for them.
     """
 
     def __init__(
@@ -1077,6 +1137,7 @@ class FleetRunner:
         worker_backend: str = "thread",
         plan_chunk_size: int | None = None,
         plan_form: str = "auto",
+        exactness: str = "bit",
     ) -> None:
         self.agents = list(agents)
         self.sessions = list(sessions)
@@ -1092,15 +1153,19 @@ class FleetRunner:
         if plan_form not in PLAN_FORMS:
             raise ConfigError(f"plan_form must be one of {PLAN_FORMS}, got {plan_form!r}")
         self.plan_form = plan_form
-        if not self.agents:
-            raise ConfigError("FleetRunner needs at least one agent")
+        if exactness not in EXACTNESS_TIERS:
+            raise ConfigError(
+                f"exactness must be one of {EXACTNESS_TIERS}, got {exactness!r}"
+            )
+        self.exactness = exactness
         if len(self.agents) != len(self.sessions):
             raise ConfigError(
                 f"agents ({len(self.agents)}) and sessions ({len(self.sessions)}) "
                 "must align one-to-one"
             )
         # partition eagerly so unsupported populations fail at
-        # construction, not mid-run
+        # construction, not mid-run; an empty population partitions
+        # into zero shards and runs to an empty result
         self._shard_index_groups = shard_indices(self.agents)
 
     @property
@@ -1109,24 +1174,93 @@ class FleetRunner:
         return len(self._shard_index_groups)
 
     # ------------------------------------------------------------------ #
-    def run(self, n_interactions: int, *, track_expected: bool = False) -> FleetResult:
+    def _result_window(self, n_interactions: int) -> int:
+        """Ring width for streaming runs: every lookback fits.
+
+        The columnar reporting pipeline reads at most ``window - 1``
+        steps behind the current interaction (report samples and
+        ``finish``'s buffer rebuild), so a ring of ``max(window)``
+        columns — plus one for slack, capped at the horizon — retains
+        every step a later read can touch.
+        """
+        windows = [
+            int(a.participation.window)
+            for a in self.agents
+            if a.participation is not None
+        ]
+        return min(max(windows, default=1) + 1, n_interactions)
+
+    def _empty_result(
+        self, n_interactions: int, *, track_expected: bool, sink
+    ) -> FleetResult | None:
+        """The empty-population result, matching the sequential engine.
+
+        Zero agents (or zero shards) must not reach a worker pool —
+        ``max_workers=0`` raises ``ValueError`` — and produce the same
+        ``(0, T)`` shapes the sequential loop's ``np.stack`` of zero
+        rows would.
+        """
+        if sink is not None:
+            sink.begin(0, n_interactions)
+            sink.finish()
+            return None
+        return FleetResult(
+            rewards=np.empty((0, n_interactions), dtype=np.float64),
+            actions=np.empty((0, n_interactions), dtype=np.intp),
+            expected=(
+                np.empty((0, n_interactions), dtype=np.float64)
+                if track_expected
+                else None
+            ),
+            expected_mask=np.zeros(0, dtype=bool),
+        )
+
+    def run(
+        self,
+        n_interactions: int,
+        *,
+        track_expected: bool = False,
+        sink=None,
+    ) -> FleetResult | None:
         """Run ``n_interactions`` rounds over the whole population.
 
         Side effects match the sequential loop exactly: policies learn
         (state is written back into each agent's policy object),
         participation budgets advance, and outboxes fill with the same
         reports carrying the same metadata.
+
+        ``sink`` (a :class:`~repro.experiments.results.ResultSink`)
+        streams per-round result columns instead of materializing the
+        ``(n_agents, T)`` matrices — the engine then holds only a small
+        column ring (participation's lookback window) and returns
+        ``None``; curve-only callers drop the O(n x T) result memory
+        entirely.  Emitted values are exactly the matrix entries;
+        columns arrive in any order across shards (each carries its
+        shard's row indices).  One caveat: a sink receives each
+        agent's ``expected_ok`` flag as of the emitting round — for
+        every built-in session the flag is fixed before round 0, but a
+        custom session whose ``expected_rewards`` starts raising
+        mid-run would be masked only from that round on, where the
+        matrix path retroactively masks the whole row.
         """
         n_interactions = check_positive_int(n_interactions, name="n_interactions")
         n = len(self.agents)
+
+        if n == 0 or not self._shard_index_groups:
+            return self._empty_result(
+                n_interactions, track_expected=track_expected, sink=sink
+            )
 
         # an explicit process request is always honored — regardless of
         # shard count or n_workers — so the documented process-backend
         # semantics (pickling requirements, component-object rebinding)
         # never silently vary with the population's shape
         if self.worker_backend == "process":
-            return self._run_process(n_interactions, track_expected=track_expected)
+            return self._run_process(
+                n_interactions, track_expected=track_expected, sink=sink
+            )
 
+        width = n_interactions if sink is None else self._result_window(n_interactions)
         shards = [
             _Shard(
                 idx,
@@ -1134,14 +1268,30 @@ class FleetRunner:
                 [self.sessions[i] for i in idx],
                 plan_chunk_size=self.plan_chunk_size,
                 plan_form=self.plan_form,
+                exactness=self.exactness,
+                result_window=None if sink is None else width,
             )
             for idx in self._shard_index_groups
         ]
 
-        rewards = np.empty((n, n_interactions), dtype=np.float64)
-        actions_mat = np.empty((n, n_interactions), dtype=np.intp)
-        expected = np.empty((n, n_interactions), dtype=np.float64) if track_expected else None
+        rewards = np.empty((n, width), dtype=np.float64)
+        actions_mat = np.empty((n, width), dtype=np.intp)
+        expected = np.empty((n, width), dtype=np.float64) if track_expected else None
         expected_ok = np.full(n, track_expected, dtype=bool)
+
+        if sink is not None:
+            sink.begin(n, n_interactions)
+            import threading
+
+            sink_lock = threading.Lock()
+
+            def emit(shard: _Shard, t: int) -> None:
+                # fancy indexing copies, so the sink never aliases the ring
+                rows = shard.indices
+                tc = t % width
+                exp = None if expected is None else expected[rows, tc]
+                with sink_lock:
+                    sink.emit(t, rows, rewards[rows, tc], exp, expected_ok[rows])
 
         n_workers = min(self.n_workers, len(shards))
         if n_workers > 1:
@@ -1157,6 +1307,8 @@ class FleetRunner:
                 shard.prepare(n_interactions, track_expected=track_expected)
                 for t in range(n_interactions):
                     shard.step(t, rewards, actions_mat, expected, expected_ok)
+                    if sink is not None:
+                        emit(shard, t)
                 shard.finish(rewards, actions_mat)
 
             with ThreadPoolExecutor(max_workers=n_workers) as pool:
@@ -1168,11 +1320,16 @@ class FleetRunner:
             for t in range(n_interactions):
                 for shard in shards:
                     shard.step(t, rewards, actions_mat, expected, expected_ok)
+                    if sink is not None:
+                        emit(shard, t)
             for shard in shards:
                 shard.finish(rewards, actions_mat)
 
         for shard in shards:
             shard.stacked.writeback()
+        if sink is not None:
+            sink.finish()
+            return None
         return FleetResult(
             rewards=rewards,
             actions=actions_mat,
@@ -1181,13 +1338,19 @@ class FleetRunner:
         )
 
     # ------------------------------------------------------------------ #
-    def _run_process(self, n_interactions: int, *, track_expected: bool) -> FleetResult:
+    def _run_process(
+        self, n_interactions: int, *, track_expected: bool, sink=None
+    ) -> FleetResult | None:
         """Process-pool escape hatch: one whole-horizon task per shard.
 
         Shards never interact, so instead of a per-round barrier each
         worker runs its shard start to finish and returns the mutated
         population; the parent merges result rows and adopts the state
-        back into the caller-visible objects.
+        back into the caller-visible objects.  With a ``sink`` the
+        parent never materializes the global matrices — each returned
+        shard's columns are emitted then dropped (the workers still
+        build per-shard matrices; the streaming saving here is the
+        parent-side O(n x T), not the workers').
         """
         from concurrent.futures import ProcessPoolExecutor
 
@@ -1204,6 +1367,7 @@ class FleetRunner:
                             track_expected,
                             self.plan_chunk_size,
                             self.plan_form,
+                            self.exactness,
                         )
                     )
                 )
@@ -1213,10 +1377,21 @@ class FleetRunner:
                     f"(pickling a shard failed: {exc}); use the thread backend"
                 ) from exc
 
-        rewards = np.empty((n, n_interactions), dtype=np.float64)
-        actions_mat = np.empty((n, n_interactions), dtype=np.intp)
-        expected = np.empty((n, n_interactions), dtype=np.float64) if track_expected else None
-        expected_ok = np.full(n, track_expected, dtype=bool)
+        if not payloads:
+            # zero shards: creating a pool would raise max_workers=0
+            return self._empty_result(
+                n_interactions, track_expected=track_expected, sink=sink
+            )
+
+        if sink is None:
+            rewards = np.empty((n, n_interactions), dtype=np.float64)
+            actions_mat = np.empty((n, n_interactions), dtype=np.intp)
+            expected = (
+                np.empty((n, n_interactions), dtype=np.float64) if track_expected else None
+            )
+            expected_ok = np.full(n, track_expected, dtype=bool)
+        else:
+            sink.begin(n, n_interactions)
 
         n_workers = min(self.n_workers, len(payloads))
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
@@ -1224,14 +1399,27 @@ class FleetRunner:
 
         for idx, blob in zip(self._shard_index_groups, results):
             s_rewards, s_actions, s_expected, s_ok, s_agents, s_sessions = pickle.loads(blob)
-            rewards[idx] = s_rewards
-            actions_mat[idx] = s_actions
-            if expected is not None and s_expected is not None:
-                expected[idx] = s_expected
-            expected_ok[idx] = s_ok
+            if sink is None:
+                rewards[idx] = s_rewards
+                actions_mat[idx] = s_actions
+                if expected is not None and s_expected is not None:
+                    expected[idx] = s_expected
+                expected_ok[idx] = s_ok
+            else:
+                for t in range(n_interactions):
+                    sink.emit(
+                        t,
+                        idx,
+                        s_rewards[:, t],
+                        None if s_expected is None else s_expected[:, t],
+                        s_ok,
+                    )
             for i, agent, session in zip(idx, s_agents, s_sessions):
                 self._adopt(self.agents[i], agent)
                 self._adopt(self.sessions[i], session)
+        if sink is not None:
+            sink.finish()
+            return None
         return FleetResult(
             rewards=rewards,
             actions=actions_mat,

@@ -43,10 +43,23 @@ __all__ = [
     "StackedEpsilonGreedy",
     "StackedThompson",
     "StackedCodeLinUCB",
+    "StackedCodeLinUCBFast",
     "StackedUCB1",
     "stack_policies",
     "policies_stackable",
+    "EXACTNESS_TIERS",
 ]
+
+#: recognized exactness tiers for stacked policy state: ``bit`` (the
+#: default) keeps every stacked operation bit-identical to the scalar
+#: policies; ``fast`` trades bit-identity for memory — policy kinds
+#: with a fast stacker (currently :class:`StackedCodeLinUCBFast`) hold
+#: float32 sparse state whose trajectories are *statistically*
+#: equivalent to the bit tier (same math on the same touched cells, up
+#: to float32 rounding and the tie-breaks that rounding can flip);
+#: kinds without a fast stacker run their bit stacker unchanged, so
+#: ``fast`` degenerates to ``bit`` for them.
+EXACTNESS_TIERS = ("bit", "fast")
 
 
 def _tiebreak_rows(
@@ -123,6 +136,19 @@ class StackedPolicies(abc.ABC):
     def _writeback_t(self) -> None:
         for i, p in enumerate(self.policies):
             p.t = int(self.t[i])
+
+    def state_nbytes(self) -> int:
+        """Bytes of stacked policy-state arrays currently held.
+
+        Counts every ndarray attribute of the stacked instance (count
+        and sum tables, design inverses, Cholesky factors, the ``t``
+        vector, ...) — the engine-side policy state whose footprint the
+        memory bench compares across exactness tiers.  Scalar policy
+        objects and generators are not included.
+        """
+        return sum(
+            v.nbytes for v in self.__dict__.values() if isinstance(v, np.ndarray)
+        )
 
 
 class _StackedDenseLinear(StackedPolicies):
@@ -320,6 +346,197 @@ class StackedCodeLinUCB(StackedPolicies):
         self._writeback_t()
 
 
+class StackedCodeLinUCBFast(StackedPolicies):
+    """Memory-lean ``fast``-tier stacking of :class:`CodeLinUCB` agents.
+
+    The bit stacker holds two dense ``(n, A, k)`` float64 tables — the
+    repo's scaling ceiling (a warm-private A=40/k=64 agent carries
+    ~41 KB of table, so a million agents need ~41 GB).  This variant
+    attacks both axes the tables waste:
+
+    * **sparsity** — one interaction touches exactly one ``(arm, code)``
+      cell, so after ``T`` rounds an agent has touched at most ``T`` of
+      its ``A x k`` cells (about 4% on the §5.2 workload).  Touched
+      cells live in one shard-wide sorted COO structure — int64 flat
+      keys ``(agent * k + code) * A + arm`` with parallel value
+      arrays — selection gathers each agent's ``(arm, code)`` column
+      run by ``searchsorted``, updates insert at most one new cell per
+      agent per round;
+    * **precision** — counts and reward sums are float32.  Counts are
+      integers well inside float32's exact range and rewards lie in
+      ``[0, 1]``, so the only deviation from the bit tier is rounding
+      in the accumulated sums and in the UCB arithmetic — which can
+      flip near-exact ties and therefore consume tie-break randomness
+      differently.  Trajectories are *statistically* equivalent, not
+      bit-identical; ``tests/sim/test_exactness.py`` gates the tier
+      with curve tolerance bands.
+
+    When occupancy crosses :attr:`densify_occupancy` (warm-started
+    populations can arrive dense), the COO state densifies into
+    ``(n, A, k)`` float32 tables — still half the bit tier — and stays
+    dense; sparse and densified runs are bit-identical *to each other*
+    (both compute the same float32 values).  :meth:`writeback` leaves
+    float32 tables on the scalar policies (every ``CodeLinUCB``
+    operation accepts them; ``set_state`` round-trips restore float64).
+    """
+
+    wants_codes = True
+
+    #: occupancy (touched cells / total cells) above which the COO
+    #: state densifies to float32 tables; class attribute so tests can
+    #: pin either representation.
+    densify_occupancy = 0.25
+
+    def __init__(self, policies: Sequence[CodeLinUCB]) -> None:
+        super().__init__(policies)
+        self.alpha = _uniform([p.alpha for p in policies], "alpha")
+        self.ridge = _uniform([p.ridge for p in policies], "ridge")
+        A, k = self.n_arms, self.n_features
+        key_parts, cnt_parts, sum_parts = [], [], []
+        for i, p in enumerate(policies):
+            a_idx, y_idx = np.nonzero((p.counts != 0.0) | (p.sums != 0.0))
+            if a_idx.size == 0:
+                continue
+            key_parts.append(
+                (np.int64(i) * k + y_idx.astype(np.int64)) * A + a_idx.astype(np.int64)
+            )
+            cnt_parts.append(p.counts[a_idx, y_idx].astype(np.float32))
+            sum_parts.append(p.sums[a_idx, y_idx].astype(np.float32))
+        if key_parts:
+            keys = np.concatenate(key_parts)
+            order = np.argsort(keys)
+            self._keys = keys[order]
+            self._counts = np.concatenate(cnt_parts)[order]
+            self._sums = np.concatenate(sum_parts)[order]
+        else:
+            self._keys = np.empty(0, dtype=np.int64)
+            self._counts = np.empty(0, dtype=np.float32)
+            self._sums = np.empty(0, dtype=np.float32)
+        self._dense_counts: np.ndarray | None = None
+        self._dense_sums: np.ndarray | None = None
+        self._maybe_densify()
+
+    # ------------------------------------------------------------------ #
+    def _gather(self, codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-agent ``(A,)`` count/sum columns at that agent's code.
+
+        Each agent's touched cells for one code are a contiguous key
+        run ``[(i*k + y)*A, (i*k + y)*A + A)``; two ``searchsorted``
+        calls find every run, and the touched cells scatter into zeroed
+        ``(n, A)`` outputs — untouched cells are exactly the zeros the
+        dense tables would hold.
+        """
+        A = self.n_arms
+        base = (
+            np.arange(self.n_agents, dtype=np.int64) * self.n_features
+            + np.asarray(codes, dtype=np.int64)
+        ) * A
+        lo = np.searchsorted(self._keys, base)
+        hi = np.searchsorted(self._keys, base + A)
+        lens = hi - lo
+        counts_g = np.zeros((self.n_agents, A), dtype=np.float32)
+        sums_g = np.zeros((self.n_agents, A), dtype=np.float32)
+        total = int(lens.sum())
+        if total:
+            rows = np.repeat(np.arange(self.n_agents), lens)
+            pos = np.repeat(lo, lens) + (
+                np.arange(total) - np.repeat(np.cumsum(lens) - lens, lens)
+            )
+            arms = (self._keys[pos] % A).astype(np.intp)
+            counts_g[rows, arms] = self._counts[pos]
+            sums_g[rows, arms] = self._sums[pos]
+        return counts_g, sums_g
+
+    def scores_for_codes(self, codes: np.ndarray) -> np.ndarray:
+        # same expression as the bit stacker, computed in float32
+        if self._dense_counts is not None:
+            idx = np.arange(self.n_agents)
+            counts_g = self._dense_counts[idx, :, codes]
+            sums_g = self._dense_sums[idx, :, codes]
+        else:
+            counts_g, sums_g = self._gather(codes)
+        denom = np.float32(self.ridge) + counts_g
+        means = sums_g / denom
+        return means + np.float32(self.alpha) * np.sqrt(np.float32(1.0) / denom)
+
+    def select(self, codes: np.ndarray) -> np.ndarray:
+        return _tiebreak_rows(self.scores_for_codes(codes), self.rngs)
+
+    def update(self, codes, actions, rewards) -> None:
+        idx = np.arange(self.n_agents)
+        if self._dense_counts is not None:
+            self._dense_counts[idx, actions, codes] += np.float32(1.0)
+            self._dense_sums[idx, actions, codes] += rewards.astype(np.float32)
+            self.t += 1
+            return
+        A = self.n_arms
+        keys = (
+            idx.astype(np.int64) * self.n_features + np.asarray(codes, dtype=np.int64)
+        ) * A + np.asarray(actions, dtype=np.int64)
+        pos = np.searchsorted(self._keys, keys)
+        in_range = pos < self._keys.size
+        exists = np.zeros(keys.size, dtype=bool)
+        exists[in_range] = self._keys[pos[in_range]] == keys[in_range]
+        if exists.any():
+            hit = pos[exists]
+            self._counts[hit] += np.float32(1.0)
+            self._sums[hit] += rewards[exists].astype(np.float32)
+        if not exists.all():
+            miss = ~exists
+            # one key per agent, agent-major => already ascending
+            new_keys = keys[miss]
+            ins = np.searchsorted(self._keys, new_keys)
+            self._keys = np.insert(self._keys, ins, new_keys)
+            self._counts = np.insert(
+                self._counts, ins, np.ones(new_keys.size, dtype=np.float32)
+            )
+            self._sums = np.insert(self._sums, ins, rewards[miss].astype(np.float32))
+            self._maybe_densify()
+        self.t += 1
+
+    def _maybe_densify(self) -> None:
+        n_cells = self.n_agents * self.n_arms * self.n_features
+        if self._keys.size < self.densify_occupancy * n_cells:
+            return
+        A, k = self.n_arms, self.n_features
+        i = self._keys // (A * k)
+        rem = self._keys - i * (A * k)
+        y = rem // A
+        a = rem - y * A
+        counts = np.zeros((self.n_agents, A, k), dtype=np.float32)
+        sums = np.zeros_like(counts)
+        counts[i, a, y] = self._counts
+        sums[i, a, y] = self._sums
+        self._dense_counts, self._dense_sums = counts, sums
+        self._keys = np.empty(0, dtype=np.int64)
+        self._counts = np.empty(0, dtype=np.float32)
+        self._sums = np.empty(0, dtype=np.float32)
+
+    def writeback(self) -> None:
+        A, k = self.n_arms, self.n_features
+        if self._dense_counts is not None:
+            for i, p in enumerate(self.policies):
+                p.counts = self._dense_counts[i].copy()
+                p.sums = self._dense_sums[i].copy()
+        else:
+            span = A * k
+            bounds = np.searchsorted(
+                self._keys, np.arange(self.n_agents + 1, dtype=np.int64) * span
+            )
+            rem = self._keys - (self._keys // span) * span
+            y_all = rem // A
+            a_all = rem - y_all * A
+            for i, p in enumerate(self.policies):
+                lo, hi = bounds[i], bounds[i + 1]
+                counts = np.zeros((A, k), dtype=np.float32)
+                sums = np.zeros((A, k), dtype=np.float32)
+                counts[a_all[lo:hi], y_all[lo:hi]] = self._counts[lo:hi]
+                sums[a_all[lo:hi], y_all[lo:hi]] = self._sums[lo:hi]
+                p.counts = counts
+                p.sums = sums
+        self._writeback_t()
+
+
 class StackedUCB1(StackedPolicies):
     """``n`` independent :class:`~repro.bandits.ucb1.UCB1` agents (context-free)."""
 
@@ -366,6 +583,12 @@ _STACKERS: dict[str, type[StackedPolicies]] = {
     UCB1.kind: StackedUCB1,
 }
 
+#: kinds with a dedicated ``fast``-tier stacker; every other kind runs
+#: its bit stacker under ``exactness="fast"`` (degenerates to ``bit``).
+_FAST_STACKERS: dict[str, type[StackedPolicies]] = {
+    CodeLinUCB.kind: StackedCodeLinUCBFast,
+}
+
 
 def policies_stackable(policies: Sequence[BanditPolicy]) -> bool:
     """Whether :func:`stack_policies` would accept this population.
@@ -389,8 +612,21 @@ def policies_stackable(policies: Sequence[BanditPolicy]) -> bool:
     return all(p.fleet_key() == key for p in policies[1:])
 
 
-def stack_policies(policies: Sequence[BanditPolicy]) -> StackedPolicies:
-    """Stack a homogeneous policy population for the fleet engine."""
+def stack_policies(
+    policies: Sequence[BanditPolicy], *, exactness: str = "bit"
+) -> StackedPolicies:
+    """Stack a homogeneous policy population for the fleet engine.
+
+    ``exactness`` selects the contract tier (:data:`EXACTNESS_TIERS`):
+    ``"bit"`` always uses the bit-identical stackers; ``"fast"`` uses a
+    memory-lean stacker for kinds that have one and silently falls back
+    to the bit stacker for the rest.
+    """
+    if exactness not in EXACTNESS_TIERS:
+        raise ConfigError(
+            f"unknown exactness tier {exactness!r}; "
+            f"expected one of {EXACTNESS_TIERS}"
+        )
     policies = list(policies)
     if not policies:
         raise ConfigError("cannot stack an empty policy list")
@@ -400,4 +636,6 @@ def stack_policies(policies: Sequence[BanditPolicy]) -> StackedPolicies:
             f"policy kind {kind!r} does not support fleet stacking; "
             f"stackable kinds: {sorted(_STACKERS)}"
         )
+    if exactness == "fast" and kind in _FAST_STACKERS:
+        return _FAST_STACKERS[kind](policies)
     return _STACKERS[kind](policies)

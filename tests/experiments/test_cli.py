@@ -70,3 +70,53 @@ class TestEngineFlag:
         finally:
             runner.set_default_engine("auto")
         capsys.readouterr()
+
+
+class TestExactnessFlag:
+    def test_exactness_choices_registered(self):
+        parser = build_parser()
+        assert parser.parse_args(["fig3", "--exactness", "fast"]).exactness == "fast"
+        assert parser.parse_args(["fig3", "--exactness", "bit"]).exactness == "bit"
+        assert parser.parse_args(["fig3"]).exactness == "bit"
+
+    def test_invalid_exactness_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3", "--exactness", "warp"])
+        err = capsys.readouterr().err
+        assert "invalid choice" in err and "warp" in err
+
+    def test_exactness_flag_sets_process_default(self, capsys):
+        from repro.experiments import runner
+
+        try:
+            assert main(["fig3", "--exactness", "fast"]) == 0
+            assert runner.get_default_exactness() == "fast"
+        finally:
+            runner.set_default_exactness("bit")
+        capsys.readouterr()
+
+
+class TestFlagErrorPaths:
+    """Bad numeric flag values die with one-line argparse usage errors,
+    not tracebacks from deep inside the engine."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fig3", "--workers", "0"],
+            ["fig3", "--workers", "-2"],
+            ["fig3", "--workers", "three"],
+            ["fig3", "--plan-chunk-size", "0"],
+            ["fig3", "--plan-chunk-size", "-1"],
+            ["fig3", "--plan-chunk-size", "many"],
+        ],
+    )
+    def test_bad_values_exit_with_usage_error(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        # argparse prints usage + exactly one error line, no traceback
+        assert "expected a positive integer" in err or "expected an integer" in err
+        assert "Traceback" not in err
+        assert err.strip().splitlines()[-1].startswith("repro-p2b")

@@ -1,0 +1,69 @@
+"""Statistical-equivalence assertions for the ``fast`` exactness tier.
+
+The fast tier's contract is *statistical*, not bitwise: it performs
+the same math as the bit tier on the same touched cells, in float32 —
+rounding can flip near-exact tie-breaks, so individual trajectories
+diverge while reward/regret *curves* must not.  These helpers give the
+tentpole gate (``tests/sim/test_exactness.py``) and the property fuzz
+one shared definition of "must not": seed-averaged cumulative
+mean-reward curves pointwise within a tolerance band, plus a tighter
+bound on the overall mean.
+
+Not a test module (no ``test_`` prefix) — import it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: default pointwise band on seed-averaged cumulative curves, in
+#: absolute reward units (rewards throughout the repo live in [0, 1])
+CURVE_BAND = 0.05
+
+#: default bound on the difference of overall mean rewards — tighter
+#: than the band because averaging over (seeds x agents x steps)
+#: cancels most tie-break noise
+MEAN_TOL = 0.02
+
+
+def cumulative_mean_curve(rewards: np.ndarray) -> np.ndarray:
+    """Running mean-reward curve of one run.
+
+    Accepts a ``(n_agents, T)`` reward matrix or an already-averaged
+    ``(T,)`` per-step curve; returns the ``(T,)`` running mean — the
+    series the paper's figures plot.
+    """
+    rewards = np.asarray(rewards, dtype=np.float64)
+    curve = rewards.mean(axis=0) if rewards.ndim == 2 else rewards
+    return np.cumsum(curve) / np.arange(1, curve.size + 1)
+
+
+def assert_statistically_equivalent(
+    curves_a,
+    curves_b,
+    *,
+    band: float = CURVE_BAND,
+    mean_tol: float = MEAN_TOL,
+    label: str = "fast-vs-bit",
+) -> None:
+    """Assert two tiers' seeded runs trace the same learning curve.
+
+    ``curves_a`` / ``curves_b`` are same-length sequences of per-run
+    reward series (matrices or curves), paired by seed.  Per-seed runs
+    are allowed to wiggle; the *seed-averaged* cumulative curves must
+    agree pointwise within ``band`` and their overall means within
+    ``mean_tol``.
+    """
+    assert len(curves_a) == len(curves_b) and len(curves_a) > 0
+    avg_a = np.mean([cumulative_mean_curve(c) for c in curves_a], axis=0)
+    avg_b = np.mean([cumulative_mean_curve(c) for c in curves_b], axis=0)
+    assert avg_a.shape == avg_b.shape
+    gap = np.abs(avg_a - avg_b)
+    assert gap.max() <= band, (
+        f"{label}: seed-averaged cumulative curves diverge by {gap.max():.4f} "
+        f"(band {band}) at step {int(gap.argmax())}"
+    )
+    mean_gap = abs(float(avg_a[-1]) - float(avg_b[-1]))
+    assert mean_gap <= mean_tol, (
+        f"{label}: overall mean rewards diverge by {mean_gap:.4f} (tol {mean_tol})"
+    )

@@ -29,9 +29,15 @@ def _random(n_arms, n_features, seed):
 
 
 class TestValidation:
-    def test_empty_population_rejected(self):
-        with pytest.raises(ConfigError):
-            FleetRunner([], [])
+    def test_empty_population_returns_empty_result(self):
+        # zero agents shard to zero worker-pool tasks; the engine must
+        # short-circuit (max_workers=0 would raise) and return the
+        # sequential engine's empty-result shape
+        result = FleetRunner([], []).run(7)
+        assert result.rewards.shape == (0, 7)
+        assert result.actions.shape == (0, 7)
+        assert result.expected is None
+        assert result.expected_mask.shape == (0,)
 
     def test_misaligned_sessions_rejected(self):
         agents, sessions = make_population(_linucb, AgentMode.COLD, 3, 0)

@@ -416,10 +416,11 @@ def _replay_dataset():
     st.integers(3, 14),
     st.sampled_from([None, 1, 2, 3, 5, 20]),
     st.sampled_from(["auto", "dense"]),
+    st.sampled_from(["bit", "fast"]),
 )
 @settings(max_examples=25, deadline=None)
 def test_property_replay_and_synthetic_mixtures_match_sequential(
-    seed, specs, n_interactions, plan_chunk_size, plan_form
+    seed, specs, n_interactions, plan_chunk_size, plan_form, exactness
 ):
     """Arbitrary per-agent mixtures of *planned dataset sessions*
     (multilabel replay, `has_trace_plan`) and synthetic sessions
@@ -428,7 +429,9 @@ def test_property_replay_and_synthetic_mixtures_match_sequential(
     kinds and therefore fall back to the generic per-round path, and
     under any plan chunk size / traced-plan form (replay shards take
     the shared-row-table form on ``auto``; ``dense`` forces per-agent
-    tables; chunking slices the horizon arbitrarily)."""
+    tables; chunking slices the horizon arbitrarily).  The exactness
+    tier is drawn too: none of these policy kinds has a fast stacker,
+    so ``"fast"`` must degenerate to the bit tier — bitwise."""
     from repro.bandits import UCB1, EpsilonGreedy, LinUCB
     from repro.core import LocalAgent
     from repro.data.multilabel import MultilabelBanditEnvironment
@@ -465,6 +468,7 @@ def test_property_replay_and_synthetic_mixtures_match_sequential(
         fleet_sessions,
         plan_chunk_size=plan_chunk_size,
         plan_form=plan_form,
+        exactness=exactness,
     )
     assert runner.n_shards == len({kind for kind, _ in specs})
     result = runner.run(n_interactions)
