@@ -8,7 +8,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) PYTHONHASHSEED=0 python
 
-.PHONY: test smoke bench bench-fleet bench-replay bench-reporting bench-memory lint format install
+.PHONY: test smoke bench bench-fleet bench-replay bench-reporting bench-memory bench-serve lint format install
 
 # tier-1: the full suite (the driver's acceptance gate)
 test:
@@ -46,6 +46,13 @@ bench-reporting:
 # BENCH_MEMORY_MIN_REDUCTION)
 bench-memory:
 	$(PY) -m pytest benchmarks/bench_memory.py -q
+
+# serving-loop requests-per-second record: churn + drift + async
+# collection on a hot persistent fleet (writes
+# benchmarks/results/BENCH_serve.json; floor tunable via
+# BENCH_SERVE_MIN_RPS, scale via BENCH_SERVE_N_AGENTS)
+bench-serve:
+	$(PY) -m pytest benchmarks/bench_serve.py -q
 
 # lint + format check (config in pyproject.toml [tool.ruff])
 lint:

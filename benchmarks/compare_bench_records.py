@@ -29,7 +29,13 @@ RESULTS_DIR = Path(__file__).parent / "results"
 REPO_ROOT = Path(__file__).parent.parent
 
 #: numeric leaf keys worth surfacing (exact match or prefix)
-_METRIC_KEYS = ("speedup", "reduction", "interactions_per_second", "bytes_per_agent")
+_METRIC_KEYS = (
+    "speedup",
+    "reduction",
+    "interactions_per_second",
+    "requests_per_second",
+    "bytes_per_agent",
+)
 
 
 def _is_metric(key: str) -> bool:

@@ -54,6 +54,51 @@ def _render_headline(args) -> str:
     return format_kv(numbers, title="headline comparison (paper abstract / §7)")
 
 
+def _render_serve(args) -> str:
+    """Run a streaming deployment: churn + drift + async collection."""
+    from .core.config import P2BConfig
+    from .data import DriftingSyntheticEnvironment
+    from .experiments.serve import FleetService
+
+    env = DriftingSyntheticEnvironment(
+        n_actions=8,
+        n_features=16,
+        epoch_length=args.serve_epoch_length,
+    )
+    config = P2BConfig(
+        n_actions=8, n_features=16, n_codes=16, shuffler_threshold=5
+    )
+    service = FleetService(config, env, seed=args.seed)
+    service.arrive(args.serve_agents)
+    rewards_sum = 0.0
+    rewards_n = 0
+    for r in range(args.serve_requests):
+        if args.serve_arrivals:
+            service.arrive(args.serve_arrivals)
+        if args.serve_departures and service.n_agents > args.serve_departures:
+            service.depart(list(range(args.serve_departures)))
+        result = service.interact(args.serve_batch)
+        if result is not None and result.rewards.size:
+            rewards_sum += float(result.rewards.sum())
+            rewards_n += result.rewards.size
+        if (r + 1) % args.serve_collect_every == 0:
+            service.collect()
+    service.collect()
+    service.flush()
+    stats = service.stats
+    numbers = {
+        "requests answered": stats.n_requests,
+        "interactions served": stats.n_interactions,
+        "agents arrived": stats.n_arrived,
+        "agents departed": stats.n_departed,
+        "final population": stats.n_agents,
+        "reports collected": stats.n_reports,
+        "tuples released": stats.n_released,
+        "mean reward": rewards_sum / rewards_n if rewards_n else 0.0,
+    }
+    return format_kv(numbers, title="streaming deployment (churn + drift + async)")
+
+
 _COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig2": (_render_fig2, "encoding example: q=1, d=3 simplex, k=6 clusters"),
     "fig3": (_render_fig3, "epsilon vs participation probability p (Eq. 3)"),
@@ -62,6 +107,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig6": (_render_fig6, "multi-label accuracy vs local interactions"),
     "fig7": (_render_fig7, "criteo-like CTR vs local interactions"),
     "headline": (_render_headline, "abstract's headline deltas"),
+    "serve": (_render_serve, "streaming deployment: churn, drift, async collection"),
 }
 
 
@@ -73,6 +119,19 @@ def _positive_int(value: str) -> int:
         raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {parsed}")
+    return parsed
+
+
+def _nonneg_int(value: str) -> int:
+    """argparse type: like :func:`_positive_int` but allows zero."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from None
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {parsed}"
+        )
     return parsed
 
 
@@ -132,16 +191,69 @@ def build_parser() -> argparse.ArgumentParser:
             "matrices — statistically equivalent output at a fraction of "
             "the memory (the million-agent regime)",
         )
+        if name == "serve":
+            p.add_argument(
+                "--serve-agents",
+                type=_positive_int,
+                default=64,
+                help="initial population size (arrivals before request 1)",
+            )
+            p.add_argument(
+                "--serve-requests",
+                type=_positive_int,
+                default=20,
+                help="batch score/update requests to answer",
+            )
+            p.add_argument(
+                "--serve-batch",
+                type=_positive_int,
+                default=10,
+                help="interaction steps per request",
+            )
+            p.add_argument(
+                "--serve-arrivals",
+                type=_nonneg_int,
+                default=2,
+                help="fresh devices enrolled before each request (0 = none)",
+            )
+            p.add_argument(
+                "--serve-departures",
+                type=_nonneg_int,
+                default=2,
+                help="devices retired before each request (0 = none; "
+                "their buffered reports keep waiting for crowd-mates)",
+            )
+            p.add_argument(
+                "--serve-collect-every",
+                type=_positive_int,
+                default=4,
+                help="run asynchronous collection every this many requests",
+            )
+            p.add_argument(
+                "--serve-epoch-length",
+                type=_positive_int,
+                default=20,
+                help="interactions per stationary stretch of the drifting "
+                "synthetic workload (preferences drift or switch at each "
+                "epoch boundary)",
+            )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    runner.set_default_engine(args.engine)
-    runner.set_default_n_workers(args.workers)
-    runner.set_default_plan_chunk_size(args.plan_chunk_size)
-    runner.set_default_exactness(args.exactness)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "serve" and args.engine == "sequential":
+        parser.error("serve keeps a hot fleet; --engine must be 'auto' or 'fleet'")
+    runner.set_default_config(
+        runner.EngineConfig(
+            engine=args.engine,
+            n_workers=args.workers,
+            plan_chunk_size=args.plan_chunk_size,
+            exactness=args.exactness,
+        )
+    )
     renderer, _ = _COMMANDS[args.command]
     text = renderer(args)
     if args.out:

@@ -93,6 +93,12 @@ class DeploymentLoop:
         memory-lean policy state; round statistics become
         statistically, not bitwise, equivalent.  Sequential rounds
         ignore the tier.
+
+    ``engine`` also accepts a full
+    :class:`~repro.experiments.runner.EngineConfig`, in which case the
+    remaining engine knobs must stay at their defaults (pass the
+    settings inside the config instead) and the config's ``sink`` must
+    be ``None`` — rounds compute their own statistics.
     """
 
     config: P2BConfig
@@ -100,9 +106,11 @@ class DeploymentLoop:
     interactions_per_round: int = 10
     refresh: bool = True
     seed: int | None = None
-    engine: str = "auto"
+    engine: "str | object" = "auto"
     n_workers: int = 1
+    worker_backend: str = "thread"
     plan_chunk_size: int | None = None
+    plan_form: str = "auto"
     exactness: str = "bit"
 
     system: P2BSystem = field(init=False)
@@ -111,6 +119,39 @@ class DeploymentLoop:
 
     def __post_init__(self) -> None:
         check_positive_int(self.interactions_per_round, name="interactions_per_round")
+        if not isinstance(self.engine, str):
+            # a full EngineConfig bundle (duck-typed: core must not
+            # import experiments at module scope)
+            cfg = self.engine
+            if not all(hasattr(cfg, f) for f in ("engine", "n_workers", "exactness")):
+                raise ConfigError(
+                    "engine must be 'auto', 'sequential', 'fleet' or an "
+                    f"EngineConfig, got {cfg!r}"
+                )
+            explicit = (
+                self.n_workers != 1
+                or self.worker_backend != "thread"
+                or self.plan_chunk_size is not None
+                or self.plan_form != "auto"
+                or self.exactness != "bit"
+            )
+            if explicit:
+                raise ConfigError(
+                    "pass engine settings either as one EngineConfig or as "
+                    "individual fields, not both (the config already bundles "
+                    "them)"
+                )
+            if getattr(cfg, "sink", None) is not None:
+                raise ConfigError(
+                    "EngineConfig.sink is not supported by DeploymentLoop; "
+                    "rounds compute their own statistics"
+                )
+            self.engine = cfg.engine
+            self.n_workers = cfg.n_workers
+            self.worker_backend = cfg.worker_backend
+            self.plan_chunk_size = cfg.plan_chunk_size
+            self.plan_form = cfg.plan_form
+            self.exactness = cfg.exactness
         check_positive_int(self.n_workers, name="n_workers")
         if self.plan_chunk_size is not None:
             check_positive_int(self.plan_chunk_size, name="plan_chunk_size")
@@ -118,8 +159,17 @@ class DeploymentLoop:
             raise ConfigError(
                 f"engine must be 'auto', 'sequential' or 'fleet', got {self.engine!r}"
             )
-        from ..sim import EXACTNESS_TIERS
+        from ..sim import EXACTNESS_TIERS, PLAN_FORMS, WORKER_BACKENDS
 
+        if self.worker_backend not in WORKER_BACKENDS:
+            raise ConfigError(
+                f"worker_backend must be one of {WORKER_BACKENDS}, "
+                f"got {self.worker_backend!r}"
+            )
+        if self.plan_form not in PLAN_FORMS:
+            raise ConfigError(
+                f"plan_form must be one of {PLAN_FORMS}, got {self.plan_form!r}"
+            )
         if self.exactness not in EXACTNESS_TIERS:
             raise ConfigError(
                 f"exactness must be one of {EXACTNESS_TIERS}, got {self.exactness!r}"
@@ -187,7 +237,9 @@ class DeploymentLoop:
                     agents,
                     sessions,
                     n_workers=self.n_workers,
+                    worker_backend=self.worker_backend,
                     plan_chunk_size=self.plan_chunk_size,
+                    plan_form=self.plan_form,
                     exactness=self.exactness,
                 )
                 .run(self.interactions_per_round)

@@ -64,6 +64,9 @@ class Shuffler:
     def __init__(self, threshold: int = 10, *, seed=None) -> None:
         self.threshold = check_positive_int(threshold, name="threshold")
         self._rng = ensure_rng(seed)
+        # asynchronous-collection buffer: column triples accumulated by
+        # buffer_arrays, released by release_ready when thresholds fill
+        self._pending: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
 
     def process(
         self, reports: Sequence[EncodedReport]
@@ -125,6 +128,100 @@ class Shuffler:
             n_received=n_received,
             n_released=int(codes.shape[0]),
             n_dropped=n_received - int(codes.shape[0]),
+            codes_received=codes_received,
+            codes_released=codes_released,
+            audit=audit,
+        )
+        return codes, actions, rewards, stats
+
+    # ------------------------------------------------------------------ #
+    # asynchronous collection: devices report on their own clocks, the
+    # shuffler releases when thresholds fill — no global round barrier
+    @property
+    def n_pending(self) -> int:
+        """Tuples buffered but not yet released (awaiting crowd-mates)."""
+        return sum(c.shape[0] for c, _, _ in self._pending)
+
+    def buffer_arrays(
+        self, codes: np.ndarray, actions: np.ndarray, rewards: np.ndarray
+    ) -> int:
+        """Accept one columnar report batch into the pending buffer.
+
+        Nothing is released here — arrival time stops mattering the
+        moment tuples enter the buffer (they are anonymized to columns
+        immediately and shuffled with the whole buffer at the next
+        :meth:`release_ready`).  Returns the new pending count.
+        """
+        codes = np.asarray(codes, dtype=np.intp).ravel()
+        actions = np.asarray(actions, dtype=np.intp).ravel()
+        rewards = np.asarray(rewards, dtype=np.float64).ravel()
+        if not (codes.shape[0] == actions.shape[0] == rewards.shape[0]):
+            raise ValueError(
+                "codes, actions and rewards must align one-to-one, got "
+                f"{codes.shape[0]}/{actions.shape[0]}/{rewards.shape[0]}"
+            )
+        if codes.shape[0]:
+            self._pending.append((codes, actions, rewards))
+        return self.n_pending
+
+    def buffer_reports(self, reports: Sequence[EncodedReport]) -> int:
+        """Object-path convenience for :meth:`buffer_arrays`."""
+        return self.buffer_arrays(*encoded_reports_to_arrays(reports))
+
+    def release_ready(
+        self, *, final: bool = False
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, ShufflerStats]:
+        """Release every pending tuple whose code's crowd has filled.
+
+        The whole buffer is shuffled (one permutation draw when
+        non-empty, the same RNG discipline as :meth:`process_arrays`),
+        then codes appearing at least ``threshold`` times *across the
+        buffer* release; sub-threshold tuples stay pending — they wait
+        for crowd-mates from later reports instead of being dropped,
+        which is the asynchronous analogue of the per-batch threshold.
+        ``final=True`` drops the stragglers instead (end of deployment:
+        their crowd never arrived), leaving the buffer empty.
+
+        Crowd-blending holds per release by construction (every
+        released code brought ``>= threshold`` tuples with it), and
+        ``stats.audit`` asserts it.  In ``stats``, ``n_received``
+        counts the tuples considered (the whole buffer) and
+        ``n_dropped`` the tuples *permanently* dropped — zero unless
+        ``final`` (retained tuples are neither released nor dropped).
+        """
+        if self._pending:
+            codes = np.concatenate([c for c, _, _ in self._pending])
+            actions = np.concatenate([a for _, a, _ in self._pending])
+            rewards = np.concatenate([r for _, _, r in self._pending])
+        else:
+            codes = np.empty(0, dtype=np.intp)
+            actions = np.empty(0, dtype=np.intp)
+            rewards = np.empty(0, dtype=np.float64)
+        n_buffered = codes.shape[0]
+        if n_buffered:
+            order = self._rng.permutation(n_buffered)
+            codes, actions, rewards = codes[order], actions[order], rewards[order]
+        codes_received = codes_released = 0
+        if n_buffered:
+            _, inverse, counts = np.unique(
+                codes, return_inverse=True, return_counts=True
+            )
+            codes_received = int(counts.size)
+            released_mask = counts >= self.threshold
+            codes_released = int(np.count_nonzero(released_mask))
+            keep = released_mask[inverse]
+            retained = (codes[~keep], actions[~keep], rewards[~keep])
+            codes, actions, rewards = codes[keep], actions[keep], rewards[keep]
+        else:
+            retained = (codes, actions, rewards)
+        n_released = int(codes.shape[0])
+        n_retained = int(retained[0].shape[0])
+        self._pending = [] if final or n_retained == 0 else [retained]
+        audit = verify_crowd_blending(codes, self.threshold)
+        stats = ShufflerStats(
+            n_received=n_buffered,
+            n_released=n_released,
+            n_dropped=n_buffered - n_released if final else 0,
             codes_received=codes_received,
             codes_released=codes_released,
             audit=audit,

@@ -256,6 +256,88 @@ class P2BSystem:
         return CollectionResult(n_reports=len(reports), n_released=len(raw), shuffler_stats=None)
 
     # ------------------------------------------------------------------ #
+    # asynchronous collection: per-agent clocks, threshold-fill release
+    # ------------------------------------------------------------------ #
+    @property
+    def n_pending_reports(self) -> int:
+        """Reports buffered in the shuffler awaiting their crowd (async)."""
+        return 0 if self.shuffler is None else self.shuffler.n_pending
+
+    def collect_async(self, agents: Iterable[LocalAgent]) -> CollectionResult:
+        """Drain outboxes into the shuffler's buffer; release what's ready.
+
+        The asynchronous analogue of :meth:`collect` — devices report
+        on their own clocks, so ``agents`` may be *any* subset of the
+        population, called as often as reports trickle in.  Private
+        mode buffers the drained tuples and releases only the codes
+        whose crowd (``>= threshold`` across everything pending) has
+        filled; sub-threshold tuples keep waiting, surviving even their
+        reporter's departure.  Non-private and cold modes have no
+        crowd to wait for, so they degenerate to :meth:`collect`.
+        Call :meth:`flush_async` at end of deployment to drop the
+        stragglers.
+        """
+        agents = list(agents)
+        batches = drain_report_batches(agents)
+        if batches is None:
+            return self._collect_async_objects(agents)
+        encoded_batch, raw_batch = batches
+        n_reports = len(encoded_batch) + len(raw_batch)
+        if self.mode == AgentMode.COLD or self.server is None:
+            return CollectionResult(n_reports=n_reports, n_released=0, shuffler_stats=None)
+        if self.mode == AgentMode.WARM_PRIVATE:
+            assert self.shuffler is not None
+            self.shuffler.buffer_arrays(
+                encoded_batch.codes, encoded_batch.actions, encoded_batch.rewards
+            )
+            return self._release_pending(n_reports, final=False)
+        self.server.ingest_arrays(  # type: ignore[union-attr]
+            raw_batch.contexts, raw_batch.actions, raw_batch.rewards
+        )
+        return CollectionResult(
+            n_reports=n_reports, n_released=len(raw_batch), shuffler_stats=None
+        )
+
+    def _collect_async_objects(self, agents: Iterable[LocalAgent]) -> CollectionResult:
+        """Object-path asynchronous collection (mirrors _collect_objects)."""
+        reports: list[EncodedReport | RawReport] = []
+        for agent in agents:
+            reports.extend(agent.drain_outbox())
+        if self.mode == AgentMode.COLD or self.server is None:
+            return CollectionResult(n_reports=len(reports), n_released=0, shuffler_stats=None)
+        if self.mode == AgentMode.WARM_PRIVATE:
+            assert self.shuffler is not None
+            encoded = [r for r in reports if isinstance(r, EncodedReport)]
+            self.shuffler.buffer_reports(encoded)
+            return self._release_pending(len(reports), final=False)
+        raw = [r for r in reports if isinstance(r, RawReport)]
+        self.server.ingest(raw)  # type: ignore[arg-type]
+        return CollectionResult(n_reports=len(reports), n_released=len(raw), shuffler_stats=None)
+
+    def _release_pending(self, n_reports: int, *, final: bool) -> CollectionResult:
+        r_codes, r_actions, r_rewards, stats = self.shuffler.release_ready(final=final)
+        stats.audit.raise_if_violated()
+        if r_codes.shape[0]:
+            self.server.ingest_arrays(r_codes, r_actions, r_rewards)  # type: ignore[union-attr]
+            self._collected_codes.extend(int(c) for c in r_codes)
+        return CollectionResult(
+            n_reports=n_reports,
+            n_released=int(r_codes.shape[0]),
+            shuffler_stats=stats,
+        )
+
+    def flush_async(self) -> CollectionResult:
+        """Final asynchronous release: stragglers' crowds never arrived.
+
+        Releases every pending code that (now) meets the threshold and
+        permanently drops the rest — call once at end of deployment.
+        No-op for non-private and cold systems.
+        """
+        if self.mode != AgentMode.WARM_PRIVATE or self.shuffler is None:
+            return CollectionResult(n_reports=0, n_released=0, shuffler_stats=None)
+        return self._release_pending(0, final=True)
+
+    # ------------------------------------------------------------------ #
     def model_snapshot(self) -> dict[str, Any]:
         """Current central-model state (for distribution to devices)."""
         if self.server is None:

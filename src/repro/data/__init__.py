@@ -8,6 +8,7 @@ from .criteo import (
     build_criteo_actions,
     make_criteo_like,
 )
+from .drift import DriftingSyntheticEnvironment, DriftingSyntheticSession
 from .environment import (
     Environment,
     IndexedTracePlan,
@@ -38,6 +39,8 @@ __all__ = [
     "IndexedTracePlan",
     "SyntheticPreferenceEnvironment",
     "SyntheticUserSession",
+    "DriftingSyntheticEnvironment",
+    "DriftingSyntheticSession",
     "MultilabelDataset",
     "make_multilabel_dataset",
     "make_mediamill_like",

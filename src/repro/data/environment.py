@@ -306,6 +306,19 @@ class UserSession(abc.ABC):
         """
         raise NotImplementedError(f"{type(self).__name__} has no stationary reward plan")
 
+    def plan_horizon_limit(self) -> int | None:
+        """Steps until this session's stationarity breaks (``None`` = never).
+
+        Non-stationary sessions (reward drift, latent-state switches)
+        return the number of interactions they can still plan as one
+        stationary stretch; the fleet engine then caps every plan chunk
+        here, so drift lands exactly at chunk boundaries and
+        :meth:`plan_rewards` is only ever asked for within-epoch
+        horizons.  Must be *pure* — no randomness consumed, no state
+        advanced — and strictly positive when not ``None``.
+        """
+        return None
+
     def plan_trace(self, horizon: int) -> TracePlan:
         """Optional fleet fast path: pre-materialize a replay horizon.
 

@@ -2,7 +2,15 @@
 
 from .figures import figure2, figure3, figure4, figure5, figure6, figure7, headline
 from .results import ExperimentResult, FigureResult, SettingComparison
-from .runner import compare_settings, run_setting
+from .runner import (
+    EngineConfig,
+    compare_settings,
+    get_default_config,
+    run_setting,
+    set_default_config,
+    use_config,
+)
+from .serve import FleetService, ServeStats
 from .sweeps import (
     codebook_sweep,
     dimension_sweep,
@@ -13,6 +21,12 @@ from .sweeps import (
 __all__ = [
     "run_setting",
     "compare_settings",
+    "EngineConfig",
+    "set_default_config",
+    "get_default_config",
+    "use_config",
+    "FleetService",
+    "ServeStats",
     "ExperimentResult",
     "SettingComparison",
     "FigureResult",

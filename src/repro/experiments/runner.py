@@ -20,6 +20,10 @@ every setting faces the same users in the same order.
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
+from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -27,7 +31,13 @@ import numpy as np
 from ..core.config import AgentMode, P2BConfig
 from ..core.system import P2BSystem
 from ..data.environment import Environment
-from ..sim import EXACTNESS_TIERS, FleetRunner, fleet_supported
+from ..sim import (
+    EXACTNESS_TIERS,
+    PLAN_FORMS,
+    WORKER_BACKENDS,
+    FleetRunner,
+    fleet_supported,
+)
 from ..utils.rng import spawn_seeds
 from ..utils.validation import check_positive_int
 from .results import CurveSink, ExperimentResult, NullSink, SettingComparison
@@ -35,6 +45,10 @@ from .results import CurveSink, ExperimentResult, NullSink, SettingComparison
 __all__ = [
     "run_setting",
     "compare_settings",
+    "EngineConfig",
+    "set_default_config",
+    "get_default_config",
+    "use_config",
     "set_default_engine",
     "get_default_engine",
     "set_default_n_workers",
@@ -56,109 +70,12 @@ __all__ = [
 #: contract) and falls back otherwise.
 ENGINES = ("auto", "sequential", "fleet")
 
-_default_engine = "auto"
+def _check_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        from ..utils.exceptions import ConfigError
 
-
-def set_default_engine(engine: str) -> None:
-    """Set the process-wide engine used when callers pass ``engine=None``.
-
-    Exists for entry points (the CLI's ``--engine``) that sit many
-    layers above :func:`run_setting` and should not thread a parameter
-    through every figure/sweep signature.
-    """
-    global _default_engine
-    _default_engine = _check_engine(engine)
-
-
-def get_default_engine() -> str:
-    """The engine used when ``engine=None`` (default: ``"auto"``)."""
-    return _default_engine
-
-
-_default_n_workers = 1
-
-
-def set_default_n_workers(n_workers: int) -> None:
-    """Set the fleet shard-parallelism used when callers pass ``n_workers=None``.
-
-    Same rationale as :func:`set_default_engine`: entry points (the
-    CLI's ``--workers``) sit far above :func:`run_setting`.  Only
-    affects fleet-engine runs of multi-shard populations; results are
-    identical to serial stepping regardless (the :mod:`repro.sim`
-    contract).
-    """
-    global _default_n_workers
-    _default_n_workers = check_positive_int(n_workers, name="n_workers")
-
-
-def get_default_n_workers() -> int:
-    """The shard parallelism used when ``n_workers=None`` (default: 1)."""
-    return _default_n_workers
-
-
-def _resolve_n_workers(n_workers: int | None) -> int:
-    if n_workers is None:
-        return _default_n_workers
-    return check_positive_int(n_workers, name="n_workers")
-
-
-_default_plan_chunk_size: int | None = None
-
-
-def set_default_plan_chunk_size(plan_chunk_size: int | None) -> None:
-    """Set the fleet plan-chunk size used when callers pass the default.
-
-    Same rationale as :func:`set_default_engine`: entry points (the
-    CLI's ``--plan-chunk-size``) sit far above :func:`run_setting`.
-    ``None`` (the initial default) materializes whole horizons; any
-    chunk size is bit-identical (the :mod:`repro.sim` contract) and
-    only bounds plan memory.
-    """
-    global _default_plan_chunk_size
-    if plan_chunk_size is not None:
-        plan_chunk_size = check_positive_int(plan_chunk_size, name="plan_chunk_size")
-    _default_plan_chunk_size = plan_chunk_size
-
-
-def get_default_plan_chunk_size() -> int | None:
-    """The plan-chunk size used by default (``None`` = whole horizons)."""
-    return _default_plan_chunk_size
-
-
-#: default-argument sentinel distinguishing "not passed" (use the
-#: process default) from an explicit ``None`` (``None`` is itself a
-#: meaningful chunk size: whole horizons); shared by the sweep
-#: functions, which forward their ``plan_chunk_size`` here
-UNSET = object()
-
-
-def _resolve_plan_chunk_size(plan_chunk_size) -> int | None:
-    if plan_chunk_size is UNSET:
-        return _default_plan_chunk_size
-    if plan_chunk_size is not None:
-        plan_chunk_size = check_positive_int(plan_chunk_size, name="plan_chunk_size")
-    return plan_chunk_size
-
-
-_default_exactness = "bit"
-
-
-def set_default_exactness(exactness: str) -> None:
-    """Set the exactness tier used when callers pass ``exactness=None``.
-
-    Same rationale as :func:`set_default_engine`: entry points (the
-    CLI's ``--exactness``) sit far above :func:`run_setting`.
-    ``"bit"`` (the initial default) keeps every engine bit-identical
-    to the sequential reference; ``"fast"`` trades bit-identity for
-    memory on fleet runs (see :data:`repro.sim.EXACTNESS_TIERS`).
-    """
-    global _default_exactness
-    _default_exactness = _check_exactness(exactness)
-
-
-def get_default_exactness() -> str:
-    """The exactness tier used when ``exactness=None`` (default: ``"bit"``)."""
-    return _default_exactness
+        raise ConfigError(f"engine must be one of {ENGINES}, got {engine!r}")
+    return engine
 
 
 def _check_exactness(exactness: str) -> str:
@@ -171,27 +88,247 @@ def _check_exactness(exactness: str) -> str:
     return exactness
 
 
-def _resolve_exactness(exactness: str | None) -> str:
-    if exactness is None:
-        return _default_exactness
-    return _check_exactness(exactness)
-
-
-def _check_engine(engine: str) -> str:
-    if engine not in ENGINES:
+def _check_worker_backend(worker_backend: str) -> str:
+    if worker_backend not in WORKER_BACKENDS:
         from ..utils.exceptions import ConfigError
 
-        raise ConfigError(f"engine must be one of {ENGINES}, got {engine!r}")
-    return engine
+        raise ConfigError(
+            f"worker_backend must be one of {WORKER_BACKENDS}, got {worker_backend!r}"
+        )
+    return worker_backend
 
 
-def _resolve_engine(engine: str | None, agents) -> bool:
+def _check_plan_form(plan_form: str) -> str:
+    if plan_form not in PLAN_FORMS:
+        from ..utils.exceptions import ConfigError
+
+        raise ConfigError(f"plan_form must be one of {PLAN_FORMS}, got {plan_form!r}")
+    return plan_form
+
+
+#: default-argument sentinel distinguishing "not passed" (use the
+#: process default) from an explicit ``None`` (``None`` is itself a
+#: meaningful chunk size: whole horizons); shared by the sweep
+#: functions, which forward their ``plan_chunk_size`` here
+UNSET = object()
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One immutable bundle of every simulation-engine knob.
+
+    Replaces the kwarg pile that grew one parameter per PR (``engine``,
+    ``n_workers``, ``worker_backend``, ``plan_chunk_size``,
+    ``plan_form``, ``exactness``, ``sink``): build one ``EngineConfig``
+    and hand it to any entry point — ``run_setting(engine=cfg)``,
+    ``compare_settings(engine=cfg)``, the sweeps, ``DeploymentLoop``,
+    ``FleetRunner(config=cfg)``, ``FleetService(engine=cfg)`` —
+    or install it process-wide with :func:`set_default_config` /
+    scoped with :func:`use_config`.
+
+    The defaults reproduce the reference behavior exactly: auto engine
+    selection, serial stepping, whole-horizon plans, bit exactness, no
+    sink.  Validation happens at construction, so an ``EngineConfig``
+    in hand is known-good.  ``sink`` is a per-run streaming target (a
+    :class:`~repro.experiments.results.ResultSink`); it is only
+    meaningful for fleet-engine runs and is rejected by entry points
+    that run several settings (a shared sink would interleave them).
+
+    The legacy per-call kwargs (``engine="fleet"``, ``n_workers=4``,
+    ...) and the ``set_default_*`` setter pairs keep working as
+    deprecation shims; mixing an ``EngineConfig`` with explicit legacy
+    kwargs in the same call is an error (ambiguous precedence).
+    """
+
+    engine: str = "auto"
+    n_workers: int = 1
+    worker_backend: str = "thread"
+    plan_chunk_size: int | None = None
+    plan_form: str = "auto"
+    exactness: str = "bit"
+    sink: object | None = None
+
+    def __post_init__(self) -> None:
+        _check_engine(self.engine)
+        check_positive_int(self.n_workers, name="n_workers")
+        _check_worker_backend(self.worker_backend)
+        if self.plan_chunk_size is not None:
+            check_positive_int(self.plan_chunk_size, name="plan_chunk_size")
+        _check_plan_form(self.plan_form)
+        _check_exactness(self.exactness)
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A copy with ``changes`` applied (validated like a fresh one)."""
+        return dataclasses.replace(self, **changes)
+
+
+_default_config = EngineConfig()
+
+
+def set_default_config(config: EngineConfig) -> None:
+    """Install ``config`` as the process-wide engine configuration.
+
+    Used when callers do not pass an engine configuration explicitly.
+    Exists for entry points (the CLI flags) that sit many layers above
+    :func:`run_setting` and should not thread parameters through every
+    figure/sweep signature.  Replaces the five legacy
+    ``set_default_*`` pairs, which now shim onto this.
+    """
+    global _default_config
+    if not isinstance(config, EngineConfig):
+        from ..utils.exceptions import ConfigError
+
+        raise ConfigError(
+            f"set_default_config expects an EngineConfig, got {type(config).__name__}"
+        )
+    _default_config = config
+
+
+def get_default_config() -> EngineConfig:
+    """The process-wide :class:`EngineConfig` (default: ``EngineConfig()``)."""
+    return _default_config
+
+
+@contextmanager
+def use_config(config: EngineConfig | None = None, **overrides):
+    """Temporarily install an engine configuration (context manager).
+
+    ``use_config(cfg)`` swaps the process default for the ``with``
+    block; ``use_config(engine="fleet", n_workers=4)`` overrides just
+    those fields of the current default.  The previous default is
+    restored on exit, even on error.  Yields the active config.
+    """
+    if config is None:
+        config = _default_config.replace(**overrides)
+    elif overrides:
+        config = config.replace(**overrides)
+    previous = _default_config
+    set_default_config(config)
+    try:
+        yield config
+    finally:
+        set_default_config(previous)
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def set_default_engine(engine: str) -> None:
+    """Deprecated shim: ``set_default_config(cfg.replace(engine=...))``."""
+    _warn_deprecated("set_default_engine", "set_default_config / use_config")
+    set_default_config(_default_config.replace(engine=_check_engine(engine)))
+
+
+def get_default_engine() -> str:
+    """Deprecated shim: ``get_default_config().engine``."""
+    _warn_deprecated("get_default_engine", "get_default_config().engine")
+    return _default_config.engine
+
+
+def set_default_n_workers(n_workers: int) -> None:
+    """Deprecated shim: ``set_default_config(cfg.replace(n_workers=...))``."""
+    _warn_deprecated("set_default_n_workers", "set_default_config / use_config")
+    set_default_config(
+        _default_config.replace(
+            n_workers=check_positive_int(n_workers, name="n_workers")
+        )
+    )
+
+
+def get_default_n_workers() -> int:
+    """Deprecated shim: ``get_default_config().n_workers``."""
+    _warn_deprecated("get_default_n_workers", "get_default_config().n_workers")
+    return _default_config.n_workers
+
+
+def set_default_plan_chunk_size(plan_chunk_size: int | None) -> None:
+    """Deprecated shim: ``set_default_config(cfg.replace(plan_chunk_size=...))``."""
+    _warn_deprecated("set_default_plan_chunk_size", "set_default_config / use_config")
+    if plan_chunk_size is not None:
+        plan_chunk_size = check_positive_int(plan_chunk_size, name="plan_chunk_size")
+    set_default_config(_default_config.replace(plan_chunk_size=plan_chunk_size))
+
+
+def get_default_plan_chunk_size() -> int | None:
+    """Deprecated shim: ``get_default_config().plan_chunk_size``."""
+    _warn_deprecated(
+        "get_default_plan_chunk_size", "get_default_config().plan_chunk_size"
+    )
+    return _default_config.plan_chunk_size
+
+
+def set_default_exactness(exactness: str) -> None:
+    """Deprecated shim: ``set_default_config(cfg.replace(exactness=...))``."""
+    _warn_deprecated("set_default_exactness", "set_default_config / use_config")
+    set_default_config(_default_config.replace(exactness=_check_exactness(exactness)))
+
+
+def get_default_exactness() -> str:
+    """Deprecated shim: ``get_default_config().exactness``."""
+    _warn_deprecated("get_default_exactness", "get_default_config().exactness")
+    return _default_config.exactness
+
+
+def _resolve_config(
+    engine: "str | EngineConfig | None" = None,
+    *,
+    n_workers: int | None = None,
+    plan_chunk_size=UNSET,
+    exactness: str | None = None,
+) -> EngineConfig:
+    """Fold one call's engine arguments into a single :class:`EngineConfig`.
+
+    ``engine`` accepts the new form — an :class:`EngineConfig`, taken
+    verbatim — or the legacy string (``"auto"``/``"sequential"``/
+    ``"fleet"``).  Legacy per-field kwargs override the process
+    default; mixing them with an ``EngineConfig`` is rejected (the
+    config already carries those fields, so precedence would be
+    ambiguous).
+    """
+    if isinstance(engine, EngineConfig):
+        if (
+            n_workers is not None
+            or plan_chunk_size is not UNSET
+            or exactness is not None
+        ):
+            from ..utils.exceptions import ConfigError
+
+            raise ConfigError(
+                "pass engine settings either as one EngineConfig or as "
+                "individual kwargs, not both (the EngineConfig already "
+                "carries n_workers/plan_chunk_size/exactness)"
+            )
+        return engine
+    changes: dict = {}
+    if engine is not None:
+        changes["engine"] = _check_engine(engine)
+    if n_workers is not None:
+        changes["n_workers"] = check_positive_int(n_workers, name="n_workers")
+    if plan_chunk_size is not UNSET:
+        if plan_chunk_size is not None:
+            plan_chunk_size = check_positive_int(
+                plan_chunk_size, name="plan_chunk_size"
+            )
+        changes["plan_chunk_size"] = plan_chunk_size
+    if exactness is not None:
+        changes["exactness"] = _check_exactness(exactness)
+    if not changes:
+        return _default_config
+    return _default_config.replace(**changes)
+
+
+def _resolve_engine(engine: str, agents) -> bool:
     """Decide whether ``agents`` run on the fleet engine.
 
     ``"fleet"`` insists (raising if the population is not
     fleet-capable); ``"auto"`` probes; ``"sequential"`` never.
     """
-    engine = _check_engine(engine if engine is not None else _default_engine)
+    engine = _check_engine(engine)
     if engine == "sequential":
         return False
     supported = fleet_supported(agents)
@@ -248,7 +385,7 @@ def run_setting(
     seed=None,
     encoder=None,
     measure: str = "realized",
-    engine: str | None = None,
+    engine: "str | EngineConfig | None" = None,
     n_workers: int | None = None,
     plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
     exactness: str | None = None,
@@ -284,31 +421,35 @@ def run_setting(
         environment provides it (falls back to realized otherwise).
         Learning always uses realized rewards.
     engine:
+        The preferred form is an :class:`EngineConfig` carrying every
+        engine knob at once.  The legacy string form —
         ``"sequential"``, ``"fleet"``, ``"auto"`` (fleet when every
         agent's policy supports it; heterogeneous populations shard
-        into one stacked state per configuration), or ``None`` for the
-        process default (see :func:`set_default_engine`).  Fleet and
-        sequential produce bit-identical results whenever both run
-        (the :mod:`repro.sim` contract, pinned by ``tests/sim/``).
+        into one stacked state per configuration) — still works, as
+        does ``None`` for the process default (see
+        :func:`set_default_config`).  Fleet and sequential produce
+        bit-identical results whenever both run (the :mod:`repro.sim`
+        contract, pinned by ``tests/sim/``).
     n_workers:
-        Fleet shard parallelism (``None`` for the process default, see
-        :func:`set_default_n_workers`).  Multi-shard populations step
-        their shards concurrently; results stay identical to serial.
+        Legacy kwarg (prefer :class:`EngineConfig`): fleet shard
+        parallelism (``None`` for the process default).  Multi-shard
+        populations step their shards concurrently; results stay
+        identical to serial.
     plan_chunk_size:
-        Fleet plan-chunk size (omit for the process default, see
-        :func:`set_default_plan_chunk_size`): session plans materialize
+        Legacy kwarg (prefer :class:`EngineConfig`): fleet plan-chunk
+        size (omit for the process default): session plans materialize
         in horizon slices of this many steps, bounding plan memory;
         ``None`` materializes whole horizons.  Results are identical
         for every chunk size (the :mod:`repro.sim` contract).
     exactness:
-        Contract tier for fleet runs, one of
-        :data:`~repro.sim.EXACTNESS_TIERS`, or ``None`` for the process
-        default (see :func:`set_default_exactness`).  ``"bit"`` (the
-        initial default) is bit-identical to the sequential loop;
-        ``"fast"`` holds memory-lean policy state and streams curve
-        sums instead of materializing result matrices — statistically
-        equivalent curves, not bitwise (sequential-engine runs ignore
-        the tier; they are the bit reference by definition).
+        Legacy kwarg (prefer :class:`EngineConfig`): contract tier for
+        fleet runs, one of :data:`~repro.sim.EXACTNESS_TIERS`, or
+        ``None`` for the process default.  ``"bit"`` (the initial
+        default) is bit-identical to the sequential loop; ``"fast"``
+        holds memory-lean policy state and streams curve sums instead
+        of materializing result matrices — statistically equivalent
+        curves, not bitwise (sequential-engine runs ignore the tier;
+        they are the bit reference by definition).
     """
     if measure not in ("realized", "expected"):
         from ..utils.exceptions import ConfigError
@@ -324,9 +465,31 @@ def run_setting(
             f"match config ({config.n_actions} actions, {config.n_features} features)"
         )
     sys_seed, contrib_users_seed, eval_users_seed = spawn_seeds(seed, 3)
-    workers = _resolve_n_workers(n_workers)
-    chunk = _resolve_plan_chunk_size(plan_chunk_size)
-    tier = _resolve_exactness(exactness)
+    cfg = _resolve_config(
+        engine,
+        n_workers=n_workers,
+        plan_chunk_size=plan_chunk_size,
+        exactness=exactness,
+    )
+    if cfg.sink is not None:
+        if cfg.engine == "sequential":
+            from ..utils.exceptions import ConfigError
+
+            raise ConfigError(
+                "EngineConfig.sink streams fleet-engine results; the "
+                "sequential engine fills result matrices directly (drop the "
+                "sink or pick engine='auto'/'fleet')"
+            )
+        if not (hasattr(cfg.sink, "curve") and hasattr(cfg.sink, "mean_reward")):
+            from ..utils.exceptions import ConfigError
+
+            raise ConfigError(
+                "run_setting needs the evaluation curve back from the sink: "
+                "EngineConfig.sink must expose .curve and .mean_reward "
+                "(e.g. CurveSink), got "
+                f"{type(cfg.sink).__name__}"
+            )
+    tier = cfg.exactness
     system = P2BSystem(config, mode=mode, encoder=encoder, seed=sys_seed)
 
     n_reports = n_released = 0
@@ -341,15 +504,17 @@ def run_setting(
         sessions = [
             env.new_user(s) for s in spawn_seeds(contrib_users_seed, n_contributors)
         ]
-        if _resolve_engine(engine, contributors):
+        if _resolve_engine(cfg.engine, contributors):
             # the contributor phase never reads its result matrices, so
             # the fast tier streams them into a discarding sink — zero
             # O(n x T) result memory on the million-contributor runs
             FleetRunner(
                 contributors,
                 sessions,
-                n_workers=workers,
-                plan_chunk_size=chunk,
+                n_workers=cfg.n_workers,
+                worker_backend=cfg.worker_backend,
+                plan_chunk_size=cfg.plan_chunk_size,
+                plan_form=cfg.plan_form,
                 exactness=tier,
             ).run(t_contrib, sink=NullSink() if tier == "fast" else None)
         else:
@@ -373,19 +538,21 @@ def run_setting(
         for _ in range(n_eval_agents)
     ]
     curve = None
-    if _resolve_engine(engine, eval_agents):
+    if _resolve_engine(cfg.engine, eval_agents):
         eval_sessions = [env.new_user(s) for s in eval_seeds]
         fleet = FleetRunner(
             eval_agents,
             eval_sessions,
-            n_workers=workers,
-            plan_chunk_size=chunk,
+            n_workers=cfg.n_workers,
+            worker_backend=cfg.worker_backend,
+            plan_chunk_size=cfg.plan_chunk_size,
+            plan_form=cfg.plan_form,
             exactness=tier,
         )
-        if tier == "fast":
+        if cfg.sink is not None or tier == "fast":
             # curve-only reduction: per-round sums stream into the sink
             # and the (n, T) matrices are never materialized
-            sink = CurveSink()
+            sink = cfg.sink if cfg.sink is not None else CurveSink()
             fleet.run(eval_interactions, track_expected=want_expected, sink=sink)
             curve = sink.curve
             mean_reward = sink.mean_reward
@@ -393,6 +560,14 @@ def run_setting(
             result = fleet.run(eval_interactions, track_expected=want_expected)
             reward_matrix = result.measured()
     else:
+        if cfg.sink is not None:
+            from ..utils.exceptions import ConfigError
+
+            raise ConfigError(
+                "EngineConfig.sink requires the fleet engine, but this "
+                "population is not fleet-capable under engine='auto' "
+                "(drop the sink or fix the population)"
+            )
         reward_matrix = np.empty((n_eval_agents, eval_interactions), dtype=np.float64)
         for i, user_seed in enumerate(eval_seeds):
             agent = eval_agents[i]
@@ -437,7 +612,7 @@ def compare_settings(
     modes: tuple[str, ...] = AgentMode.ALL,
     encoder=None,
     measure: str = "realized",
-    engine: str | None = None,
+    engine: "str | EngineConfig | None" = None,
     n_workers: int | None = None,
     plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
     exactness: str | None = None,
@@ -447,8 +622,24 @@ def compare_settings(
     ``env_factory`` must build a *fresh but identically seeded*
     environment on every call (environments carry assignment state, so
     sharing one instance across settings would unfairly hand later
-    settings different users).
+    settings different users).  ``engine`` accepts an
+    :class:`EngineConfig` like :func:`run_setting` — except one with a
+    ``sink``, which is per-run state and would interleave the settings.
     """
+    cfg = _resolve_config(
+        engine,
+        n_workers=n_workers,
+        plan_chunk_size=plan_chunk_size,
+        exactness=exactness,
+    )
+    if cfg.sink is not None:
+        from ..utils.exceptions import ConfigError
+
+        raise ConfigError(
+            "compare_settings runs several settings; a shared "
+            "EngineConfig.sink would accumulate across them — run "
+            "run_setting per mode with a fresh sink instead"
+        )
     results = {}
     for mode in modes:
         results[mode] = run_setting(
@@ -462,9 +653,6 @@ def compare_settings(
             seed=seed,  # same root seed => paired users across settings
             encoder=encoder,
             measure=measure,
-            engine=engine,
-            n_workers=n_workers,
-            plan_chunk_size=plan_chunk_size,
-            exactness=exactness,
+            engine=cfg,
         )
     return SettingComparison(results=results)

@@ -1,0 +1,259 @@
+"""A hot serving loop over a persistent fleet (`repro-p2b serve`).
+
+The paper's deployment (Fig. 1) is a long-running service, not a batch
+job: devices come and go, preferences drift, and reports trickle in on
+per-device clocks.  :class:`FleetService` packages that regime behind a
+request-oriented API —
+
+* the population lives on one *persistent* :class:`~repro.sim.FleetRunner`
+  whose stacked per-shard state stays warm between requests (no
+  restack per batch);
+* :meth:`arrive` / :meth:`depart` churn the population with incremental
+  re-sharding, preserving every surviving agent's RNG streams;
+* :meth:`interact` answers one batch score/update request (each step
+  scores a context and updates the local policy — the serving
+  analogue of one fleet round);
+* :meth:`collect` / :meth:`flush` run asynchronous collection through
+  the shuffler's threshold-fill buffer
+  (:meth:`~repro.core.system.P2BSystem.collect_async`);
+* :meth:`refresh` redistributes the central model (the Fig. 1 "model
+  update" arrow).
+
+``benchmarks/bench_serve.py`` drives this loop end-to-end and records a
+requests-per-second number in ``BENCH_serve.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.agent import LocalAgent
+from ..core.config import AgentMode, P2BConfig
+from ..core.system import CollectionResult, P2BSystem
+from ..data.environment import Environment
+from ..sim import FleetResult, FleetRunner
+from ..utils.exceptions import ConfigError
+from ..utils.rng import spawn_seeds
+from ..utils.validation import check_positive_int
+from .runner import EngineConfig
+
+__all__ = ["FleetService", "ServeStats"]
+
+
+@dataclass(frozen=True)
+class ServeStats:
+    """Lifetime counters for one :class:`FleetService` (a snapshot)."""
+
+    n_requests: int  #: interact() calls answered
+    n_interactions: int  #: total agent-steps across all requests
+    n_arrived: int  #: agents enrolled over the service lifetime
+    n_departed: int  #: agents retired over the service lifetime
+    n_agents: int  #: current population size
+    n_reports: int  #: reports drained into collection
+    n_released: int  #: tuples released to the server
+    n_pending: int  #: tuples still buffered in the shuffler
+
+
+class FleetService:
+    """Keep a fleet hot and answer batch score/update requests.
+
+    Parameters
+    ----------
+    config:
+        Deployment parameters (:class:`~repro.core.config.P2BConfig`).
+    env:
+        Workload supplying user sessions — pass a
+        :class:`~repro.data.DriftingSyntheticEnvironment` for
+        non-stationary traffic.
+    engine:
+        Optional :class:`~repro.experiments.runner.EngineConfig`
+        bundling the fleet knobs (workers, chunking, plan form,
+        exactness).  ``engine="sequential"`` is rejected — the service
+        *is* the hot fleet — and ``sink`` must be ``None`` (requests
+        return their results directly).  ``None`` uses the session
+        default (:func:`~repro.experiments.runner.get_default_config`).
+    mode:
+        Agent wiring, one of :class:`~repro.core.config.AgentMode`
+        (default warm-private, the paper's full pipeline).
+    seed:
+        Root seed; agent streams come from the system's own root, so a
+        fixed arrival order reproduces bit-identically.
+    """
+
+    def __init__(
+        self,
+        config: P2BConfig,
+        env: Environment,
+        *,
+        engine: EngineConfig | None = None,
+        mode: str = AgentMode.WARM_PRIVATE,
+        seed=None,
+    ) -> None:
+        if engine is None:
+            from .runner import get_default_config
+
+            engine = get_default_config()
+        if not isinstance(engine, EngineConfig):
+            raise ConfigError(
+                f"engine must be an EngineConfig or None, got {engine!r}"
+            )
+        if engine.engine == "sequential":
+            raise ConfigError(
+                "engine='sequential' is not servable: FleetService keeps a "
+                "hot persistent fleet (use run_setting for sequential runs)"
+            )
+        if engine.sink is not None:
+            raise ConfigError(
+                "EngineConfig.sink is not supported by FleetService; "
+                "interact() returns its results directly"
+            )
+        self.env = env
+        self.engine = engine
+        sys_seed, self._session_root = spawn_seeds(seed, 2)
+        self.system = P2BSystem(config, mode=mode, seed=sys_seed)
+        # population starts empty: arrivals build it up request by request
+        self.fleet = FleetRunner([], [], config=engine, persistent=True)
+        self._n_requests = 0
+        self._n_interactions = 0
+        self._n_arrived = 0
+        self._n_departed = 0
+        self._n_reports = 0
+        self._n_released = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_agents(self) -> int:
+        """Current population size."""
+        return len(self.fleet.agents)
+
+    @property
+    def stats(self) -> ServeStats:
+        """Snapshot of the service's lifetime counters."""
+        return ServeStats(
+            n_requests=self._n_requests,
+            n_interactions=self._n_interactions,
+            n_arrived=self._n_arrived,
+            n_departed=self._n_departed,
+            n_agents=self.n_agents,
+            n_reports=self._n_reports,
+            n_released=self._n_released,
+            n_pending=self.system.n_pending_reports,
+        )
+
+    # ------------------------------------------------------------------ #
+    # population churn
+    def arrive(self, n: int = 1) -> list[LocalAgent]:
+        """Enroll ``n`` fresh devices (warm-started when possible).
+
+        Agent RNG streams come from the system's agent root and session
+        streams from the service's session root — both in arrival
+        order — so a fixed arrival schedule reproduces bit-identically
+        regardless of what requests ran in between.
+        """
+        check_positive_int(n, name="n")
+        snapshot = None
+        if self.system.server is not None and self.system.server.n_tuples_ingested:
+            snapshot = self.system.model_snapshot()
+        arrivals: list[LocalAgent] = []
+        sessions = []
+        for session_seed in spawn_seeds(self._session_root, n):
+            agent = self.system.new_agent()
+            if snapshot is not None:
+                agent.warm_start(snapshot)
+            arrivals.append(agent)
+            sessions.append(self.env.new_user(session_seed))
+        self.fleet.add_agents(arrivals, sessions)
+        self._n_arrived += n
+        return arrivals
+
+    def depart(self, agents: Sequence[LocalAgent | int]) -> CollectionResult:
+        """Retire devices, collecting their last reports on the way out.
+
+        A departing device's unsent reports are drained into the
+        asynchronous buffer *before* removal, so tuples whose crowd has
+        not yet filled keep waiting for crowd-mates that arrive after
+        the reporter is gone.  Returns that collection's result.
+        """
+        departing = [
+            self.fleet.agents[int(a)] if isinstance(a, (int, np.integer)) else a
+            for a in agents
+        ]
+        outcome = self.system.collect_async(departing)
+        self.fleet.remove_agents(departing)
+        self._n_departed += len(departing)
+        self._n_reports += outcome.n_reports
+        self._n_released += outcome.n_released
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # requests
+    def interact(
+        self,
+        n_steps: int,
+        subset: Sequence[LocalAgent | int] | None = None,
+    ) -> FleetResult | None:
+        """Answer one batch request: ``n_steps`` score/update rounds.
+
+        The full population runs on the hot persistent fleet.  A
+        ``subset`` (devices on their own clocks) runs on an ephemeral
+        fleet over just those agents — their policy state advances in
+        place either way, so mixed full/subset request streams compose.
+        Returns the batch's :class:`~repro.sim.FleetResult` (empty
+        shapes for an empty population).
+        """
+        self._n_requests += 1
+        if subset is None:
+            result = self.fleet.run(n_steps)
+            self._n_interactions += self.n_agents * n_steps
+            return result
+        idx = [
+            int(a) if isinstance(a, (int, np.integer)) else self._index_of(a)
+            for a in subset
+        ]
+        agents = [self.fleet.agents[i] for i in idx]
+        sessions = [self.fleet.sessions[i] for i in idx]
+        result = FleetRunner(agents, sessions, config=self.engine).run(n_steps)
+        # the ephemeral run mutated policies the persistent shards cache
+        self.fleet.invalidate()
+        self._n_interactions += len(agents) * n_steps
+        return result
+
+    def _index_of(self, agent: LocalAgent) -> int:
+        for i, a in enumerate(self.fleet.agents):
+            if a is agent:
+                return i
+        raise ConfigError(
+            f"agent {getattr(agent, 'agent_id', agent)!r} is not in this "
+            "service's population"
+        )
+
+    # ------------------------------------------------------------------ #
+    # asynchronous collection and model distribution
+    def collect(self) -> CollectionResult:
+        """Drain every outbox into the async buffer; release what's ready."""
+        outcome = self.system.collect_async(self.fleet.agents)
+        self._n_reports += outcome.n_reports
+        self._n_released += outcome.n_released
+        return outcome
+
+    def flush(self) -> CollectionResult:
+        """End-of-deployment release: drop tuples whose crowd never came."""
+        outcome = self.system.flush_async()
+        self._n_released += outcome.n_released
+        return outcome
+
+    def refresh(self) -> None:
+        """Push the current central model to every device (Fig. 1 arrow).
+
+        ``warm_start`` mutates policies outside the fleet, so the
+        persistent shard cache is invalidated (next request restacks).
+        """
+        if self.system.server is None or not self.system.server.n_tuples_ingested:
+            return
+        snapshot = self.system.model_snapshot()
+        for agent in self.fleet.agents:
+            agent.warm_start(snapshot)
+        self.fleet.invalidate()

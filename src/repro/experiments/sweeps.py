@@ -16,7 +16,7 @@ from ..data.synthetic import SyntheticPreferenceEnvironment
 from ..encoding.kmeans_encoder import KMeansEncoder
 from ..privacy.accounting import epsilon_from_p
 from .results import FigureResult
-from .runner import UNSET, compare_settings
+from .runner import UNSET, EngineConfig, compare_settings
 
 __all__ = [
     "population_sweep",
@@ -54,7 +54,7 @@ def population_sweep(
     figure_id: str = "fig4",
     description: str = "average reward vs population size U",
     measure: str = "realized",
-    engine: str | None = None,
+    engine: str | EngineConfig | None = None,
     n_workers: int | None = None,
     plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
     exactness: str | None = None,
@@ -111,7 +111,7 @@ def dimension_sweep(
     figure_id: str = "fig5",
     description: str = "average reward vs context dimension d",
     measure: str = "realized",
-    engine: str | None = None,
+    engine: str | EngineConfig | None = None,
     n_workers: int | None = None,
     plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
     exactness: str | None = None,
@@ -169,7 +169,7 @@ def codebook_sweep(
     seed: int = 0,
     figure_id: str = "ablation-k",
     description: str = "reward vs codebook size k (warm-private)",
-    engine: str | None = None,
+    engine: str | EngineConfig | None = None,
     n_workers: int | None = None,
     plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
     exactness: str | None = None,
@@ -218,7 +218,7 @@ def participation_sweep(
     seed: int = 0,
     figure_id: str = "ablation-p",
     description: str = "privacy/utility trade-off over participation p",
-    engine: str | None = None,
+    engine: str | EngineConfig | None = None,
     n_workers: int | None = None,
     plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
     exactness: str | None = None,

@@ -125,6 +125,8 @@ random seeds and random synthetic/replay population mixtures.
 """
 
 from .fleet import (
+    PLAN_FORMS,
+    WORKER_BACKENDS,
     FleetResult,
     FleetRunner,
     aggregate_plan_nbytes,
@@ -153,6 +155,8 @@ __all__ = [
     "shard_indices",
     "aggregate_plan_nbytes",
     "EXACTNESS_TIERS",
+    "WORKER_BACKENDS",
+    "PLAN_FORMS",
     "StackedPolicies",
     "StackedLinUCB",
     "StackedEpsilonGreedy",

@@ -192,6 +192,21 @@ def fleet_supported(agents: Sequence[LocalAgent]) -> bool:
     return bool(agents) and all(shard_key(a) is not None for a in agents)
 
 
+def _checked_shard_key(agent: LocalAgent, i: int) -> tuple:
+    """:func:`shard_key`, raising the standard error when not fleet-capable."""
+    key = shard_key(agent)
+    if key is None:
+        if agent.policy.fleet_key() is None:
+            why = f"policy {type(agent.policy).__name__} has no fleet support"
+        else:
+            why = "it is warm-private but has no encoder"
+        raise ConfigError(
+            f"agent {agent.agent_id!r} (index {i}) is not fleet-capable: "
+            f"{why} (run the sequential engine instead)"
+        )
+    return key
+
+
 def shard_indices(agents: Sequence[LocalAgent]) -> list[np.ndarray]:
     """Partition agent indices into stackable shards.
 
@@ -202,17 +217,7 @@ def shard_indices(agents: Sequence[LocalAgent]) -> list[np.ndarray]:
     """
     groups: dict[tuple, list[int]] = {}
     for i, agent in enumerate(agents):
-        key = shard_key(agent)
-        if key is None:
-            if agent.policy.fleet_key() is None:
-                why = f"policy {type(agent.policy).__name__} has no fleet support"
-            else:
-                why = "it is warm-private but has no encoder"
-            raise ConfigError(
-                f"agent {agent.agent_id!r} (index {i}) is not fleet-capable: "
-                f"{why} (run the sequential engine instead)"
-            )
-        groups.setdefault(key, []).append(i)
+        groups.setdefault(_checked_shard_key(agent, i), []).append(i)
     return [np.asarray(idx, dtype=np.intp) for idx in groups.values()]
 
 
@@ -258,7 +263,6 @@ class _Shard:
         plan_chunk_size: int | None = None,
         plan_form: str = "auto",
         exactness: str = "bit",
-        result_window: int | None = None,
     ) -> None:
         self.indices = indices
         self.agents = agents
@@ -270,19 +274,43 @@ class _Shard:
         self._rows = np.arange(self.n)
         self._plan_chunk_size = plan_chunk_size
         self._plan_form = plan_form
-        # when streaming into a ResultSink the result matrices are a
-        # ring of this many columns (covering every lookback the
-        # reporting pipeline performs); None = full-horizon matrices
-        self._colmod = result_window
-        # which plan fast path this shard runs on (None = generic loop)
-        self._plan_path: str | None = None
-        self._track_expected = False
-        # acting-representation caches (warm-private only)
+        # acting-representation caches (warm-private only) — persist
+        # across runs: encoders are deterministic, and _refresh_acting
+        # validates each entry against the live context
         self._cached_ctx: list[np.ndarray | None] = [None] * self.n
         self._cached_code = np.empty(self.n, dtype=np.intp)
         self._cached_rep: list[np.ndarray | None] = [None] * self.n
+        # deterministic encoder-group caches (persist across runs)
+        self._enc_groups: list[np.ndarray] | None = None
+        self._agent_group: np.ndarray | None = None
+        # shared per-row encoding tables (persist while the row table
+        # is the same object — each dataset row encoded at most once
+        # per encoder across a persistent shard's whole lifetime)
+        self._row_codes: np.ndarray | None = None  # (groups, n_rows) intp
+        self._row_reps: np.ndarray | None = None  # (groups, n_rows, d)
+        self._row_encoded: np.ndarray | None = None  # (groups, n_rows) bool
+        self._row_codes_table: int | None = None  # id() of the table they cover
         # raw contexts, allocated on the first generic-path round
         self._X: np.ndarray | None = None
+        self._reset_run_state()
+
+    def _reset_run_state(self) -> None:
+        """Clear every per-run field (a persistent shard runs many times).
+
+        Deterministic caches — stacked policy state, acting-encoding
+        caches, encoder groups, shared per-row code tables — survive;
+        plan materializations, chunk cursors, history tails and the
+        columnar-recording state are strictly per-run and reset here
+        (``prepare`` calls this first, so a reused shard can never see
+        a previous run's plan path or recording buffers).
+        """
+        # when streaming into a ResultSink the result matrices are a
+        # ring of this many columns (covering every lookback the
+        # reporting pipeline performs); None = full-horizon matrices
+        self._colmod: int | None = None
+        # which plan fast path this shard runs on (None = generic loop)
+        self._plan_path: str | None = None
+        self._track_expected = False
         # chunk state: plan arrays cover global steps
         # [_chunk_start, _chunk_start + _chunk_len)
         self._chunk = 0
@@ -292,6 +320,9 @@ class _Shard:
         self._plan_means: np.ndarray | None = None
         self._plan_noise: np.ndarray | None = None
         self._plan_acting: np.ndarray | None = None
+        # whether any session's stationarity expires mid-horizon
+        # (drifting sessions): chunks then re-gather means/contexts
+        self._plan_limited = False
         # dense trace-plan arrays (per-agent, chunk-local)
         self._trace_ctx: np.ndarray | None = None
         self._trace_rewards: np.ndarray | None = None
@@ -301,14 +332,9 @@ class _Shard:
         self._trace_reps: np.ndarray | None = None
         self._trace_expected_is_rewards = False
         # shared-row-table state (indexed shards): the full-horizon row
-        # walk plus per-dataset tables gathered through it
+        # walk (the per-dataset code tables persist across runs)
         self._row_table: TraceRowTable | None = None
         self._trace_rows: np.ndarray | None = None  # (n, T) intp
-        self._row_codes: np.ndarray | None = None  # (groups, n_rows) intp
-        self._row_reps: np.ndarray | None = None  # (groups, n_rows, d)
-        self._row_encoded: np.ndarray | None = None  # (groups, n_rows) bool
-        self._enc_groups: list[np.ndarray] | None = None
-        self._agent_group: np.ndarray | None = None
         # history tail (dense traced chunked shards): the last
         # ``max(window) - 1`` steps of context/codes before the current
         # chunk, for report gathers and buffer rebuilds that straddle a
@@ -326,7 +352,13 @@ class _Shard:
         self._pre_buffers: list[list] | None = None
 
     # ------------------------------------------------------------------ #
-    def prepare(self, n_interactions: int, *, track_expected: bool = False) -> None:
+    def prepare(
+        self,
+        n_interactions: int,
+        *,
+        track_expected: bool = False,
+        result_window: int | None = None,
+    ) -> None:
         """Pick the plan fast path and materialize its first chunk.
 
         Capability *flags* decide the path (never method-identity
@@ -339,10 +371,19 @@ class _Shard:
         per-agent.  Shards mixing plan-capable and plan-less sessions
         take the generic per-round path.
         """
+        self._reset_run_state()
+        self._colmod = result_window
         self._horizon = n_interactions
         self._track_expected = track_expected
         if all(s.has_reward_plan for s in self.sessions):
             path = "stationary"
+            # drifting sessions advertise a finite stationarity horizon;
+            # chunks then stop at every drift boundary and re-gather the
+            # per-chunk contexts/means (plan_horizon_limit is pure — it
+            # consumes no randomness, so probing it is free)
+            self._plan_limited = any(
+                s.plan_horizon_limit() is not None for s in self.sessions
+            )
         elif all(s.has_trace_plan for s in self.sessions):
             path = self._pick_trace_form()
         else:
@@ -367,7 +408,14 @@ class _Shard:
             # per-dataset tables
             self._trace_rows = np.empty((self.n, n_interactions), dtype=np.intp)
             self._init_row_encodings()
-        self._init_batch_recording(n_interactions)
+        if not (path == "stationary" and self._plan_limited):
+            # drifting stationary shards keep the scalar
+            # record_interaction path: the columnar payload gather
+            # assumes one fixed context/code per agent, which drift
+            # breaks at epoch boundaries — recording per step with the
+            # current chunk's context is exact (within a chunk the
+            # context is constant by construction)
+            self._init_batch_recording(n_interactions)
         self._init_history()
         self._materialize_chunk(0)
 
@@ -418,6 +466,11 @@ class _Shard:
         """
         if self.mode != AgentMode.WARM_PRIVATE:
             return
+        if (
+            self._row_codes is not None
+            and self._row_codes_table == id(self._row_table)
+        ):
+            return  # persistent reuse: rows already encoded stay encoded
         groups = self._encoder_groups()
         self._agent_group = np.empty(self.n, dtype=np.intp)
         for g, members in enumerate(groups):
@@ -425,6 +478,7 @@ class _Shard:
         shape = (len(groups), self._row_table.n_rows)
         self._row_codes = np.zeros(shape, dtype=np.intp)
         self._row_encoded = np.zeros(shape, dtype=bool)
+        self._row_codes_table = id(self._row_table)
         if self.private_context == "centroid":
             d = self._row_table.contexts.shape[1]
             self._row_reps = np.zeros((*shape, d), dtype=np.float64)
@@ -458,6 +512,17 @@ class _Shard:
         (``tests/sim/test_chunked_plans.py`` pins the equivalence).
         """
         length = min(self._chunk, self._horizon - start)
+        if self._plan_path == "stationary" and self._plan_limited:
+            # stop this chunk at the earliest drift boundary: each
+            # session's plan then covers one stationary stretch, and
+            # the next chunk re-plans after the session has advanced
+            # its epoch — exactly the per-step sequential behavior
+            cap = min(
+                limit
+                for limit in (s.plan_horizon_limit() for s in self.sessions)
+                if limit is not None
+            )
+            length = min(length, cap)
         self._chunk_start = start
         self._chunk_len = length
         if self._plan_path == "stationary":
@@ -465,10 +530,15 @@ class _Shard:
                 s.plan_rewards(length) for s in self.sessions
             ]
             self._plan_noise = np.stack([p.noise for p in plans])  # (n, C)
-            if start == 0:
+            if start == 0 or self._plan_limited:
+                # drifting shards re-gather contexts/means every chunk;
+                # _refresh_acting re-encodes only agents whose context
+                # actually changed (encoders are deterministic, so a
+                # cache hit is exact) — which also lets a persistent
+                # shard reuse its encode cache across runs
                 self._X = np.stack([p.context for p in plans])
                 self._plan_means = np.stack([p.mean_rewards for p in plans])  # (n, A)
-                self._plan_acting = self._acting_representation(self._X, self._rows)
+                self._plan_acting = self._refresh_acting(self._X)
         elif self._plan_path == "indexed":
             rows = np.stack(
                 [s.plan_trace_indexed(length).rows for s in self.sessions]
@@ -1083,6 +1153,13 @@ class FleetRunner:
         shard automatically.
     sessions:
         One user session per agent, aligned by index.
+    config:
+        An :class:`~repro.experiments.runner.EngineConfig` carrying
+        every engine knob at once (duck-typed; this module never
+        imports :mod:`repro.experiments`).  Mutually exclusive with
+        the individual kwargs below.  Its ``engine`` field is ignored
+        (this class *is* the fleet engine); its ``sink`` becomes the
+        default streaming target for :meth:`run`.
     n_workers:
         Shard-level parallelism (default 1 = serial).  Shards are
         fully independent, so ``n_workers > 1`` runs each shard's
@@ -1126,6 +1203,17 @@ class FleetRunner:
         pins tolerance bands), not bitwise; kinds without one run
         their bit stacker unchanged, so ``"fast"`` degenerates to
         ``"bit"`` for them.
+    persistent:
+        Keep each shard's stacked state warm between :meth:`run` calls
+        (default ``False`` = restack per run, the historical
+        behavior).  Reuse is bitwise-identical to restacking —
+        ``writeback`` leaves stacked arrays equal to the policy
+        objects — and is the backbone of streaming deployments
+        (:class:`~repro.experiments.serve.FleetService`): repeated
+        short runs skip the O(population) restack.  Population churn
+        (:meth:`add_agents` / :meth:`remove_agents`) restacks only the
+        affected shards; mutating a policy *outside* the fleet (e.g.
+        ``warm_start``) requires :meth:`invalidate`.
     """
 
     def __init__(
@@ -1133,12 +1221,39 @@ class FleetRunner:
         agents: Sequence[LocalAgent],
         sessions: Sequence[UserSession],
         *,
+        config=None,
         n_workers: int = 1,
         worker_backend: str = "thread",
         plan_chunk_size: int | None = None,
         plan_form: str = "auto",
         exactness: str = "bit",
+        persistent: bool = False,
     ) -> None:
+        if config is not None:
+            # an EngineConfig (duck-typed: sim must not import
+            # experiments) — it already carries every engine field, so
+            # mixing it with explicit kwargs would leave precedence
+            # ambiguous; its `engine` field is moot here (this *is* the
+            # fleet engine) and `sink` stays per-run (see run()).
+            if (
+                n_workers != 1
+                or worker_backend != "thread"
+                or plan_chunk_size is not None
+                or plan_form != "auto"
+                or exactness != "bit"
+            ):
+                raise ConfigError(
+                    "pass engine settings either via config= or as individual "
+                    "kwargs, not both (the EngineConfig already carries them)"
+                )
+            n_workers = config.n_workers
+            worker_backend = config.worker_backend
+            plan_chunk_size = config.plan_chunk_size
+            plan_form = config.plan_form
+            exactness = config.exactness
+            self._config_sink = getattr(config, "sink", None)
+        else:
+            self._config_sink = None
         self.agents = list(agents)
         self.sessions = list(sessions)
         self.n_workers = check_positive_int(n_workers, name="n_workers")
@@ -1158,6 +1273,7 @@ class FleetRunner:
                 f"exactness must be one of {EXACTNESS_TIERS}, got {exactness!r}"
             )
         self.exactness = exactness
+        self.persistent = bool(persistent)
         if len(self.agents) != len(self.sessions):
             raise ConfigError(
                 f"agents ({len(self.agents)}) and sessions ({len(self.sessions)}) "
@@ -1165,15 +1281,151 @@ class FleetRunner:
             )
         # partition eagerly so unsupported populations fail at
         # construction, not mid-run; an empty population partitions
-        # into zero shards and runs to an empty result
-        self._shard_index_groups = shard_indices(self.agents)
+        # into zero shards and runs to an empty result.  The dict is
+        # insertion-ordered by first appearance — churn appends to /
+        # filters these lists instead of re-partitioning everything.
+        self._groups: dict[tuple, list[int]] = {}
+        for i, agent in enumerate(self.agents):
+            self._groups.setdefault(_checked_shard_key(agent, i), []).append(i)
+        # persistent mode keeps each shard's stacked state warm between
+        # runs, keyed like _groups; entries drop whenever membership
+        # changes (see add_agents/remove_agents/invalidate)
+        self._shards: dict[tuple, _Shard] = {}
+
+    @property
+    def _shard_index_groups(self) -> list[np.ndarray]:
+        """Shard membership as index arrays (ordered by first appearance)."""
+        return [np.asarray(idx, dtype=np.intp) for idx in self._groups.values()]
 
     @property
     def n_shards(self) -> int:
         """Number of stacked states this population partitions into."""
-        return len(self._shard_index_groups)
+        return len(self._groups)
 
     # ------------------------------------------------------------------ #
+    # population churn
+    def add_agents(
+        self, agents: Sequence[LocalAgent], sessions: Sequence[UserSession]
+    ) -> None:
+        """Enroll ``agents`` mid-deployment (incremental re-sharding).
+
+        Only the shards the newcomers land in restack on the next run;
+        every untouched shard keeps its cached stacked state (in
+        persistent mode) and is never rebuilt.  Surviving agents keep
+        their objects — and therefore their ``spawn_seeds`` RNG
+        streams — untouched.
+        """
+        agents = list(agents)
+        sessions = list(sessions)
+        if len(agents) != len(sessions):
+            raise ConfigError(
+                f"agents ({len(agents)}) and sessions ({len(sessions)}) "
+                "must align one-to-one"
+            )
+        base = len(self.agents)
+        for off, agent in enumerate(agents):
+            key = _checked_shard_key(agent, base + off)
+            self._groups.setdefault(key, []).append(base + off)
+            self._shards.pop(key, None)  # membership changed: restack
+        self.agents.extend(agents)
+        self.sessions.extend(sessions)
+
+    def remove_agents(self, agents: Sequence[LocalAgent]) -> None:
+        """Retire ``agents`` mid-deployment (incremental re-sharding).
+
+        Accepts agent objects (matched by identity) or integer
+        population indices.  Shards losing members restack on the next
+        run; untouched shards keep their stacked state.  Departing
+        agents keep any unsent outbox reports — drain them before (or
+        after) removal; the shuffler's async buffer holds whatever was
+        already collected.
+        """
+        doomed: set[int] = set()
+        by_id = {id(a): i for i, a in enumerate(self.agents)}
+        for a in agents:
+            if isinstance(a, (int, np.integer)):
+                i = int(a)
+                if not 0 <= i < len(self.agents):
+                    raise ConfigError(
+                        f"agent index {i} out of range (population size "
+                        f"{len(self.agents)})"
+                    )
+            else:
+                i = by_id.get(id(a))
+                if i is None:
+                    raise ConfigError(
+                        f"agent {getattr(a, 'agent_id', a)!r} is not in this "
+                        "fleet's population"
+                    )
+            doomed.add(i)
+        if not doomed:
+            return
+        old_to_new: dict[int, int] = {}
+        keep_agents, keep_sessions = [], []
+        for i, (agent, session) in enumerate(zip(self.agents, self.sessions)):
+            if i in doomed:
+                continue
+            old_to_new[i] = len(keep_agents)
+            keep_agents.append(agent)
+            keep_sessions.append(session)
+        new_groups: dict[tuple, list[int]] = {}
+        for key, members in self._groups.items():
+            survivors = [old_to_new[i] for i in members if i not in doomed]
+            if len(survivors) != len(members):
+                self._shards.pop(key, None)  # membership changed: restack
+            if survivors:
+                new_groups[key] = survivors
+        self.agents = keep_agents
+        self.sessions = keep_sessions
+        self._groups = new_groups
+
+    def invalidate(self) -> None:
+        """Drop every cached shard (persistent mode).
+
+        Required after mutating any agent's policy *outside* the fleet
+        (e.g. ``warm_start``): cached stacked state would no longer
+        mirror the policy objects.  Churn and runs handle their own
+        cache consistency; this is the escape hatch for external
+        mutation.
+        """
+        self._shards.clear()
+
+    # ------------------------------------------------------------------ #
+    def _shard_for(self, key: tuple, members: list[int]) -> _Shard:
+        """The shard for one group — cached in persistent mode.
+
+        A cached shard is reused only when its member agent list is
+        *identity*-equal to the current one (same objects, same order);
+        reuse then skips ``stack_policies`` entirely, which is bitwise
+        safe because ``writeback`` leaves the stacked arrays equal to
+        the policy state and ``prepare`` resets all per-run state.
+        Global indices may have shifted under churn, so they (and the
+        session bindings) are refreshed on every run.
+        """
+        idx = np.asarray(members, dtype=np.intp)
+        agents = [self.agents[i] for i in members]
+        sessions = [self.sessions[i] for i in members]
+        shard = self._shards.get(key) if self.persistent else None
+        if (
+            shard is not None
+            and len(shard.agents) == len(agents)
+            and all(a is b for a, b in zip(shard.agents, agents))
+        ):
+            shard.indices = idx
+            shard.sessions = sessions
+            return shard
+        shard = _Shard(
+            idx,
+            agents,
+            sessions,
+            plan_chunk_size=self.plan_chunk_size,
+            plan_form=self.plan_form,
+            exactness=self.exactness,
+        )
+        if self.persistent:
+            self._shards[key] = shard
+        return shard
+
     def _result_window(self, n_interactions: int) -> int:
         """Ring width for streaming runs: every lookback fits.
 
@@ -1245,8 +1497,10 @@ class FleetRunner:
         """
         n_interactions = check_positive_int(n_interactions, name="n_interactions")
         n = len(self.agents)
+        if sink is None:
+            sink = self._config_sink
 
-        if n == 0 or not self._shard_index_groups:
+        if n == 0 or not self._groups:
             return self._empty_result(
                 n_interactions, track_expected=track_expected, sink=sink
             )
@@ -1262,17 +1516,10 @@ class FleetRunner:
 
         width = n_interactions if sink is None else self._result_window(n_interactions)
         shards = [
-            _Shard(
-                idx,
-                [self.agents[i] for i in idx],
-                [self.sessions[i] for i in idx],
-                plan_chunk_size=self.plan_chunk_size,
-                plan_form=self.plan_form,
-                exactness=self.exactness,
-                result_window=None if sink is None else width,
-            )
-            for idx in self._shard_index_groups
+            self._shard_for(key, members)
+            for key, members in self._groups.items()
         ]
+        result_window = None if sink is None else width
 
         rewards = np.empty((n, width), dtype=np.float64)
         actions_mat = np.empty((n, width), dtype=np.intp)
@@ -1304,7 +1551,11 @@ class FleetRunner:
             from concurrent.futures import ThreadPoolExecutor
 
             def run_shard(shard: _Shard) -> None:
-                shard.prepare(n_interactions, track_expected=track_expected)
+                shard.prepare(
+                    n_interactions,
+                    track_expected=track_expected,
+                    result_window=result_window,
+                )
                 for t in range(n_interactions):
                     shard.step(t, rewards, actions_mat, expected, expected_ok)
                     if sink is not None:
@@ -1316,7 +1567,11 @@ class FleetRunner:
                     future.result()
         else:
             for shard in shards:
-                shard.prepare(n_interactions, track_expected=track_expected)
+                shard.prepare(
+                    n_interactions,
+                    track_expected=track_expected,
+                    result_window=result_window,
+                )
             for t in range(n_interactions):
                 for shard in shards:
                     shard.step(t, rewards, actions_mat, expected, expected_ok)
@@ -1353,6 +1608,11 @@ class FleetRunner:
         parent-side O(n x T), not the workers').
         """
         from concurrent.futures import ProcessPoolExecutor
+
+        # workers ship back state-equal *replacement* component objects
+        # (_adopt rebinds agent.policy etc.), so any cached shard's
+        # stacked references would go stale — drop them
+        self._shards.clear()
 
         n = len(self.agents)
         payloads = []

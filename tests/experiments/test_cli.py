@@ -120,3 +120,90 @@ class TestFlagErrorPaths:
         assert "expected a positive integer" in err or "expected an integer" in err
         assert "Traceback" not in err
         assert err.strip().splitlines()[-1].startswith("repro-p2b")
+
+
+class TestServeCommand:
+    def test_serve_registered_with_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.serve_agents == 64
+        assert args.serve_requests == 20
+        assert args.serve_batch == 10
+        assert args.serve_arrivals == 2
+        assert args.serve_departures == 2
+        assert args.serve_collect_every == 4
+        assert args.serve_epoch_length == 20
+
+    def test_serve_runs_end_to_end(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--serve-agents",
+                    "12",
+                    "--serve-requests",
+                    "3",
+                    "--serve-batch",
+                    "4",
+                    "--seed",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "streaming deployment" in out
+        assert "requests answered" in out
+
+    def test_serve_zero_churn_allowed(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--serve-agents",
+                    "8",
+                    "--serve-requests",
+                    "2",
+                    "--serve-batch",
+                    "3",
+                    "--serve-arrivals",
+                    "0",
+                    "--serve-departures",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "final population" in out
+        line = next(ln for ln in out.splitlines() if "final population" in ln)
+        assert line.split(":")[1].strip() == "8"
+
+    def test_serve_rejects_sequential_engine(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--engine", "sequential"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "hot fleet" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["serve", "--serve-agents", "0"],
+            ["serve", "--serve-requests", "-1"],
+            ["serve", "--serve-batch", "many"],
+            ["serve", "--serve-arrivals", "-2"],
+            ["serve", "--serve-departures", "minus"],
+            ["serve", "--serve-collect-every", "0"],
+            ["serve", "--serve-epoch-length", "-5"],
+        ],
+    )
+    def test_bad_serve_values_exit_with_usage_error(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "expected a" in err and "integer" in err
+        assert "Traceback" not in err
+        assert err.strip().splitlines()[-1].startswith("repro-p2b")

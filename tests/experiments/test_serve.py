@@ -1,0 +1,155 @@
+"""FleetService: the hot serving loop behind `repro-p2b serve`.
+
+End-to-end streaming deployments (churn + drift + async collection)
+must run to completion, and — the anchor — a fixed-population service
+answering fixed-horizon requests must be bit-identical to driving the
+same population through a plain FleetRunner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import P2BConfig
+from repro.data import DriftingSyntheticEnvironment
+from repro.experiments import FleetService, ServeStats
+from repro.experiments.runner import EngineConfig
+from repro.sim import FleetRunner
+from repro.utils.exceptions import ConfigError
+
+N_ACTIONS = 4
+N_FEATURES = 6
+
+
+def _env(**kwargs):
+    kwargs.setdefault("epoch_length", 5)
+    return DriftingSyntheticEnvironment(
+        n_actions=N_ACTIONS, n_features=N_FEATURES, seed=7, **kwargs
+    )
+
+
+def _config(**kwargs):
+    kwargs.setdefault("shuffler_threshold", 2)
+    kwargs.setdefault("window", 3)
+    kwargs.setdefault("max_reports_per_user", 5)
+    return P2BConfig(n_actions=N_ACTIONS, n_features=N_FEATURES, n_codes=8, **kwargs)
+
+
+class TestLifecycle:
+    def test_streaming_deployment_end_to_end(self):
+        service = FleetService(_config(), _env(), seed=0)
+        service.arrive(10)
+        for r in range(6):
+            service.arrive(2)
+            service.depart([0, 1])
+            result = service.interact(4)
+            assert result.rewards.shape == (service.n_agents, 4)
+            if r % 2 == 0:
+                service.collect()
+        service.collect()
+        service.flush()
+        stats = service.stats
+        assert isinstance(stats, ServeStats)
+        assert stats.n_requests == 6
+        assert stats.n_arrived == 22
+        assert stats.n_departed == 12
+        assert stats.n_agents == 10
+        assert stats.n_reports > 0
+        assert stats.n_pending == 0
+
+    def test_empty_service_answers_empty_requests(self):
+        service = FleetService(_config(), _env(), seed=0)
+        result = service.interact(3)
+        assert result.rewards.shape == (0, 3)
+        assert service.collect().n_reports == 0
+        service.arrive(4)
+        service.depart([0, 1, 2, 3])
+        assert service.n_agents == 0
+        assert service.interact(2).rewards.shape == (0, 2)
+
+    def test_subset_requests_on_per_agent_clocks(self):
+        service = FleetService(_config(), _env(), seed=1)
+        agents = service.arrive(6)
+        r_subset = service.interact(3, subset=[0, 2, 4])
+        assert r_subset.rewards.shape == (3, 3)
+        r_subset2 = service.interact(2, subset=[agents[1], agents[3]])
+        assert r_subset2.rewards.shape == (2, 2)
+        # full-population requests still work after subset requests
+        assert service.interact(2).rewards.shape == (6, 2)
+        stranger = FleetService(_config(), _env(), seed=9).arrive(1)[0]
+        with pytest.raises(ConfigError, match="not in this service"):
+            service.interact(1, subset=[stranger])
+
+    def test_refresh_distributes_central_model(self):
+        service = FleetService(_config(p=0.9), _env(), seed=3)
+        service.arrive(12)
+        for _ in range(4):
+            service.interact(6)
+            service.collect()
+        service.flush()
+        assert service.system.server.n_tuples_ingested > 0
+        service.refresh()
+        # every device pulled the same central model: the learned design
+        # matrices agree across agents after refresh
+        states = [a.policy.get_state() for a in service.fleet.agents]
+        for key, value in states[0].items():
+            ref = np.asarray(value)
+            if ref.dtype == object or not np.issubdtype(ref.dtype, np.number):
+                continue  # RNG bit generators stay per-agent
+            for other in states[1:]:
+                np.testing.assert_array_equal(ref, np.asarray(other[key]), err_msg=key)
+        # and the next request still runs (cache invalidated cleanly)
+        assert service.interact(2).rewards.shape == (12, 2)
+
+    def test_engine_config_validation(self):
+        with pytest.raises(ConfigError, match="sequential"):
+            FleetService(_config(), _env(), engine=EngineConfig(engine="sequential"))
+        with pytest.raises(ConfigError, match="EngineConfig"):
+            FleetService(_config(), _env(), engine="fleet")
+
+        from repro.experiments.results import CurveSink
+
+        with pytest.raises(ConfigError, match="sink"):
+            FleetService(_config(), _env(), engine=EngineConfig(sink=CurveSink()))
+
+
+class TestBitIdentity:
+    def test_fixed_population_serve_matches_plain_fleet(self):
+        """No churn, fixed horizon: the service is just a FleetRunner."""
+        serve = FleetService(_config(), _env(), seed=11)
+        serve_agents = serve.arrive(8)
+        r1 = serve.interact(6)
+        r2 = serve.interact(6)
+
+        twin = FleetService(_config(), _env(), seed=11)
+        twin_agents = twin.arrive(8)
+        plain = FleetRunner(twin_agents, twin.fleet.sessions)
+        p1 = plain.run(6)
+        p2 = plain.run(6)
+
+        np.testing.assert_array_equal(r1.rewards, p1.rewards)
+        np.testing.assert_array_equal(r2.rewards, p2.rewards)
+        np.testing.assert_array_equal(r1.actions, p1.actions)
+        for a, b in zip(serve_agents, twin_agents):
+            state_a, state_b = a.policy.get_state(), b.policy.get_state()
+            for key in state_a:
+                np.testing.assert_array_equal(
+                    np.asarray(state_a[key]), np.asarray(state_b[key]), err_msg=key
+                )
+
+    def test_arrival_order_is_reproducible(self):
+        """Same seed + same arrival schedule => identical deployments,
+        regardless of interleaved requests."""
+        a = FleetService(_config(), _env(), seed=4)
+        b = FleetService(_config(), _env(), seed=4)
+        a.arrive(4)
+        a.interact(3)
+        a.arrive(2)
+        ra = a.interact(3)
+
+        b.arrive(4)
+        b.interact(3)
+        b.arrive(2)
+        rb = b.interact(3)
+        np.testing.assert_array_equal(ra.rewards, rb.rewards)

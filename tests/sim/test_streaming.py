@@ -1,0 +1,180 @@
+"""Population churn on FleetRunner: arrivals, departures, persistence.
+
+Streaming deployments grow and shrink their population mid-run.  The
+engine re-shards *incrementally* — only shards whose membership changed
+restack — and surviving agents keep their policy objects and RNG
+streams, so a fixed-population run interleaved with churn of *other*
+agents stays bit-identical to a run that never saw the churn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from _testkit import assert_states_equal, make_population
+
+from repro.bandits.linucb import LinUCB
+from repro.core.config import AgentMode
+from repro.sim import FleetRunner
+from repro.utils.exceptions import ConfigError
+
+
+def _linucb(n_arms, n_features, seed):
+    return LinUCB(n_arms=n_arms, n_features=n_features, alpha=1.0, seed=seed)
+
+
+def _pop(n, seed=0, **kwargs):
+    return make_population(_linucb, AgentMode.COLD, n, seed, **kwargs)
+
+
+class TestArrivals:
+    def test_arrival_into_existing_shard_key(self):
+        agents, sessions = _pop(4)
+        extra_agents, extra_sessions = _pop(2, seed=99)
+        fleet = FleetRunner(agents, sessions)
+        assert fleet.n_shards == 1
+        fleet.add_agents(extra_agents, extra_sessions)
+        # same policy/mode configuration: newcomers join the same shard
+        assert fleet.n_shards == 1
+        assert len(fleet.agents) == 6
+        result = fleet.run(5)
+        assert result.rewards.shape == (6, 5)
+
+    def test_arrival_into_brand_new_shard_key(self, kmeans_encoder):
+        agents, sessions = _pop(4)
+        priv_agents, priv_sessions = make_population(
+            lambda a, f, s: _linucb(a, kmeans_encoder.n_codes, s),
+            AgentMode.WARM_PRIVATE,
+            2,
+            seed=50,
+            encoder=kmeans_encoder,
+        )
+        fleet = FleetRunner(agents, sessions)
+        fleet.add_agents(priv_agents, priv_sessions)
+        # different mode => a second stacked state
+        assert fleet.n_shards == 2
+        result = fleet.run(5)
+        assert result.rewards.shape == (6, 5)
+
+    def test_arrivals_match_from_scratch_fleet(self):
+        whole_agents, whole_sessions = _pop(6, seed=4)
+        grown_agents, grown_sessions = _pop(6, seed=4)
+
+        whole = FleetRunner(whole_agents, whole_sessions)
+        grown = FleetRunner(grown_agents[:4], grown_sessions[:4])
+        grown.add_agents(grown_agents[4:], grown_sessions[4:])
+
+        r_whole = whole.run(8)
+        r_grown = grown.run(8)
+        np.testing.assert_array_equal(r_whole.rewards, r_grown.rewards)
+        for a, b in zip(whole_agents, grown_agents):
+            assert_states_equal(a.policy, b.policy)
+
+    def test_misaligned_arrival_rejected(self):
+        agents, sessions = _pop(3)
+        fleet = FleetRunner(agents, sessions)
+        with pytest.raises(ConfigError, match="one-to-one"):
+            fleet.add_agents(agents[:1], [])
+
+
+class TestDepartures:
+    def test_departure_by_object_and_index_agree(self):
+        a1, s1 = _pop(5, seed=8)
+        a2, s2 = _pop(5, seed=8)
+        by_obj = FleetRunner(a1, s1)
+        by_idx = FleetRunner(a2, s2)
+        by_obj.remove_agents([a1[1], a1[3]])
+        by_idx.remove_agents([1, 3])
+        np.testing.assert_array_equal(by_obj.run(6).rewards, by_idx.run(6).rewards)
+
+    def test_survivors_keep_their_streams(self):
+        """Removal must not perturb surviving agents' results."""
+        ref_agents, ref_sessions = _pop(5, seed=8)
+        churn_agents, churn_sessions = _pop(5, seed=8)
+
+        keep = [0, 2, 4]
+        ref = FleetRunner(
+            [ref_agents[i] for i in keep], [ref_sessions[i] for i in keep]
+        )
+        churned = FleetRunner(churn_agents, churn_sessions)
+        churned.remove_agents([1, 3])
+
+        np.testing.assert_array_equal(ref.run(7).rewards, churned.run(7).rewards)
+
+    def test_shrink_to_empty_short_circuits(self):
+        agents, sessions = _pop(3)
+        fleet = FleetRunner(agents, sessions)
+        fleet.remove_agents(list(range(3)))
+        assert fleet.n_shards == 0
+        result = fleet.run(4)
+        # the PR 6 empty-population short-circuit: (0, T) shapes, no pool
+        assert result.rewards.shape == (0, 4)
+        assert result.actions.shape == (0, 4)
+
+    def test_unknown_agent_rejected(self):
+        agents, sessions = _pop(3)
+        stranger, _ = _pop(1, seed=77)
+        fleet = FleetRunner(agents, sessions)
+        with pytest.raises(ConfigError, match="not in this fleet"):
+            fleet.remove_agents([stranger[0]])
+        with pytest.raises(ConfigError, match="out of range"):
+            fleet.remove_agents([7])
+
+
+class TestPersistence:
+    def test_persistent_matches_fresh_across_runs(self):
+        """Cached stacked state must be bitwise-invisible."""
+        p_agents, p_sessions = _pop(6, seed=13)
+        f_agents, f_sessions = _pop(6, seed=13)
+
+        persistent = FleetRunner(p_agents, p_sessions, persistent=True)
+        r1 = persistent.run(5)
+        r2 = persistent.run(5)
+
+        fresh1 = FleetRunner(f_agents, f_sessions).run(5)
+        fresh2 = FleetRunner(f_agents, f_sessions).run(5)
+
+        np.testing.assert_array_equal(r1.rewards, fresh1.rewards)
+        np.testing.assert_array_equal(r2.rewards, fresh2.rewards)
+        for a, b in zip(p_agents, f_agents):
+            assert_states_equal(a.policy, b.policy)
+
+    def test_persistent_churn_matches_fresh(self):
+        p_agents, p_sessions = _pop(6, seed=21)
+        f_agents, f_sessions = _pop(6, seed=21)
+
+        persistent = FleetRunner(p_agents[:4], p_sessions[:4], persistent=True)
+        persistent.run(3)
+        persistent.add_agents(p_agents[4:], p_sessions[4:])
+        persistent.remove_agents([0])
+        r_p = persistent.run(3)
+
+        fresh = FleetRunner(f_agents[:4], f_sessions[:4])
+        fresh.run(3)
+        fresh.add_agents(f_agents[4:], f_sessions[4:])
+        fresh.remove_agents([0])
+        r_f = fresh.run(3)
+
+        np.testing.assert_array_equal(r_p.rewards, r_f.rewards)
+        for a, b in zip(persistent.agents, fresh.agents):
+            assert_states_equal(a.policy, b.policy)
+
+    def test_invalidate_after_external_mutation(self):
+        """warm_start outside the fleet requires invalidate(); with it,
+        persistent runs track the mutated policy state."""
+        p_agents, p_sessions = _pop(4, seed=30)
+        f_agents, f_sessions = _pop(4, seed=30)
+
+        persistent = FleetRunner(p_agents, p_sessions, persistent=True)
+        persistent.run(3)
+        fresh = FleetRunner(f_agents, f_sessions)
+        fresh.run(3)
+
+        # external mutation: copy agent 0's learned state onto agent 1
+        for agents in (p_agents, f_agents):
+            agents[1].policy.set_state(agents[0].policy.get_state())
+        persistent.invalidate()
+
+        np.testing.assert_array_equal(
+            persistent.run(3).rewards, FleetRunner(f_agents, f_sessions).run(3).rewards
+        )

@@ -480,3 +480,87 @@ def test_property_replay_and_synthetic_mixtures_match_sequential(
             np.testing.assert_array_equal(
                 np.asarray(state_seq[key]), np.asarray(state_fleet[key])
             )
+
+
+# --------------------------------------------------------------------- #
+# churn schedules: fixed-population slice is invariant to streaming
+# --------------------------------------------------------------------- #
+@given(
+    st.integers(0, 2**31 - 1),
+    st.integers(2, 5),
+    st.lists(
+        st.tuples(
+            st.integers(0, 2),  # arrivals before this request
+            st.integers(0, 2),  # departures before this request (extras only)
+            st.integers(1, 4),  # interaction steps in this request
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_churn_leaves_fixed_population_bit_identical(
+    seed, n_core, schedule
+):
+    """Arbitrary arrival/departure schedules around a fixed core: the
+    core agents' rewards and final policy state must equal a run that
+    never saw the churn (per-agent RNG streams => agent independence),
+    and a schedule with no churn must equal the plain non-streaming
+    path outright."""
+    from repro.bandits import LinUCB
+    from repro.core.agent import LocalAgent
+    from repro.sim import FleetRunner
+    from repro.utils.rng import spawn_seeds
+
+    n_actions, n_features = 3, 4
+
+    def build(n_agents, root_seed):
+        from repro.data.synthetic import SyntheticPreferenceEnvironment
+
+        env = SyntheticPreferenceEnvironment(
+            n_actions=n_actions, n_features=n_features, seed=7
+        )
+        agents, sessions = [], []
+        for i, s in enumerate(spawn_seeds(root_seed, n_agents)):
+            policy_seed, session_seed = s.spawn(2)
+            policy = LinUCB(
+                n_arms=n_actions, n_features=n_features, alpha=1.0, seed=policy_seed
+            )
+            agents.append(LocalAgent(f"agent-{root_seed}-{i}", policy, mode="cold"))
+            sessions.append(env.new_user(session_seed))
+        return agents, sessions
+
+    # reference: the core population runs the same request sizes with no
+    # churn anywhere
+    ref_agents, ref_sessions = build(n_core, seed)
+    ref_fleet = FleetRunner(ref_agents, ref_sessions)
+    ref_rewards = [ref_fleet.run(steps).rewards for _, _, steps in schedule]
+
+    # streaming: same core, with extras arriving and departing around it
+    core_agents, core_sessions = build(n_core, seed)
+    fleet = FleetRunner(core_agents, core_sessions)
+    extra_seq = 0
+    live_extras: list = []
+    churn_rewards = []
+    for n_arrive, n_depart, steps in schedule:
+        if n_arrive:
+            extras, extra_sessions = build(n_arrive, 10_000 + 31 * extra_seq)
+            extra_seq += 1
+            fleet.add_agents(extras, extra_sessions)
+            live_extras.extend(extras)
+        departing = live_extras[:n_depart]
+        if departing:
+            fleet.remove_agents(departing)
+            live_extras = live_extras[n_depart:]
+        churn_rewards.append(fleet.run(steps).rewards)
+
+    # the core occupies rows 0..n_core-1 throughout (extras append after
+    # it and only extras depart)
+    for ref, churned in zip(ref_rewards, churn_rewards):
+        np.testing.assert_array_equal(ref, churned[:n_core])
+    for ra, ca in zip(ref_agents, core_agents):
+        state_r, state_c = ra.policy.get_state(), ca.policy.get_state()
+        for key in state_r:
+            np.testing.assert_array_equal(
+                np.asarray(state_r[key]), np.asarray(state_c[key]), err_msg=key
+            )
