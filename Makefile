@@ -8,7 +8,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) PYTHONHASHSEED=0 python
 
-.PHONY: test smoke bench bench-fleet bench-replay bench-reporting bench-memory bench-serve lint format install
+.PHONY: test smoke chaos bench bench-fleet bench-replay bench-reporting bench-memory bench-serve lint format install
 
 # tier-1: the full suite (the driver's acceptance gate)
 test:
@@ -17,6 +17,15 @@ test:
 # tier-1 smoke: skip @pytest.mark.slow for quick pre-commit iteration
 smoke:
 	$(PY) -m pytest -x -q -m "not slow"
+
+# chaos smoke: the whole sim suite under a seeded fault plan (worker
+# raises + hard crashes, recovered by default supervision with zero
+# unhandled crashes and zero bitwise drift), then the deterministic
+# counter report (benchmarks/chaos_summary.py; CI pipes it into the
+# step summary)
+chaos:
+	REPRO_FAULTS="seed=7;raise=0.03;crash=0.03" $(PY) -m pytest tests/sim -q
+	$(PY) benchmarks/chaos_summary.py
 
 # all paper-figure benches; seeded throughout, writes only into
 # benchmarks/results/ (*.txt tables + BENCH_*.json perf records)

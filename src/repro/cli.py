@@ -17,6 +17,7 @@ import sys
 from typing import Callable
 
 from .experiments import figures, runner
+from .utils.exceptions import ReproError
 from .utils.tables import format_kv
 
 __all__ = ["main", "build_parser"]
@@ -68,23 +69,32 @@ def _render_serve(args) -> str:
     config = P2BConfig(
         n_actions=8, n_features=16, n_codes=16, shuffler_threshold=5
     )
-    service = FleetService(config, env, seed=args.seed)
+    service = FleetService(
+        config, env, seed=args.seed, request_timeout=args.serve_timeout
+    )
     service.arrive(args.serve_agents)
     rewards_sum = 0.0
     rewards_n = 0
-    for r in range(args.serve_requests):
-        if args.serve_arrivals:
-            service.arrive(args.serve_arrivals)
-        if args.serve_departures and service.n_agents > args.serve_departures:
-            service.depart(list(range(args.serve_departures)))
-        result = service.interact(args.serve_batch)
-        if result is not None and result.rewards.size:
-            rewards_sum += float(result.rewards.sum())
-            rewards_n += result.rewards.size
-        if (r + 1) % args.serve_collect_every == 0:
-            service.collect()
-    service.collect()
-    service.flush()
+    interrupted = False
+    try:
+        for r in range(args.serve_requests):
+            if args.serve_arrivals:
+                service.arrive(args.serve_arrivals)
+            if args.serve_departures and service.n_agents > args.serve_departures:
+                service.depart(list(range(args.serve_departures)))
+            result = service.interact(args.serve_batch)
+            if result is not None and result.rewards.size:
+                rewards_sum += float(result.rewards.sum())
+                rewards_n += result.rewards.size
+            if (r + 1) % args.serve_collect_every == 0:
+                service.collect()
+    except KeyboardInterrupt:
+        interrupted = True
+    finally:
+        # graceful shutdown on SIGINT and end-of-requests alike: drain
+        # every outbox and flush the async buffer (nothing a device
+        # already handed over is silently lost)
+        shutdown_outcome = service.shutdown()
     stats = service.stats
     numbers = {
         "requests answered": stats.n_requests,
@@ -94,9 +104,52 @@ def _render_serve(args) -> str:
         "final population": stats.n_agents,
         "reports collected": stats.n_reports,
         "tuples released": stats.n_released,
+        "released at shutdown": shutdown_outcome.n_released,
+        "shards dropped": stats.n_dropped_shards,
+        "tuples quarantined": stats.n_quarantined,
         "mean reward": rewards_sum / rewards_n if rewards_n else 0.0,
     }
-    return format_kv(numbers, title="streaming deployment (churn + drift + async)")
+    title = "streaming deployment (churn + drift + async)"
+    if interrupted:
+        title += " — interrupted, drained gracefully"
+    return format_kv(numbers, title=title)
+
+
+def _render_run(args) -> str:
+    """One end-to-end setting run, restartable via checkpoint/resume."""
+    from .core.config import P2BConfig
+    from .data import SyntheticPreferenceEnvironment
+
+    env = SyntheticPreferenceEnvironment(
+        n_actions=8, n_features=16, seed=args.seed
+    )
+    config = P2BConfig(n_actions=8, n_features=16, n_codes=16, shuffler_threshold=5)
+    result = runner.run_setting(
+        env,
+        config,
+        args.mode,
+        n_contributors=args.contributors,
+        n_eval_agents=args.eval_agents,
+        eval_interactions=args.eval_interactions,
+        seed=args.seed,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint_path,
+        resume_from=args.resume_from,
+    )
+    numbers = {
+        "mode": result.mode,
+        "mean reward": result.mean_reward,
+        "contributors": result.n_contributors,
+        "eval agents": result.n_eval_agents,
+        "eval interactions": result.eval_interactions,
+        "reports collected": result.n_reports,
+        "tuples released": result.n_released,
+    }
+    if result.privacy:
+        numbers.update(
+            (f"privacy {k}", v) for k, v in sorted(result.privacy.items())
+        )
+    return format_kv(numbers, title=f"setting run ({result.mode})")
 
 
 _COMMANDS: dict[str, tuple[Callable, str]] = {
@@ -108,6 +161,7 @@ _COMMANDS: dict[str, tuple[Callable, str]] = {
     "fig7": (_render_fig7, "criteo-like CTR vs local interactions"),
     "headline": (_render_headline, "abstract's headline deltas"),
     "serve": (_render_serve, "streaming deployment: churn, drift, async collection"),
+    "run": (_render_run, "one setting end-to-end, restartable (checkpoint/resume)"),
 }
 
 
@@ -237,6 +291,67 @@ def build_parser() -> argparse.ArgumentParser:
                 "synthetic workload (preferences drift or switch at each "
                 "epoch boundary)",
             )
+            p.add_argument(
+                "--serve-timeout",
+                type=float,
+                default=None,
+                help="per-request wall-clock budget in seconds: a request "
+                "over budget errors back to the caller while its work "
+                "drains in the background and the service reports degraded "
+                "(default: no budget)",
+            )
+        if name == "run":
+            from .core.config import AgentMode
+
+            p.add_argument(
+                "--mode",
+                choices=list(AgentMode.ALL),
+                default=AgentMode.WARM_PRIVATE,
+                help="which §5 setting to deploy (default: the paper's full "
+                "private pipeline)",
+            )
+            p.add_argument(
+                "--contributors",
+                type=_nonneg_int,
+                default=40,
+                help="contribution-phase population size U (0 = skip the "
+                "phase; ignored for cold mode)",
+            )
+            p.add_argument(
+                "--eval-agents",
+                type=_positive_int,
+                default=20,
+                help="evaluation-phase population size",
+            )
+            p.add_argument(
+                "--eval-interactions",
+                type=_positive_int,
+                default=30,
+                help="interactions per evaluation agent",
+            )
+            p.add_argument(
+                "--checkpoint-every",
+                type=_positive_int,
+                default=None,
+                help="snapshot the run every N rounds (requires "
+                "--checkpoint-path); a killed run restarts bit-identically "
+                "with --resume-from",
+            )
+            p.add_argument(
+                "--checkpoint-path",
+                type=str,
+                default=None,
+                help="where the snapshots land (atomic writes: a crash "
+                "mid-write never clobbers the last good one)",
+            )
+            p.add_argument(
+                "--resume-from",
+                type=str,
+                default=None,
+                help="finish an interrupted run from its snapshot; --mode "
+                "must match the snapshot's, the rest of the workload is "
+                "restored from it",
+            )
     return parser
 
 
@@ -255,7 +370,13 @@ def main(argv: list[str] | None = None) -> int:
         )
     )
     renderer, _ = _COMMANDS[args.command]
-    text = renderer(args)
+    try:
+        text = renderer(args)
+    except ReproError as exc:
+        # typed engine/config/checkpoint/service failures map to one
+        # actionable line, never a traceback (tracebacks are for bugs)
+        print(f"repro-p2b: error: {exc}", file=sys.stderr)
+        return 2
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(text + "\n")

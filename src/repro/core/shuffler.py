@@ -39,7 +39,14 @@ __all__ = ["Shuffler", "ShufflerStats"]
 
 @dataclass(frozen=True)
 class ShufflerStats:
-    """Book-keeping for one shuffler batch."""
+    """Book-keeping for one shuffler batch.
+
+    ``n_quarantined`` counts malformed tuples refused at the door —
+    negative or out-of-range codes, negative actions, non-finite
+    rewards, or whole batches with misaligned columns — which are
+    excluded *before* shuffling and thresholding, so they can never
+    reach the released stream or skew the crowd-blending audit.
+    """
 
     n_received: int
     n_released: int
@@ -47,6 +54,7 @@ class ShufflerStats:
     codes_received: int
     codes_released: int
     audit: CrowdBlendingAudit
+    n_quarantined: int = 0
 
 
 class Shuffler:
@@ -59,14 +67,53 @@ class Shuffler:
         ``l``).
     seed:
         Randomness for the shuffle permutation.
+    n_codes:
+        Size of the valid code space, when known (the encoder's
+        codebook size).  Codes ``>= n_codes`` are then quarantined as
+        out-of-range; ``None`` (default) only rejects negatives —
+        raw-signature code spaces can be huge and sparse.
+
+    Malformed input — a device shipping garbage, a corrupted transport
+    batch — is **quarantined, not raised**: collection is the
+    production hot loop, and one bad reporter must not stall every
+    honest one.  Quarantined tuples are counted per batch
+    (``ShufflerStats.n_quarantined``) and cumulatively
+    (:attr:`total_quarantined`), and never reach the shuffle,
+    threshold, release, or audit stages.
     """
 
-    def __init__(self, threshold: int = 10, *, seed=None) -> None:
+    def __init__(
+        self, threshold: int = 10, *, seed=None, n_codes: int | None = None
+    ) -> None:
         self.threshold = check_positive_int(threshold, name="threshold")
+        if n_codes is not None:
+            n_codes = check_positive_int(n_codes, name="n_codes")
+        self.n_codes = n_codes
         self._rng = ensure_rng(seed)
         # asynchronous-collection buffer: column triples accumulated by
         # buffer_arrays, released by release_ready when thresholds fill
         self._pending: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        #: malformed tuples quarantined over this shuffler's lifetime
+        self.total_quarantined = 0
+        # quarantined since the last release_ready (reported in its stats)
+        self._pending_quarantined = 0
+
+    def _sanitize(
+        self, codes: np.ndarray, actions: np.ndarray, rewards: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Split off malformed rows; returns the clean columns + bad count.
+
+        Runs *before* the shuffle permutation, so a batch with nothing
+        malformed consumes the RNG exactly as it always did.
+        """
+        bad = (codes < 0) | (actions < 0) | ~np.isfinite(rewards)
+        if self.n_codes is not None:
+            bad |= codes >= self.n_codes
+        n_bad = int(np.count_nonzero(bad))
+        if n_bad:
+            good = ~bad
+            codes, actions, rewards = codes[good], actions[good], rewards[good]
+        return codes, actions, rewards, n_bad
 
     def process(
         self, reports: Sequence[EncodedReport]
@@ -104,17 +151,23 @@ class Shuffler:
         actions = np.asarray(actions, dtype=np.intp).ravel()
         rewards = np.asarray(rewards, dtype=np.float64).ravel()
         n_received = codes.shape[0]
+        # 0. quarantine — malformed tuples never reach the pipeline
+        codes, actions, rewards, n_quarantined = self._sanitize(
+            codes, actions, rewards
+        )
+        self.total_quarantined += n_quarantined
+        n_clean = codes.shape[0]
         # 1. anonymization — the columnar form carries no metadata.
         # 2. shuffling
-        if n_received:
-            order = self._rng.permutation(n_received)
+        if n_clean:
+            order = self._rng.permutation(n_clean)
             codes, actions, rewards = codes[order], actions[order], rewards[order]
         # 3. thresholding (via one unique call, not bincount: code
         # spaces can be huge and sparse, e.g. 2^30 for wide LSH
         # signatures; the same counts drive the release mask and both
         # code-diversity stats)
         codes_received = codes_released = 0
-        if n_received:
+        if n_clean:
             _, inverse, batch_counts = np.unique(
                 codes, return_inverse=True, return_counts=True
             )
@@ -127,10 +180,11 @@ class Shuffler:
         stats = ShufflerStats(
             n_received=n_received,
             n_released=int(codes.shape[0]),
-            n_dropped=n_received - int(codes.shape[0]),
+            n_dropped=n_clean - int(codes.shape[0]),
             codes_received=codes_received,
             codes_released=codes_released,
             audit=audit,
+            n_quarantined=n_quarantined,
         )
         return codes, actions, rewards, stats
 
@@ -151,15 +205,24 @@ class Shuffler:
         moment tuples enter the buffer (they are anonymized to columns
         immediately and shuffled with the whole buffer at the next
         :meth:`release_ready`).  Returns the new pending count.
+
+        Malformed input is quarantined, never raised: misaligned
+        columns void the whole batch (tuples cannot be paired up), and
+        out-of-range rows of an aligned batch are dropped row-wise —
+        both counted into :attr:`total_quarantined` and the next
+        :meth:`release_ready` stats, while collection continues.
         """
         codes = np.asarray(codes, dtype=np.intp).ravel()
         actions = np.asarray(actions, dtype=np.intp).ravel()
         rewards = np.asarray(rewards, dtype=np.float64).ravel()
         if not (codes.shape[0] == actions.shape[0] == rewards.shape[0]):
-            raise ValueError(
-                "codes, actions and rewards must align one-to-one, got "
-                f"{codes.shape[0]}/{actions.shape[0]}/{rewards.shape[0]}"
-            )
+            n_bad = int(max(codes.shape[0], actions.shape[0], rewards.shape[0]))
+            self.total_quarantined += n_bad
+            self._pending_quarantined += n_bad
+            return self.n_pending
+        codes, actions, rewards, n_bad = self._sanitize(codes, actions, rewards)
+        self.total_quarantined += n_bad
+        self._pending_quarantined += n_bad
         if codes.shape[0]:
             self._pending.append((codes, actions, rewards))
         return self.n_pending
@@ -218,6 +281,8 @@ class Shuffler:
         n_retained = int(retained[0].shape[0])
         self._pending = [] if final or n_retained == 0 else [retained]
         audit = verify_crowd_blending(codes, self.threshold)
+        n_quarantined = self._pending_quarantined
+        self._pending_quarantined = 0
         stats = ShufflerStats(
             n_received=n_buffered,
             n_released=n_released,
@@ -225,5 +290,6 @@ class Shuffler:
             codes_received=codes_received,
             codes_released=codes_released,
             audit=audit,
+            n_quarantined=n_quarantined,
         )
         return codes, actions, rewards, stats

@@ -98,7 +98,13 @@ class P2BSystem:
         self.shuffler: Shuffler | None = None
         self.server: PrivateServer | NonPrivateServer | None = None
         if mode == AgentMode.WARM_PRIVATE:
-            self.shuffler = Shuffler(config.shuffler_threshold, seed=self._shuffler_seed)
+            self.shuffler = Shuffler(
+                config.shuffler_threshold,
+                seed=self._shuffler_seed,
+                # bind the valid code space when the codebook declares one,
+                # so out-of-range codes quarantine at the shuffler door
+                n_codes=getattr(self.encoder, "n_codes", None),
+            )
             if config.private_context == "one-hot":
                 # One-hot contexts keep LinUCB's design matrices diagonal,
                 # so the specialized CodeLinUCB (O(1) updates) is exact.
@@ -130,6 +136,10 @@ class P2BSystem:
             )
             self.server = NonPrivateServer(central)
         self._collected_codes: list[int] = []
+        #: optional chaos plan corrupting collected batches (see
+        #: :mod:`repro.sim.faults`); ``REPRO_FAULTS`` arms one globally
+        self.fault_plan = None
+        self._fault_batches = 0
 
     # ------------------------------------------------------------------ #
     # agent factory
@@ -189,6 +199,28 @@ class P2BSystem:
     # ------------------------------------------------------------------ #
     # collection round
     # ------------------------------------------------------------------ #
+    def _maybe_corrupt(self, codes, actions, rewards):
+        """Chaos tap on the private collection path.
+
+        When a fault plan with a ``corrupt`` rate is armed (an explicit
+        :attr:`fault_plan` or the ``REPRO_FAULTS`` env knob), drained
+        report columns are deterministically mangled before the
+        shuffler sees them — exercising the quarantine end-to-end.
+        With no plan armed (the default) the columns pass through
+        untouched.
+        """
+        # lazy: core must stay importable without the sim package loaded
+        from ..sim.faults import active_plan
+
+        plan = self.fault_plan if self.fault_plan is not None else active_plan()
+        if plan is None or plan.p_corrupt <= 0.0:
+            return codes, actions, rewards
+        self._fault_batches += 1
+        codes, actions, rewards, _ = plan.corrupt_batch(
+            self._fault_batches, codes, actions, rewards
+        )
+        return codes, actions, rewards
+
     def collect(self, agents: Iterable[LocalAgent]) -> CollectionResult:
         """Drain agent outboxes and run one collection round.
 
@@ -217,7 +249,9 @@ class P2BSystem:
         if self.mode == AgentMode.WARM_PRIVATE:
             assert self.shuffler is not None
             r_codes, r_actions, r_rewards, stats = self.shuffler.process_arrays(
-                encoded_batch.codes, encoded_batch.actions, encoded_batch.rewards
+                *self._maybe_corrupt(
+                    encoded_batch.codes, encoded_batch.actions, encoded_batch.rewards
+                )
             )
             stats.audit.raise_if_violated()
             self.server.ingest_arrays(r_codes, r_actions, r_rewards)  # type: ignore[union-attr]
@@ -288,7 +322,9 @@ class P2BSystem:
         if self.mode == AgentMode.WARM_PRIVATE:
             assert self.shuffler is not None
             self.shuffler.buffer_arrays(
-                encoded_batch.codes, encoded_batch.actions, encoded_batch.rewards
+                *self._maybe_corrupt(
+                    encoded_batch.codes, encoded_batch.actions, encoded_batch.rewards
+                )
             )
             return self._release_pending(n_reports, final=False)
         self.server.ingest_arrays(  # type: ignore[union-attr]

@@ -21,6 +21,7 @@ every setting faces the same users in the same order.
 from __future__ import annotations
 
 import dataclasses
+import pickle
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -35,6 +36,7 @@ from ..sim import (
     EXACTNESS_TIERS,
     PLAN_FORMS,
     WORKER_BACKENDS,
+    FaultPolicy,
     FleetRunner,
     fleet_supported,
 )
@@ -138,6 +140,13 @@ class EngineConfig:
     ...) and the ``set_default_*`` setter pairs keep working as
     deprecation shims; mixing an ``EngineConfig`` with explicit legacy
     kwargs in the same call is an error (ambiguous precedence).
+
+    ``fault_policy`` (a :class:`~repro.sim.FaultPolicy`) supervises
+    fleet shard execution: a failed shard is retried from its last
+    good state with exponential backoff, and exhausted retries either
+    raise a :class:`~repro.utils.exceptions.WorkerError` or degrade
+    the run by skipping the shard (``on_exhausted="skip_shard"``).
+    ``None`` (the default) keeps the historical fail-fast behavior.
     """
 
     engine: str = "auto"
@@ -147,6 +156,7 @@ class EngineConfig:
     plan_form: str = "auto"
     exactness: str = "bit"
     sink: object | None = None
+    fault_policy: FaultPolicy | None = None
 
     def __post_init__(self) -> None:
         _check_engine(self.engine)
@@ -156,6 +166,15 @@ class EngineConfig:
             check_positive_int(self.plan_chunk_size, name="plan_chunk_size")
         _check_plan_form(self.plan_form)
         _check_exactness(self.exactness)
+        if self.fault_policy is not None and not isinstance(
+            self.fault_policy, FaultPolicy
+        ):
+            from ..utils.exceptions import ConfigError
+
+            raise ConfigError(
+                f"fault_policy must be a FaultPolicy or None, "
+                f"got {self.fault_policy!r}"
+            )
 
     def replace(self, **changes) -> "EngineConfig":
         """A copy with ``changes`` applied (validated like a fresh one)."""
@@ -389,6 +408,9 @@ def run_setting(
     n_workers: int | None = None,
     plan_chunk_size: int | None = UNSET,  # type: ignore[assignment]
     exactness: str | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_path=None,
+    resume_from=None,
 ) -> ExperimentResult:
     """Simulate one setting end-to-end (see module docstring).
 
@@ -450,6 +472,22 @@ def run_setting(
         of materializing result matrices — statistically equivalent
         curves, not bitwise (sequential-engine runs ignore the tier;
         they are the bit reference by definition).
+    checkpoint_every, checkpoint_path:
+        Make the run restartable: the fleet phases execute in segments
+        of ``checkpoint_every`` rounds and snapshot population state,
+        partial results and the setting's own phase context atomically
+        to ``checkpoint_path`` after each.  A killed run finishes via
+        ``resume_from`` **bit-identically** to the uninterrupted one.
+        Requires the fleet engine at ``exactness="bit"`` with no sink.
+    resume_from:
+        Path of a snapshot a previous ``run_setting`` call wrote; the
+        interrupted phase finishes from it and the remaining phases run
+        normally, returning the same :class:`ExperimentResult` the
+        original call would have.  ``mode`` must match the snapshot's;
+        the other workload arguments are taken from the snapshot (the
+        environment is restored mid-walk, not rebuilt).  Supervision is
+        per-process: pass ``fault_policy`` again if the resumed run
+        should be supervised too.
     """
     if measure not in ("realized", "expected"):
         from ..utils.exceptions import ConfigError
@@ -471,6 +509,26 @@ def run_setting(
         plan_chunk_size=plan_chunk_size,
         exactness=exactness,
     )
+    checkpointing = checkpoint_every is not None or checkpoint_path is not None
+    if checkpointing or resume_from is not None:
+        _check_checkpointable(cfg)
+    if checkpointing:
+        from ..utils.exceptions import ConfigError
+
+        if checkpoint_every is None or checkpoint_path is None:
+            raise ConfigError(
+                "checkpoint_every and checkpoint_path go together: the "
+                "cadence says when to snapshot, the path says where"
+            )
+        check_positive_int(checkpoint_every, name="checkpoint_every")
+    if resume_from is not None:
+        return _resume_setting(
+            resume_from,
+            mode=mode,
+            cfg=cfg,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+        )
     if cfg.sink is not None:
         if cfg.engine == "sequential":
             from ..utils.exceptions import ConfigError
@@ -505,10 +563,7 @@ def run_setting(
             env.new_user(s) for s in spawn_seeds(contrib_users_seed, n_contributors)
         ]
         if _resolve_engine(cfg.engine, contributors):
-            # the contributor phase never reads its result matrices, so
-            # the fast tier streams them into a discarding sink — zero
-            # O(n x T) result memory on the million-contributor runs
-            FleetRunner(
+            runner = FleetRunner(
                 contributors,
                 sessions,
                 n_workers=cfg.n_workers,
@@ -516,8 +571,47 @@ def run_setting(
                 plan_chunk_size=cfg.plan_chunk_size,
                 plan_form=cfg.plan_form,
                 exactness=tier,
-            ).run(t_contrib, sink=NullSink() if tier == "fast" else None)
+                fault_policy=cfg.fault_policy,
+            )
+            if checkpointing:
+                # the phase context makes the snapshot self-contained:
+                # everything _resume_setting needs to finish the whole
+                # setting — the system (pre-collection), the environment
+                # mid-walk, and the evaluation workload arguments
+                context = pickle.dumps(
+                    {
+                        "phase": "contrib",
+                        "system": system,
+                        "env": env,
+                        "mode": mode,
+                        "cfg": cfg.replace(fault_policy=None),
+                        "n_contributors": n_contributors,
+                        "n_eval_agents": n_eval_agents,
+                        "eval_interactions": eval_interactions,
+                        "eval_users_seed": eval_users_seed,
+                        "measure": measure,
+                        "checkpoint_every": checkpoint_every,
+                    }
+                )
+                runner.run(
+                    t_contrib,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_path=checkpoint_path,
+                    checkpoint_context=context,
+                )
+            else:
+                # the contributor phase never reads its result matrices,
+                # so the fast tier streams them into a discarding sink —
+                # zero O(n x T) result memory on million-contributor runs
+                runner.run(t_contrib, sink=NullSink() if tier == "fast" else None)
         else:
+            if checkpointing:
+                from ..utils.exceptions import ConfigError
+
+                raise ConfigError(
+                    "checkpoint/resume needs the fleet engine, but this "
+                    "population is not fleet-capable under engine='auto'"
+                )
             for agent, session in zip(contributors, sessions):
                 _simulate_agent(agent, session, t_contrib)
         # fleet-run contributors hold columnar pending reports, so this
@@ -526,7 +620,67 @@ def run_setting(
         outcome = system.collect(contributors)
         n_reports, n_released = outcome.n_reports, outcome.n_released
 
-    # evaluation phase on fresh users
+    return _eval_phase(
+        system,
+        env,
+        cfg,
+        mode=mode,
+        n_contributors=n_contributors,
+        n_eval_agents=n_eval_agents,
+        eval_interactions=eval_interactions,
+        eval_users_seed=eval_users_seed,
+        measure=measure,
+        n_reports=n_reports,
+        n_released=n_released,
+        checkpoint_every=checkpoint_every if checkpointing else None,
+        checkpoint_path=checkpoint_path if checkpointing else None,
+    )
+
+
+def _check_checkpointable(cfg: EngineConfig) -> None:
+    """Reject engine configurations that cannot snapshot mid-horizon."""
+    from ..utils.exceptions import ConfigError
+
+    if cfg.engine == "sequential":
+        raise ConfigError(
+            "checkpoint/resume runs on the fleet engine; "
+            "engine='sequential' cannot snapshot mid-horizon"
+        )
+    if cfg.sink is not None:
+        raise ConfigError(
+            "checkpointing materializes partial result matrices and cannot "
+            "stream into EngineConfig.sink; drop the sink or the checkpointing"
+        )
+    if cfg.exactness == "fast":
+        raise ConfigError(
+            "run_setting checkpointing requires exactness='bit': the fast "
+            "tier streams results through sinks, which cannot be snapshotted"
+        )
+
+
+def _eval_phase(
+    system: P2BSystem,
+    env: Environment,
+    cfg: EngineConfig,
+    *,
+    mode: str,
+    n_contributors: int,
+    n_eval_agents: int,
+    eval_interactions: int,
+    eval_users_seed,
+    measure: str,
+    n_reports: int,
+    n_released: int,
+    checkpoint_every: int | None = None,
+    checkpoint_path=None,
+) -> ExperimentResult:
+    """The evaluation phase of :func:`run_setting` (fresh users).
+
+    Factored out so a resumed contribution-phase snapshot
+    (:func:`_resume_setting`) re-enters the identical code path the
+    uninterrupted run takes — the bit-identity guarantee rests on it.
+    """
+    tier = cfg.exactness
     eval_seeds = spawn_seeds(eval_users_seed, n_eval_agents)
     want_expected = measure == "expected"
     warm = mode != AgentMode.COLD and n_contributors > 0
@@ -537,7 +691,8 @@ def run_setting(
         system.new_warm_agent() if warm else system.new_agent()
         for _ in range(n_eval_agents)
     ]
-    curve = None
+    curve = mean_reward = None
+    dropped: tuple = ()
     if _resolve_engine(cfg.engine, eval_agents):
         eval_sessions = [env.new_user(s) for s in eval_seeds]
         fleet = FleetRunner(
@@ -548,8 +703,37 @@ def run_setting(
             plan_chunk_size=cfg.plan_chunk_size,
             plan_form=cfg.plan_form,
             exactness=tier,
+            fault_policy=cfg.fault_policy,
         )
-        if cfg.sink is not None or tier == "fast":
+        if checkpoint_every is not None:
+            # phase context for restarts of *this* phase: the system is
+            # snapshotted post-collection, so privacy accounting and
+            # collection counters survive the restart
+            context = pickle.dumps(
+                {
+                    "phase": "eval",
+                    "system": system,
+                    "mode": mode,
+                    "cfg": cfg.replace(fault_policy=None),
+                    "n_contributors": n_contributors,
+                    "n_eval_agents": n_eval_agents,
+                    "eval_interactions": eval_interactions,
+                    "measure": measure,
+                    "n_reports": n_reports,
+                    "n_released": n_released,
+                    "checkpoint_every": checkpoint_every,
+                }
+            )
+            result = fleet.run(
+                eval_interactions,
+                track_expected=want_expected,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path,
+                checkpoint_context=context,
+            )
+            reward_matrix = result.measured()
+            dropped = result.dropped
+        elif cfg.sink is not None or tier == "fast":
             # curve-only reduction: per-round sums stream into the sink
             # and the (n, T) matrices are never materialized
             sink = cfg.sink if cfg.sink is not None else CurveSink()
@@ -559,10 +743,16 @@ def run_setting(
         else:
             result = fleet.run(eval_interactions, track_expected=want_expected)
             reward_matrix = result.measured()
+            dropped = result.dropped
     else:
-        if cfg.sink is not None:
-            from ..utils.exceptions import ConfigError
+        from ..utils.exceptions import ConfigError
 
+        if checkpoint_every is not None:
+            raise ConfigError(
+                "checkpoint/resume needs the fleet engine, but this "
+                "population is not fleet-capable under engine='auto'"
+            )
+        if cfg.sink is not None:
             raise ConfigError(
                 "EngineConfig.sink requires the fleet engine, but this "
                 "population is not fleet-capable under engine='auto' "
@@ -579,9 +769,45 @@ def run_setting(
                 expected if (want_expected and expected is not None) else realized
             )
 
+    return _finish_result(
+        system,
+        mode=mode,
+        curve=curve,
+        mean_reward=mean_reward,
+        reward_matrix=None if curve is not None else reward_matrix,
+        dropped=dropped,
+        n_contributors=n_contributors,
+        n_eval_agents=n_eval_agents,
+        eval_interactions=eval_interactions,
+        n_reports=n_reports,
+        n_released=n_released,
+    )
+
+
+def _finish_result(
+    system: P2BSystem,
+    *,
+    mode: str,
+    curve,
+    mean_reward,
+    reward_matrix,
+    dropped: tuple,
+    n_contributors: int,
+    n_eval_agents: int,
+    eval_interactions: int,
+    n_reports: int,
+    n_released: int,
+) -> ExperimentResult:
+    """Reduce evaluation output into the :class:`ExperimentResult`."""
     if curve is None:
-        curve = reward_matrix.mean(axis=0)
-        mean_reward = float(reward_matrix.mean())
+        if dropped:
+            # degraded run (FaultPolicy on_exhausted="skip_shard"): the
+            # dropped shards' rows are NaN-filled — average the survivors
+            curve = np.nanmean(reward_matrix, axis=0)
+            mean_reward = float(np.nanmean(reward_matrix))
+        else:
+            curve = reward_matrix.mean(axis=0)
+            mean_reward = float(reward_matrix.mean())
     cumulative = np.cumsum(curve) / np.arange(1, eval_interactions + 1)
     privacy = None
     if mode == AgentMode.WARM_PRIVATE:
@@ -597,6 +823,93 @@ def run_setting(
         n_reports=n_reports,
         n_released=n_released,
         privacy=privacy,
+    )
+
+
+def _resume_setting(
+    path,
+    *,
+    mode: str,
+    cfg: EngineConfig,
+    checkpoint_every: int | None,
+    checkpoint_path,
+) -> ExperimentResult:
+    """Finish a :func:`run_setting` interrupted mid-phase.
+
+    The snapshot's context blob says which phase was in flight and
+    carries everything needed to finish the setting: a ``contrib``
+    snapshot resumes the contributor horizon, collects, and runs the
+    evaluation phase through the normal code path; an ``eval`` snapshot
+    resumes the evaluation horizon and reduces.  Either way the result
+    is bit-identical to the run that was never interrupted.
+    """
+    from ..utils.exceptions import CheckpointError, ConfigError
+
+    runner = FleetRunner.resume(path, fault_policy=cfg.fault_policy)
+    blob = runner.resume_context
+    if blob is None:
+        raise CheckpointError(
+            f"checkpoint {str(path)!r} carries no run_setting context — it "
+            "was written by FleetRunner directly; finish it with "
+            "FleetRunner.resume(path).resume_run() instead"
+        )
+    try:
+        ctx = pickle.loads(blob)
+        phase = ctx["phase"]
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint {str(path)!r} holds an unreadable run_setting "
+            f"context: {exc}"
+        ) from exc
+    if ctx["mode"] != mode:
+        raise ConfigError(
+            f"checkpoint {str(path)!r} belongs to a {ctx['mode']!r} run, "
+            f"but resume was requested for mode {mode!r}"
+        )
+    # supervision is per-process (not part of the snapshot): the
+    # resume-time fault policy governs both the resumed horizon and
+    # every phase after it
+    phase_cfg = ctx["cfg"].replace(fault_policy=cfg.fault_policy)
+    path_out = path if checkpoint_path is None else checkpoint_path
+    every = (
+        ctx.get("checkpoint_every") if checkpoint_every is None else checkpoint_every
+    )
+    system = ctx["system"]
+    if phase == "contrib":
+        runner.resume_run(checkpoint_path=path_out, checkpoint_every=every)
+        outcome = system.collect(runner.agents)
+        return _eval_phase(
+            system,
+            ctx["env"],
+            phase_cfg,
+            mode=ctx["mode"],
+            n_contributors=ctx["n_contributors"],
+            n_eval_agents=ctx["n_eval_agents"],
+            eval_interactions=ctx["eval_interactions"],
+            eval_users_seed=ctx["eval_users_seed"],
+            measure=ctx["measure"],
+            n_reports=outcome.n_reports,
+            n_released=outcome.n_released,
+            checkpoint_every=every,
+            checkpoint_path=path_out,
+        )
+    if phase != "eval":
+        raise CheckpointError(
+            f"checkpoint {str(path)!r} has unknown run_setting phase {phase!r}"
+        )
+    result = runner.resume_run(checkpoint_path=path_out, checkpoint_every=every)
+    return _finish_result(
+        system,
+        mode=ctx["mode"],
+        curve=None,
+        mean_reward=None,
+        reward_matrix=result.measured(),
+        dropped=result.dropped,
+        n_contributors=ctx["n_contributors"],
+        n_eval_agents=ctx["n_eval_agents"],
+        eval_interactions=ctx["eval_interactions"],
+        n_reports=ctx["n_reports"],
+        n_released=ctx["n_released"],
     )
 
 

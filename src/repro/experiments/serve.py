@@ -25,6 +25,8 @@ requests-per-second number in ``BENCH_serve.json``.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -35,7 +37,7 @@ from ..core.config import AgentMode, P2BConfig
 from ..core.system import CollectionResult, P2BSystem
 from ..data.environment import Environment
 from ..sim import FleetResult, FleetRunner
-from ..utils.exceptions import ConfigError
+from ..utils.exceptions import ConfigError, ServiceError, ServiceTimeout
 from ..utils.rng import spawn_seeds
 from ..utils.validation import check_positive_int
 from .runner import EngineConfig
@@ -55,6 +57,8 @@ class ServeStats:
     n_reports: int  #: reports drained into collection
     n_released: int  #: tuples released to the server
     n_pending: int  #: tuples still buffered in the shuffler
+    n_dropped_shards: int = 0  #: shards degraded out by skip_shard retries
+    n_quarantined: int = 0  #: malformed tuples refused at the shuffler
 
 
 class FleetService:
@@ -81,6 +85,16 @@ class FleetService:
     seed:
         Root seed; agent streams come from the system's own root, so a
         fixed arrival order reproduces bit-identically.
+    request_timeout:
+        Optional per-request wall-clock budget in seconds.  A request
+        exceeding it raises
+        :class:`~repro.utils.exceptions.ServiceTimeout` to the caller
+        while the work drains on a background thread; until it
+        finishes the service reports ``degraded`` (see :meth:`status`)
+        and refuses new requests with
+        :class:`~repro.utils.exceptions.ServiceError` — the population
+        state is mid-request and a concurrent request would race it.
+        ``None`` (default) runs requests inline with no budget.
     """
 
     def __init__(
@@ -91,6 +105,7 @@ class FleetService:
         engine: EngineConfig | None = None,
         mode: str = AgentMode.WARM_PRIVATE,
         seed=None,
+        request_timeout: float | None = None,
     ) -> None:
         if engine is None:
             from .runner import get_default_config
@@ -110,8 +125,16 @@ class FleetService:
                 "EngineConfig.sink is not supported by FleetService; "
                 "interact() returns its results directly"
             )
+        if request_timeout is not None:
+            request_timeout = float(request_timeout)
+            if request_timeout <= 0:
+                raise ConfigError(
+                    f"request_timeout must be positive seconds or None, "
+                    f"got {request_timeout}"
+                )
         self.env = env
         self.engine = engine
+        self.request_timeout = request_timeout
         sys_seed, self._session_root = spawn_seeds(seed, 2)
         self.system = P2BSystem(config, mode=mode, seed=sys_seed)
         # population starts empty: arrivals build it up request by request
@@ -122,6 +145,10 @@ class FleetService:
         self._n_departed = 0
         self._n_reports = 0
         self._n_released = 0
+        self._n_dropped_shards = 0
+        self._inflight = 0  # timed-out requests still draining in background
+        self._closed = False
+        self._executor: ThreadPoolExecutor | None = None  # lazy, timeout only
 
     # ------------------------------------------------------------------ #
     @property
@@ -141,6 +168,104 @@ class FleetService:
             n_reports=self._n_reports,
             n_released=self._n_released,
             n_pending=self.system.n_pending_reports,
+            n_dropped_shards=self._n_dropped_shards,
+            n_quarantined=self._n_quarantined(),
+        )
+
+    def _n_quarantined(self) -> int:
+        shuffler = self.system.shuffler
+        return 0 if shuffler is None else shuffler.total_quarantined
+
+    # ------------------------------------------------------------------ #
+    # health, timeouts, shutdown
+    def status(self) -> dict:
+        """One health snapshot (the serving analogue of a health endpoint).
+
+        ``state`` is ``"ok"``; ``"degraded"`` when a timed-out request
+        is still draining or shards have been dropped by a
+        ``skip_shard`` fault policy (the service keeps answering, on
+        partial capacity); or ``"closed"`` after :meth:`shutdown`.
+        """
+        if self._closed:
+            state = "closed"
+        elif self._inflight or self._n_dropped_shards:
+            state = "degraded"
+        else:
+            state = "ok"
+        return {
+            "state": state,
+            "n_agents": self.n_agents,
+            "inflight": self._inflight,
+            "n_pending_reports": self.system.n_pending_reports,
+            "n_dropped_shards": self._n_dropped_shards,
+            "n_quarantined": self._n_quarantined(),
+        }
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError(
+                "service is shut down: no further requests are accepted"
+            )
+
+    def _guarded(self, fn, *args, **kwargs):
+        """Run one request body under the per-request timeout (if any).
+
+        On timeout the work keeps draining on the background thread —
+        aborting it mid-shard could tear population state — and the
+        service refuses further requests until it completes.
+        """
+        if self.request_timeout is None:
+            return fn(*args, **kwargs)
+        if self._inflight:
+            raise ServiceError(
+                "service is degraded: a timed-out request is still draining "
+                "(see status()); retry once it completes"
+            )
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="fleet-serve"
+            )
+        self._inflight += 1
+        future = self._executor.submit(fn, *args, **kwargs)
+        future.add_done_callback(self._request_done)
+        try:
+            return future.result(timeout=self.request_timeout)
+        except _FutureTimeout:
+            raise ServiceTimeout(
+                f"request exceeded the {self.request_timeout:g}s budget and "
+                "is draining in the background; the service reports "
+                "degraded until it finishes"
+            ) from None
+
+    def _request_done(self, _future) -> None:
+        self._inflight -= 1
+
+    def shutdown(self) -> CollectionResult:
+        """Graceful shutdown: drain outboxes, flush the buffer, close.
+
+        Every pending report is collected asynchronously and the
+        shuffler's threshold-fill buffer is flushed (stragglers whose
+        crowd never arrived are dropped), so nothing a device already
+        handed over is silently lost.  Idempotent — repeated calls
+        return an empty result.  After shutdown every request raises
+        :class:`~repro.utils.exceptions.ServiceError`.
+        """
+        if self._closed:
+            return CollectionResult(n_reports=0, n_released=0, shuffler_stats=None)
+        self._closed = True
+        if self._executor is not None:
+            # a timed-out request may still be mutating population state:
+            # join it before draining (graceful, not abrupt)
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        drained = self.system.collect_async(self.fleet.agents)
+        flushed = self.system.flush_async()
+        self._n_reports += drained.n_reports
+        self._n_released += drained.n_released + flushed.n_released
+        return CollectionResult(
+            n_reports=drained.n_reports,
+            n_released=drained.n_released + flushed.n_released,
+            shuffler_stats=flushed.shuffler_stats or drained.shuffler_stats,
         )
 
     # ------------------------------------------------------------------ #
@@ -153,6 +278,7 @@ class FleetService:
         order — so a fixed arrival schedule reproduces bit-identically
         regardless of what requests ran in between.
         """
+        self._check_open()
         check_positive_int(n, name="n")
         snapshot = None
         if self.system.server is not None and self.system.server.n_tuples_ingested:
@@ -177,6 +303,7 @@ class FleetService:
         not yet filled keep waiting for crowd-mates that arrive after
         the reporter is gone.  Returns that collection's result.
         """
+        self._check_open()
         departing = [
             self.fleet.agents[int(a)] if isinstance(a, (int, np.integer)) else a
             for a in agents
@@ -198,49 +325,41 @@ class FleetService:
         """Answer one batch request: ``n_steps`` score/update rounds.
 
         The full population runs on the hot persistent fleet.  A
-        ``subset`` (devices on their own clocks) runs on an ephemeral
-        fleet over just those agents — their policy state advances in
-        place either way, so mixed full/subset request streams compose.
-        Returns the batch's :class:`~repro.sim.FleetResult` (empty
-        shapes for an empty population).
+        ``subset`` (devices on their own clocks) runs through
+        :meth:`~repro.sim.FleetRunner.run_subset` on the *same*
+        persistent fleet — full-cover shards reuse their warm stacked
+        state instead of restacking per request (bit-identical to an
+        ephemeral rebuild; ``tests/experiments/test_serve.py`` pins
+        it) — so mixed full/subset request streams compose.  Returns
+        the batch's :class:`~repro.sim.FleetResult` (empty shapes for
+        an empty population).
         """
+        self._check_open()
         self._n_requests += 1
         if subset is None:
-            result = self.fleet.run(n_steps)
+            result = self._guarded(self.fleet.run, n_steps)
             self._n_interactions += self.n_agents * n_steps
-            return result
-        idx = [
-            int(a) if isinstance(a, (int, np.integer)) else self._index_of(a)
-            for a in subset
-        ]
-        agents = [self.fleet.agents[i] for i in idx]
-        sessions = [self.fleet.sessions[i] for i in idx]
-        result = FleetRunner(agents, sessions, config=self.engine).run(n_steps)
-        # the ephemeral run mutated policies the persistent shards cache
-        self.fleet.invalidate()
-        self._n_interactions += len(agents) * n_steps
+        else:
+            subset = list(subset)
+            result = self._guarded(self.fleet.run_subset, subset, n_steps)
+            self._n_interactions += len(subset) * n_steps
+        if result is not None and result.dropped:
+            self._n_dropped_shards += len(result.dropped)
         return result
-
-    def _index_of(self, agent: LocalAgent) -> int:
-        for i, a in enumerate(self.fleet.agents):
-            if a is agent:
-                return i
-        raise ConfigError(
-            f"agent {getattr(agent, 'agent_id', agent)!r} is not in this "
-            "service's population"
-        )
 
     # ------------------------------------------------------------------ #
     # asynchronous collection and model distribution
     def collect(self) -> CollectionResult:
         """Drain every outbox into the async buffer; release what's ready."""
-        outcome = self.system.collect_async(self.fleet.agents)
+        self._check_open()
+        outcome = self._guarded(self.system.collect_async, self.fleet.agents)
         self._n_reports += outcome.n_reports
         self._n_released += outcome.n_released
         return outcome
 
     def flush(self) -> CollectionResult:
         """End-of-deployment release: drop tuples whose crowd never came."""
+        self._check_open()
         outcome = self.system.flush_async()
         self._n_released += outcome.n_released
         return outcome
@@ -251,6 +370,7 @@ class FleetService:
         ``warm_start`` mutates policies outside the fleet, so the
         persistent shard cache is invalidated (next request restacks).
         """
+        self._check_open()
         if self.system.server is None or not self.system.server.n_tuples_ingested:
             return
         snapshot = self.system.model_snapshot()

@@ -124,9 +124,24 @@ populations (``test_sharding.py``), dataset-replay populations
 random seeds and random synthetic/replay population mixtures.
 """
 
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    FleetCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from .faults import (
+    FAULTS_ENV_VAR,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    active_plan,
+)
 from .fleet import (
     PLAN_FORMS,
     WORKER_BACKENDS,
+    DroppedShard,
+    FaultPolicy,
     FleetResult,
     FleetRunner,
     aggregate_plan_nbytes,
@@ -150,6 +165,17 @@ from .stacked import (
 __all__ = [
     "FleetRunner",
     "FleetResult",
+    "FaultPolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "DroppedShard",
+    "FleetCheckpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CHECKPOINT_VERSION",
+    "FAULTS_ENV_VAR",
+    "active_plan",
     "fleet_supported",
     "shard_key",
     "shard_indices",

@@ -113,6 +113,7 @@ into the caller's objects — see :func:`_run_shard_remote` for the
 from __future__ import annotations
 
 import pickle
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -128,13 +129,16 @@ from ..data.environment import (
     TraceRowTable,
     UserSession,
 )
-from ..utils.exceptions import ConfigError
+from ..utils.exceptions import CheckpointError, ConfigError, WorkerError
 from ..utils.validation import check_positive_int
+from .faults import FaultPlan, active_plan
 from .stacked import EXACTNESS_TIERS, stack_policies
 
 __all__ = [
     "FleetRunner",
     "FleetResult",
+    "FaultPolicy",
+    "DroppedShard",
     "fleet_supported",
     "shard_key",
     "shard_indices",
@@ -157,6 +161,88 @@ WORKER_BACKENDS = ("thread", "process")
 #: per-agent form; ``indexed`` insists on the shared form and raises
 #: when a shard cannot take it.  All forms are bit-identical.
 PLAN_FORMS = ("auto", "indexed", "dense")
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the fleet supervises failing shard work.
+
+    When a shard's horizon raises (or its worker process dies), the
+    supervisor restores the shard's agents and sessions from the
+    snapshot taken before the attempt and replays the whole horizon.
+    Because the snapshot round-trips every RNG stream bit-exactly and
+    shard horizons are deterministic given that state, a successful
+    retry is bitwise indistinguishable from a run that never failed.
+
+    Parameters
+    ----------
+    max_retries:
+        How many times a failed shard is retried before the policy's
+        ``on_exhausted`` behavior kicks in (default 2; ``0`` =
+        fail-fast with supervision bookkeeping but no retries).
+    backoff:
+        Base seconds slept before retry ``k`` — the actual sleep is
+        ``backoff * 2**k`` scaled by deterministic jitter (default
+        0.05; ``0.0`` disables sleeping, which tests use).
+    jitter:
+        Jitter amplitude in ``[0, 1]``: retry ``k`` sleeps its
+        exponential base times ``1 + jitter * frac(k * φ)`` (golden-
+        ratio decorrelation — deterministic, so replays are exact,
+        but successive retries never synchronize).
+    on_exhausted:
+        ``"raise"`` (default) raises
+        :class:`~repro.utils.exceptions.WorkerError` after the last
+        retry, with the shard's agents restored to their last good
+        state; ``"skip_shard"`` degrades instead — the shard's result
+        rows are filled with ``NaN`` rewards / ``-1`` actions, its
+        ``expected_mask`` entries cleared, and a :class:`DroppedShard`
+        recorded in ``FleetResult.dropped``.
+    """
+
+    max_retries: int = 2
+    backoff: float = 0.05
+    jitter: float = 0.5
+    on_exhausted: str = "raise"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_retries, (int, np.integer)) or isinstance(
+            self.max_retries, bool
+        ) or self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be a non-negative int, got {self.max_retries!r}"
+            )
+        if not self.backoff >= 0.0:
+            raise ConfigError(f"backoff must be >= 0, got {self.backoff!r}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError(f"jitter must be in [0, 1], got {self.jitter!r}")
+        if self.on_exhausted not in ("raise", "skip_shard"):
+            raise ConfigError(
+                "on_exhausted must be 'raise' or 'skip_shard', "
+                f"got {self.on_exhausted!r}"
+            )
+
+    def sleep_for(self, attempt: int) -> float:
+        """Seconds to back off before re-running attempt ``attempt + 1``."""
+        base = self.backoff * (2.0**attempt)
+        return base * (1.0 + self.jitter * ((attempt * 0.6180339887498949) % 1.0))
+
+
+@dataclass(frozen=True)
+class DroppedShard:
+    """One shard degraded out of a run (``on_exhausted="skip_shard"``).
+
+    Carried in ``FleetResult.dropped`` so callers can see exactly which
+    agents have no results this run: their result rows hold ``NaN``
+    rewards and ``-1`` actions, and their ``expected_mask`` entries are
+    ``False``.  The shard's agents were restored to their state before
+    the run, so a later run (or a fixed deployment) continues cleanly.
+    """
+
+    shard: int  #: execution index of the dropped shard within the run
+    n_agents: int  #: how many agents lost this horizon
+    agent_ids: tuple  #: their ``agent_id`` strings
+    attempts: int  #: attempts made (1 + max_retries)
+    error: str  #: ``TypeName: message`` of the last failure
 
 
 def shard_key(agent: LocalAgent) -> tuple | None:
@@ -223,12 +309,19 @@ def shard_indices(agents: Sequence[LocalAgent]) -> list[np.ndarray]:
 
 @dataclass(frozen=True)
 class FleetResult:
-    """Per-(agent, interaction) outcome matrices of one fleet run."""
+    """Per-(agent, interaction) outcome matrices of one fleet run.
+
+    ``dropped`` is non-empty only for supervised runs that degraded
+    shards out (``FaultPolicy(on_exhausted="skip_shard")``); those
+    agents' rows hold ``NaN`` rewards / ``-1`` actions and their
+    ``expected_mask`` entries are ``False``.
+    """
 
     rewards: np.ndarray  #: realized rewards, shape (n_agents, T)
     actions: np.ndarray  #: chosen actions, shape (n_agents, T)
     expected: np.ndarray | None  #: expected-reward channel, or None if untracked
     expected_mask: np.ndarray  #: per-agent bool: row of ``expected`` is valid
+    dropped: tuple = ()  #: one :class:`DroppedShard` per degraded-out shard
 
     def measured(self) -> np.ndarray:
         """The evaluation matrix the experiment harness consumes.
@@ -292,6 +385,13 @@ class _Shard:
         self._row_codes_table: int | None = None  # id() of the table they cover
         # raw contexts, allocated on the first generic-path round
         self._X: np.ndarray | None = None
+        # armed fault injection (chaos harness): set per attempt by the
+        # supervisor via arm_faults; deliberately NOT cleared by
+        # _reset_run_state — arming outlives prepare()
+        self._faults: FaultPlan | None = None
+        self._fault_shard = 0
+        self._fault_attempt = 0
+        self._fault_in_worker = False
         self._reset_run_state()
 
     def _reset_run_state(self) -> None:
@@ -350,6 +450,28 @@ class _Shard:
         self._part: StackedParticipation | None = None
         self._log: ReportLog | None = None
         self._pre_buffers: list[list] | None = None
+
+    def arm_faults(
+        self,
+        plan: FaultPlan | None,
+        shard_index: int = 0,
+        attempt: int = 0,
+        *,
+        in_worker: bool = False,
+    ) -> None:
+        """Arm (or, with ``None``, disarm) deterministic fault injection.
+
+        While armed, every :meth:`step` first asks ``plan`` whether a
+        fault fires at ``(shard_index, t, attempt)`` — the supervisor
+        re-arms with the new attempt number on each retry, so a fault
+        scheduled for attempt 0 does not re-fire on the replay.
+        ``in_worker`` marks process-pool execution, where ``crash``
+        faults hard-kill the interpreter instead of raising.
+        """
+        self._faults = plan
+        self._fault_shard = int(shard_index)
+        self._fault_attempt = int(attempt)
+        self._fault_in_worker = bool(in_worker)
 
     # ------------------------------------------------------------------ #
     def prepare(
@@ -765,6 +887,13 @@ class _Shard:
         touched objects — sessions, agents, stacked state, caches — are
         owned by this shard alone.
         """
+        if self._faults is not None:
+            self._faults.on_step(
+                self._fault_shard,
+                t,
+                self._fault_attempt,
+                in_worker=self._fault_in_worker,
+            )
         if self._plan_path is not None and t == self._chunk_start + self._chunk_len:
             self._roll_history()
             self._materialize_chunk(t)
@@ -1102,7 +1231,7 @@ def aggregate_plan_nbytes(shards: Sequence[_Shard]) -> dict[str, int]:
     return totals
 
 
-def _run_shard_remote(payload: bytes) -> bytes:
+def _run_shard_remote(payload: bytes, fault_ctx: tuple | None = None) -> bytes:
     """Worker-process body for ``worker_backend="process"``.
 
     Receives one pickled shard population, runs its *entire* horizon
@@ -1110,6 +1239,12 @@ def _run_shard_remote(payload: bytes) -> bytes:
     parent is needed), and ships back the result matrices plus the
     mutated agents and sessions.  The parent adopts the returned state
     into its own objects (:meth:`FleetRunner._adopt`).
+
+    ``fault_ctx`` is ``(plan_spec, shard_index, attempt)`` when the
+    parent runs supervised with a fault plan armed: the *parent* decides
+    the plan (including the env knob) and ships it explicitly, so a
+    retry's incremented attempt number reaches the worker and random
+    faults stay silent on the replay.
     """
     (
         agents,
@@ -1129,6 +1264,11 @@ def _run_shard_remote(payload: bytes) -> bytes:
         plan_form=plan_form,
         exactness=exactness,
     )
+    if fault_ctx is not None:
+        spec, shard_index, attempt = fault_ctx
+        shard.arm_faults(
+            FaultPlan.parse(spec), shard_index, attempt, in_worker=True
+        )
     shard.prepare(n_interactions, track_expected=track_expected)
     rewards = np.empty((n, n_interactions), dtype=np.float64)
     actions = np.empty((n, n_interactions), dtype=np.intp)
@@ -1214,6 +1354,21 @@ class FleetRunner:
         (:meth:`add_agents` / :meth:`remove_agents`) restacks only the
         affected shards; mutating a policy *outside* the fleet (e.g.
         ``warm_start``) requires :meth:`invalidate`.
+    fault_policy:
+        A :class:`FaultPolicy` enabling worker supervision: failed
+        shard horizons are retried from a pre-attempt state snapshot
+        (bitwise-invisible when a retry succeeds), dead worker
+        processes are respawned, and exhausted shards either raise
+        :class:`~repro.utils.exceptions.WorkerError` or degrade out
+        (``on_exhausted="skip_shard"``).  ``None`` (default) keeps the
+        historical fail-fast path — unless a fault plan is armed, in
+        which case a forgiving default policy switches supervision on
+        (the chaos knob must never turn a passing run into a crash).
+    fault_plan:
+        A :class:`~repro.sim.faults.FaultPlan` (or its spec string)
+        injecting deterministic faults into this runner's shard steps —
+        the test-facing twin of the process-wide ``REPRO_FAULTS`` env
+        knob, which applies when this is ``None``.
     """
 
     def __init__(
@@ -1228,6 +1383,8 @@ class FleetRunner:
         plan_form: str = "auto",
         exactness: str = "bit",
         persistent: bool = False,
+        fault_policy: FaultPolicy | None = None,
+        fault_plan: "FaultPlan | str | None" = None,
     ) -> None:
         if config is not None:
             # an EngineConfig (duck-typed: sim must not import
@@ -1241,6 +1398,7 @@ class FleetRunner:
                 or plan_chunk_size is not None
                 or plan_form != "auto"
                 or exactness != "bit"
+                or fault_policy is not None
             ):
                 raise ConfigError(
                     "pass engine settings either via config= or as individual "
@@ -1251,6 +1409,7 @@ class FleetRunner:
             plan_chunk_size = config.plan_chunk_size
             plan_form = config.plan_form
             exactness = config.exactness
+            fault_policy = getattr(config, "fault_policy", None)
             self._config_sink = getattr(config, "sink", None)
         else:
             self._config_sink = None
@@ -1274,6 +1433,22 @@ class FleetRunner:
             )
         self.exactness = exactness
         self.persistent = bool(persistent)
+        if fault_policy is not None and not isinstance(fault_policy, FaultPolicy):
+            raise ConfigError(
+                f"fault_policy must be a FaultPolicy or None, got {fault_policy!r}"
+            )
+        self.fault_policy = fault_policy
+        if isinstance(fault_plan, str):
+            fault_plan = FaultPlan.parse(fault_plan)
+        if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+            raise ConfigError(
+                f"fault_plan must be a FaultPlan, a spec string, or None, "
+                f"got {fault_plan!r}"
+            )
+        self.fault_plan = fault_plan
+        # set by resume(): the loaded checkpoint resume_run() continues
+        self._resume_ckpt = None
+        self._resume_path = None
         if len(self.agents) != len(self.sessions):
             raise ConfigError(
                 f"agents ({len(self.agents)}) and sessions ({len(self.sessions)}) "
@@ -1391,7 +1566,9 @@ class FleetRunner:
         self._shards.clear()
 
     # ------------------------------------------------------------------ #
-    def _shard_for(self, key: tuple, members: list[int]) -> _Shard:
+    def _shard_for(
+        self, key: tuple, members: list[int], rows: list[int] | None = None
+    ) -> _Shard:
         """The shard for one group — cached in persistent mode.
 
         A cached shard is reused only when its member agent list is
@@ -1400,9 +1577,11 @@ class FleetRunner:
         safe because ``writeback`` leaves the stacked arrays equal to
         the policy state and ``prepare`` resets all per-run state.
         Global indices may have shifted under churn, so they (and the
-        session bindings) are refreshed on every run.
+        session bindings) are refreshed on every run.  ``rows``
+        overrides the result-matrix rows the shard writes (subset runs
+        write at subset-local positions, not global indices).
         """
-        idx = np.asarray(members, dtype=np.intp)
+        idx = np.asarray(members if rows is None else rows, dtype=np.intp)
         agents = [self.agents[i] for i in members]
         sessions = [self.sessions[i] for i in members]
         shard = self._shards.get(key) if self.persistent else None
@@ -1425,6 +1604,27 @@ class FleetRunner:
         if self.persistent:
             self._shards[key] = shard
         return shard
+
+    def _build_shard(
+        self, key: tuple | None, members: list[int], rows: list[int]
+    ) -> _Shard:
+        """Materialize the shard of one execution spec.
+
+        Specs with a key are full shard groups (cache-eligible); a
+        ``None`` key marks a partial-shard subset run, which always
+        builds an ephemeral shard (cached stacked state belongs to the
+        full membership).
+        """
+        if key is not None:
+            return self._shard_for(key, members, rows=rows)
+        return _Shard(
+            np.asarray(rows, dtype=np.intp),
+            [self.agents[i] for i in members],
+            [self.sessions[i] for i in members],
+            plan_chunk_size=self.plan_chunk_size,
+            plan_form=self.plan_form,
+            exactness=self.exactness,
+        )
 
     def _result_window(self, n_interactions: int) -> int:
         """Ring width for streaming runs: every lookback fits.
@@ -1467,12 +1667,45 @@ class FleetRunner:
             expected_mask=np.zeros(0, dtype=bool),
         )
 
+    # ------------------------------------------------------------------ #
+    # fault supervision plumbing
+    def _active_fault_plan(self) -> FaultPlan | None:
+        """This run's fault plan: the explicit one, else the env knob."""
+        if self.fault_plan is not None:
+            return self.fault_plan
+        return active_plan()
+
+    def _effective_fault_policy(self, plan: FaultPlan | None) -> FaultPolicy | None:
+        """The supervision policy for this run (``None`` = fail-fast).
+
+        An armed fault plan without an explicit policy gets a default
+        forgiving policy: the chaos env knob must *harden* runs, never
+        turn a passing suite into a crashing one.
+        """
+        if self.fault_policy is not None:
+            return self.fault_policy
+        if plan is not None:
+            return FaultPolicy(max_retries=3, backoff=0.0)
+        return None
+
+    def _full_specs(self) -> list[tuple]:
+        """One execution spec per shard: ``(key, members, rows)``.
+
+        ``members`` are global population indices; ``rows`` the result-
+        matrix rows they write (identical for whole-population runs,
+        subset-local positions for :meth:`run_subset`).
+        """
+        return [(key, members, members) for key, members in self._groups.items()]
+
     def run(
         self,
         n_interactions: int,
         *,
         track_expected: bool = False,
         sink=None,
+        checkpoint_every: int | None = None,
+        checkpoint_path=None,
+        checkpoint_context: bytes | None = None,
     ) -> FleetResult | None:
         """Run ``n_interactions`` rounds over the whole population.
 
@@ -1494,94 +1727,262 @@ class FleetRunner:
         custom session whose ``expected_rewards`` starts raising
         mid-run would be masked only from that round on, where the
         matrix path retroactively masks the whole row.
+
+        ``checkpoint_every`` + ``checkpoint_path`` make the run
+        restartable: the horizon executes in segments of that many
+        rounds, and after each segment a versioned snapshot — the
+        pickled population (policy state, RNG streams, participation
+        counters, pending outboxes) plus the partial result matrices —
+        is written atomically to ``checkpoint_path``.  A run killed
+        mid-horizon continues via :meth:`resume`/:meth:`resume_run`
+        with results **bit-identical** to the uninterrupted run
+        (segmented execution is exact by the plan contract; the
+        fast exactness tier is bit-identical to an uninterrupted run
+        using the same checkpoint cadence).  ``checkpoint_context``
+        is an opaque caller blob stored alongside (``run_setting``
+        keeps its collection phase there).  Checkpointing composes
+        with supervision but not with a ``sink``.
         """
         n_interactions = check_positive_int(n_interactions, name="n_interactions")
-        n = len(self.agents)
         if sink is None:
             sink = self._config_sink
+        if checkpoint_every is not None or checkpoint_path is not None:
+            if checkpoint_path is None:
+                raise ConfigError(
+                    "checkpoint_every without checkpoint_path: tell the run "
+                    "where to write its snapshots"
+                )
+            if sink is not None:
+                raise ConfigError(
+                    "checkpointing materializes the partial result matrices "
+                    "and cannot stream into a sink; drop the sink or the "
+                    "checkpointing"
+                )
+            every = (
+                n_interactions
+                if checkpoint_every is None
+                else check_positive_int(checkpoint_every, name="checkpoint_every")
+            )
+            return self._run_checkpointed(
+                n_interactions,
+                track_expected=track_expected,
+                every=min(every, n_interactions),
+                path=checkpoint_path,
+                context=checkpoint_context,
+                prefix=None,
+            )
+        return self._dispatch(
+            self._full_specs(),
+            len(self.agents),
+            n_interactions,
+            track_expected=track_expected,
+            sink=sink,
+        )
 
-        if n == 0 or not self._groups:
+    def run_subset(
+        self,
+        subset: Sequence,
+        n_interactions: int,
+        *,
+        track_expected: bool = False,
+    ) -> FleetResult:
+        """Run ``n_interactions`` rounds over only ``subset`` of the fleet.
+
+        ``subset`` holds agent objects (matched by identity) or integer
+        population indices; the result matrices have one row per subset
+        member, in subset order.  Subsets covering a whole shard reuse
+        its cached stacked state (persistent mode) — the point of
+        serving interleaved cohort requests off one warm fleet — while
+        partial-shard members run on an ephemeral stack and invalidate
+        their shard's cache (its stacked arrays no longer mirror the
+        advanced policy objects).  Either way the outcome is
+        bit-identical to building a fresh ``FleetRunner`` over just
+        these agents and sessions: shard membership only determines
+        *where* the math runs, never what any agent observes.
+        """
+        n_interactions = check_positive_int(n_interactions, name="n_interactions")
+        idx: list[int] = []
+        by_id = {id(a): i for i, a in enumerate(self.agents)}
+        for a in subset:
+            if isinstance(a, (int, np.integer)):
+                i = int(a)
+                if not 0 <= i < len(self.agents):
+                    raise ConfigError(
+                        f"agent index {i} out of range (population size "
+                        f"{len(self.agents)})"
+                    )
+            else:
+                i = by_id.get(id(a))
+                if i is None:
+                    raise ConfigError(
+                        f"agent {getattr(a, 'agent_id', a)!r} is not in this "
+                        "fleet's population"
+                    )
+            idx.append(i)
+        if len(set(idx)) != len(idx):
+            raise ConfigError("run_subset members must be unique")
+        if not idx:
+            return self._empty_result(
+                n_interactions, track_expected=track_expected, sink=None
+            )
+        rows_of = {g: r for r, g in enumerate(idx)}
+        chosen_set = set(idx)
+        specs: list[tuple] = []
+        partial_keys: list[tuple] = []
+        for key, members in self._groups.items():
+            chosen = [i for i in members if i in chosen_set]
+            if not chosen:
+                continue
+            full = len(chosen) == len(members)
+            rows = [rows_of[i] for i in chosen]
+            specs.append((key if full else None, chosen, rows))
+            if not full:
+                partial_keys.append(key)
+        try:
+            return self._dispatch(
+                specs, len(idx), n_interactions,
+                track_expected=track_expected, sink=None,
+            )
+        finally:
+            # a partial-shard run advanced some of these shards' members
+            # outside their cached stacked state — restack on next use
+            for key in partial_keys:
+                self._shards.pop(key, None)
+
+    def _dispatch(
+        self, specs: list[tuple], n_rows: int, n_interactions: int,
+        *, track_expected: bool, sink,
+    ) -> FleetResult | None:
+        """Route execution specs to the configured backend."""
+        if n_rows == 0 or not specs:
             return self._empty_result(
                 n_interactions, track_expected=track_expected, sink=sink
             )
-
         # an explicit process request is always honored — regardless of
         # shard count or n_workers — so the documented process-backend
         # semantics (pickling requirements, component-object rebinding)
         # never silently vary with the population's shape
         if self.worker_backend == "process":
             return self._run_process(
-                n_interactions, track_expected=track_expected, sink=sink
+                specs, n_rows, n_interactions,
+                track_expected=track_expected, sink=sink,
             )
+        return self._run_thread(
+            specs, n_rows, n_interactions,
+            track_expected=track_expected, sink=sink,
+        )
 
-        width = n_interactions if sink is None else self._result_window(n_interactions)
-        shards = [
-            self._shard_for(key, members)
-            for key, members in self._groups.items()
-        ]
-        result_window = None if sink is None else width
+    def _run_thread(
+        self, specs: list[tuple], n_rows: int, n_interactions: int,
+        *, track_expected: bool, sink,
+    ) -> FleetResult | None:
+        plan = self._active_fault_plan()
+        policy = self._effective_fault_policy(plan)
+        supervised = policy is not None
+        # supervised runs defer any sink emission until a shard's whole
+        # horizon has definitely succeeded (a retried horizon must never
+        # double-emit), so they keep full-width matrices even when
+        # streaming — supervision costs the ring's memory saving
+        width = (
+            n_interactions
+            if (sink is None or supervised)
+            else self._result_window(n_interactions)
+        )
+        result_window = None if (sink is None or supervised) else width
 
-        rewards = np.empty((n, width), dtype=np.float64)
-        actions_mat = np.empty((n, width), dtype=np.intp)
-        expected = np.empty((n, width), dtype=np.float64) if track_expected else None
-        expected_ok = np.full(n, track_expected, dtype=bool)
+        rewards = np.empty((n_rows, width), dtype=np.float64)
+        actions_mat = np.empty((n_rows, width), dtype=np.intp)
+        expected = np.empty((n_rows, width), dtype=np.float64) if track_expected else None
+        expected_ok = np.full(n_rows, track_expected, dtype=bool)
 
         if sink is not None:
-            sink.begin(n, n_interactions)
+            sink.begin(n_rows, n_interactions)
             import threading
 
             sink_lock = threading.Lock()
 
-            def emit(shard: _Shard, t: int) -> None:
+            def emit(rows: np.ndarray, t: int) -> None:
                 # fancy indexing copies, so the sink never aliases the ring
-                rows = shard.indices
-                tc = t % width
+                tc = t if result_window is None else t % width
                 exp = None if expected is None else expected[rows, tc]
                 with sink_lock:
                     sink.emit(t, rows, rewards[rows, tc], exp, expected_ok[rows])
 
-        n_workers = min(self.n_workers, len(shards))
-        if n_workers > 1:
-            # shards never interact — round-major interleaving across
-            # shards is purely cosmetic (streams are per-agent) — so
-            # each shard's *whole horizon*, plan materialization
-            # included, runs as one task: no per-round barrier, no
-            # per-round submit overhead; all writes land at the shard's
-            # disjoint agent rows
-            from concurrent.futures import ThreadPoolExecutor
-
-            def run_shard(shard: _Shard) -> None:
-                shard.prepare(
-                    n_interactions,
-                    track_expected=track_expected,
-                    result_window=result_window,
+        dropped: list[DroppedShard] = []
+        if supervised:
+            def run_spec(si: int, spec: tuple) -> DroppedShard | None:
+                key, members, rows = spec
+                return self._run_shard_supervised(
+                    si, key, members, rows, n_interactions,
+                    track_expected=track_expected, policy=policy, plan=plan,
+                    rewards=rewards, actions_mat=actions_mat,
+                    expected=expected, expected_ok=expected_ok,
                 )
-                for t in range(n_interactions):
-                    shard.step(t, rewards, actions_mat, expected, expected_ok)
-                    if sink is not None:
-                        emit(shard, t)
-                shard.finish(rewards, actions_mat)
 
-            with ThreadPoolExecutor(max_workers=n_workers) as pool:
-                for future in [pool.submit(run_shard, shard) for shard in shards]:
-                    future.result()
+            n_workers = min(self.n_workers, len(specs))
+            if n_workers > 1:
+                from concurrent.futures import ThreadPoolExecutor
+
+                with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                    futures = [
+                        pool.submit(run_spec, si, spec)
+                        for si, spec in enumerate(specs)
+                    ]
+                    outcomes = [f.result() for f in futures]
+            else:
+                outcomes = [run_spec(si, spec) for si, spec in enumerate(specs)]
+            for (key, members, rows), outcome in zip(specs, outcomes):
+                if outcome is not None:
+                    dropped.append(outcome)
+                elif sink is not None:
+                    rows_np = np.asarray(rows, dtype=np.intp)
+                    for t in range(n_interactions):
+                        emit(rows_np, t)
         else:
-            for shard in shards:
-                shard.prepare(
-                    n_interactions,
-                    track_expected=track_expected,
-                    result_window=result_window,
-                )
-            for t in range(n_interactions):
-                for shard in shards:
-                    shard.step(t, rewards, actions_mat, expected, expected_ok)
-                    if sink is not None:
-                        emit(shard, t)
-            for shard in shards:
-                shard.finish(rewards, actions_mat)
+            shards = [self._build_shard(*spec) for spec in specs]
+            n_workers = min(self.n_workers, len(shards))
+            if n_workers > 1:
+                # shards never interact — round-major interleaving across
+                # shards is purely cosmetic (streams are per-agent) — so
+                # each shard's *whole horizon*, plan materialization
+                # included, runs as one task: no per-round barrier, no
+                # per-round submit overhead; all writes land at the
+                # shard's disjoint agent rows
+                from concurrent.futures import ThreadPoolExecutor
 
-        for shard in shards:
-            shard.stacked.writeback()
+                def run_shard(shard: _Shard) -> None:
+                    shard.prepare(
+                        n_interactions,
+                        track_expected=track_expected,
+                        result_window=result_window,
+                    )
+                    for t in range(n_interactions):
+                        shard.step(t, rewards, actions_mat, expected, expected_ok)
+                        if sink is not None:
+                            emit(shard.indices, t)
+                    shard.finish(rewards, actions_mat)
+
+                with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                    for future in [pool.submit(run_shard, shard) for shard in shards]:
+                        future.result()
+            else:
+                for shard in shards:
+                    shard.prepare(
+                        n_interactions,
+                        track_expected=track_expected,
+                        result_window=result_window,
+                    )
+                for t in range(n_interactions):
+                    for shard in shards:
+                        shard.step(t, rewards, actions_mat, expected, expected_ok)
+                        if sink is not None:
+                            emit(shard.indices, t)
+                for shard in shards:
+                    shard.finish(rewards, actions_mat)
+
+            for shard in shards:
+                shard.stacked.writeback()
+
         if sink is not None:
             sink.finish()
             return None
@@ -1590,11 +1991,106 @@ class FleetRunner:
             actions=actions_mat,
             expected=expected,
             expected_mask=expected_ok,
+            dropped=tuple(dropped),
         )
+
+    def _run_shard_supervised(
+        self, si: int, key: tuple | None, members: list[int], rows: list[int],
+        n_interactions: int, *, track_expected: bool,
+        policy: FaultPolicy, plan: FaultPlan | None,
+        rewards: np.ndarray, actions_mat: np.ndarray,
+        expected: np.ndarray | None, expected_ok: np.ndarray,
+    ) -> DroppedShard | None:
+        """One shard's whole horizon under retry supervision (thread path).
+
+        Before each attempt the shard's agents and sessions are held as
+        a pickle snapshot; a failure restores them (``_adopt`` keeps the
+        caller-visible object identities) and replays the whole horizon.
+        The pickle round-trip preserves every RNG stream bit-exactly and
+        shard horizons are deterministic given that state, so a
+        successful retry is bitwise indistinguishable from a run that
+        never failed.  Partial result-matrix writes of a failed attempt
+        are fully overwritten by the replay (or NaN-filled by a skip).
+        Returns ``None`` on success, a :class:`DroppedShard` when the
+        policy degrades the shard out after exhaustion.
+        """
+        rows_np = np.asarray(rows, dtype=np.intp)
+        agents = [self.agents[i] for i in members]
+        sessions = [self.sessions[i] for i in members]
+        try:
+            snapshot = pickle.dumps((agents, sessions))
+        except Exception as exc:  # pickle errors vary by payload
+            if self.fault_policy is not None:
+                raise ConfigError(
+                    "fault-tolerant execution snapshots shard state by "
+                    f"pickling, which this population does not support ({exc});"
+                    " drop the FaultPolicy or make the population picklable"
+                ) from exc
+            # implicit supervision (the chaos env knob armed a plan, the
+            # caller asked for nothing): an unsnapshotable shard cannot
+            # be retried, so it runs clean and unsupervised — the knob
+            # must harden runs, never turn a passing one into a crash
+            shard = self._build_shard(key, members, rows)
+            shard.prepare(n_interactions, track_expected=track_expected)
+            for t in range(n_interactions):
+                shard.step(t, rewards, actions_mat, expected, expected_ok)
+            shard.finish(rewards, actions_mat)
+            shard.stacked.writeback()
+            return None
+        attempt = 0
+        while True:
+            shard = self._build_shard(key, members, rows)
+            if plan is not None:
+                shard.arm_faults(plan, si, attempt)
+            try:
+                shard.prepare(n_interactions, track_expected=track_expected)
+                for t in range(n_interactions):
+                    shard.step(t, rewards, actions_mat, expected, expected_ok)
+                shard.finish(rewards, actions_mat)
+                shard.stacked.writeback()
+                shard.arm_faults(None)
+                return None
+            except Exception as exc:
+                shard.arm_faults(None)
+                # restore the canonical objects to their pre-run state
+                # (same object identities, adopted state) and drop any
+                # cached stacked view of the failed attempt
+                s_agents, s_sessions = pickle.loads(snapshot)
+                for i, a, s in zip(members, s_agents, s_sessions):
+                    self._adopt(self.agents[i], a)
+                    self._adopt(self.sessions[i], s)
+                if key is not None:
+                    self._shards.pop(key, None)
+                attempt += 1
+                if attempt > policy.max_retries:
+                    if policy.on_exhausted == "skip_shard":
+                        rewards[rows_np] = np.nan
+                        actions_mat[rows_np] = -1
+                        if expected is not None:
+                            expected[rows_np] = np.nan
+                        expected_ok[rows_np] = False
+                        return DroppedShard(
+                            shard=si,
+                            n_agents=len(members),
+                            agent_ids=tuple(a.agent_id for a in agents),
+                            attempts=attempt,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    raise WorkerError(
+                        f"shard {si} ({len(members)} agents) failed on all "
+                        f"{attempt} attempts (max_retries="
+                        f"{policy.max_retries}): {type(exc).__name__}: {exc}; "
+                        "the shard's agents were restored to their last good "
+                        "state — retry with a higher budget or use "
+                        "on_exhausted='skip_shard' to degrade instead"
+                    ) from exc
+                if policy.backoff:
+                    time.sleep(policy.sleep_for(attempt - 1))
 
     # ------------------------------------------------------------------ #
     def _run_process(
-        self, n_interactions: int, *, track_expected: bool, sink=None
+        self, specs: list[tuple], n_rows: int, n_interactions: int,
+        *, track_expected: bool, sink=None,
     ) -> FleetResult | None:
         """Process-pool escape hatch: one whole-horizon task per shard.
 
@@ -1606,23 +2102,39 @@ class FleetRunner:
         shard's columns are emitted then dropped (the workers still
         build per-shard matrices; the streaming saving here is the
         parent-side O(n x T), not the workers').
+
+        Supervision is simpler here than on the thread path: workers
+        mutate *copies*, so the parent's objects stay good until a
+        shard's result is adopted — a failed shard just resubmits its
+        immutable payload.  A dead worker process poisons its whole
+        ``ProcessPoolExecutor`` (every in-flight future raises
+        ``BrokenProcessPool``); the supervisor replaces the executor
+        once per round of failures and the poisoned victims retry from
+        their payloads.  Without a policy, failures propagate as-is
+        (the historical fail-fast behavior).
         """
         from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        plan = self._active_fault_plan()
+        policy = self._effective_fault_policy(plan)
+        spec_str = None if plan is None else plan.to_spec()
 
         # workers ship back state-equal *replacement* component objects
         # (_adopt rebinds agent.policy etc.), so any cached shard's
         # stacked references would go stale — drop them
-        self._shards.clear()
+        for key, _, _ in specs:
+            if key is not None:
+                self._shards.pop(key, None)
 
-        n = len(self.agents)
         payloads = []
-        for idx in self._shard_index_groups:
+        for _, members, _ in specs:
             try:
                 payloads.append(
                     pickle.dumps(
                         (
-                            [self.agents[i] for i in idx],
-                            [self.sessions[i] for i in idx],
+                            [self.agents[i] for i in members],
+                            [self.sessions[i] for i in members],
                             n_interactions,
                             track_expected,
                             self.plan_chunk_size,
@@ -1637,44 +2149,115 @@ class FleetRunner:
                     f"(pickling a shard failed: {exc}); use the thread backend"
                 ) from exc
 
-        if not payloads:
-            # zero shards: creating a pool would raise max_workers=0
-            return self._empty_result(
-                n_interactions, track_expected=track_expected, sink=sink
-            )
+        outputs: dict[int, tuple] = {}
+        dropped: dict[int, DroppedShard] = {}
+        attempts = [0] * len(specs)
+        queue = list(range(len(specs)))
+        n_workers = min(self.n_workers, len(payloads))
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+        try:
+            while queue:
+                futures = {
+                    si: pool.submit(
+                        _run_shard_remote,
+                        payloads[si],
+                        None
+                        if spec_str is None
+                        else (spec_str, si, attempts[si]),
+                    )
+                    for si in queue
+                }
+                queue = []
+                pool_broken = False
+                retry_wait = 0.0
+                for si, future in futures.items():
+                    try:
+                        outputs[si] = pickle.loads(future.result())
+                        continue
+                    except Exception as exc:
+                        if policy is None:
+                            raise  # fail-fast: the historical behavior
+                        if isinstance(exc, BrokenProcessPool):
+                            pool_broken = True
+                        failure = exc
+                    attempts[si] += 1
+                    members = specs[si][1]
+                    if attempts[si] > policy.max_retries:
+                        if policy.on_exhausted == "skip_shard":
+                            dropped[si] = DroppedShard(
+                                shard=si,
+                                n_agents=len(members),
+                                agent_ids=tuple(
+                                    self.agents[i].agent_id for i in members
+                                ),
+                                attempts=attempts[si],
+                                error=f"{type(failure).__name__}: {failure}",
+                            )
+                        else:
+                            raise WorkerError(
+                                f"shard {si} ({len(members)} agents) failed in "
+                                f"a worker process on all {attempts[si]} "
+                                f"attempts (max_retries={policy.max_retries}):"
+                                f" {type(failure).__name__}: {failure}; the "
+                                "parent's population is untouched (workers "
+                                "mutate copies) — retry with a higher budget "
+                                "or use on_exhausted='skip_shard'"
+                            ) from failure
+                    else:
+                        queue.append(si)
+                        retry_wait = max(
+                            retry_wait, policy.sleep_for(attempts[si] - 1)
+                        )
+                if pool_broken:
+                    # a dead worker poisons the whole executor — replace
+                    # it; queued shards rerun from their immutable
+                    # payloads with the incremented attempt number
+                    pool.shutdown(wait=True, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=n_workers)
+                if queue and retry_wait:
+                    time.sleep(retry_wait)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
 
         if sink is None:
-            rewards = np.empty((n, n_interactions), dtype=np.float64)
-            actions_mat = np.empty((n, n_interactions), dtype=np.intp)
+            rewards = np.empty((n_rows, n_interactions), dtype=np.float64)
+            actions_mat = np.empty((n_rows, n_interactions), dtype=np.intp)
             expected = (
-                np.empty((n, n_interactions), dtype=np.float64) if track_expected else None
+                np.empty((n_rows, n_interactions), dtype=np.float64)
+                if track_expected
+                else None
             )
-            expected_ok = np.full(n, track_expected, dtype=bool)
+            expected_ok = np.full(n_rows, track_expected, dtype=bool)
         else:
-            sink.begin(n, n_interactions)
+            sink.begin(n_rows, n_interactions)
 
-        n_workers = min(self.n_workers, len(payloads))
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            results = list(pool.map(_run_shard_remote, payloads))
-
-        for idx, blob in zip(self._shard_index_groups, results):
-            s_rewards, s_actions, s_expected, s_ok, s_agents, s_sessions = pickle.loads(blob)
+        for si, (key, members, rows) in enumerate(specs):
+            rows_np = np.asarray(rows, dtype=np.intp)
+            if si in dropped:
+                if sink is None:
+                    rewards[rows_np] = np.nan
+                    actions_mat[rows_np] = -1
+                    if expected is not None:
+                        expected[rows_np] = np.nan
+                    expected_ok[rows_np] = False
+                continue
+            s_rewards, s_actions, s_expected, s_ok, s_agents, s_sessions = outputs[si]
             if sink is None:
-                rewards[idx] = s_rewards
-                actions_mat[idx] = s_actions
+                rewards[rows_np] = s_rewards
+                actions_mat[rows_np] = s_actions
                 if expected is not None and s_expected is not None:
-                    expected[idx] = s_expected
-                expected_ok[idx] = s_ok
+                    expected[rows_np] = s_expected
+                expected_ok[rows_np] = s_ok
             else:
                 for t in range(n_interactions):
                     sink.emit(
                         t,
-                        idx,
+                        rows_np,
                         s_rewards[:, t],
                         None if s_expected is None else s_expected[:, t],
                         s_ok,
                     )
-            for i, agent, session in zip(idx, s_agents, s_sessions):
+            for i, agent, session in zip(members, s_agents, s_sessions):
                 self._adopt(self.agents[i], agent)
                 self._adopt(self.sessions[i], session)
         if sink is not None:
@@ -1685,6 +2268,235 @@ class FleetRunner:
             actions=actions_mat,
             expected=expected,
             expected_mask=expected_ok,
+            dropped=tuple(dropped[si] for si in sorted(dropped)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # checkpoint / resume
+    def _engine_dict(self) -> dict:
+        """The engine knobs a checkpoint must restore to replay exactly."""
+        return {
+            "n_workers": self.n_workers,
+            "worker_backend": self.worker_backend,
+            "plan_chunk_size": self.plan_chunk_size,
+            "plan_form": self.plan_form,
+            "exactness": self.exactness,
+            "persistent": self.persistent,
+        }
+
+    def checkpoint(
+        self,
+        path,
+        *,
+        completed: int = 0,
+        n_interactions: int = 0,
+        track_expected: bool = False,
+        rewards: np.ndarray | None = None,
+        actions: np.ndarray | None = None,
+        expected: np.ndarray | None = None,
+        expected_ok: np.ndarray | None = None,
+        checkpoint_every: int | None = None,
+        context: bytes | None = None,
+        dropped: Sequence = (),
+    ) -> None:
+        """Write a versioned on-disk snapshot of this fleet to ``path``.
+
+        The snapshot carries the pickled population — every agent with
+        its policy state, RNG streams, participation counters and
+        pending report outbox, and every session with its walk cursors —
+        plus this runner's engine knobs and, for an in-flight run, the
+        partial result matrices and progress cursor.  Writes are atomic
+        (temp file + ``os.replace``), so a crash mid-write leaves the
+        previous snapshot intact.  :meth:`run` calls this automatically
+        at ``checkpoint_every`` boundaries; calling it directly gives a
+        resumable between-runs snapshot (``completed=0``).
+        """
+        from .checkpoint import FleetCheckpoint, save_checkpoint
+
+        n = len(self.agents)
+        try:
+            population = pickle.dumps((self.agents, self.sessions))
+        except Exception as exc:  # pickle errors vary by payload
+            raise CheckpointError(
+                "checkpointing pickles the population, which failed: "
+                f"{exc}; every built-in agent/session is picklable"
+            ) from exc
+        save_checkpoint(
+            path,
+            FleetCheckpoint(
+                completed=int(completed),
+                n_interactions=int(n_interactions or completed),
+                track_expected=bool(track_expected),
+                rewards=(
+                    np.empty((n, 0), dtype=np.float64) if rewards is None else rewards
+                ),
+                actions=(
+                    np.empty((n, 0), dtype=np.intp) if actions is None else actions
+                ),
+                expected=expected,
+                expected_ok=(
+                    np.zeros(n, dtype=bool) if expected_ok is None else expected_ok
+                ),
+                population=population,
+                engine=self._engine_dict(),
+                checkpoint_every=checkpoint_every,
+                context=context,
+                dropped=tuple(dropped),
+            ),
+        )
+
+    @classmethod
+    def resume(
+        cls,
+        path,
+        *,
+        fault_policy: FaultPolicy | None = None,
+        fault_plan: "FaultPlan | str | None" = None,
+    ) -> "FleetRunner":
+        """Rebuild a fleet from a snapshot written by :meth:`checkpoint`.
+
+        The returned runner holds the unpickled population (identical
+        RNG streams, counters, outboxes) under the engine knobs the
+        snapshot was taken with; when the snapshot was mid-run,
+        :meth:`resume_run` finishes that run bit-identically to the
+        uninterrupted one.  Supervision knobs are per-process, not part
+        of the snapshot — pass them here if the resumed run should be
+        supervised too.
+        """
+        from .checkpoint import load_checkpoint
+
+        ckpt = load_checkpoint(path)
+        try:
+            agents, sessions = pickle.loads(ckpt.population)
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpoint {str(path)!r} holds an unreadable population "
+                f"pickle: {exc}"
+            ) from exc
+        engine = dict(ckpt.engine)
+        runner = cls(
+            agents,
+            sessions,
+            n_workers=int(engine.get("n_workers", 1)),
+            worker_backend=engine.get("worker_backend", "thread"),
+            plan_chunk_size=engine.get("plan_chunk_size"),
+            plan_form=engine.get("plan_form", "auto"),
+            exactness=engine.get("exactness", "bit"),
+            persistent=bool(engine.get("persistent", False)),
+            fault_policy=fault_policy,
+            fault_plan=fault_plan,
+        )
+        runner._resume_ckpt = ckpt
+        runner._resume_path = path
+        return runner
+
+    @property
+    def resume_context(self) -> bytes | None:
+        """The caller context blob of the loaded snapshot (after :meth:`resume`)."""
+        return None if self._resume_ckpt is None else self._resume_ckpt.context
+
+    def resume_run(
+        self,
+        *,
+        checkpoint_path=None,
+        checkpoint_every: int | None = None,
+    ) -> FleetResult:
+        """Finish the in-flight run this fleet was :meth:`resume`-d from.
+
+        Runs the remaining ``n_interactions - completed`` rounds —
+        continuing to checkpoint at the snapshot's cadence (overridable
+        here) — and returns the *full-horizon* result: the snapshot's
+        completed columns concatenated with the freshly run ones,
+        bit-identical to the run that was never interrupted.
+        """
+        ckpt = self._resume_ckpt
+        if ckpt is None:
+            raise CheckpointError(
+                "resume_run() needs a runner built by FleetRunner.resume(path) "
+                "whose run has not been finished yet"
+            )
+        self._resume_ckpt = None
+        path = self._resume_path if checkpoint_path is None else checkpoint_path
+        every = ckpt.checkpoint_every if checkpoint_every is None else checkpoint_every
+        remaining = ckpt.n_interactions - ckpt.completed
+        if remaining <= 0:
+            return FleetResult(
+                rewards=ckpt.rewards,
+                actions=ckpt.actions,
+                expected=ckpt.expected,
+                expected_mask=ckpt.expected_ok,
+                dropped=ckpt.dropped,
+            )
+        return self._run_checkpointed(
+            ckpt.n_interactions,
+            track_expected=ckpt.track_expected,
+            every=min(every or remaining, remaining),
+            path=path,
+            context=ckpt.context,
+            prefix=ckpt,
+        )
+
+    def _run_checkpointed(
+        self, n_total: int, *, track_expected: bool, every: int,
+        path, context: bytes | None, prefix,
+    ) -> FleetResult:
+        """Execute a horizon in ``every``-round segments, snapshotting each.
+
+        Segmented execution composes bit-identically with one full run —
+        the plan contract makes slice-by-slice planning exact, and
+        ``finish`` leaves agents in the sequential state at every
+        boundary (the segmented-composition property ``tests/sim`` pins)
+        — so the concatenated columns equal the uninterrupted run's.
+        ``prefix`` (a loaded ``FleetCheckpoint``) seeds completed
+        columns when resuming; ``expected_mask`` is ANDed across
+        segments, matching the matrix path's whole-row masking.
+        """
+        completed = 0 if prefix is None else int(prefix.completed)
+        parts_r = [] if prefix is None else [prefix.rewards]
+        parts_a = [] if prefix is None else [prefix.actions]
+        parts_e = (
+            [] if prefix is None or prefix.expected is None else [prefix.expected]
+        )
+        ok = None if prefix is None else np.asarray(prefix.expected_ok, dtype=bool)
+        dropped = [] if prefix is None else list(prefix.dropped)
+        while completed < n_total:
+            seg = min(every, n_total - completed)
+            res = self._dispatch(
+                self._full_specs(),
+                len(self.agents),
+                seg,
+                track_expected=track_expected,
+                sink=None,
+            )
+            parts_r.append(res.rewards)
+            parts_a.append(res.actions)
+            if res.expected is not None:
+                parts_e.append(res.expected)
+            ok = res.expected_mask if ok is None else (ok & res.expected_mask)
+            dropped.extend(res.dropped)
+            completed += seg
+            rewards = np.concatenate(parts_r, axis=1)
+            actions = np.concatenate(parts_a, axis=1)
+            expected = np.concatenate(parts_e, axis=1) if parts_e else None
+            self.checkpoint(
+                path,
+                completed=completed,
+                n_interactions=n_total,
+                track_expected=track_expected,
+                rewards=rewards,
+                actions=actions,
+                expected=expected,
+                expected_ok=ok,
+                checkpoint_every=every,
+                context=context,
+                dropped=dropped,
+            )
+        return FleetResult(
+            rewards=rewards,
+            actions=actions,
+            expected=expected,
+            expected_mask=ok,
+            dropped=tuple(dropped),
         )
 
     @staticmethod

@@ -16,6 +16,11 @@ __all__ = [
     "PrivacyError",
     "DataError",
     "ConfigError",
+    "EngineError",
+    "WorkerError",
+    "CheckpointError",
+    "ServiceError",
+    "ServiceTimeout",
 ]
 
 
@@ -55,3 +60,51 @@ class DataError(ReproError, ValueError):
 
 class ConfigError(ReproError, ValueError):
     """A configuration dataclass contains an invalid combination."""
+
+
+class EngineError(ReproError, RuntimeError):
+    """An execution-engine operation failed at run time.
+
+    Base class for failures of the fleet engine's machinery itself —
+    worker pools, checkpoints, the serving loop — as opposed to bad
+    arguments (:class:`ConfigError`/:class:`ValidationError`).  Every
+    subclass carries an actionable message: what failed, which shard or
+    resource, and what the caller can do about it.
+    """
+
+
+class WorkerError(EngineError):
+    """A fleet worker (thread or process) failed beyond its retry budget.
+
+    Raised by :class:`~repro.sim.fleet.FleetRunner` when a shard's step
+    keeps failing after ``FaultPolicy.max_retries`` attempts and the
+    policy says ``on_exhausted="raise"``.  The message names the shard,
+    its agent count, and the attempt count; the original exception is
+    chained as ``__cause__``.
+    """
+
+
+class CheckpointError(EngineError):
+    """A run checkpoint could not be written, read, or applied.
+
+    Covers unreadable/corrupt snapshot files, version mismatches, and
+    resuming with engine settings incompatible with the ones the
+    snapshot was taken under.
+    """
+
+
+class ServiceError(EngineError):
+    """A :class:`~repro.experiments.serve.FleetService` request failed.
+
+    Raised for requests against a shut-down service or while a previous
+    timed-out request is still draining.
+    """
+
+
+class ServiceTimeout(ServiceError):
+    """A serve request exceeded the service's per-request timeout.
+
+    The underlying fleet step keeps running to completion in the
+    background (state stays consistent); the service reports itself
+    degraded until that stray request drains.
+    """

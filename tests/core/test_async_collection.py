@@ -77,10 +77,17 @@ class TestShufflerBuffer:
         codes, *_ = sh.release_ready()
         assert sorted(codes) == [4, 4]
 
-    def test_misaligned_columns_rejected(self):
+    def test_misaligned_columns_quarantined(self):
+        # malformed transport batches are refused at the door, not raised:
+        # collection must survive one bad reporter (see ISSUE 8)
         sh = Shuffler(threshold=2, seed=0)
-        with pytest.raises(ValueError, match="one-to-one"):
-            sh.buffer_arrays([1, 2], [0], [1.0, 1.0])
+        assert sh.buffer_arrays([1, 2], [0], [1.0, 1.0]) == 0
+        assert sh.total_quarantined == 2
+        *_, stats = sh.release_ready()
+        assert stats.n_quarantined == 2
+        # counter resets once reported
+        *_, stats = sh.release_ready()
+        assert stats.n_quarantined == 0
 
     def test_rng_discipline_matches_batch_path(self):
         """One permutation draw per non-empty release, none when empty —

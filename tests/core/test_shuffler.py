@@ -226,3 +226,76 @@ class TestColumnarPath:
         rebuilt = encoded_reports_from_arrays(codes, actions, rewards)
         assert rebuilt == reports  # equality ignores metadata
         assert all(r.metadata == {} for r in rebuilt)  # arrays strip it
+
+
+class TestQuarantine:
+    """Malformed tuples are refused at the door, never raised."""
+
+    def test_malformed_rows_quarantined_row_wise(self):
+        sh = Shuffler(threshold=1, seed=0)
+        codes = np.array([1, -1, 1, 2, 2, 1])
+        actions = np.array([0, 0, -1, 0, 0, 0])
+        rewards = np.array([1.0, 1.0, 1.0, np.nan, np.inf, 1.0])
+        r_codes, _, r_rewards, stats = sh.process_arrays(codes, actions, rewards)
+        assert stats.n_quarantined == 4
+        assert sh.total_quarantined == 4
+        assert sorted(map(int, r_codes)) == [1, 1]  # only the clean rows
+        assert np.isfinite(r_rewards).all()
+        assert stats.audit.satisfied
+
+    def test_out_of_range_codes_need_a_codebook_size(self):
+        clean = (np.array([0, 99]), np.zeros(2, dtype=np.intp), np.ones(2))
+        open_space = Shuffler(threshold=1, seed=0)
+        r_codes, _, _, stats = open_space.process_arrays(*clean)
+        assert stats.n_quarantined == 0 and r_codes.size == 2
+
+        bounded = Shuffler(threshold=1, seed=0, n_codes=8)
+        r_codes, _, _, stats = bounded.process_arrays(*clean)
+        assert stats.n_quarantined == 1
+        assert list(map(int, r_codes)) == [0]
+
+    def test_clean_batches_consume_rng_exactly_as_before(self):
+        """The quarantine stage must not perturb the permutation draw."""
+        codes = np.arange(20) % 4
+        actions = np.zeros(20, dtype=np.intp)
+        rewards = np.ones(20)
+        a = Shuffler(threshold=2, seed=5)
+        b = Shuffler(threshold=2, seed=5, n_codes=4)
+        ra = a.process_arrays(codes, actions, rewards)
+        rb = b.process_arrays(codes, actions, rewards)
+        np.testing.assert_array_equal(ra[0], rb[0])
+        np.testing.assert_array_equal(ra[2], rb[2])
+
+    def test_quarantined_batch_equals_clean_twin(self):
+        """Dropping the bad rows first, the release stream is identical
+        to a twin fed only the clean rows."""
+        dirty = Shuffler(threshold=2, seed=9, n_codes=4)
+        clean = Shuffler(threshold=2, seed=9, n_codes=4)
+        codes = np.array([1, 1, -3, 2, 2, 7])  # -3 negative, 7 out of range
+        r_dirty = dirty.process_arrays(
+            codes, np.zeros(6, dtype=np.intp), np.ones(6)
+        )
+        r_clean = clean.process_arrays(
+            np.array([1, 1, 2, 2]), np.zeros(4, dtype=np.intp), np.ones(4)
+        )
+        np.testing.assert_array_equal(r_dirty[0], r_clean[0])
+        assert r_dirty[3].n_quarantined == 2 and r_clean[3].n_quarantined == 0
+
+    def test_async_misaligned_batch_voided_whole(self):
+        sh = Shuffler(threshold=1, seed=0)
+        pending = sh.buffer_arrays([1, 2, 3], [0, 0], [1.0, 1.0, 1.0])
+        assert pending == 0  # nothing pair-able entered the buffer
+        assert sh.total_quarantined == 3
+        sh.buffer_arrays([1], [0], [1.0])  # collection continues
+        _, _, _, stats = sh.release_ready()
+        assert stats.n_quarantined == 3  # reported once...
+        _, _, _, stats = sh.release_ready()
+        assert stats.n_quarantined == 0  # ...then the pending count resets
+        assert sh.total_quarantined == 3  # the lifetime count does not
+
+    def test_counts_accumulate_across_batches(self):
+        sh = Shuffler(threshold=1, seed=0, n_codes=4)
+        sh.process_arrays(np.array([-1]), np.array([0]), np.array([1.0]))
+        sh.buffer_arrays([9], [0], [1.0])
+        sh.release_ready()
+        assert sh.total_quarantined == 2

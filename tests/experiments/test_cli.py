@@ -207,3 +207,92 @@ class TestServeCommand:
         assert "expected a" in err and "integer" in err
         assert "Traceback" not in err
         assert err.strip().splitlines()[-1].startswith("repro-p2b")
+
+
+class TestRunCommand:
+    def test_run_registered_with_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.command == "run"
+        assert args.mode == "warm-private"
+        assert args.contributors == 40
+        assert args.eval_agents == 20
+        assert args.eval_interactions == 30
+        assert args.checkpoint_every is None
+        assert args.checkpoint_path is None
+        assert args.resume_from is None
+
+    def test_run_end_to_end(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--contributors", "8",
+                    "--eval-agents", "4",
+                    "--eval-interactions", "6",
+                    "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "setting run" in out
+        assert "mean reward" in out
+        assert "privacy" in out  # warm-private reports its epsilon
+
+    def test_run_checkpoint_then_resume_replays_identically(
+        self, tmp_path, capsys
+    ):
+        ckpt = str(tmp_path / "run.ckpt")
+        argv = [
+            "run",
+            "--contributors", "6",
+            "--eval-agents", "4",
+            "--eval-interactions", "6",
+            "--seed", "2",
+        ]
+        assert main(argv + ["--checkpoint-every", "3", "--checkpoint-path", ckpt]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "--seed", "2", "--resume-from", ckpt]) == 0
+        second = capsys.readouterr().out
+        assert first == second  # byte-identical report
+
+    def test_typed_errors_map_to_exit_2_one_liner(self, capsys):
+        # cadence without a path is a ConfigError from the engine layer:
+        # one actionable stderr line, no traceback
+        code = main(
+            [
+                "run",
+                "--contributors", "4",
+                "--eval-agents", "2",
+                "--eval-interactions", "2",
+                "--checkpoint-every", "2",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-p2b: error:")
+        assert "go together" in err
+        assert "Traceback" not in err
+
+    def test_resume_from_missing_snapshot_is_one_line(self, tmp_path, capsys):
+        code = main(["run", "--resume-from", str(tmp_path / "nope.ckpt")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-p2b: error:")
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["run", "--contributors", "-1"],
+            ["run", "--eval-agents", "0"],
+            ["run", "--eval-interactions", "none"],
+            ["run", "--checkpoint-every", "0"],
+            ["run", "--mode", "lukewarm"],
+        ],
+    )
+    def test_bad_run_values_exit_with_usage_error(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(argv)
+        assert excinfo.value.code == 2
+        assert "Traceback" not in capsys.readouterr().err

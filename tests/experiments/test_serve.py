@@ -78,7 +78,7 @@ class TestLifecycle:
         # full-population requests still work after subset requests
         assert service.interact(2).rewards.shape == (6, 2)
         stranger = FleetService(_config(), _env(), seed=9).arrive(1)[0]
-        with pytest.raises(ConfigError, match="not in this service"):
+        with pytest.raises(ConfigError, match="not in this"):
             service.interact(1, subset=[stranger])
 
     def test_refresh_distributes_central_model(self):
@@ -153,3 +153,142 @@ class TestBitIdentity:
         b.arrive(2)
         rb = b.interact(3)
         np.testing.assert_array_equal(ra.rewards, rb.rewards)
+
+
+class TestSubsetVsRebuild:
+    def test_subset_request_bit_identical_to_ephemeral_rebuild(self):
+        """The warm persistent shards answering a subset request must
+        produce exactly what a fresh FleetRunner over just those agents
+        and sessions would — shard reuse is an optimization, never an
+        observable."""
+        serve = FleetService(_config(), _env(), seed=21)
+        serve.arrive(6)
+        twin = FleetService(_config(), _env(), seed=21)
+        twin.arrive(6)
+
+        subset = [0, 2, 4]
+        r_serve = serve.interact(5, subset=subset)
+        rebuild = FleetRunner(
+            [twin.fleet.agents[i] for i in subset],
+            [twin.fleet.sessions[i] for i in subset],
+        )
+        r_rebuild = rebuild.run(5)
+        np.testing.assert_array_equal(r_serve.rewards, r_rebuild.rewards)
+        np.testing.assert_array_equal(r_serve.actions, r_rebuild.actions)
+
+        # the persistent fleet is still coherent afterwards: a full
+        # request matches the twin's (whose mutated policies force a
+        # restack first)
+        twin.fleet.invalidate()
+        np.testing.assert_array_equal(
+            serve.interact(3).rewards, twin.interact(3).rewards
+        )
+
+
+class TestHardening:
+    def test_request_timeout_validation(self):
+        with pytest.raises(ConfigError, match="request_timeout"):
+            FleetService(_config(), _env(), request_timeout=0.0)
+
+    def test_generous_timeout_is_invisible(self):
+        """Within budget, the guarded path is bit-identical to inline."""
+        service = FleetService(_config(), _env(), seed=1, request_timeout=30.0)
+        service.arrive(4)
+        assert service.interact(3).rewards.shape == (4, 3)
+        assert service.status()["state"] == "ok"
+        twin = FleetService(_config(), _env(), seed=1)
+        twin.arrive(4)
+        twin.interact(3)
+        np.testing.assert_array_equal(
+            service.interact(2).rewards, twin.interact(2).rewards
+        )
+
+    def test_timeout_degrades_then_shutdown_drains(self, monkeypatch):
+        from repro.sim.faults import FAULTS_ENV_VAR
+        from repro.utils.exceptions import ServiceError, ServiceTimeout
+
+        # a seeded delay fault makes round 0 slow — deterministically
+        monkeypatch.setenv(FAULTS_ENV_VAR, "seed=0;delay_s=1.0;at=delay:0:0")
+        service = FleetService(_config(), _env(), seed=2, request_timeout=0.05)
+        service.arrive(4)
+        with pytest.raises(ServiceTimeout, match="draining"):
+            service.interact(2)
+        status = service.status()
+        assert status["state"] == "degraded" and status["inflight"] == 1
+        with pytest.raises(ServiceError, match="degraded"):
+            service.interact(1)
+        # graceful shutdown joins the draining request, then flushes
+        service.shutdown()
+        assert service.status()["state"] == "closed"
+        # the drained request really ran: its interactions landed
+        assert service.fleet.agents[0].n_interactions == 2
+
+    def test_shutdown_flushes_pending_and_is_idempotent(self):
+        service = FleetService(_config(), _env(), seed=5)
+        service.arrive(8)
+        service.interact(6)
+        outcome = service.shutdown()
+        assert outcome.n_reports > 0  # outboxes drained at shutdown
+        assert service.system.n_pending_reports == 0
+        again = service.shutdown()
+        assert again.n_reports == 0 and again.n_released == 0
+
+    def test_closed_service_rejects_every_entry_point(self):
+        from repro.utils.exceptions import ServiceError
+
+        service = FleetService(_config(), _env(), seed=6)
+        agents = service.arrive(2)
+        service.shutdown()
+        for call in (
+            lambda: service.interact(1),
+            lambda: service.collect(),
+            lambda: service.flush(),
+            lambda: service.arrive(1),
+            lambda: service.depart(agents),
+            lambda: service.refresh(),
+        ):
+            with pytest.raises(ServiceError, match="shut down"):
+                call()
+
+    def test_skip_shard_drops_count_and_degrade_status(self, monkeypatch):
+        from repro.sim.faults import FAULTS_ENV_VAR
+        from repro.sim.fleet import FaultPolicy
+
+        # the same injected fault on both attempts => retries exhaust
+        # and the skip_shard policy degrades instead of raising
+        monkeypatch.setenv(FAULTS_ENV_VAR, "seed=0;at=raise:0:0:0;at=raise:0:0:1")
+        service = FleetService(
+            _config(),
+            _env(),
+            seed=7,
+            engine=EngineConfig(
+                fault_policy=FaultPolicy(
+                    max_retries=1, backoff=0.0, on_exhausted="skip_shard"
+                )
+            ),
+        )
+        service.arrive(4)  # one policy kind => one shard (shard 0)
+        result = service.interact(3)
+        assert len(result.dropped) == 1
+        assert np.isnan(result.rewards).all()
+        stats = service.stats
+        assert stats.n_dropped_shards == 1
+        assert service.status()["state"] == "degraded"
+
+    def test_quarantine_counts_surface_in_stats(self, monkeypatch):
+        from repro.data import SyntheticPreferenceEnvironment
+        from repro.sim.faults import FAULTS_ENV_VAR
+
+        monkeypatch.setenv(FAULTS_ENV_VAR, "seed=3;corrupt=1.0;corrupt_frac=0.5")
+        # a stationary workload: its sessions are plan-capable, so
+        # reporting stays columnar — the path the chaos tap corrupts
+        env = SyntheticPreferenceEnvironment(
+            n_actions=N_ACTIONS, n_features=N_FEATURES, seed=7
+        )
+        service = FleetService(_config(), env, seed=8)
+        service.arrive(8)
+        for _ in range(4):
+            service.interact(4)
+            service.collect()
+        service.shutdown()
+        assert service.stats.n_quarantined > 0
