@@ -8,7 +8,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) PYTHONHASHSEED=0 python
 
-.PHONY: test smoke chaos bench bench-fleet bench-replay bench-reporting bench-memory bench-serve lint format install
+.PHONY: test smoke chaos bench bench-fleet bench-replay bench-reporting bench-memory bench-serve bench-kernels lint format install
 
 # tier-1: the full suite (the driver's acceptance gate)
 test:
@@ -62,6 +62,13 @@ bench-memory:
 # BENCH_SERVE_MIN_RPS, scale via BENCH_SERVE_N_AGENTS)
 bench-serve:
 	$(PY) -m pytest benchmarks/bench_serve.py -q
+
+# dense-LinUCB scoring-kernel microbenchmarks: blocked vs unblocked
+# (asserted bitwise), float32 fast kernel, incremental UCB, batched
+# Thompson draws (writes benchmarks/results/BENCH_kernels.json; floors
+# tunable via BENCH_KERNELS_MIN_*, scale via BENCH_KERNELS_N_AGENTS)
+bench-kernels:
+	$(PY) -m pytest benchmarks/bench_kernels.py -q
 
 # lint + format check (config in pyproject.toml [tool.ruff])
 lint:

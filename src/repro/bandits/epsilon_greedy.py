@@ -15,7 +15,7 @@ import numpy as np
 
 from ..utils.validation import check_matrix, check_probability, check_scalar
 from .base import BanditPolicy, argmax_random_tiebreak, grouped_ridge_update
-from .kernels import linear_scores, mat_vec, sherman_morrison
+from .kernels import linear_scores, mat_vec, sherman_morrison, theta_refresh
 
 __all__ = ["EpsilonGreedy"]
 
@@ -127,4 +127,4 @@ class EpsilonGreedy(BanditPolicy):
         )
         self.b = np.array(state["b"], dtype=np.float64).reshape(self.n_arms, self.n_features)
         self.t = int(state["t"])
-        self.theta = np.einsum("aij,aj->ai", self.A_inv, self.b)
+        self.theta = theta_refresh(self.A_inv, self.b)

@@ -41,7 +41,7 @@ import numpy as np
 
 from ..utils.validation import check_matrix, check_scalar
 from .base import BanditPolicy, argmax_random_tiebreak, grouped_ridge_update
-from .kernels import linear_scores, mat_vec, sherman_morrison, ucb_explore
+from .kernels import linear_scores, mat_vec, sherman_morrison, theta_refresh, ucb_explore
 
 __all__ = ["LinUCB"]
 
@@ -172,4 +172,4 @@ class LinUCB(BanditPolicy):
         self.b = np.array(state["b"], dtype=np.float64).reshape(self.n_arms, self.n_features)
         self.arm_counts = np.array(state["arm_counts"], dtype=np.int64).reshape(self.n_arms)
         self.t = int(state["t"])
-        self.theta = np.einsum("aij,aj->ai", self.A_inv, self.b)
+        self.theta = theta_refresh(self.A_inv, self.b)

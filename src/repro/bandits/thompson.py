@@ -19,7 +19,7 @@ import numpy as np
 
 from ..utils.validation import check_scalar
 from .base import BanditPolicy, argmax_random_tiebreak, grouped_ridge_update
-from .kernels import linear_scores, mat_vec, sherman_morrison, vec_dot
+from .kernels import linear_scores, mat_vec, sherman_morrison, theta_refresh, vec_dot
 
 __all__ = ["LinearThompsonSampling"]
 
@@ -140,5 +140,5 @@ class LinearThompsonSampling(BanditPolicy):
         )
         self.b = np.array(state["b"], dtype=np.float64).reshape(self.n_arms, self.n_features)
         self.t = int(state["t"])
-        self.theta = np.einsum("aij,aj->ai", self.A_inv, self.b)
+        self.theta = theta_refresh(self.A_inv, self.b)
         self._chol_fresh = np.zeros(self.n_arms, dtype=bool)

@@ -112,6 +112,7 @@ class DeploymentLoop:
     plan_chunk_size: int | None = None
     plan_form: str = "auto"
     exactness: str = "bit"
+    kernel_block_size: int | None = None
 
     system: P2BSystem = field(init=False)
     rounds: list[RoundStats] = field(init=False, default_factory=list)
@@ -134,6 +135,7 @@ class DeploymentLoop:
                 or self.plan_chunk_size is not None
                 or self.plan_form != "auto"
                 or self.exactness != "bit"
+                or self.kernel_block_size is not None
             )
             if explicit:
                 raise ConfigError(
@@ -152,9 +154,12 @@ class DeploymentLoop:
             self.plan_chunk_size = cfg.plan_chunk_size
             self.plan_form = cfg.plan_form
             self.exactness = cfg.exactness
+            self.kernel_block_size = getattr(cfg, "kernel_block_size", None)
         check_positive_int(self.n_workers, name="n_workers")
         if self.plan_chunk_size is not None:
             check_positive_int(self.plan_chunk_size, name="plan_chunk_size")
+        if self.kernel_block_size is not None:
+            check_positive_int(self.kernel_block_size, name="kernel_block_size")
         if self.engine not in ("auto", "sequential", "fleet"):
             raise ConfigError(
                 f"engine must be 'auto', 'sequential' or 'fleet', got {self.engine!r}"
@@ -241,6 +246,7 @@ class DeploymentLoop:
                     plan_chunk_size=self.plan_chunk_size,
                     plan_form=self.plan_form,
                     exactness=self.exactness,
+                    kernel_block_size=self.kernel_block_size,
                 )
                 .run(self.interactions_per_round)
                 .rewards

@@ -121,7 +121,8 @@ class EngineConfig:
 
     Replaces the kwarg pile that grew one parameter per PR (``engine``,
     ``n_workers``, ``worker_backend``, ``plan_chunk_size``,
-    ``plan_form``, ``exactness``, ``sink``): build one ``EngineConfig``
+    ``plan_form``, ``exactness``, ``sink``,
+    ``kernel_block_size``): build one ``EngineConfig``
     and hand it to any entry point — ``run_setting(engine=cfg)``,
     ``compare_settings(engine=cfg)``, the sweeps, ``DeploymentLoop``,
     ``FleetRunner(config=cfg)``, ``FleetService(engine=cfg)`` —
@@ -147,6 +148,12 @@ class EngineConfig:
     raise a :class:`~repro.utils.exceptions.WorkerError` or degrade
     the run by skipping the shard (``on_exhausted="skip_shard"``).
     ``None`` (the default) keeps the historical fail-fast behavior.
+
+    ``kernel_block_size`` chunks the dense scoring kernels over the
+    agent axis (``repro.bandits.kernels``); ``None`` (the default)
+    auto-sizes the block to cache.  Blocked and unblocked evaluation
+    are bitwise identical on every tier, so this knob is pure
+    performance tuning.
     """
 
     engine: str = "auto"
@@ -157,6 +164,7 @@ class EngineConfig:
     exactness: str = "bit"
     sink: object | None = None
     fault_policy: FaultPolicy | None = None
+    kernel_block_size: int | None = None
 
     def __post_init__(self) -> None:
         _check_engine(self.engine)
@@ -166,6 +174,8 @@ class EngineConfig:
             check_positive_int(self.plan_chunk_size, name="plan_chunk_size")
         _check_plan_form(self.plan_form)
         _check_exactness(self.exactness)
+        if self.kernel_block_size is not None:
+            check_positive_int(self.kernel_block_size, name="kernel_block_size")
         if self.fault_policy is not None and not isinstance(
             self.fault_policy, FaultPolicy
         ):
@@ -571,6 +581,7 @@ def run_setting(
                 plan_chunk_size=cfg.plan_chunk_size,
                 plan_form=cfg.plan_form,
                 exactness=tier,
+                kernel_block_size=cfg.kernel_block_size,
                 fault_policy=cfg.fault_policy,
             )
             if checkpointing:
@@ -703,6 +714,7 @@ def _eval_phase(
             plan_chunk_size=cfg.plan_chunk_size,
             plan_form=cfg.plan_form,
             exactness=tier,
+            kernel_block_size=cfg.kernel_block_size,
             fault_policy=cfg.fault_policy,
         )
         if checkpoint_every is not None:

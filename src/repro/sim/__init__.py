@@ -155,8 +155,10 @@ from .stacked import (
     StackedCodeLinUCBFast,
     StackedEpsilonGreedy,
     StackedLinUCB,
+    StackedLinUCBFast,
     StackedPolicies,
     StackedThompson,
+    StackedThompsonFast,
     StackedUCB1,
     policies_stackable,
     stack_policies,
@@ -185,8 +187,10 @@ __all__ = [
     "PLAN_FORMS",
     "StackedPolicies",
     "StackedLinUCB",
+    "StackedLinUCBFast",
     "StackedEpsilonGreedy",
     "StackedThompson",
+    "StackedThompsonFast",
     "StackedCodeLinUCB",
     "StackedCodeLinUCBFast",
     "StackedUCB1",

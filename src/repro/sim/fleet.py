@@ -356,6 +356,7 @@ class _Shard:
         plan_chunk_size: int | None = None,
         plan_form: str = "auto",
         exactness: str = "bit",
+        kernel_block_size: int | None = None,
     ) -> None:
         self.indices = indices
         self.agents = agents
@@ -363,7 +364,11 @@ class _Shard:
         self.n = len(agents)
         self.mode = agents[0].mode
         self.private_context = agents[0].private_context
-        self.stacked = stack_policies([a.policy for a in agents], exactness=exactness)
+        self.stacked = stack_policies(
+            [a.policy for a in agents],
+            exactness=exactness,
+            kernel_block_size=kernel_block_size,
+        )
         self._rows = np.arange(self.n)
         self._plan_chunk_size = plan_chunk_size
         self._plan_form = plan_form
@@ -1254,6 +1259,7 @@ def _run_shard_remote(payload: bytes, fault_ctx: tuple | None = None) -> bytes:
         plan_chunk_size,
         plan_form,
         exactness,
+        kernel_block_size,
     ) = pickle.loads(payload)
     n = len(agents)
     shard = _Shard(
@@ -1263,6 +1269,7 @@ def _run_shard_remote(payload: bytes, fault_ctx: tuple | None = None) -> bytes:
         plan_chunk_size=plan_chunk_size,
         plan_form=plan_form,
         exactness=exactness,
+        kernel_block_size=kernel_block_size,
     )
     if fault_ctx is not None:
         spec, shard_index, attempt = fault_ctx
@@ -1382,6 +1389,7 @@ class FleetRunner:
         plan_chunk_size: int | None = None,
         plan_form: str = "auto",
         exactness: str = "bit",
+        kernel_block_size: int | None = None,
         persistent: bool = False,
         fault_policy: FaultPolicy | None = None,
         fault_plan: "FaultPlan | str | None" = None,
@@ -1398,6 +1406,7 @@ class FleetRunner:
                 or plan_chunk_size is not None
                 or plan_form != "auto"
                 or exactness != "bit"
+                or kernel_block_size is not None
                 or fault_policy is not None
             ):
                 raise ConfigError(
@@ -1409,6 +1418,7 @@ class FleetRunner:
             plan_chunk_size = config.plan_chunk_size
             plan_form = config.plan_form
             exactness = config.exactness
+            kernel_block_size = getattr(config, "kernel_block_size", None)
             fault_policy = getattr(config, "fault_policy", None)
             self._config_sink = getattr(config, "sink", None)
         else:
@@ -1432,6 +1442,11 @@ class FleetRunner:
                 f"exactness must be one of {EXACTNESS_TIERS}, got {exactness!r}"
             )
         self.exactness = exactness
+        if kernel_block_size is not None:
+            kernel_block_size = check_positive_int(
+                kernel_block_size, name="kernel_block_size"
+            )
+        self.kernel_block_size = kernel_block_size
         self.persistent = bool(persistent)
         if fault_policy is not None and not isinstance(fault_policy, FaultPolicy):
             raise ConfigError(
@@ -1600,6 +1615,7 @@ class FleetRunner:
             plan_chunk_size=self.plan_chunk_size,
             plan_form=self.plan_form,
             exactness=self.exactness,
+            kernel_block_size=self.kernel_block_size,
         )
         if self.persistent:
             self._shards[key] = shard
@@ -1624,6 +1640,7 @@ class FleetRunner:
             plan_chunk_size=self.plan_chunk_size,
             plan_form=self.plan_form,
             exactness=self.exactness,
+            kernel_block_size=self.kernel_block_size,
         )
 
     def _result_window(self, n_interactions: int) -> int:
@@ -2140,6 +2157,7 @@ class FleetRunner:
                             self.plan_chunk_size,
                             self.plan_form,
                             self.exactness,
+                            self.kernel_block_size,
                         )
                     )
                 )
@@ -2281,6 +2299,7 @@ class FleetRunner:
             "plan_chunk_size": self.plan_chunk_size,
             "plan_form": self.plan_form,
             "exactness": self.exactness,
+            "kernel_block_size": self.kernel_block_size,
             "persistent": self.persistent,
         }
 
@@ -2382,6 +2401,7 @@ class FleetRunner:
             plan_chunk_size=engine.get("plan_chunk_size"),
             plan_form=engine.get("plan_form", "auto"),
             exactness=engine.get("exactness", "bit"),
+            kernel_block_size=engine.get("kernel_block_size"),
             persistent=bool(engine.get("persistent", False)),
             fault_policy=fault_policy,
             fault_plan=fault_plan,

@@ -31,7 +31,17 @@ import numpy as np
 from ..bandits.base import BanditPolicy, argmax_random_tiebreak
 from ..bandits.code_linucb import CodeLinUCB
 from ..bandits.epsilon_greedy import EpsilonGreedy
-from ..bandits.kernels import linear_scores, mat_vec, sherman_morrison, ucb_explore, vec_dot
+from ..bandits.kernels import (
+    auto_block_size,
+    linear_scores,
+    mat_vec,
+    sherman_morrison,
+    sm_quad_downdate,
+    theta_refresh,
+    ucb_explore,
+    ucb_explore_fast,
+    vec_dot,
+)
 from ..bandits.linucb import LinUCB
 from ..bandits.thompson import LinearThompsonSampling
 from ..bandits.ucb1 import UCB1
@@ -40,8 +50,10 @@ from ..utils.exceptions import ConfigError
 __all__ = [
     "StackedPolicies",
     "StackedLinUCB",
+    "StackedLinUCBFast",
     "StackedEpsilonGreedy",
     "StackedThompson",
+    "StackedThompsonFast",
     "StackedCodeLinUCB",
     "StackedCodeLinUCBFast",
     "StackedUCB1",
@@ -52,13 +64,15 @@ __all__ = [
 
 #: recognized exactness tiers for stacked policy state: ``bit`` (the
 #: default) keeps every stacked operation bit-identical to the scalar
-#: policies; ``fast`` trades bit-identity for memory — policy kinds
-#: with a fast stacker (currently :class:`StackedCodeLinUCBFast`) hold
-#: float32 sparse state whose trajectories are *statistically*
-#: equivalent to the bit tier (same math on the same touched cells, up
-#: to float32 rounding and the tie-breaks that rounding can flip);
-#: kinds without a fast stacker run their bit stacker unchanged, so
-#: ``fast`` degenerates to ``bit`` for them.
+#: policies; ``fast`` trades bit-identity for memory and speed — policy
+#: kinds with a fast stacker (:class:`StackedCodeLinUCBFast`'s float32
+#: sparse tables, :class:`StackedLinUCBFast`'s float32 dense posteriors
+#: with incremental UCB, :class:`StackedThompsonFast`'s shard-batched
+#: posterior draws) produce trajectories that are *statistically*
+#: equivalent to the bit tier (same math up to float32 rounding / draw
+#: stream regrouping, and the tie-breaks those can flip); kinds without
+#: a fast stacker run their bit stacker unchanged, so ``fast``
+#: degenerates to ``bit`` for them.
 EXACTNESS_TIERS = ("bit", "fast")
 
 
@@ -103,6 +117,14 @@ class StackedPolicies(abc.ABC):
     #: True when the stacked select/update consume integer codes
     #: (one-hot specialists) rather than dense context rows.
     wants_codes: bool = False
+
+    #: rows per blocked-kernel chunk for the dense scoring contractions
+    #: (see :mod:`repro.bandits.kernels`); ``None`` auto-sizes to cache
+    #: from the stacked state's row footprint.  Set by
+    #: :func:`stack_policies` from the engine's ``kernel_block_size``
+    #: knob — blocked and unblocked evaluation are bitwise identical,
+    #: so any value preserves the exactness contract.
+    kernel_block_size: int | None = None
 
     def __init__(self, policies: Sequence[BanditPolicy]) -> None:
         policies = list(policies)
@@ -161,6 +183,12 @@ class _StackedDenseLinear(StackedPolicies):
         self.b = np.stack([p.b for p in policies])  # (n, k, d)
         self.theta = np.stack([p.theta for p in policies])  # (n, k, d)
 
+    def _score_block(self) -> int:
+        """Rows per blocked scoring chunk: explicit knob or cache-sized."""
+        if self.kernel_block_size is not None:
+            return self.kernel_block_size
+        return auto_block_size(self.A_inv[0].nbytes)
+
     def _dense_update(
         self, contexts: np.ndarray, actions: np.ndarray, rewards: np.ndarray
     ) -> None:
@@ -171,14 +199,22 @@ class _StackedDenseLinear(StackedPolicies):
         b_sel += rewards[:, None] * contexts
         self.A_inv[idx, actions] = A_sel
         self.b[idx, actions] = b_sel
-        self.theta[idx, actions] = mat_vec(A_sel, b_sel)
+        self.theta[idx, actions] = theta_refresh(
+            A_sel, b_sel, block_size=self.kernel_block_size
+        )
         self.t += 1
 
     def _writeback_dense(self) -> None:
+        # three bulk copies + per-agent views instead of 3n row copies:
+        # each policy gets a disjoint row of one snapshot array (agents
+        # never alias each other's rows, and the snapshot is decoupled
+        # from the live stacked state, so a persistent fleet stepping on
+        # after writeback cannot mutate what the policies now hold)
+        A_out, b_out, theta_out = self.A_inv.copy(), self.b.copy(), self.theta.copy()
         for i, p in enumerate(self.policies):
-            p.A_inv = self.A_inv[i].copy()
-            p.b = self.b[i].copy()
-            p.theta = self.theta[i].copy()
+            p.A_inv = A_out[i]
+            p.b = b_out[i]
+            p.theta = theta_out[i]
         self._writeback_t()
 
 
@@ -191,8 +227,9 @@ class StackedLinUCB(_StackedDenseLinear):
         self.arm_counts = np.stack([p.arm_counts for p in policies])
 
     def scores(self, contexts: np.ndarray) -> np.ndarray:
-        means = linear_scores(self.theta, contexts)
-        explore = ucb_explore(contexts, self.A_inv)
+        block = self._score_block()
+        means = linear_scores(self.theta, contexts, block_size=block)
+        explore = ucb_explore(contexts, self.A_inv, block_size=block)
         return means + self.alpha * np.sqrt(explore)
 
     def select(self, contexts: np.ndarray) -> np.ndarray:
@@ -203,9 +240,85 @@ class StackedLinUCB(_StackedDenseLinear):
         self.arm_counts[np.arange(self.n_agents), actions] += 1
 
     def writeback(self) -> None:
+        counts_out = self.arm_counts.copy()
         for i, p in enumerate(self.policies):
-            p.arm_counts = self.arm_counts[i].copy()
+            p.arm_counts = counts_out[i]
         self._writeback_dense()
+
+
+class StackedLinUCBFast(StackedLinUCB):
+    """``fast``-tier LinUCB: float32 dense posteriors + incremental UCB.
+
+    The bit stacker's scoring cost is the ``(n, A, d, d)`` quadratic
+    contraction ``x^T A_a^{-1} x`` — the compute-bound ceiling of dense
+    cold shards (``BENCH_replay.json``).  This variant attacks it twice:
+
+    * **precision** — ``A_inv``/``b``/``theta`` are float32 (half the
+      state bytes *and* twice the SIMD width), and scoring runs through
+      :func:`~repro.bandits.kernels.ucb_explore_fast`, a batched-BLAS
+      contraction over the ``x x^T`` outer product.  Both trade the bit
+      contract for speed — trajectories are *statistically* equivalent,
+      gated by the curve bands in ``tests/sim/test_exactness.py``.
+    * **incrementality** — a round only changes the pulled arm's
+      posterior (rank-1 Sherman–Morrison), so when consecutive rounds
+      score the *same* contexts (stationary synthetic shards; replay
+      shards re-enter the full path automatically), the cached per-arm
+      means and quadratics stay valid for every unpulled arm.  The
+      pulled arm's quadratic collapses to the scalar
+      :func:`~repro.bandits.kernels.sm_quad_downdate` identity and its
+      mean to one ``(n, d)`` dot — ``O(n A d^2)`` scoring becomes
+      ``O(n (A + d))`` per fixed-context round.
+
+    :meth:`writeback` (inherited) leaves float32 arrays on the scalar
+    policies — every LinUCB operation accepts them, mirroring
+    :class:`StackedCodeLinUCBFast`'s convention; ``set_state``
+    round-trips restore float64.
+    """
+
+    def __init__(self, policies: Sequence[LinUCB]) -> None:
+        super().__init__(policies)
+        self.A_inv = self.A_inv.astype(np.float32)
+        self.b = self.b.astype(np.float32)
+        self.theta = self.theta.astype(np.float32)
+        # incremental scoring cache: valid only while `_ctx_cache`
+        # matches the contexts being scored (value comparison — the
+        # engine may refill one context buffer in place)
+        self._ctx_cache: np.ndarray | None = None
+        self._means: np.ndarray | None = None
+        self._quads: np.ndarray | None = None
+
+    def _cache_valid(self, contexts: np.ndarray) -> bool:
+        return self._ctx_cache is not None and np.array_equal(
+            self._ctx_cache, contexts
+        )
+
+    def scores(self, contexts: np.ndarray) -> np.ndarray:
+        if not self._cache_valid(contexts):
+            ctx32 = np.asarray(contexts, dtype=np.float32)
+            block = self._score_block()
+            self._means = linear_scores(self.theta, ctx32, block_size=block)
+            self._quads = ucb_explore_fast(ctx32, self.A_inv, block_size=block)
+            self._ctx_cache = np.array(contexts, copy=True)
+        return self._means + np.float32(self.alpha) * np.sqrt(self._quads)
+
+    def update(self, contexts, actions, rewards) -> None:
+        # cast once so Sherman–Morrison and the theta refresh run in
+        # float32 end-to-end instead of promoting through float64
+        ctx32 = np.asarray(contexts, dtype=np.float32)
+        cache_hit = self._cache_valid(contexts)
+        super().update(ctx32, actions, np.asarray(rewards, dtype=np.float32))
+        if cache_hit:
+            # the update absorbed the exact contexts the cache was
+            # scored with: every unpulled arm's mean/quad is untouched,
+            # the pulled arm's follow from the rank-1 identity + the
+            # already-refreshed theta row
+            idx = np.arange(self.n_agents)
+            self._quads[idx, actions] = sm_quad_downdate(self._quads[idx, actions])
+            self._means[idx, actions] = vec_dot(self.theta[idx, actions], ctx32)
+        else:
+            # updated with contexts the cache was not scored against
+            # (drifted mid-round) — drop it; next scores() recomputes
+            self._ctx_cache = None
 
 
 class StackedEpsilonGreedy(_StackedDenseLinear):
@@ -299,10 +412,44 @@ class StackedThompson(_StackedDenseLinear):
         self.chol_fresh[np.arange(self.n_agents), actions] = False
 
     def writeback(self) -> None:
+        chol_out, fresh_out = self.chol.copy(), self.chol_fresh.copy()
         for i, p in enumerate(self.policies):
-            p._chol = self.chol[i].copy()
-            p._chol_fresh = self.chol_fresh[i].copy()
+            p._chol = chol_out[i]
+            p._chol_fresh = fresh_out[i]
         self._writeback_dense()
+
+
+class StackedThompsonFast(StackedThompson):
+    """``fast``-tier Thompson: one batched posterior-draw fill per shard.
+
+    The bit stacker's only per-agent Python is the posterior-draw loop —
+    ``n`` ``standard_normal((A, d))`` calls per round, because each draw
+    must come from that agent's own generator to preserve the scalar
+    stream order.  Here the whole shard fills from **one** generator and
+    **one** ``standard_normal((n, A, d))`` call per round; the fill is
+    laid out agent-major, each agent's block in the same arm-major order
+    the scalar policy defines, so per-agent draws are simply regrouped
+    into one stream rather than reordered within an agent.  The draws
+    are iid normals either way — trajectories are *statistically*
+    equivalent, not bitwise (the tier's contract), and the agents' own
+    generators (still used for tie-breaks) advance differently from the
+    bit tier.
+
+    The shard generator is spawned from agent 0's stream at stacking
+    time, so a fast-tier run remains fully seeded and reproducible.
+    """
+
+    def __init__(self, policies: Sequence[LinearThompsonSampling]) -> None:
+        super().__init__(policies)
+        self._draw_rng = self.rngs[0].spawn(1)[0]
+
+    def sample_scores(self, contexts: np.ndarray) -> np.ndarray:
+        self._refresh_chol()
+        Z = self._draw_rng.standard_normal(
+            (self.n_agents, self.n_arms, self.n_features)
+        )
+        theta_tilde = self.theta + self.v * mat_vec(self.chol, Z)
+        return vec_dot(theta_tilde, contexts[:, None, :])
 
 
 class StackedCodeLinUCB(StackedPolicies):
@@ -340,9 +487,10 @@ class StackedCodeLinUCB(StackedPolicies):
         self.t += 1
 
     def writeback(self) -> None:
+        counts_out, sums_out = self.counts.copy(), self.sums.copy()
         for i, p in enumerate(self.policies):
-            p.counts = self.counts[i].copy()
-            p.sums = self.sums[i].copy()
+            p.counts = counts_out[i]
+            p.sums = sums_out[i]
         self._writeback_t()
 
 
@@ -569,9 +717,10 @@ class StackedUCB1(StackedPolicies):
         self.t += 1
 
     def writeback(self) -> None:
+        counts_out, sums_out = self.counts.copy(), self.sums.copy()
         for i, p in enumerate(self.policies):
-            p.counts = self.counts[i].copy()
-            p.sums = self.sums[i].copy()
+            p.counts = counts_out[i]
+            p.sums = sums_out[i]
         self._writeback_t()
 
 
@@ -587,6 +736,8 @@ _STACKERS: dict[str, type[StackedPolicies]] = {
 #: its bit stacker under ``exactness="fast"`` (degenerates to ``bit``).
 _FAST_STACKERS: dict[str, type[StackedPolicies]] = {
     CodeLinUCB.kind: StackedCodeLinUCBFast,
+    LinUCB.kind: StackedLinUCBFast,
+    LinearThompsonSampling.kind: StackedThompsonFast,
 }
 
 
@@ -613,7 +764,10 @@ def policies_stackable(policies: Sequence[BanditPolicy]) -> bool:
 
 
 def stack_policies(
-    policies: Sequence[BanditPolicy], *, exactness: str = "bit"
+    policies: Sequence[BanditPolicy],
+    *,
+    exactness: str = "bit",
+    kernel_block_size: int | None = None,
 ) -> StackedPolicies:
     """Stack a homogeneous policy population for the fleet engine.
 
@@ -621,11 +775,25 @@ def stack_policies(
     ``"bit"`` always uses the bit-identical stackers; ``"fast"`` uses a
     memory-lean stacker for kinds that have one and silently falls back
     to the bit stacker for the rest.
+
+    ``kernel_block_size`` chunks the dense scoring contractions over
+    the agent axis (:attr:`StackedPolicies.kernel_block_size`); ``None``
+    auto-sizes to cache.  Blocked evaluation is bitwise identical to
+    unblocked, so the knob is pure tuning on either tier.
     """
     if exactness not in EXACTNESS_TIERS:
         raise ConfigError(
             f"unknown exactness tier {exactness!r}; "
             f"expected one of {EXACTNESS_TIERS}"
+        )
+    if kernel_block_size is not None and (
+        not isinstance(kernel_block_size, (int, np.integer))
+        or isinstance(kernel_block_size, bool)
+        or kernel_block_size < 1
+    ):
+        raise ConfigError(
+            f"kernel_block_size must be a positive int or None, "
+            f"got {kernel_block_size!r}"
         )
     policies = list(policies)
     if not policies:
@@ -636,6 +804,13 @@ def stack_policies(
             f"policy kind {kind!r} does not support fleet stacking; "
             f"stackable kinds: {sorted(_STACKERS)}"
         )
-    if exactness == "fast" and kind in _FAST_STACKERS:
-        return _FAST_STACKERS[kind](policies)
-    return _STACKERS[kind](policies)
+    cls = (
+        _FAST_STACKERS[kind]
+        if exactness == "fast" and kind in _FAST_STACKERS
+        else _STACKERS[kind]
+    )
+    stacked = cls(policies)
+    stacked.kernel_block_size = (
+        None if kernel_block_size is None else int(kernel_block_size)
+    )
+    return stacked

@@ -1,0 +1,168 @@
+"""Tests for repro.bandits.kernels — the blocked and fast-tier kernels.
+
+The load-bearing property is *bit identity*: blocked evaluation over
+the leading (agent) axis must produce the same bytes as the single-shot
+contraction for every block size, because the fleet engine's
+``exactness="bit"`` contract rests on it.  The fast-tier kernels
+(:func:`ucb_explore_fast`, :func:`sm_quad_downdate`) are gated
+numerically instead — algebraically exact, tolerance-checked here,
+statistically gated at fleet level in ``tests/sim/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bandits.kernels import (
+    DEFAULT_KERNEL_BLOCK_BYTES,
+    auto_block_size,
+    linear_scores,
+    mat_vec,
+    sherman_morrison,
+    sm_quad_downdate,
+    theta_refresh,
+    ucb_explore,
+    ucb_explore_fast,
+    vec_dot,
+)
+
+N, A, D = 23, 4, 5  # deliberately not divisible by the block sizes below
+BLOCKS = [1, 2, 7, 23, 100]  # 1, non-divisors, == n, >> n
+
+
+def _stacked_operands(seed=0, n=N, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, D)).astype(dtype)
+    theta = rng.normal(size=(n, A, D)).astype(dtype)
+    b = rng.normal(size=(n, A, D)).astype(dtype)
+    # well-conditioned SPD-ish inverses: I + small symmetric noise
+    M = rng.normal(size=(n, A, D, D)) * 0.05
+    A_inv = (np.eye(D) + (M + M.swapaxes(-1, -2)) / 2).astype(dtype)
+    return x, theta, b, A_inv
+
+
+class TestBlockedBitIdentity:
+    @pytest.mark.parametrize("block", BLOCKS)
+    def test_mat_vec_blocked_equals_unblocked(self, block):
+        _, _, b, A_inv = _stacked_operands()
+        M, v = A_inv[:, 0], b[:, 0]  # (n, d, d), (n, d)
+        np.testing.assert_array_equal(
+            mat_vec(M, v), mat_vec(M, v, block_size=block)
+        )
+
+    @pytest.mark.parametrize("block", BLOCKS)
+    def test_linear_scores_blocked_equals_unblocked(self, block):
+        x, theta, _, _ = _stacked_operands()
+        np.testing.assert_array_equal(
+            linear_scores(theta, x), linear_scores(theta, x, block_size=block)
+        )
+
+    @pytest.mark.parametrize("block", BLOCKS)
+    def test_ucb_explore_blocked_equals_unblocked(self, block):
+        x, _, _, A_inv = _stacked_operands()
+        np.testing.assert_array_equal(
+            ucb_explore(x, A_inv), ucb_explore(x, A_inv, block_size=block)
+        )
+
+    @pytest.mark.parametrize("block", BLOCKS)
+    def test_theta_refresh_blocked_equals_unblocked(self, block):
+        _, _, b, A_inv = _stacked_operands()
+        np.testing.assert_array_equal(
+            theta_refresh(A_inv, b), theta_refresh(A_inv, b, block_size=block)
+        )
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_property_any_block_size_is_bitwise(self, seed, block):
+        x, theta, b, A_inv = _stacked_operands(seed=seed, n=17)
+        np.testing.assert_array_equal(
+            linear_scores(theta, x), linear_scores(theta, x, block_size=block)
+        )
+        np.testing.assert_array_equal(
+            ucb_explore(x, A_inv), ucb_explore(x, A_inv, block_size=block)
+        )
+        np.testing.assert_array_equal(
+            theta_refresh(A_inv, b), theta_refresh(A_inv, b, block_size=block)
+        )
+
+    def test_scalar_and_broadcast_callers_ignore_block_size(self):
+        # no shared leading axis => block_size must be a no-op: the
+        # scalar policies and the server batch path pass through here
+        rng = np.random.default_rng(3)
+        theta = rng.normal(size=(A, D))  # one policy
+        x = rng.normal(size=D)  # one context
+        np.testing.assert_array_equal(
+            linear_scores(theta, x), linear_scores(theta, x, block_size=1)
+        )
+        batch = rng.normal(size=(9, D))  # server batch: broadcast theta
+        np.testing.assert_array_equal(
+            linear_scores(theta[None], batch),
+            linear_scores(theta[None], batch, block_size=2),
+        )
+
+
+class TestThetaRefresh:
+    def test_matches_explicit_einsum(self):
+        _, _, b, A_inv = _stacked_operands(seed=1)
+        np.testing.assert_array_equal(
+            theta_refresh(A_inv, b), np.einsum("...ij,...j->...i", A_inv, b)
+        )
+
+    def test_scalar_policy_shape(self):
+        rng = np.random.default_rng(2)
+        A_inv = np.eye(D) + rng.normal(size=(A, D, D)) * 0.01
+        b = rng.normal(size=(A, D))
+        out = theta_refresh(A_inv, b)
+        assert out.shape == (A, D)
+        np.testing.assert_array_equal(out, np.einsum("aij,aj->ai", A_inv, b))
+
+
+class TestFastTierKernels:
+    def test_ucb_explore_fast_matches_exact_kernel(self):
+        x, _, _, A_inv = _stacked_operands(seed=4)
+        np.testing.assert_allclose(
+            ucb_explore_fast(x, A_inv), ucb_explore(x, A_inv), rtol=1e-10
+        )
+
+    @pytest.mark.parametrize("block", BLOCKS)
+    def test_ucb_explore_fast_blocked(self, block):
+        x, _, _, A_inv = _stacked_operands(seed=5, dtype=np.float32)
+        np.testing.assert_allclose(
+            ucb_explore_fast(x, A_inv, block_size=block),
+            ucb_explore(x, A_inv),
+            rtol=1e-4,
+        )
+
+    def test_ucb_explore_fast_falls_back_without_leading_axis(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=D)
+        A_inv = np.eye(D) + rng.normal(size=(A, D, D)) * 0.01
+        np.testing.assert_array_equal(
+            ucb_explore_fast(x, A_inv), ucb_explore(x, A_inv)
+        )
+
+    def test_sm_quad_downdate_matches_recompute(self):
+        rng = np.random.default_rng(7)
+        A_inv = np.eye(D) * 0.8
+        x = rng.normal(size=D)
+        q = float(ucb_explore(x, A_inv[None, None])[0, 0])
+        sherman_morrison(A_inv, x)
+        recomputed = float(ucb_explore(x, A_inv[None, None])[0, 0])
+        assert sm_quad_downdate(q) == pytest.approx(recomputed, rel=1e-12)
+
+    def test_sm_quad_downdate_vectorized(self):
+        q = np.array([[0.5, 2.0], [0.0, 10.0]])
+        np.testing.assert_allclose(sm_quad_downdate(q), q / (1.0 + q))
+
+
+class TestAutoBlockSize:
+    def test_targets_default_budget(self):
+        row = 4096
+        assert auto_block_size(row) == DEFAULT_KERNEL_BLOCK_BYTES // row
+
+    def test_never_below_one(self):
+        assert auto_block_size(10**12) == 1
+        assert auto_block_size(0) >= 1

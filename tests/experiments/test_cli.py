@@ -73,6 +73,12 @@ class TestEngineFlag:
 
 
 class TestExactnessFlag:
+    def test_kernel_block_size_registered(self):
+        parser = build_parser()
+        assert parser.parse_args(["fig3"]).kernel_block_size is None
+        args = parser.parse_args(["fig3", "--kernel-block-size", "64"])
+        assert args.kernel_block_size == 64
+
     def test_exactness_choices_registered(self):
         parser = build_parser()
         assert parser.parse_args(["fig3", "--exactness", "fast"]).exactness == "fast"
@@ -109,6 +115,9 @@ class TestFlagErrorPaths:
             ["fig3", "--plan-chunk-size", "0"],
             ["fig3", "--plan-chunk-size", "-1"],
             ["fig3", "--plan-chunk-size", "many"],
+            ["fig3", "--kernel-block-size", "0"],
+            ["fig3", "--kernel-block-size", "-8"],
+            ["fig3", "--kernel-block-size", "tiny"],
         ],
     )
     def test_bad_values_exit_with_usage_error(self, argv, capsys):

@@ -21,7 +21,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.bandits import CodeLinUCB, LinUCB, policy_state_nbytes
+from repro.bandits import (
+    CodeLinUCB,
+    EpsilonGreedy,
+    LinearThompsonSampling,
+    LinUCB,
+    UCB1,
+    policy_state_nbytes,
+)
+from repro.bandits.kernels import linear_scores, ucb_explore
 from repro.core.agent import LocalAgent
 from repro.core.config import AgentMode
 from repro.core.participation import RandomizedParticipation
@@ -32,17 +40,20 @@ from repro.sim import (
     FleetRunner,
     StackedCodeLinUCB,
     StackedCodeLinUCBFast,
+    StackedLinUCBFast,
+    StackedThompsonFast,
     aggregate_plan_nbytes,
     stack_policies,
 )
 from repro.sim.fleet import _Shard
-from repro.utils.exceptions import ConfigError
+from repro.utils.exceptions import ConfigError, ValidationError
 from repro.utils.rng import spawn_seeds
 
 from _testkit import (
     assert_outboxes_equal,
     assert_states_equal,
     make_population,
+    simulate_sequential,
 )
 from stat_equiv import assert_statistically_equivalent
 
@@ -95,6 +106,29 @@ class TestTierSelection:
             stack_policies(policies, exactness="fast"), StackedCodeLinUCBFast
         )
 
+    def test_fast_stackers_selected_for_dense_linear_kinds(self):
+        linucb = [LinUCB(N_ACTIONS, N_FEATURES, seed=i) for i in range(3)]
+        stacked = stack_policies(linucb, exactness="fast")
+        assert isinstance(stacked, StackedLinUCBFast)
+        assert stacked.A_inv.dtype == np.float32
+        ts = [LinearThompsonSampling(N_ACTIONS, N_FEATURES, seed=i) for i in range(3)]
+        assert isinstance(stack_policies(ts, exactness="fast"), StackedThompsonFast)
+
+    def test_kernel_block_size_propagates_and_validates(self):
+        policies = [LinUCB(N_ACTIONS, N_FEATURES, seed=i) for i in range(3)]
+        assert stack_policies(policies).kernel_block_size is None
+        assert stack_policies(policies, kernel_block_size=2).kernel_block_size == 2
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(ConfigError, match="kernel_block_size"):
+                stack_policies(policies, kernel_block_size=bad)
+        agents, sessions = make_population(
+            lambda A, d, s: LinUCB(A, d, seed=s), AgentMode.COLD, 2, 0
+        )
+        with pytest.raises(ValidationError, match="kernel_block_size"):
+            FleetRunner(agents, sessions, kernel_block_size=0)
+        runner = FleetRunner(agents, sessions, kernel_block_size=7)
+        assert runner.kernel_block_size == 7
+
     def test_unknown_tier_rejected_everywhere(self):
         policies = [LinUCB(N_ACTIONS, N_FEATURES, seed=0)]
         with pytest.raises(ConfigError, match="exactness"):
@@ -122,14 +156,21 @@ class TestTierSelection:
 # fast degenerates to bit for kinds without a fast stacker
 # --------------------------------------------------------------------- #
 class TestFastDegeneratesToBit:
-    def test_linucb_population_bitwise_identical(self):
+    # linucb/lin_ts/code_linucb now have fast stackers; only the kinds
+    # below still degenerate to the bit tier bitwise
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            pytest.param(
+                lambda A, d, s: EpsilonGreedy(A, d, epsilon=0.2, seed=s),
+                id="epsilon_greedy",
+            ),
+            pytest.param(lambda A, d, s: UCB1(A, d, seed=s), id="ucb1"),
+        ],
+    )
+    def test_population_bitwise_identical(self, factory):
         def build(seed):
-            return make_population(
-                lambda A, d, s: LinUCB(A, d, alpha=0.5, seed=s),
-                AgentMode.COLD,
-                8,
-                seed,
-            )
+            return make_population(factory, AgentMode.COLD, 8, seed)
 
         a_bit, s_bit = build(4)
         a_fast, s_fast = build(4)
@@ -140,6 +181,39 @@ class TestFastDegeneratesToBit:
         for x, y in zip(a_bit, a_fast):
             assert_states_equal(x.policy, y.policy)
         assert_outboxes_equal(a_bit, a_fast)
+
+
+# --------------------------------------------------------------------- #
+# blocked kernels stay inside the bit contract at fleet level
+# --------------------------------------------------------------------- #
+class TestBlockedBitIdentity:
+    @pytest.mark.parametrize("block", [1, 3, 10_000])
+    def test_fleet_blocked_matches_sequential_bitwise(self, block):
+        def factory(A, d, s):
+            return LinUCB(A, d, alpha=0.5, seed=s)
+
+        a_seq, s_seq = make_population(factory, AgentMode.COLD, 8, 11)
+        a_flt, s_flt = make_population(factory, AgentMode.COLD, 8, 11)
+        reference = simulate_sequential(a_seq, s_seq, 12)
+        result = FleetRunner(a_flt, s_flt, kernel_block_size=block).run(12)
+        np.testing.assert_array_equal(reference, result.rewards)
+        for x, y in zip(a_seq, a_flt):
+            assert_states_equal(x.policy, y.policy)
+
+    def test_block_sizes_bitwise_interchangeable_on_fast_tier(self):
+        # blocking is orthogonal to the tier: two fast runs that differ
+        # only in block size stay bitwise identical to each other
+        def build(seed):
+            return make_population(
+                lambda A, d, s: LinUCB(A, d, seed=s), AgentMode.COLD, 9, seed
+            )
+
+        a1, s1 = build(3)
+        a2, s2 = build(3)
+        r1 = FleetRunner(a1, s1, exactness="fast", kernel_block_size=2).run(10)
+        r2 = FleetRunner(a2, s2, exactness="fast", kernel_block_size=10_000).run(10)
+        np.testing.assert_array_equal(r1.rewards, r2.rewards)
+        np.testing.assert_array_equal(r1.actions, r2.actions)
 
 
 # --------------------------------------------------------------------- #
@@ -172,6 +246,100 @@ class TestStatisticalEquivalence:
             # writes back (policy_state_nbytes counts the state arrays)
             bit_policy = CodeLinUCB(N_ACTIONS, ml_encoder.n_codes, seed=0)
             assert policy_state_nbytes(policy) < policy_state_nbytes(bit_policy)
+
+    def test_dense_linucb_curves_within_band_across_seeds(self):
+        def build(seed):
+            return make_population(
+                lambda A, d, s: LinUCB(A, d, alpha=0.5, seed=s),
+                AgentMode.COLD,
+                15,
+                seed,
+            )
+
+        bit_curves, fast_curves = [], []
+        for seed in range(4):
+            agents, sessions = build(seed)
+            bit_curves.append(FleetRunner(agents, sessions).run(40).rewards)
+            agents, sessions = build(seed)
+            fast_curves.append(
+                FleetRunner(agents, sessions, exactness="fast").run(40).rewards
+            )
+        assert_statistically_equivalent(bit_curves, fast_curves)
+
+    def test_thompson_curves_within_band_across_seeds(self):
+        def build(seed):
+            return make_population(
+                lambda A, d, s: LinearThompsonSampling(A, d, v=0.3, seed=s),
+                AgentMode.COLD,
+                15,
+                seed,
+            )
+
+        bit_curves, fast_curves = [], []
+        for seed in range(4):
+            agents, sessions = build(seed)
+            bit_curves.append(FleetRunner(agents, sessions).run(40).rewards)
+            agents, sessions = build(seed)
+            fast_curves.append(
+                FleetRunner(agents, sessions, exactness="fast").run(40).rewards
+            )
+        assert_statistically_equivalent(bit_curves, fast_curves)
+
+    def test_incremental_quads_track_recompute_under_fixed_contexts(self):
+        # fixed contexts across rounds: the cache stays valid, so every
+        # round after the first goes through sm_quad_downdate instead of
+        # a full rescore — the incremental quadratics must track a full
+        # ucb_explore recomputation within float32 tolerance
+        policies = [LinUCB(N_ACTIONS, N_FEATURES, alpha=0.7, seed=i) for i in range(6)]
+        stacked = stack_policies(policies, exactness="fast")
+        assert isinstance(stacked, StackedLinUCBFast)
+        rng = np.random.default_rng(5)
+        contexts = rng.random((6, N_FEATURES))
+        ctx32 = contexts.astype(np.float32)
+        for t in range(30):
+            actions = stacked.select(contexts)
+            stacked.update(contexts, actions, rng.random(6))
+            recomputed = ucb_explore(ctx32, stacked.A_inv)
+            np.testing.assert_allclose(
+                stacked._quads, recomputed, rtol=1e-3, atol=1e-5
+            )
+
+    def test_changing_contexts_invalidate_the_quad_cache(self):
+        # within a round select/update share contexts, so the cache hits
+        # and the downdate applies; a new round's fresh contexts must
+        # miss and force a full rescore with the post-update state
+        policies = [LinUCB(N_ACTIONS, N_FEATURES, seed=i) for i in range(4)]
+        stacked = stack_policies(policies, exactness="fast")
+        rng = np.random.default_rng(8)
+        contexts = rng.random((4, N_FEATURES))
+        for t in range(10):
+            actions = stacked.select(contexts)
+            assert stacked._cache_valid(contexts)
+            stacked.update(contexts, actions, rng.random(4))
+            contexts = rng.random((4, N_FEATURES))  # fresh next round
+            assert not stacked._cache_valid(contexts)
+        ctx32 = contexts.astype(np.float32)
+        expected = linear_scores(stacked.theta, ctx32) + np.float32(
+            stacked.alpha
+        ) * np.sqrt(ucb_explore(ctx32, stacked.A_inv))
+        np.testing.assert_allclose(
+            stacked.scores(contexts), expected, rtol=1e-4, atol=1e-5
+        )
+
+    def test_fast_dense_writeback_leaves_float32_state(self):
+        agents, sessions = make_population(
+            lambda A, d, s: LinUCB(A, d, seed=s), AgentMode.COLD, 4, 6
+        )
+        FleetRunner(agents, sessions, exactness="fast").run(10)
+        for agent in agents:
+            assert agent.policy.A_inv.dtype == np.float32
+            assert agent.policy.theta.dtype == np.float32
+        # snapshots warm-start other agents (set_state re-coerces)
+        source = agents[0].policy
+        clone = LinUCB(source.n_arms, source.n_features, seed=9)
+        clone.set_state(source.get_state())
+        assert clone.A_inv.dtype == np.float64
+        np.testing.assert_allclose(clone.A_inv, source.A_inv, rtol=1e-6)
 
     def test_fast_state_round_trips_through_set_state(self, ml_encoder):
         # a fast-run policy's get_state snapshot must warm-start
