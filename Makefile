@@ -8,11 +8,16 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) PYTHONHASHSEED=0 python
 
-.PHONY: test smoke chaos bench bench-fleet bench-replay bench-reporting bench-memory bench-serve bench-kernels lint format install
+.PHONY: test test-par smoke chaos bench bench-fleet bench-replay bench-reporting bench-memory bench-serve bench-kernels bench-parallel lint format install
 
 # tier-1: the full suite (the driver's acceptance gate)
 test:
 	$(PY) -m pytest -x -q
+
+# tier-1 on all cores via pytest-xdist (CI's full job; needs the
+# `test` extra — local `make test` stays serial and dependency-free)
+test-par:
+	$(PY) -m pytest -x -q -n auto
 
 # tier-1 smoke: skip @pytest.mark.slow for quick pre-commit iteration
 smoke:
@@ -20,11 +25,16 @@ smoke:
 
 # chaos smoke: the whole sim suite under a seeded fault plan (worker
 # raises + hard crashes, recovered by default supervision with zero
-# unhandled crashes and zero bitwise drift), then the deterministic
-# counter report (benchmarks/chaos_summary.py; CI pipes it into the
-# step summary)
+# unhandled crashes and zero bitwise drift), then a multi-worker pass
+# of the parallel/shm/invariance suites (chaos recovery must also be
+# worker-count-invariant and leak no shm segments), then the
+# deterministic counter report (benchmarks/chaos_summary.py; CI pipes
+# it into the step summary)
 chaos:
 	REPRO_FAULTS="seed=7;raise=0.03;crash=0.03" $(PY) -m pytest tests/sim -q
+	REPRO_FAULTS="seed=7;raise=0.03;crash=0.03" REPRO_PARALLEL_WORKERS="2,4" \
+		$(PY) -m pytest tests/sim/test_parallel.py tests/sim/test_shm.py \
+		tests/sim/test_worker_invariance.py -q
 	$(PY) benchmarks/chaos_summary.py
 
 # all paper-figure benches; seeded throughout, writes only into
@@ -69,6 +79,15 @@ bench-serve:
 # tunable via BENCH_KERNELS_MIN_*, scale via BENCH_KERNELS_N_AGENTS)
 bench-kernels:
 	$(PY) -m pytest benchmarks/bench_kernels.py -q
+
+# parallel-backend scaling record: serial vs n_workers on both
+# backends + sweep-level fan-out, every run asserted bit-identical
+# (writes benchmarks/results/BENCH_parallel.json with cpu_count; the
+# process-backend floor BENCH_PARALLEL_MIN_SPEEDUP is enforced only
+# when set — worker scaling needs cores, so CI's multi-core runners
+# set it; scale via BENCH_PARALLEL_N_AGENTS / _N_INTERACTIONS)
+bench-parallel:
+	$(PY) -m pytest benchmarks/bench_parallel.py -q -p no:cacheprovider
 
 # lint + format check (config in pyproject.toml [tool.ruff])
 lint:

@@ -31,6 +31,7 @@ REPO_ROOT = Path(__file__).parent.parent
 #: numeric leaf keys worth surfacing (exact match or prefix)
 _METRIC_KEYS = (
     "speedup",
+    "workers_speedup",
     "reduction",
     "interactions_per_second",
     "requests_per_second",

@@ -23,6 +23,7 @@ assertion floors on them are env-tunable (see ``bench_fleet_engine``).
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -54,6 +55,10 @@ def record_json():
 
     def _record(name: str, payload: dict, *, merge: bool = False) -> Path:
         _RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        # every record names the machine width it was measured on —
+        # worker-scaling numbers are meaningless without it
+        payload = dict(payload)
+        payload.setdefault("cpu_count", os.cpu_count())
         path = _RESULTS_DIR / f"BENCH_{name}.json"
         if merge and path.exists():
             # top-level merge so independent bench tests can contribute

@@ -227,6 +227,15 @@ def build_parser() -> argparse.ArgumentParser:
             "benefit)",
         )
         p.add_argument(
+            "--sweep-workers",
+            type=_positive_int,
+            default=1,
+            help="sweep-level parallelism: fan a figure's independent "
+            "settings / grid points across this many worker processes "
+            "(results are bit-identical to the serial sweep, in grid "
+            "order; composes with --workers inside each point)",
+        )
+        p.add_argument(
             "--plan-chunk-size",
             type=_positive_int,
             default=None,
@@ -377,6 +386,7 @@ def main(argv: list[str] | None = None) -> int:
             plan_chunk_size=args.plan_chunk_size,
             exactness=args.exactness,
             kernel_block_size=args.kernel_block_size,
+            sweep_workers=args.sweep_workers,
         )
     )
     renderer, _ = _COMMANDS[args.command]

@@ -1,6 +1,7 @@
 """Evaluation harness reproducing the paper's experiments (§5, Figs. 2-7)."""
 
 from .figures import figure2, figure3, figure4, figure5, figure6, figure7, headline
+from .parallel import ParallelMap, parallel_map
 from .results import ExperimentResult, FigureResult, SettingComparison
 from .runner import (
     EngineConfig,
@@ -27,6 +28,8 @@ __all__ = [
     "use_config",
     "FleetService",
     "ServeStats",
+    "ParallelMap",
+    "parallel_map",
     "ExperimentResult",
     "SettingComparison",
     "FigureResult",

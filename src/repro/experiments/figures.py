@@ -23,12 +23,11 @@ from ..data.multilabel import (
     make_mediamill_like,
     make_textmining_like,
 )
-from ..data.synthetic import SyntheticPreferenceEnvironment
 from ..privacy.accounting import epsilon_from_p
 from ..privacy.cardinality import context_cardinality, enumerate_quantized_simplex
 from .results import FigureResult
 from .runner import compare_settings
-from .sweeps import population_sweep
+from .sweeps import _SyntheticEnvFactory, population_sweep
 
 __all__ = [
     "figure2",
@@ -49,6 +48,38 @@ _LABEL = {
 
 def _scaled(value: int, scale: float, *, minimum: int = 1) -> int:
     return max(minimum, int(round(value * scale)))
+
+
+class _MultilabelEnvFactory:
+    """Picklable per-panel environment factory (``figure6``).
+
+    A plain class instead of a closure so grid-parallel sweeps
+    (``sweep_workers > 1``) can ship it to worker processes.
+    """
+
+    def __init__(self, dataset, samples_per_user: int, seed) -> None:
+        self.dataset = dataset
+        self.samples_per_user = samples_per_user
+        self.seed = seed
+
+    def __call__(self) -> MultilabelBanditEnvironment:
+        return MultilabelBanditEnvironment(
+            self.dataset, samples_per_user=self.samples_per_user, seed=self.seed
+        )
+
+
+class _CriteoEnvFactory:
+    """Picklable per-panel environment factory (``figure7``)."""
+
+    def __init__(self, dataset, impressions_per_user: int, seed) -> None:
+        self.dataset = dataset
+        self.impressions_per_user = impressions_per_user
+        self.seed = seed
+
+    def __call__(self) -> CriteoBanditEnvironment:
+        return CriteoBanditEnvironment(
+            self.dataset, impressions_per_user=self.impressions_per_user, seed=self.seed
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -135,15 +166,10 @@ def figure4(
             alpha=1.0,
         )
 
-        def env_factory(n_actions=n_actions) -> SyntheticPreferenceEnvironment:
-            return SyntheticPreferenceEnvironment(
-                n_actions=n_actions, n_features=d, weight_scale=8.0, seed=seed
-            )
-
         panels[n_actions] = population_sweep(
             [_scaled(u, scale) for u in u_values],
             config,
-            env_factory=env_factory,
+            env_factory=_SyntheticEnvFactory(n_actions, d, 8.0, seed),
             contributor_interactions=window,
             n_eval_agents=_scaled(100, scale, minimum=10),
             eval_interactions=window,
@@ -288,16 +314,11 @@ def figure6(
             alpha=1.0,
         )
 
-        def env_factory(dataset=dataset) -> MultilabelBanditEnvironment:
-            return MultilabelBanditEnvironment(
-                dataset, samples_per_user=samples_per_user, seed=seed
-            )
-
         encoder = _fit_codebook(
             codebook, n_codes, dataset.n_features, dataset.X, seed=seed
         )
         comparison = compare_settings(
-            env_factory,
+            _MultilabelEnvFactory(dataset, samples_per_user, seed),
             config,
             n_contributors=n_contrib,
             contributor_interactions=contributor_interactions,
@@ -385,14 +406,9 @@ def figure7(
             private_context="centroid",
         )
 
-        def env_factory() -> CriteoBanditEnvironment:
-            return CriteoBanditEnvironment(
-                dataset, impressions_per_user=interactions_s, seed=seed
-            )
-
         encoder = _fit_codebook(codebook, k, d, dataset.X, seed=seed)
         comparison = compare_settings(
-            env_factory,
+            _CriteoEnvFactory(dataset, interactions_s, seed),
             config,
             n_contributors=n_contrib,
             contributor_interactions=min(contributor_interactions, interactions_s),

@@ -154,6 +154,16 @@ class EngineConfig:
     auto-sizes the block to cache.  Blocked and unblocked evaluation
     are bitwise identical on every tier, so this knob is pure
     performance tuning.
+
+    ``sweep_workers`` parallelizes one level *above* the engine: entry
+    points that run several independent settings —
+    :func:`compare_settings` and the sweeps built on it — fan them
+    across worker processes through
+    :class:`~repro.experiments.parallel.ParallelMap` (results ordered
+    deterministically, bit-identical to the serial loop).  It requires
+    picklable workloads (module-level env factories, not closures) and
+    composes with ``n_workers``: each setting's fleet still parallelizes
+    its shards inside its worker process.
     """
 
     engine: str = "auto"
@@ -165,10 +175,12 @@ class EngineConfig:
     sink: object | None = None
     fault_policy: FaultPolicy | None = None
     kernel_block_size: int | None = None
+    sweep_workers: int = 1
 
     def __post_init__(self) -> None:
         _check_engine(self.engine)
         check_positive_int(self.n_workers, name="n_workers")
+        check_positive_int(self.sweep_workers, name="sweep_workers")
         _check_worker_backend(self.worker_backend)
         if self.plan_chunk_size is not None:
             check_positive_int(self.plan_chunk_size, name="plan_chunk_size")
@@ -189,6 +201,16 @@ class EngineConfig:
     def replace(self, **changes) -> "EngineConfig":
         """A copy with ``changes`` applied (validated like a fresh one)."""
         return dataclasses.replace(self, **changes)
+
+    def __setstate__(self, state: dict) -> None:
+        # checkpoints pickle the EngineConfig into their context blob;
+        # a snapshot written before a field existed (sweep_workers
+        # postdates the checkpoint format) must still restore — missing
+        # fields take their defaults
+        for f in dataclasses.fields(self):
+            if f.name not in state and f.default is not dataclasses.MISSING:
+                state[f.name] = f.default
+        self.__dict__.update(state)
 
 
 _default_config = EngineConfig()
@@ -925,6 +947,18 @@ def _resume_setting(
     )
 
 
+def _run_one_setting(job: tuple) -> ExperimentResult:
+    """One ``compare_settings`` mode, shaped for :class:`ParallelMap`.
+
+    Module-level on purpose: sweep-level parallelism pickles
+    ``(fn, job)`` into a worker process, and the job builds its
+    environment *inside* the worker (environments carry assignment
+    state; only the factory crosses the boundary).
+    """
+    env_factory, config, mode, kwargs = job
+    return run_setting(env_factory(), config, mode, **kwargs)
+
+
 def compare_settings(
     env_factory: Callable[[], Environment],
     config: P2BConfig,
@@ -950,6 +984,13 @@ def compare_settings(
     settings different users).  ``engine`` accepts an
     :class:`EngineConfig` like :func:`run_setting` — except one with a
     ``sink``, which is per-run state and would interleave the settings.
+
+    With ``EngineConfig.sweep_workers > 1`` the settings run
+    concurrently in worker processes (each builds its environment from
+    ``env_factory`` inside its worker — the factory and encoder must be
+    picklable).  Every setting seeds its own streams from the same root
+    ``seed`` either way, so the comparison is bit-identical to the
+    serial loop, in the same deterministic ``modes`` order.
     """
     cfg = _resolve_config(
         engine,
@@ -965,19 +1006,25 @@ def compare_settings(
             "EngineConfig.sink would accumulate across them — run "
             "run_setting per mode with a fresh sink instead"
         )
+    kwargs = dict(
+        n_contributors=n_contributors,
+        contributor_interactions=contributor_interactions,
+        n_eval_agents=n_eval_agents,
+        eval_interactions=eval_interactions,
+        seed=seed,  # same root seed => paired users across settings
+        encoder=encoder,
+        measure=measure,
+        # one sweep level only: the settings are already fanned out
+        # here, so each worker's own compare/sweep calls run serial
+        engine=cfg.replace(sweep_workers=1),
+    )
+    if cfg.sweep_workers > 1:
+        from .parallel import ParallelMap
+
+        jobs = [(env_factory, config, mode, kwargs) for mode in modes]
+        outs = ParallelMap(cfg.sweep_workers).map(_run_one_setting, jobs)
+        return SettingComparison(results=dict(zip(modes, outs)))
     results = {}
     for mode in modes:
-        results[mode] = run_setting(
-            env_factory(),
-            config,
-            mode,
-            n_contributors=n_contributors,
-            contributor_interactions=contributor_interactions,
-            n_eval_agents=n_eval_agents,
-            eval_interactions=eval_interactions,
-            seed=seed,  # same root seed => paired users across settings
-            encoder=encoder,
-            measure=measure,
-            engine=cfg,
-        )
+        results[mode] = _run_one_setting((env_factory, config, mode, kwargs))
     return SettingComparison(results=results)

@@ -77,8 +77,12 @@ class FleetService:
         bundling the fleet knobs (workers, chunking, plan form,
         exactness).  ``engine="sequential"`` is rejected — the service
         *is* the hot fleet — and ``sink`` must be ``None`` (requests
-        return their results directly).  ``None`` uses the session
-        default (:func:`~repro.experiments.runner.get_default_config`).
+        return their results directly).  ``sweep_workers`` is
+        normalized to 1: there is no sweep here, just one persistent
+        population (a process-wide default config with sweep
+        parallelism stays valid for serving).  ``None`` uses the
+        session default
+        (:func:`~repro.experiments.runner.get_default_config`).
     mode:
         Agent wiring, one of :class:`~repro.core.config.AgentMode`
         (default warm-private, the paper's full pipeline).
@@ -125,6 +129,8 @@ class FleetService:
                 "EngineConfig.sink is not supported by FleetService; "
                 "interact() returns its results directly"
             )
+        if engine.sweep_workers != 1:
+            engine = engine.replace(sweep_workers=1)
         if request_timeout is not None:
             request_timeout = float(request_timeout)
             if request_timeout <= 0:

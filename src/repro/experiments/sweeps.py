@@ -5,6 +5,14 @@ over one axis (population ``U``, context dimension ``d``, arm count
 ``A``, codebook size ``k``, participation ``p``) and returns a
 :class:`~repro.experiments.results.FigureResult` whose series are the
 three settings' metrics — the printed equivalent of one paper plot.
+
+Grid points are fully independent, so every sweep fans them across
+worker processes when the engine configuration carries
+``sweep_workers > 1`` (:class:`~repro.experiments.parallel.
+ParallelMap`); points land in the figure in grid order regardless of
+completion order, bit-identical to the serial sweep.  Parallel grids
+require picklable factories — pass module-level ``env_factory`` /
+``make_config`` callables, not lambdas.
 """
 
 from __future__ import annotations
@@ -15,8 +23,9 @@ from ..core.config import AgentMode, P2BConfig
 from ..data.synthetic import SyntheticPreferenceEnvironment
 from ..encoding.kmeans_encoder import KMeansEncoder
 from ..privacy.accounting import epsilon_from_p
+from .parallel import ParallelMap
 from .results import FigureResult
-from .runner import UNSET, EngineConfig, compare_settings
+from .runner import UNSET, EngineConfig, _resolve_config, compare_settings
 
 __all__ = [
     "population_sweep",
@@ -40,6 +49,58 @@ def _shared_encoder(config: P2BConfig, seed) -> KMeansEncoder:
         q=config.q,
         seed=seed,
     ).fit()
+
+
+def _sweep_point(job: tuple):
+    """One grid point, shaped for :class:`ParallelMap` (module-level so
+    ``(fn, job)`` pickles into a worker process)."""
+    env_factory, config, kwargs = job
+    return compare_settings(env_factory, config, **kwargs)
+
+
+def _grid_plan(
+    engine, n_workers, plan_chunk_size, exactness
+) -> tuple[int, EngineConfig]:
+    """Resolve a sweep's engine arguments into ``(grid_workers, cfg)``.
+
+    ``grid_workers`` fans the sweep's *points*; each point then runs
+    with ``sweep_workers=1`` (one fan-out level — a point's settings
+    run serially inside its worker, their fleets still free to use
+    ``n_workers`` shard parallelism).  A serial grid keeps the caller's
+    ``sweep_workers`` so :func:`compare_settings` can fan the settings
+    instead.
+    """
+    cfg = _resolve_config(
+        engine,
+        n_workers=n_workers,
+        plan_chunk_size=plan_chunk_size,
+        exactness=exactness,
+    )
+    grid_workers = cfg.sweep_workers
+    point_cfg = cfg.replace(sweep_workers=1) if grid_workers > 1 else cfg
+    return grid_workers, point_cfg
+
+
+class _SyntheticEnvFactory:
+    """Picklable per-point environment factory (``dimension_sweep``).
+
+    A plain class instead of a closure so grid-parallel sweeps can ship
+    it to worker processes.
+    """
+
+    def __init__(self, n_actions: int, n_features: int, weight_scale: float, seed) -> None:
+        self.n_actions = n_actions
+        self.n_features = n_features
+        self.weight_scale = weight_scale
+        self.seed = seed
+
+    def __call__(self) -> SyntheticPreferenceEnvironment:
+        return SyntheticPreferenceEnvironment(
+            n_actions=self.n_actions,
+            n_features=self.n_features,
+            weight_scale=self.weight_scale,
+            seed=self.seed,
+        )
 
 
 def population_sweep(
@@ -74,22 +135,26 @@ def population_sweep(
         },
     )
     encoder = _shared_encoder(config, seed)
-    for u in u_values:
-        comparison = compare_settings(
+    grid_workers, point_cfg = _grid_plan(engine, n_workers, plan_chunk_size, exactness)
+    jobs = [
+        (
             env_factory,
             config,
-            n_contributors=int(u),
-            contributor_interactions=contributor_interactions,
-            n_eval_agents=n_eval_agents,
-            eval_interactions=eval_interactions,
-            seed=seed,
-            encoder=encoder,
-            measure=measure,
-            engine=engine,
-            n_workers=n_workers,
-            plan_chunk_size=plan_chunk_size,
-            exactness=exactness,
+            dict(
+                n_contributors=int(u),
+                contributor_interactions=contributor_interactions,
+                n_eval_agents=n_eval_agents,
+                eval_interactions=eval_interactions,
+                seed=seed,
+                encoder=encoder,
+                measure=measure,
+                engine=point_cfg,
+            ),
         )
+        for u in u_values
+    ]
+    comparisons = ParallelMap(grid_workers).map(_sweep_point, jobs)
+    for u, comparison in zip(u_values, comparisons):
         result.add_point(
             int(u),
             {_MODE_LABELS[m]: r.mean_reward for m, r in comparison.results.items()},
@@ -128,28 +193,25 @@ def dimension_sweep(
         x_values=[],
         notes={"A": n_actions, "U": n_contributors},
     )
-    for d in d_values:
-        config = make_config(int(d))
-
-        def env_factory(d=int(d)) -> SyntheticPreferenceEnvironment:
-            return SyntheticPreferenceEnvironment(
-                n_actions=n_actions, n_features=d, weight_scale=8.0, seed=env_seed
-            )
-
-        comparison = compare_settings(
-            env_factory,
-            config,
-            n_contributors=n_contributors,
-            contributor_interactions=contributor_interactions,
-            n_eval_agents=n_eval_agents,
-            eval_interactions=eval_interactions,
-            seed=seed,
-            measure=measure,
-            engine=engine,
-            n_workers=n_workers,
-            plan_chunk_size=plan_chunk_size,
-            exactness=exactness,
+    grid_workers, point_cfg = _grid_plan(engine, n_workers, plan_chunk_size, exactness)
+    jobs = [
+        (
+            _SyntheticEnvFactory(n_actions, int(d), 8.0, env_seed),
+            make_config(int(d)),
+            dict(
+                n_contributors=n_contributors,
+                contributor_interactions=contributor_interactions,
+                n_eval_agents=n_eval_agents,
+                eval_interactions=eval_interactions,
+                seed=seed,
+                measure=measure,
+                engine=point_cfg,
+            ),
         )
+        for d in d_values
+    ]
+    comparisons = ParallelMap(grid_workers).map(_sweep_point, jobs)
+    for d, comparison in zip(d_values, comparisons):
         result.add_point(
             int(d),
             {_MODE_LABELS[m]: r.mean_reward for m, r in comparison.results.items()},
@@ -183,22 +245,25 @@ def codebook_sweep(
         x_name="k",
         x_values=[],
     )
-    for k in k_values:
-        config = replace(base_config, n_codes=int(k))
-        comparison = compare_settings(
+    grid_workers, point_cfg = _grid_plan(engine, n_workers, plan_chunk_size, exactness)
+    jobs = [
+        (
             env_factory,
-            config,
-            n_contributors=n_contributors,
-            contributor_interactions=contributor_interactions,
-            n_eval_agents=n_eval_agents,
-            eval_interactions=eval_interactions,
-            seed=seed,
-            modes=(AgentMode.WARM_PRIVATE,),
-            engine=engine,
-            n_workers=n_workers,
-            plan_chunk_size=plan_chunk_size,
-            exactness=exactness,
+            replace(base_config, n_codes=int(k)),
+            dict(
+                n_contributors=n_contributors,
+                contributor_interactions=contributor_interactions,
+                n_eval_agents=n_eval_agents,
+                eval_interactions=eval_interactions,
+                seed=seed,
+                modes=(AgentMode.WARM_PRIVATE,),
+                engine=point_cfg,
+            ),
         )
+        for k in k_values
+    ]
+    comparisons = ParallelMap(grid_workers).map(_sweep_point, jobs)
+    for k, comparison in zip(k_values, comparisons):
         result.add_point(
             int(k),
             {"warm_private": comparison[AgentMode.WARM_PRIVATE].mean_reward},
@@ -236,22 +301,25 @@ def participation_sweep(
         x_name="p",
         x_values=[],
     )
-    for p in p_values:
-        config = replace(base_config, p=float(p))
-        comparison = compare_settings(
+    grid_workers, point_cfg = _grid_plan(engine, n_workers, plan_chunk_size, exactness)
+    jobs = [
+        (
             env_factory,
-            config,
-            n_contributors=n_contributors,
-            contributor_interactions=contributor_interactions,
-            n_eval_agents=n_eval_agents,
-            eval_interactions=eval_interactions,
-            seed=seed,
-            modes=(AgentMode.WARM_PRIVATE,),
-            engine=engine,
-            n_workers=n_workers,
-            plan_chunk_size=plan_chunk_size,
-            exactness=exactness,
+            replace(base_config, p=float(p)),
+            dict(
+                n_contributors=n_contributors,
+                contributor_interactions=contributor_interactions,
+                n_eval_agents=n_eval_agents,
+                eval_interactions=eval_interactions,
+                seed=seed,
+                modes=(AgentMode.WARM_PRIVATE,),
+                engine=point_cfg,
+            ),
         )
+        for p in p_values
+    ]
+    comparisons = ParallelMap(grid_workers).map(_sweep_point, jobs)
+    for p, comparison in zip(p_values, comparisons):
         result.add_point(
             float(p),
             {

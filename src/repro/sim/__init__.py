@@ -149,6 +149,13 @@ from .fleet import (
     shard_indices,
     shard_key,
 )
+from .shm import (
+    SHM_ENV_VAR,
+    ShmArrayRef,
+    ShmPool,
+    leaked_segments,
+    shm_enabled,
+)
 from .stacked import (
     EXACTNESS_TIERS,
     StackedCodeLinUCB,
@@ -185,6 +192,11 @@ __all__ = [
     "EXACTNESS_TIERS",
     "WORKER_BACKENDS",
     "PLAN_FORMS",
+    "SHM_ENV_VAR",
+    "ShmArrayRef",
+    "ShmPool",
+    "leaked_segments",
+    "shm_enabled",
     "StackedPolicies",
     "StackedLinUCB",
     "StackedLinUCBFast",

@@ -1241,16 +1241,31 @@ def _run_shard_remote(payload: bytes, fault_ctx: tuple | None = None) -> bytes:
 
     Receives one pickled shard population, runs its *entire* horizon
     (shards never interact, so no per-round synchronization with the
-    parent is needed), and ships back the result matrices plus the
-    mutated agents and sessions.  The parent adopts the returned state
-    into its own objects (:meth:`FleetRunner._adopt`).
+    parent is needed), and ships back the mutated agents and sessions.
+    The parent adopts the returned state into its own objects
+    (:meth:`FleetRunner._adopt`).
+
+    Results travel one of two ways.  On the shared-memory protocol
+    (:mod:`repro.sim.shm`) the payload carries :class:`~repro.sim.shm.
+    ShmArrayRef` descriptors of the parent's *global* result matrices
+    plus this shard's global row indices; the worker attaches the
+    blocks (cached per process, so retries and pool re-spawns just
+    re-attach by name) and writes results directly at its disjoint
+    rows — the thread backend's memory model, across a process
+    boundary.  On the legacy fallback (``REPRO_NO_SHM``, or platforms
+    without POSIX shared memory) it builds local matrices and pickles
+    them back, as before.
 
     ``fault_ctx`` is ``(plan_spec, shard_index, attempt)`` when the
     parent runs supervised with a fault plan armed: the *parent* decides
     the plan (including the env knob) and ships it explicitly, so a
     retry's incremented attempt number reaches the worker and random
-    faults stay silent on the replay.
+    faults stay silent on the replay.  Partial shared-memory writes of
+    a crashed attempt are fully overwritten by the retry (or NaN-filled
+    by the parent on a skip), exactly like the thread path's.
     """
+    from .shm import attach, shm_loads
+
     (
         agents,
         sessions,
@@ -1260,10 +1275,17 @@ def _run_shard_remote(payload: bytes, fault_ctx: tuple | None = None) -> bytes:
         plan_form,
         exactness,
         kernel_block_size,
-    ) = pickle.loads(payload)
+        result_refs,
+        rows,
+    ) = shm_loads(payload)
     n = len(agents)
+    indices = (
+        np.arange(n, dtype=np.intp)
+        if result_refs is None
+        else np.asarray(rows, dtype=np.intp)
+    )
     shard = _Shard(
-        np.arange(n, dtype=np.intp),
+        indices,
         agents,
         sessions,
         plan_chunk_size=plan_chunk_size,
@@ -1277,15 +1299,31 @@ def _run_shard_remote(payload: bytes, fault_ctx: tuple | None = None) -> bytes:
             FaultPlan.parse(spec), shard_index, attempt, in_worker=True
         )
     shard.prepare(n_interactions, track_expected=track_expected)
-    rewards = np.empty((n, n_interactions), dtype=np.float64)
-    actions = np.empty((n, n_interactions), dtype=np.intp)
-    expected = np.empty((n, n_interactions), dtype=np.float64) if track_expected else None
-    expected_ok = np.full(n, track_expected, dtype=bool)
+    if result_refs is None:
+        rewards = np.empty((n, n_interactions), dtype=np.float64)
+        actions = np.empty((n, n_interactions), dtype=np.intp)
+        expected = (
+            np.empty((n, n_interactions), dtype=np.float64) if track_expected else None
+        )
+        expected_ok = np.full(n, track_expected, dtype=bool)
+    else:
+        rewards_ref, actions_ref, expected_ref, ok_ref = result_refs
+        rewards = attach(rewards_ref)
+        actions = attach(actions_ref)
+        expected = None if expected_ref is None else attach(expected_ref)
+        expected_ok = attach(ok_ref)
     for t in range(n_interactions):
         shard.step(t, rewards, actions, expected, expected_ok)
     shard.finish(rewards, actions)
     shard.stacked.writeback()
-    return pickle.dumps((rewards, actions, expected, expected_ok, agents, sessions))
+    if result_refs is None:
+        return pickle.dumps((rewards, actions, expected, expected_ok, agents, sessions))
+    # results already live in the parent's matrices; ship only the
+    # mutated population — attached arrays the sessions reference (a
+    # dataset's row tables) collapse back into their descriptors
+    from .shm import shm_dumps
+
+    return shm_dumps((agents, sessions))
 
 
 class FleetRunner:
@@ -2129,9 +2167,20 @@ class FleetRunner:
         once per round of failures and the poisoned victims retry from
         their payloads.  Without a policy, failures propagate as-is
         (the historical fail-fast behavior).
+
+        On platforms with POSIX shared memory (and unless disabled via
+        ``REPRO_NO_SHM``) the matrices workers write and the per-dataset
+        row tables they read live in :mod:`repro.sim.shm` blocks:
+        payloads carry descriptors plus each shard's global row
+        indices, workers write results in place, and the return trip
+        is only the mutated population.  Blocks are created here and
+        unlinked here — exactly once, normal exit, degraded exit or
+        crash alike.  Results are bit-identical on either protocol.
         """
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
+
+        from .shm import ShmPool, shm_dumps, shm_enabled, shm_loads
 
         plan = self._active_fault_plan()
         policy = self._effective_fault_policy(plan)
@@ -2144,11 +2193,79 @@ class FleetRunner:
             if key is not None:
                 self._shards.pop(key, None)
 
+        shm_pool: ShmPool | None = ShmPool() if shm_enabled() else None
+        try:
+            return self._run_process_inner(
+                specs, n_rows, n_interactions,
+                track_expected=track_expected, sink=sink,
+                shm_pool=shm_pool, spec_str=spec_str, policy=policy,
+                executor_cls=ProcessPoolExecutor,
+                broken_pool_exc=BrokenProcessPool,
+                dumps=shm_dumps, loads=shm_loads,
+            )
+        finally:
+            if shm_pool is not None:
+                shm_pool.close()
+
+    def _run_process_inner(
+        self, specs: list[tuple], n_rows: int, n_interactions: int,
+        *, track_expected: bool, sink, shm_pool, spec_str, policy,
+        executor_cls, broken_pool_exc, dumps, loads,
+    ) -> FleetResult | None:
+        """Body of :meth:`_run_process` (split out so the shared-memory
+        pool's unlink-exactly-once ``finally`` wraps everything)."""
+        # global result matrices in shared memory: workers write their
+        # shard's rows directly, the thread backend's memory model.
+        # Streaming runs keep the legacy per-shard return protocol (the
+        # parent-side saving there is *not* materializing O(n x T)).
+        shm_results = None
+        if shm_pool is not None and sink is None:
+            try:
+                shm_results = (
+                    shm_pool.empty((n_rows, n_interactions), np.float64),
+                    shm_pool.empty((n_rows, n_interactions), np.intp),
+                    shm_pool.empty((n_rows, n_interactions), np.float64)
+                    if track_expected
+                    else None,
+                    shm_pool.empty((n_rows,), np.bool_),
+                )
+                shm_results[3][:] = track_expected
+            except OSError:  # /dev/shm full or restricted: fall back
+                shm_results = None
+        if shm_pool is not None:
+            # mirror each dataset's shared row tables once — every
+            # session over that dataset then ships a descriptor instead
+            # of the tables' bytes (the tables alias dataset storage,
+            # so this also dedupes the dataset arrays themselves)
+            for _, members, _ in specs:
+                for i in members:
+                    session = self.sessions[i]
+                    if not getattr(session, "has_indexed_trace_plan", False):
+                        continue
+                    try:
+                        table = session.trace_row_table()
+                        shm_pool.share(table.contexts)
+                        shm_pool.share(table.action_rewards)
+                        if table.expected is not None:
+                            shm_pool.share(table.expected)
+                    except OSError:  # /dev/shm full: pickle by value
+                        break
+
+        result_refs = None
+        if shm_results is not None:
+            rewards_g, actions_g, expected_g, ok_g = shm_results
+            result_refs = (
+                shm_pool.ref_for(rewards_g),
+                shm_pool.ref_for(actions_g),
+                None if expected_g is None else shm_pool.ref_for(expected_g),
+                shm_pool.ref_for(ok_g),
+            )
+
         payloads = []
-        for _, members, _ in specs:
+        for _, members, rows in specs:
             try:
                 payloads.append(
-                    pickle.dumps(
+                    dumps(
                         (
                             [self.agents[i] for i in members],
                             [self.sessions[i] for i in members],
@@ -2158,7 +2275,10 @@ class FleetRunner:
                             self.plan_form,
                             self.exactness,
                             self.kernel_block_size,
-                        )
+                            result_refs,
+                            np.asarray(rows, dtype=np.intp),
+                        ),
+                        shm_pool,
                     )
                 )
             except Exception as exc:  # pickle errors vary by payload
@@ -2172,9 +2292,19 @@ class FleetRunner:
         attempts = [0] * len(specs)
         queue = list(range(len(specs)))
         n_workers = min(self.n_workers, len(payloads))
-        pool = ProcessPoolExecutor(max_workers=n_workers)
+        pool = executor_cls(max_workers=n_workers)
+        # after a pool breakage, fall back to one shard in flight at a
+        # time: a dead worker poisons every pending future on the
+        # executor with BrokenProcessPool, so in a batch round the
+        # exception cannot be attributed to the shard that actually
+        # crashed — collateral victims must not be charged retry budget
+        # (a crashing sibling could otherwise exhaust an innocent
+        # shard's retries, making drops racy).  Solo, a breakage is
+        # unambiguously the running shard's own.
+        solo = False
         try:
             while queue:
+                batch, queue = (queue[:1], queue[1:]) if solo else (queue, [])
                 futures = {
                     si: pool.submit(
                         _run_shard_remote,
@@ -2183,20 +2313,25 @@ class FleetRunner:
                         if spec_str is None
                         else (spec_str, si, attempts[si]),
                     )
-                    for si in queue
+                    for si in batch
                 }
-                queue = []
                 pool_broken = False
                 retry_wait = 0.0
                 for si, future in futures.items():
                     try:
-                        outputs[si] = pickle.loads(future.result())
+                        outputs[si] = loads(future.result(), shm_pool)
                         continue
                     except Exception as exc:
                         if policy is None:
                             raise  # fail-fast: the historical behavior
-                        if isinstance(exc, BrokenProcessPool):
+                        if isinstance(exc, broken_pool_exc):
                             pool_broken = True
+                            if not solo:
+                                # collateral damage: requeue uncharged;
+                                # the solo rounds below identify and
+                                # charge the real culprit
+                                queue.append(si)
+                                continue
                         failure = exc
                     attempts[si] += 1
                     members = specs[si][1]
@@ -2228,24 +2363,32 @@ class FleetRunner:
                         )
                 if pool_broken:
                     # a dead worker poisons the whole executor — replace
-                    # it; queued shards rerun from their immutable
-                    # payloads with the incremented attempt number
+                    # it and switch to solo submission for the rest of
+                    # the run; queued shards rerun from their immutable
+                    # payloads (charged shards with the incremented
+                    # attempt number), and the fresh workers re-attach
+                    # any shared blocks by name: the parent has not
+                    # unlinked them yet
+                    solo = True
                     pool.shutdown(wait=True, cancel_futures=True)
-                    pool = ProcessPoolExecutor(max_workers=n_workers)
+                    pool = executor_cls(max_workers=n_workers)
                 if queue and retry_wait:
                     time.sleep(retry_wait)
         finally:
             pool.shutdown(wait=True, cancel_futures=True)
 
         if sink is None:
-            rewards = np.empty((n_rows, n_interactions), dtype=np.float64)
-            actions_mat = np.empty((n_rows, n_interactions), dtype=np.intp)
-            expected = (
-                np.empty((n_rows, n_interactions), dtype=np.float64)
-                if track_expected
-                else None
-            )
-            expected_ok = np.full(n_rows, track_expected, dtype=bool)
+            if shm_results is not None:
+                rewards, actions_mat, expected, expected_ok = shm_results
+            else:
+                rewards = np.empty((n_rows, n_interactions), dtype=np.float64)
+                actions_mat = np.empty((n_rows, n_interactions), dtype=np.intp)
+                expected = (
+                    np.empty((n_rows, n_interactions), dtype=np.float64)
+                    if track_expected
+                    else None
+                )
+                expected_ok = np.full(n_rows, track_expected, dtype=bool)
         else:
             sink.begin(n_rows, n_interactions)
 
@@ -2259,28 +2402,42 @@ class FleetRunner:
                         expected[rows_np] = np.nan
                     expected_ok[rows_np] = False
                 continue
-            s_rewards, s_actions, s_expected, s_ok, s_agents, s_sessions = outputs[si]
-            if sink is None:
-                rewards[rows_np] = s_rewards
-                actions_mat[rows_np] = s_actions
-                if expected is not None and s_expected is not None:
-                    expected[rows_np] = s_expected
-                expected_ok[rows_np] = s_ok
+            if shm_results is not None:
+                # results already landed at this shard's rows in the
+                # shared matrices; only the population came back
+                s_agents, s_sessions = outputs[si]
             else:
-                for t in range(n_interactions):
-                    sink.emit(
-                        t,
-                        rows_np,
-                        s_rewards[:, t],
-                        None if s_expected is None else s_expected[:, t],
-                        s_ok,
-                    )
+                s_rewards, s_actions, s_expected, s_ok, s_agents, s_sessions = (
+                    outputs[si]
+                )
+                if sink is None:
+                    rewards[rows_np] = s_rewards
+                    actions_mat[rows_np] = s_actions
+                    if expected is not None and s_expected is not None:
+                        expected[rows_np] = s_expected
+                    expected_ok[rows_np] = s_ok
+                else:
+                    for t in range(n_interactions):
+                        sink.emit(
+                            t,
+                            rows_np,
+                            s_rewards[:, t],
+                            None if s_expected is None else s_expected[:, t],
+                            s_ok,
+                        )
             for i, agent, session in zip(members, s_agents, s_sessions):
                 self._adopt(self.agents[i], agent)
                 self._adopt(self.sessions[i], session)
         if sink is not None:
             sink.finish()
             return None
+        if shm_results is not None:
+            # copy out of the blocks before the caller's finally unlinks
+            # them — the returned result must outlive the pool
+            rewards = np.array(rewards)
+            actions_mat = np.array(actions_mat)
+            expected = None if expected is None else np.array(expected)
+            expected_ok = np.array(expected_ok)
         return FleetResult(
             rewards=rewards,
             actions=actions_mat,

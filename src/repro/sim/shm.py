@@ -1,0 +1,336 @@
+"""Shared-memory plumbing for the process worker backend.
+
+``worker_backend="process"`` historically shipped every shard's whole
+state *and results* through pickle in both directions: the parent
+pickled agents, sessions — including each dataset's
+:class:`~repro.data.environment.TraceRowTable`, which exists precisely
+once per dataset — and the worker pickled the ``(n, T)`` result
+matrices back.  On multi-shard populations over one dataset that
+serializes the same megabyte-scale row tables once per shard and pays
+two full serializations per result byte, which is where the process
+backend's profit went.
+
+This module gives the process backend the thread backend's memory
+model: one set of arrays, many writers at disjoint rows.
+
+* The parent creates results and row tables as
+  :class:`multiprocessing.shared_memory.SharedMemory` blocks through a
+  :class:`ShmPool` (the creator-side registry; owns every block and
+  unlinks each exactly once).
+* Workers receive a small :class:`ShmArrayRef` descriptor — name,
+  shape, dtype — embedded in the (otherwise ordinary) pickled shard
+  payload via the pickle *persistent-id* protocol (:func:`shm_dumps` /
+  :func:`shm_loads`), attach the named block on first use, and write
+  results straight into the global matrices at their shard's row
+  slice.  Attachments are cached per worker process, so a pool re-spawn
+  after a crash (``BrokenProcessPool`` supervision) just re-attaches by
+  name — blocks stay valid until the parent unlinks them.
+* The return trip pickles only the mutated agents and sessions; any
+  reference they hold to an attached array (a session's dataset
+  storage, say) collapses back into its descriptor, and the parent
+  resolves descriptors to its *original* arrays — adopted state aliases
+  the caller's own storage, exactly like the thread path.
+
+Worker-side attachments are explicitly **unregistered** from
+:mod:`multiprocessing.resource_tracker`: the parent is the single
+owner, so a worker's tracker must neither warn about nor unlink blocks
+it merely mapped (the double-unlink / leaked-segment noise the tracker
+otherwise produces).  Creator-side blocks stay tracker-registered until
+:meth:`ShmPool.close` unlinks them — if the parent dies without
+closing, the tracker is the backstop that still removes the segments.
+
+Everything degrades gracefully: set :data:`SHM_ENV_VAR`
+(``REPRO_NO_SHM=1``) or run on a platform without POSIX shared memory
+and the process backend falls back to the historical
+pickle-everything protocol, bit-identical either way.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SHM_ENV_VAR",
+    "ShmArrayRef",
+    "ShmPool",
+    "attach",
+    "shm_enabled",
+    "shm_dumps",
+    "shm_loads",
+    "leaked_segments",
+]
+
+#: set (to anything non-empty) to disable shared-memory transport and
+#: force the process backend onto the legacy pickle-both-ways protocol
+SHM_ENV_VAR = "REPRO_NO_SHM"
+
+#: every segment this package creates is named with this prefix, so
+#: leak checks (and humans inspecting /dev/shm) can attribute them
+SEGMENT_PREFIX = "p2b-"
+
+
+def shm_enabled() -> bool:
+    """Whether the process backend should use shared-memory transport."""
+    if os.environ.get(SHM_ENV_VAR, ""):
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - all supported platforms have it
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class ShmArrayRef:
+    """Descriptor of one array living in a named shared-memory block.
+
+    Small and picklable by construction — this is what crosses the
+    process boundary instead of the array's bytes.  ``dtype`` is the
+    numpy dtype string (``"<f8"``), so the attached view reconstructs
+    byte-exactly.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    def nbytes(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= int(s)
+        return n * np.dtype(self.dtype).itemsize
+
+
+class ShmPool:
+    """Creator-side registry of shared-memory blocks (one per run).
+
+    The parent process makes one pool per dispatch, allocates result
+    matrices with :meth:`empty`, mirrors read-shared arrays (row
+    tables) with :meth:`share`, hands out :class:`ShmArrayRef`
+    descriptors, and finally :meth:`close`\\ s the pool — which unlinks
+    every block exactly once, idempotently, even if caller-side views
+    are still alive (the name disappears immediately; the mapping is
+    freed when the last view drops).
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, object] = {}  # name -> SharedMemory
+        self._arrays: dict[str, np.ndarray] = {}  # name -> parent-side array
+        self._refs: dict[int, ShmArrayRef] = {}  # id(array) -> descriptor
+        self._closed = False
+
+    def _new_segment(self, nbytes: int):
+        from multiprocessing import shared_memory
+
+        if self._closed:
+            raise ValueError("ShmPool is closed")
+        while True:
+            name = f"{SEGMENT_PREFIX}{os.getpid():x}-{os.urandom(6).hex()}"
+            try:
+                seg = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(1, int(nbytes))
+                )
+            except FileExistsError:  # pragma: no cover - 48 random bits
+                continue
+            self._segments[name] = seg
+            return seg
+
+    def empty(self, shape, dtype) -> np.ndarray:
+        """A zero-filled parent-owned array in a fresh shared block."""
+        dt = np.dtype(dtype)
+        shape = tuple(int(s) for s in np.atleast_1d(np.asarray(shape, dtype=np.int64)))
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        seg = self._new_segment(nbytes)
+        arr = np.ndarray(shape, dtype=dt, buffer=seg.buf)
+        arr.fill(0)
+        self._arrays[seg.name] = arr
+        self._refs[id(arr)] = ShmArrayRef(seg.name, shape, dt.str)
+        return arr
+
+    def share(self, array: np.ndarray) -> ShmArrayRef | None:
+        """Mirror ``array`` into shared memory; idempotent per object.
+
+        Returns the array's descriptor, or ``None`` when the array is
+        not shareable (empty, or an object/structured dtype) — callers
+        just fall back to pickling it by value.  The pool resolves the
+        descriptor back to the **original** ``array`` object, so
+        round-tripped parent-side state keeps its identity.
+        """
+        ref = self._refs.get(id(array))
+        if ref is not None:
+            return ref
+        arr = np.asarray(array)
+        if arr.nbytes == 0 or arr.dtype.hasobject or arr.dtype.names is not None:
+            return None
+        seg = self._new_segment(arr.nbytes)
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+        view[...] = arr
+        ref = ShmArrayRef(seg.name, tuple(int(s) for s in arr.shape), arr.dtype.str)
+        self._arrays[seg.name] = array
+        self._refs[id(array)] = ref
+        return ref
+
+    def ref_for(self, array: np.ndarray) -> ShmArrayRef | None:
+        return self._refs.get(id(array))
+
+    def resolve(self, ref: ShmArrayRef) -> np.ndarray | None:
+        """The parent-side array a descriptor stands for (``None`` if
+        the descriptor belongs to some other pool)."""
+        return self._arrays.get(ref.name)
+
+    def close(self) -> None:
+        """Unlink every block exactly once (idempotent, crash-safe).
+
+        Live views of :meth:`empty` arrays keep their mapping until
+        they are garbage collected (``SharedMemory.close`` refuses to
+        unmap exported buffers); the *name* is removed here regardless,
+        which is what the no-leaked-segments contract is about.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        segments = list(self._segments.values())
+        self._segments.clear()
+        self._arrays.clear()
+        self._refs.clear()
+        for seg in segments:
+            try:
+                seg.close()
+            except BufferError:
+                # a caller-side view is still alive; the mapping frees
+                # itself when the view does — unlinking is what matters
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "ShmPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # safety net; close() is the contract
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+
+# --------------------------------------------------------------------- #
+# worker-side attachment cache: one mapping per (process, block), reused
+# across every task the worker runs; a re-spawned pool's fresh workers
+# simply attach again by name
+_ATTACHED: dict[str, tuple[object, np.ndarray]] = {}
+_REF_BY_ID: dict[int, ShmArrayRef] = {}
+
+
+def _open_untracked(name: str):
+    """Attach an existing block without taking tracker ownership.
+
+    The parent owns every block.  Python 3.13 has ``track=False`` for
+    exactly this.  On earlier versions attaching re-registers the name,
+    but workers share the *parent's* resource-tracker daemon (the
+    tracker fd is inherited through fork and spawn alike), whose cache
+    is one set per resource type — so the attach-side register is a
+    no-op duplicate of the parent's own registration and needs no
+    counter-``unregister``.  Explicitly unregistering here (the idiom
+    for attaching across unrelated process trees) would instead remove
+    the PARENT's registration from the shared daemon and make the
+    eventual ``unlink`` die with a KeyError inside the tracker.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+def attach(ref: ShmArrayRef) -> np.ndarray:
+    """The array behind ``ref``, attached and cached for this process.
+
+    Repeated calls for one block return the *same* ndarray object, so
+    aliasing relationships between shared arrays (a row table whose
+    ``expected`` IS its ``action_rewards``) survive the round trip.
+    """
+    hit = _ATTACHED.get(ref.name)
+    if hit is not None:
+        return hit[1]
+    seg = _open_untracked(ref.name)
+    arr = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=seg.buf)
+    _ATTACHED[ref.name] = (seg, arr)
+    _REF_BY_ID[id(arr)] = ref
+    return arr
+
+
+class _ShmPickler(pickle.Pickler):
+    """Pickler that collapses registered arrays into descriptors."""
+
+    def __init__(self, file, pool: ShmPool | None) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._pool = pool
+
+    def persistent_id(self, obj):
+        if type(obj) is np.ndarray:
+            if self._pool is not None:
+                ref = self._pool.ref_for(obj)
+                if ref is not None:
+                    return ref
+            ref = _REF_BY_ID.get(id(obj))
+            if ref is not None:
+                return ref
+        return None
+
+
+class _ShmUnpickler(pickle.Unpickler):
+    """Unpickler resolving descriptors: pool-owned arrays in the
+    parent, cached attachments in a worker."""
+
+    def __init__(self, file, pool: ShmPool | None) -> None:
+        super().__init__(file)
+        self._pool = pool
+
+    def persistent_load(self, pid):
+        if isinstance(pid, ShmArrayRef):
+            if self._pool is not None:
+                arr = self._pool.resolve(pid)
+                if arr is not None:
+                    return arr
+            return attach(pid)
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+def shm_dumps(obj, pool: ShmPool | None = None) -> bytes:
+    """``pickle.dumps`` with registered/attached arrays sent by reference.
+
+    With no ``pool`` and no cached attachments this is plain pickling —
+    the legacy-protocol fallback costs nothing extra.
+    """
+    buf = io.BytesIO()
+    _ShmPickler(buf, pool).dump(obj)
+    return buf.getvalue()
+
+
+def shm_loads(data: bytes, pool: ShmPool | None = None):
+    """Inverse of :func:`shm_dumps` (plain ``pickle.loads`` otherwise)."""
+    return _ShmUnpickler(io.BytesIO(data), pool).load()
+
+
+def leaked_segments() -> list[str]:
+    """Names of this package's segments still present in ``/dev/shm``.
+
+    The leak-regression check: after any run — normal exit, degraded
+    ``skip_shard``, injected worker crashes — this must be empty.
+    Returns ``[]`` on platforms without a ``/dev/shm``.
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-Linux
+        return []
+    return sorted(n for n in os.listdir(root) if n.startswith(SEGMENT_PREFIX))

@@ -1,0 +1,232 @@
+"""Shared-memory transport for the process backend.
+
+``worker_backend="process"`` ships shard payloads whose arrays travel
+as :class:`~repro.sim.shm.ShmArrayRef` descriptors instead of bytes.
+These tests pin the transport's three contracts: the pool/pickle
+round trip preserves object identity on the parent side, results are
+bit-identical to the serial and legacy (``REPRO_NO_SHM=1``) protocols,
+and no ``/dev/shm`` segment outlives a run — on normal exit, under
+``skip_shard`` degradation, and under injected worker crashes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bandits import UCB1, EpsilonGreedy, LinUCB
+from repro.core.agent import LocalAgent
+from repro.data.multilabel import MultilabelBanditEnvironment, make_multilabel_dataset
+from repro.data.synthetic import SyntheticPreferenceEnvironment
+from repro.sim import (
+    FaultPlan,
+    FaultPolicy,
+    FaultSpec,
+    FleetRunner,
+    ShmArrayRef,
+    ShmPool,
+    leaked_segments,
+)
+from repro.sim.faults import FAULTS_ENV_VAR
+from repro.sim.shm import SHM_ENV_VAR, attach, shm_dumps, shm_loads
+from repro.utils.rng import spawn_seeds
+
+from _testkit import N_FEATURES, assert_outboxes_equal, assert_states_equal
+
+N_ACTIONS = 4
+
+_ML_DATASET = make_multilabel_dataset(90, N_FEATURES, N_ACTIONS, n_clusters=4, seed=0)
+
+
+def _mixed_population(seed, n_agents=12):
+    """Traced (multilabel) and stationary (synthetic) sessions across
+    three policy kinds — the traced shards carry ``TraceRowTable``
+    arrays, which is exactly what rides shared memory to the workers."""
+    syn = SyntheticPreferenceEnvironment(
+        n_actions=N_ACTIONS, n_features=N_FEATURES, seed=7
+    )
+    ml = MultilabelBanditEnvironment(_ML_DATASET, samples_per_user=6, seed=1)
+    kinds = [LinUCB, EpsilonGreedy, UCB1]
+    agents, sessions = [], []
+    for i, s in enumerate(spawn_seeds(seed, n_agents)):
+        policy_seed, session_seed = s.spawn(2)
+        policy = kinds[i % 3](n_arms=N_ACTIONS, n_features=N_FEATURES, seed=policy_seed)
+        agents.append(LocalAgent(f"u{i}", policy, mode="cold"))
+        sessions.append((ml if i % 2 else syn).new_user(session_seed))
+    return agents, sessions
+
+
+def _assert_runs_identical(result_a, result_b, agents_a, agents_b):
+    np.testing.assert_array_equal(result_a.rewards, result_b.rewards)
+    np.testing.assert_array_equal(result_a.actions, result_b.actions)
+    if result_a.expected is not None:
+        np.testing.assert_array_equal(result_a.expected, result_b.expected)
+        np.testing.assert_array_equal(result_a.expected_mask, result_b.expected_mask)
+    for a, b in zip(agents_a, agents_b):
+        assert_states_equal(a.policy, b.policy, a.agent_id)
+    assert_outboxes_equal(agents_a, agents_b)
+
+
+class TestShmPool:
+    def test_empty_is_zero_filled_and_described(self):
+        with ShmPool() as pool:
+            arr = pool.empty((3, 4), np.float64)
+            assert arr.shape == (3, 4) and arr.dtype == np.float64
+            assert not arr.any()
+            ref = pool.ref_for(arr)
+            assert isinstance(ref, ShmArrayRef)
+            assert ref.shape == (3, 4)
+            assert np.dtype(ref.dtype) == np.float64
+            assert ref.nbytes() == arr.nbytes
+            assert pool.resolve(ref) is arr
+            name = ref.name
+        assert name not in leaked_segments()
+
+    def test_share_is_idempotent_and_identity_preserving(self):
+        arr = np.arange(12.0).reshape(3, 4)
+        with ShmPool() as pool:
+            ref = pool.share(arr)
+            assert pool.share(arr) == ref
+            # the descriptor resolves to the ORIGINAL object, so adopted
+            # state aliases the caller's storage after the round trip
+            assert pool.resolve(ref) is arr
+            attached = attach(ref)
+            assert attached is not arr
+            np.testing.assert_array_equal(attached, arr)
+            # attachments are cached per process (aliasing survives)
+            assert attach(ref) is attached
+
+    def test_share_declines_unshareable_arrays(self):
+        with ShmPool() as pool:
+            assert pool.share(np.empty((0, 3))) is None
+            assert pool.share(np.array([object()], dtype=object)) is None
+            assert pool.share(np.zeros(3, dtype=[("a", "f8")])) is None
+
+    def test_close_is_idempotent_and_final(self):
+        pool = ShmPool()
+        ref = pool.ref_for(pool.empty((2,), np.intp))
+        pool.close()
+        pool.close()
+        with pytest.raises(ValueError, match="closed"):
+            pool.empty((1,), np.float64)
+        assert ref.name not in leaked_segments()
+
+    def test_every_block_unlinked_on_close(self):
+        pool = ShmPool()
+        names = []
+        for shape in [(5,), (2, 3), (4, 4)]:
+            names.append(pool.ref_for(pool.empty(shape, np.float64)).name)
+        names.append(pool.share(np.ones(7)).name)
+        pool.close()
+        assert not set(names) & set(leaked_segments())
+
+
+class TestShmPickling:
+    def test_registered_arrays_travel_by_reference(self):
+        with ShmPool() as pool:
+            big = pool.empty((128, 64), np.float64)
+            big[...] = np.arange(big.size, dtype=np.float64).reshape(big.shape)
+            payload = shm_dumps({"m": big, "tag": 3}, pool)
+            assert len(payload) < big.nbytes // 8  # descriptor, not bytes
+            out = shm_loads(payload, pool)
+            assert out["m"] is big and out["tag"] == 3
+
+    def test_unregistered_objects_round_trip_by_value(self):
+        obj = [1, "a", np.arange(3)]
+        out = shm_loads(shm_dumps(obj))
+        assert out[:2] == obj[:2]
+        np.testing.assert_array_equal(out[2], obj[2])
+
+    def test_worker_round_trip_restores_parent_identity(self):
+        arr = np.arange(20.0).reshape(4, 5)
+        with ShmPool() as pool:
+            pool.share(arr)
+            # worker side: no pool => descriptor attaches the block
+            worker_view = shm_loads(shm_dumps(arr, pool))
+            assert worker_view is not arr
+            np.testing.assert_array_equal(worker_view, arr)
+            # return trip: the attachment collapses back to its ref and
+            # the parent resolves it to the original object
+            assert shm_loads(shm_dumps(worker_view), pool) is arr
+
+
+class TestProcessBackendShm:
+    def test_shm_and_fallback_bit_identical_to_serial(self, monkeypatch):
+        before = set(leaked_segments())
+        a1, s1 = _mixed_population(0)
+        r1 = FleetRunner(a1, s1).run(10, track_expected=True)
+
+        monkeypatch.delenv(SHM_ENV_VAR, raising=False)
+        a2, s2 = _mixed_population(0)
+        r2 = FleetRunner(a2, s2, n_workers=3, worker_backend="process").run(
+            10, track_expected=True
+        )
+        _assert_runs_identical(r1, r2, a1, a2)
+
+        monkeypatch.setenv(SHM_ENV_VAR, "1")
+        a3, s3 = _mixed_population(0)
+        r3 = FleetRunner(a3, s3, n_workers=3, worker_backend="process").run(
+            10, track_expected=True
+        )
+        _assert_runs_identical(r1, r3, a1, a3)
+        assert set(leaked_segments()) <= before
+
+    def test_run_subset_on_process_backend(self):
+        a1, s1 = _mixed_population(1)
+        serial = FleetRunner(a1, s1, persistent=True)
+        r1 = serial.run_subset(a1[:7], 6, track_expected=True)
+
+        a2, s2 = _mixed_population(1)
+        proc = FleetRunner(
+            a2, s2, n_workers=2, worker_backend="process", persistent=True
+        )
+        r2 = proc.run_subset(a2[:7], 6, track_expected=True)
+        np.testing.assert_array_equal(r1.rewards, r2.rewards)
+        np.testing.assert_array_equal(r1.actions, r2.actions)
+        for a, b in zip(a1[:7], a2[:7]):
+            assert_states_equal(a.policy, b.policy, a.agent_id)
+
+    def test_skip_shard_degradation_unlinks_blocks(self):
+        before = set(leaked_segments())
+        specs = [FaultSpec("crash", 1, 2, attempt=k) for k in range(3)]
+        agents, sessions = _mixed_population(2)
+        degraded = FleetRunner(
+            agents,
+            sessions,
+            n_workers=2,
+            worker_backend="process",
+            fault_plan=FaultPlan(specs),
+            fault_policy=FaultPolicy(
+                max_retries=2, backoff=0.0, on_exhausted="skip_shard"
+            ),
+        ).run(6)
+        # exactly the crashing shard is dropped: its sibling's futures
+        # die with BrokenProcessPool too (a dead worker poisons the
+        # whole executor), but collateral failures must never be
+        # charged against an innocent shard's retry budget
+        assert len(degraded.dropped) == 1
+        assert degraded.dropped[0].shard == 1
+        assert degraded.dropped[0].attempts == 3
+        rows = np.array(
+            [a.agent_id in degraded.dropped[0].agent_ids for a in agents]
+        )
+        assert np.isnan(degraded.rewards[rows]).all()
+        assert set(leaked_segments()) <= before
+
+    def test_crash_chaos_leaves_no_segments(self, monkeypatch):
+        spec = "seed=2;crash=0.1"
+        plan = FaultPlan.parse(spec)
+        assert any(plan.step_fault(s, t, 0) for s in range(3) for t in range(10))
+        before = set(leaked_segments())
+        monkeypatch.setenv(FAULTS_ENV_VAR, spec)
+        agents, sessions = _mixed_population(3)
+        result = FleetRunner(
+            agents,
+            sessions,
+            n_workers=2,
+            worker_backend="process",
+            fault_policy=FaultPolicy(max_retries=6, backoff=0.0),
+        ).run(10)
+        assert result.dropped == ()
+        assert np.isfinite(result.rewards).all()
+        assert set(leaked_segments()) <= before
